@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scheduler ablation: the same captured workload trace replayed
+ * under FCFS and FR-FCFS scheduling, with and without Graphene —
+ * quantifying (a) what request reordering buys the memory system and
+ * (b) that Graphene's zero-overhead result is independent of the
+ * scheduling policy (its triggers depend only on per-bank ACT
+ * counts, which reordering does not change).
+ */
+
+#include <iostream>
+
+#include "common/table_printer.hh"
+#include "sim/replay.hh"
+
+int
+main()
+{
+    using namespace graphene;
+    using graphene::TablePrinter;
+
+    dram::Geometry geometry;
+    const dram::AddressMapper mapper(geometry);
+    const auto timing = dram::TimingParams::ddr4_2400();
+
+    TablePrinter table(
+        "Scheduler ablation: captured traces replayed under FCFS vs "
+        "FR-FCFS (8 ms each)");
+    table.header({"Workload", "Scheduler", "Scheme", "Row-hit rate",
+                  "Mean latency (cyc)", "Victim rows", "Flips"});
+
+    const Cycle horizon = timing.cREFW() / 8;
+    for (const char *app : {"lbm", "mcf", "mix-high"}) {
+        const workloads::WorkloadSpec workload =
+            std::string(app) == "mix-high"
+                ? workloads::mixHigh(16, 42)
+                : workloads::homogeneous(app, 16);
+        const auto trace =
+            workloads::captureTrace(workload, mapper, horizon, 7);
+
+        for (const auto policy : {mem::SchedulerPolicy::Fcfs,
+                                  mem::SchedulerPolicy::FrFcfs}) {
+            for (const auto kind : {schemes::SchemeKind::None,
+                                    schemes::SchemeKind::Graphene}) {
+                sim::ReplayConfig config;
+                config.geometry = geometry;
+                config.timing = timing;
+                config.policy = policy;
+                config.scheme.kind = kind;
+                const sim::ReplayResult r =
+                    sim::replayTrace(config, trace);
+                table.row(
+                    {workload.name,
+                     policy == mem::SchedulerPolicy::Fcfs
+                         ? "FCFS"
+                         : "FR-FCFS",
+                     schemes::schemeKindName(kind),
+                     TablePrinter::pct(r.rowHitRate),
+                     TablePrinter::num(r.meanLatency, 4),
+                     std::to_string(r.victimRowsRefreshed),
+                     std::to_string(r.bitFlips)});
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "Expected shape: FR-FCFS recovers row hits that the\n"
+           "arrival order destroys and lowers mean latency;\n"
+           "Graphene's victim-refresh count (zero on these normal\n"
+           "workloads) and protection are identical under both\n"
+           "schedulers — its guarantees do not depend on the\n"
+           "controller's scheduling policy.\n";
+    return 0;
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Regenerates the Section V-A security analysis and Figure 7:
+ *
+ *  1. PARA: the failure recurrence P(e_N) and the solved
+ *     near-complete-protection probability per threshold (the paper's
+ *     p = 0.00145 for T_RH = 50K on 64 banks).
+ *  2. PRoHIT under the Figure 7(a) pattern: the outer victims
+ *     (x +/- 5) are starved and flip within a handful of refresh
+ *     windows (the paper reports 0.25% failure odds per tREFW,
+ *     i.e. near-certain failure within a year).
+ *  3. MRLoc under the Figure 7(b) pattern: eight mutually
+ *     non-adjacent aggressors nullify the 15-entry queue and the
+ *     scheme degenerates to bare PARA.
+ *  4. Graphene under both patterns: zero flips by construction.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "analysis/para_model.hh"
+#include "common/table_printer.hh"
+#include "sim/act_engine.hh"
+
+namespace {
+
+using namespace graphene;
+
+void
+paraDerivation()
+{
+    using analysis::ParaModel;
+    TablePrinter table(
+        "PARA: required refresh probability for near-complete "
+        "protection (<1%/year, 64 banks)");
+    table.header({"T_RH", "p (solved)", "p (paper)",
+                  "P(fail)/window at solved p", "P(fail)/year"});
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const std::uint64_t w = timing.maxActsInWindow(1);
+    const struct { std::uint64_t trh; const char *paper; } rows[] = {
+        {50000, "0.00145"},  {25000, "0.00295"}, {12500, "0.00602"},
+        {6250, "0.01224"},   {3125, "0.02485"},  {1562, "0.05034"},
+    };
+    for (const auto &r : rows) {
+        const double p = ParaModel::requiredProbability(r.trh, w);
+        const double pw =
+            ParaModel::windowFailureProbability(p, r.trh, w);
+        table.row({std::to_string(r.trh), TablePrinter::num(p, 4),
+                   r.paper, TablePrinter::num(pw, 3),
+                   TablePrinter::num(
+                       ParaModel::yearlyFailureProbability(pw, 64,
+                                                           0.064),
+                       3)});
+    }
+    table.print(std::cout);
+}
+
+sim::ActEngineResult
+attack(schemes::SchemeKind kind,
+       std::unique_ptr<workloads::ActPattern> pattern, double windows)
+{
+    sim::ActEngineConfig config;
+    config.scheme.kind = kind;
+    config.windows = windows;
+    config.physicalThreshold = 50000;
+    return sim::runActStream(config, *pattern);
+}
+
+void
+figure7()
+{
+    TablePrinter table(
+        "Figure 7: adversarial patterns vs table-based probabilistic "
+        "schemes (T_RH = 50K, 8 x tREFW attack)");
+    table.header({"Scheme", "Pattern", "ACTs", "Victim refreshes",
+                  "Bit flips", "Flips / tREFW"});
+
+    auto row = [&table](const char *scheme,
+                        const sim::ActEngineResult &r,
+                        const std::string &pattern, double windows) {
+        table.row({scheme, pattern, std::to_string(r.acts),
+                   std::to_string(r.victimRowsRefreshed),
+                   std::to_string(r.bitFlips),
+                   TablePrinter::num(
+                       static_cast<double>(r.bitFlips) / windows,
+                       3)});
+    };
+
+    const double windows = 8.0;
+    const Row x = 32768;
+
+    row("PRoHIT",
+        attack(schemes::SchemeKind::ProHit,
+               workloads::patterns::proHitAdversarial(x), windows),
+        "Fig7(a) {x-4,x-2,x-2,x,x,x,x+2,x+2,x+4}", windows);
+    row("MRLoc",
+        attack(schemes::SchemeKind::MrLoc,
+               workloads::patterns::mrLocAdversarial(x, 16), windows),
+        "Fig7(b) 8 non-adjacent rows", windows);
+    row("PARA-0.00145",
+        attack(schemes::SchemeKind::Para,
+               workloads::patterns::proHitAdversarial(x), windows),
+        "Fig7(a)", windows);
+    row("Graphene",
+        attack(schemes::SchemeKind::Graphene,
+               workloads::patterns::proHitAdversarial(x), windows),
+        "Fig7(a)", windows);
+    row("Graphene",
+        attack(schemes::SchemeKind::Graphene,
+               workloads::patterns::mrLocAdversarial(x, 16), windows),
+        "Fig7(b)", windows);
+
+    table.print(std::cout);
+    std::cout
+        << "Expected shape (paper): PRoHIT and MRLoc spend the same\n"
+           "refresh budget as PARA-0.00145 (their table tricks are\n"
+           "nullified by these patterns) while Graphene spends ~6x\n"
+           "less; no flips are expected in only 8 windows — the\n"
+           "paper's 0.25%/tREFW PRoHIT failure odds mean ~one flip\n"
+           "per 400 windows, which the starvation analysis below\n"
+           "makes visible directly.\n";
+}
+
+/**
+ * The mechanism behind the paper's PRoHIT number: under pattern (a)
+ * the outer victims x +/- 5 receive a vanishing share of the refresh
+ * budget even though their aggressors supply 2/9 of all ACTs, so
+ * their worst-case disturbance accumulation approaches T_RH — while
+ * PARA spreads its (identical) budget by aggressor frequency alone.
+ */
+void
+starvationAnalysis()
+{
+    const Row x = 32768;
+    const std::uint64_t acts = 4 * 1358404ULL; // 4 windows of ACTs
+
+    TablePrinter table(
+        "Starvation under Figure 7(a): refresh share and worst-case "
+        "accumulation of the outer victims (4 x tREFW)");
+    table.header({"Scheme", "Refreshes x+/-1,3", "Refreshes x+/-5",
+                  "Max ACT gap without x+/-5 refresh",
+                  "Headroom to T_RH=50K"});
+
+    auto run = [&](schemes::SchemeKind kind) {
+        schemes::SchemeSpec spec;
+        spec.kind = kind;
+        auto scheme = schemes::makeScheme(spec);
+        auto pattern = workloads::patterns::proHitAdversarial(x);
+
+        std::uint64_t inner = 0, outer = 0;
+        // ACTs of x-4 since the last refresh of x-5, and of x+4
+        // since the last refresh of x+5.
+        std::uint64_t gap_low = 0, gap_high = 0;
+        std::uint64_t max_gap = 0;
+        RefreshAction action;
+        for (std::uint64_t i = 0; i < acts; ++i) {
+            const Row row = pattern->next();
+            if (row == x - 4)
+                max_gap = std::max(max_gap, ++gap_low);
+            else if (row == x + 4)
+                max_gap = std::max(max_gap, ++gap_high);
+            action.clear();
+            scheme->onActivate(i * 54, row, action);
+            if (i % 165 == 0)
+                scheme->onRefresh(i * 54, action);
+            for (Row v : action.victimRows) {
+                if (v == x - 5) {
+                    ++outer;
+                    gap_low = 0;
+                } else if (v == x + 5) {
+                    ++outer;
+                    gap_high = 0;
+                } else {
+                    ++inner;
+                }
+            }
+        }
+        table.row({schemes::schemeKindName(kind),
+                   std::to_string(inner), std::to_string(outer),
+                   std::to_string(max_gap),
+                   TablePrinter::num(
+                       50000.0 - static_cast<double>(max_gap), 6)});
+    };
+
+    run(schemes::SchemeKind::ProHit);
+    run(schemes::SchemeKind::Para);
+    table.print(std::cout);
+    std::cout
+        << "Expected shape: PRoHIT refreshes x+/-5 many times less\n"
+           "often than the inner victims and its worst-case\n"
+           "unrefreshed accumulation sits several times closer to\n"
+           "T_RH than PARA's at the same refresh budget — the\n"
+           "paper's 'fails to guarantee near-complete protection'.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    paraDerivation();
+    figure7();
+    starvationAnalysis();
+    return 0;
+}

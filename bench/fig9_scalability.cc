@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Regenerates Figure 9: scalability of the four schemes as the Row
+ * Hammer threshold shrinks from 50K to 1.56K — (a) table size per
+ * rank, (b) average refresh-energy overhead on normal workloads,
+ * (c) on adversarial patterns, and (d) average performance overhead.
+ *
+ * Per-threshold configurations follow Section V-C: PARA's p is
+ * re-solved per threshold, CBT doubles its counters (and adds one
+ * level) per halving, Graphene and TWiCe re-derive their tables.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table_printer.hh"
+#include "model/area.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace graphene;
+    using graphene::TablePrinter;
+
+    const std::vector<std::uint64_t> thresholds = {
+        50000, 25000, 12500, 6250, 3125, 1562};
+    const auto kinds = schemes::evaluatedSchemes();
+
+    // (a) Table size per rank (16 banks).
+    TablePrinter area("Figure 9(a): table size per rank (bits)");
+    {
+        std::vector<std::string> header = {"T_RH"};
+        for (const auto kind : kinds)
+            header.push_back(schemes::schemeKindName(kind));
+        area.header(header);
+        for (const auto trh : thresholds) {
+            std::vector<std::string> row = {std::to_string(trh)};
+            for (const auto kind : kinds) {
+                schemes::SchemeSpec spec;
+                spec.kind = kind;
+                spec.rowHammerThreshold = trh;
+                auto scheme = schemes::makeScheme(spec);
+                row.push_back(std::to_string(
+                    model::AreaModel::bits(scheme->cost(), 16)));
+            }
+            area.row(row);
+        }
+    }
+    area.print(std::cout);
+
+    // (b) + (d): normal-workload averages on a representative subset
+    // of the Figure 8 suite (one streaming, one irregular, one
+    // skewed, one mix).
+    sim::SystemConfig base;
+    base.windows = 0.125; // 8 ms per run keeps the sweep tractable
+    std::vector<workloads::WorkloadSpec> subset = {
+        workloads::homogeneous("lbm", base.numCores),
+        workloads::homogeneous("mcf", base.numCores),
+        workloads::homogeneous("MICA", base.numCores),
+        workloads::mixHigh(base.numCores, 42),
+    };
+
+    TablePrinter energy(
+        "Figure 9(b): avg refresh-energy overhead, normal workloads");
+    TablePrinter perf(
+        "Figure 9(d): avg performance overhead, normal workloads");
+    std::vector<std::string> header = {"T_RH"};
+    for (const auto kind : kinds)
+        header.push_back(schemes::schemeKindName(kind));
+    energy.header(header);
+    perf.header(header);
+
+    for (const auto trh : thresholds) {
+        sim::SystemConfig config = base;
+        config.scheme.rowHammerThreshold = trh;
+        config.physicalThreshold = trh;
+        const auto rows =
+            sim::runOverheadGrid(config, subset, kinds);
+        std::vector<std::string> erow = {std::to_string(trh)};
+        std::vector<std::string> prow = {std::to_string(trh)};
+        for (const auto kind : kinds) {
+            const std::string name = schemes::schemeKindName(kind);
+            double e = 0.0, p = 0.0;
+            unsigned n = 0;
+            for (const auto &r : rows) {
+                if (r.scheme != name)
+                    continue;
+                e += r.energyOverhead;
+                p += r.perfLoss;
+                ++n;
+            }
+            erow.push_back(TablePrinter::pct(e / n, 3));
+            prow.push_back(TablePrinter::pct(p / n, 3));
+        }
+        energy.row(erow);
+        perf.row(prow);
+    }
+    energy.print(std::cout);
+
+    // (c) Adversarial-pattern averages on the ACT engine.
+    TablePrinter adv(
+        "Figure 9(c): avg refresh-energy overhead, adversarial "
+        "patterns");
+    adv.header(header);
+    for (const auto trh : thresholds) {
+        sim::ActEngineConfig config;
+        config.windows = 0.5;
+        config.scheme.rowHammerThreshold = trh;
+        const auto rows = sim::runAdversarialGrid(config, kinds, 7);
+        std::vector<std::string> row = {std::to_string(trh)};
+        for (const auto kind : kinds) {
+            const std::string name = schemes::schemeKindName(kind);
+            double e = 0.0;
+            unsigned n = 0;
+            for (const auto &r : rows) {
+                if (r.scheme != name)
+                    continue;
+                e += r.energyOverhead;
+                ++n;
+            }
+            row.push_back(TablePrinter::pct(e / n, 3));
+        }
+        adv.row(row);
+    }
+    adv.print(std::cout);
+    perf.print(std::cout);
+
+    std::cout
+        << "Expected shape (paper): all table sizes grow ~linearly\n"
+           "in 1/T_RH with TWiCe largest throughout and Graphene an\n"
+           "order of magnitude below it; PARA's overheads grow\n"
+           "~linearly; Graphene/TWiCe stay near zero on normal\n"
+           "workloads at every threshold and scale linearly under\n"
+           "attack; CBT stays notable but sub-linear (more counters\n"
+           "=> smaller bursts), improving its perf loss at low T_RH.\n";
+    return 0;
+}

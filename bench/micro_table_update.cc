@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the per-ACT critical path:
+ * Misra-Gries table updates (hit / spill / replace — the paper's
+ * two-CAM-search-plus-write pipeline, Figure 5) and the full
+ * onActivate() of every protection scheme.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/counter_table.hh"
+#include "core/graphene.hh"
+#include "schemes/factory.hh"
+
+namespace {
+
+using namespace graphene;
+
+void
+BM_CounterTableHit(benchmark::State &state)
+{
+    core::CounterTable table(81);
+    table.processActivation(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.processActivation(42));
+}
+BENCHMARK(BM_CounterTableHit);
+
+void
+BM_CounterTableSpill(benchmark::State &state)
+{
+    core::CounterTable table(81);
+    // Fill every slot beyond the spillover value so misses spill.
+    for (Row r = 0; r < 81; ++r) {
+        table.processActivation(r);
+        table.processActivation(r);
+    }
+    Row miss = 1000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.processActivation(miss++));
+}
+BENCHMARK(BM_CounterTableSpill);
+
+void
+BM_CounterTableReplaceHeavy(benchmark::State &state)
+{
+    // Round-robin over more rows than entries: the worst-case mix of
+    // replacements and spills.
+    core::CounterTable table(81);
+    Row r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.processActivation(r));
+        r = (r + 1) % 200;
+    }
+}
+BENCHMARK(BM_CounterTableReplaceHeavy);
+
+void
+BM_SchemeOnActivate(benchmark::State &state)
+{
+    schemes::SchemeSpec spec;
+    spec.kind = static_cast<schemes::SchemeKind>(state.range(0));
+    auto scheme = schemes::makeScheme(spec);
+    Rng rng(1);
+    RefreshAction action;
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        action.clear();
+        scheme->onActivate(cycle, static_cast<Row>(
+                                      rng.nextRange(65536)),
+                           action);
+        cycle += 54;
+        benchmark::DoNotOptimize(action);
+    }
+    state.SetLabel(scheme->name());
+}
+BENCHMARK(BM_SchemeOnActivate)
+    ->Arg(static_cast<int>(schemes::SchemeKind::Graphene))
+    ->Arg(static_cast<int>(schemes::SchemeKind::Para))
+    ->Arg(static_cast<int>(schemes::SchemeKind::ProHit))
+    ->Arg(static_cast<int>(schemes::SchemeKind::MrLoc))
+    ->Arg(static_cast<int>(schemes::SchemeKind::Cbt))
+    ->Arg(static_cast<int>(schemes::SchemeKind::TwiCe));
+
+void
+BM_GrapheneHammerLoop(benchmark::State &state)
+{
+    // The attacker-facing fast path: one hot row hammered; the trigger
+    // fires every T updates.
+    core::GrapheneConfig config;
+    config.resetWindowDivisor = 2;
+    core::Graphene graphene(config);
+    RefreshAction action;
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        action.clear();
+        graphene.onActivate(cycle, 12345, action);
+        cycle += 54;
+        benchmark::DoNotOptimize(action);
+    }
+}
+BENCHMARK(BM_GrapheneHammerLoop);
+
+} // namespace

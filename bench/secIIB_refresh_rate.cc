@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantifies the Section II-B elevated-refresh-rate mitigation: the
+ * refresh multiplier needed for real protection versus its energy
+ * and bank-availability cost — the reason the paper (and the field)
+ * rejected the BIOS-patch approach and moved to targeted refreshes.
+ */
+
+#include <iostream>
+
+#include "analysis/refresh_rate.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace graphene;
+    using graphene::TablePrinter;
+
+    const auto timing = dram::TimingParams::ddr4_2400();
+
+    TablePrinter table(
+        "Section II-B: elevated refresh rate (tREFI / m) vs Row "
+        "Hammer at T_RH = 50K");
+    table.header({"m", "Max ACTs between refreshes", "Protects?",
+                  "Refresh energy", "Bank time lost to REF",
+                  "Feasible?"});
+    for (unsigned m : {1u, 2u, 4u, 8u, 12u, 13u, 16u, 22u, 23u}) {
+        const auto r = analysis::evaluateRefreshRate(timing, m, 50000);
+        table.row({std::to_string(m),
+                   std::to_string(r.maxActsBetweenRefreshes),
+                   r.protects ? "yes" : "NO",
+                   TablePrinter::num(r.energyMultiplier, 3) + "x",
+                   TablePrinter::pct(r.bankTimeLost),
+                   r.feasible ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    TablePrinter needed("Required multiplier per threshold");
+    needed.header({"T_RH", "m required", "Refresh energy",
+                   "Bank time lost"});
+    for (std::uint64_t trh :
+         {139000ULL, 50000ULL, 25000ULL, 12500ULL, 6250ULL}) {
+        const unsigned m = analysis::requiredMultiplier(timing, trh);
+        if (m == 0) {
+            needed.row({std::to_string(trh), "impossible", "-", "-"});
+            continue;
+        }
+        const auto r = analysis::evaluateRefreshRate(timing, m, trh);
+        needed.row({std::to_string(trh), std::to_string(m),
+                    TablePrinter::num(r.energyMultiplier, 3) + "x",
+                    TablePrinter::pct(r.bankTimeLost)});
+    }
+    needed.print(std::cout);
+
+    std::cout
+        << "Expected shape (paper Section II-B): the doubled refresh\n"
+           "rate vendors shipped does not protect (an aggressor\n"
+           "still fits hundreds of thousands of ACTs between\n"
+           "refreshes); real protection at 50K needs ~13x the\n"
+           "refresh energy with over half of all bank time spent\n"
+           "refreshing, and lower thresholds hit the feasibility\n"
+           "wall where REF saturates the device outright — versus\n"
+           "Graphene's 0.34% worst-case overhead.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates the Section II-C remapping caveat as a measured
+ * experiment: when the DRAM device scrambles logical row addresses
+ * internally, schemes that refresh logical neighbourhoods from the
+ * controller (CBT's contiguous ranges) miss the true physical
+ * victims, while NRR-based schemes (Graphene, TWiCe) are immune
+ * because the device resolves adjacency itself. CBT's only safe
+ * fallback is a per-row NRR at N/2^l x 2 rows per trigger instead of
+ * N/2^l + 2.
+ */
+
+#include <iostream>
+
+#include "common/table_printer.hh"
+#include "sim/act_engine.hh"
+
+int
+main()
+{
+    using namespace graphene;
+    using graphene::TablePrinter;
+
+    TablePrinter table(
+        "Section II-C: internal row remapping vs refresh strategy "
+        "(single-row attack, T_RH = 20K, 4 x tREFW)");
+    table.header({"Scheme", "Refresh strategy", "Remap", "Victim rows",
+                  "Bit flips"});
+
+    auto run = [&table](schemes::SchemeKind kind, bool contiguous,
+                        bool remap, const char *strategy) {
+        sim::ActEngineConfig config;
+        config.scheme.kind = kind;
+        config.scheme.rowHammerThreshold = 20000;
+        config.scheme.cbtAssumeContiguous = contiguous;
+        config.physicalThreshold = 20000;
+        config.remap = remap;
+        config.windows = 4.0;
+        auto pattern = workloads::patterns::s3(config.rowsPerBank);
+        const auto r = sim::runActStream(config, *pattern);
+        table.row({schemes::schemeKindName(kind), strategy,
+                   remap ? "on" : "off",
+                   std::to_string(r.victimRowsRefreshed),
+                   std::to_string(r.bitFlips)});
+    };
+
+    run(schemes::SchemeKind::Graphene, true, false, "device NRR");
+    run(schemes::SchemeKind::Graphene, true, true, "device NRR");
+    run(schemes::SchemeKind::TwiCe, true, true, "device NRR");
+    run(schemes::SchemeKind::Cbt, true, false,
+        "logical range (N/2^l + 2)");
+    run(schemes::SchemeKind::Cbt, true, true,
+        "logical range (N/2^l + 2)");
+    run(schemes::SchemeKind::Cbt, false, true,
+        "per-row NRR (N/2^l x 2)");
+
+    table.print(std::cout);
+    std::cout
+        << "Expected shape (paper Section II-C): NRR-based schemes\n"
+           "are unaffected by remapping; CBT's contiguous range\n"
+           "refresh FLIPS BITS once rows are remapped, and its safe\n"
+           "fallback roughly doubles the refreshed rows per trigger.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates the Section III-D / V-D non-adjacent Row Hammer
+ * analysis: how Graphene's table grows with the blast radius n under
+ * the inverse-square decay profile (bounded by 1.64x) versus the
+ * conservative uniform profile, and the measured protection and
+ * refresh cost at each radius.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table_printer.hh"
+#include "core/config.hh"
+#include "core/graphene.hh"
+#include "model/energy.hh"
+#include "sim/act_engine.hh"
+
+int
+main()
+{
+    using namespace graphene;
+    using graphene::TablePrinter;
+
+    TablePrinter table(
+        "Section III-D: Graphene under non-adjacent (+/-n) Row "
+        "Hammer, T_RH = 50K, k = 2");
+    table.header({"n", "mu profile", "F = sum(mu)", "T", "Nentry",
+                  "Table bits/bank", "Worst-case rows/tREFW"});
+
+    for (unsigned n = 1; n <= 4; ++n) {
+        for (const bool uniform : {false, true}) {
+            core::GrapheneConfig c;
+            c.resetWindowDivisor = 2;
+            c.blastRadius = n;
+            c.mu = uniform ? core::GrapheneConfig::uniformMu(n)
+                           : core::GrapheneConfig::inverseSquareMu(n);
+            c.validate();
+            const auto cost = core::Graphene::costFor(c, 65536, true);
+            table.row({std::to_string(n),
+                       uniform ? "uniform" : "1/i^2",
+                       TablePrinter::num(c.muFactor(), 4),
+                       std::to_string(c.trackingThreshold()),
+                       std::to_string(c.numEntries()),
+                       std::to_string(cost.camBits),
+                       std::to_string(
+                           c.worstCaseVictimRowsPerRefw())});
+            if (n == 1)
+                break; // profiles coincide at radius 1
+        }
+    }
+    table.print(std::cout);
+
+    // Measured: a +/-2 physical blast radius attacked single-sidedly;
+    // a radius-2 Graphene protects it, a radius-1 Graphene would not
+    // cover the distance-2 victims against a low enough threshold.
+    TablePrinter measured(
+        "Measured: +/-2 physics vs scheme radius (single-row attack, "
+        "2 x tREFW, T_RH = 20K)");
+    measured.header({"Scheme radius", "Victim rows refreshed",
+                     "Bit flips"});
+    for (unsigned radius : {1u, 2u}) {
+        sim::ActEngineConfig config;
+        config.scheme.kind = schemes::SchemeKind::Graphene;
+        config.scheme.rowHammerThreshold = 20000;
+        config.scheme.blastRadius = radius;
+        config.faultRadius = 2;
+        config.physicalThreshold = 20000;
+        config.windows = 2.0;
+        auto pattern = workloads::patterns::s3(65536);
+        const auto r = sim::runActStream(config, *pattern);
+        measured.row({std::to_string(radius),
+                      std::to_string(r.victimRowsRefreshed),
+                      std::to_string(r.bitFlips)});
+    }
+    measured.print(std::cout);
+
+    std::cout
+        << "Expected shape (paper): with mu_i = 1/i^2 the table\n"
+           "growth saturates below 1.64x while victim refreshes per\n"
+           "trigger grow as 2n; the uniform profile is strictly more\n"
+           "expensive. The measured table shows why the extension\n"
+           "matters: a radius-1 Graphene leaves the distance-2\n"
+           "victims to the slow normal-refresh rotation and they\n"
+           "flip, while the radius-2 configuration (costing 2x the\n"
+           "victim rows per NRR) keeps the bank flip-free.\n";
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Regenerates the Section VI design-space discussion as a measured
+ * ablation: Graphene's refresh policy running on each of the four
+ * frequent-elements algorithms the paper surveys (Misra-Gries, Space
+ * Saving, Lossy Counting, Count-Min sketch), compared on hardware
+ * cost and on victim refreshes issued (false-positive cost) across a
+ * benign skewed stream, the counter worst case, and a single-row
+ * attack. All four are sound (zero flips); Misra-Gries wins on bits
+ * at equal protection, which is the paper's stated reason for
+ * choosing it.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/random.hh"
+#include "common/table_printer.hh"
+#include "common/zipf.hh"
+#include "core/tracker_scheme.hh"
+#include "dram/fault_model.hh"
+#include "model/energy.hh"
+
+namespace {
+
+using namespace graphene;
+
+struct StreamResult
+{
+    std::uint64_t nrrEvents = 0;
+    std::uint64_t flips = 0;
+};
+
+/**
+ * Drive one scheme with a row stream at the max ACT rate for one
+ * reset window, with the fault model checking soundness.
+ */
+template <typename NextRow>
+StreamResult
+drive(core::TrackerScheme &scheme, const core::GrapheneConfig &config,
+      NextRow next_row)
+{
+    dram::FaultConfig fc;
+    fc.rowHammerThreshold =
+        static_cast<double>(config.rowHammerThreshold);
+    dram::FaultModel fault(fc, 65536);
+
+    StreamResult result;
+    RefreshAction action;
+    const std::uint64_t acts = config.maxActsPerWindow();
+    for (std::uint64_t i = 0; i < acts; ++i) {
+        const Row row = next_row(i);
+        fault.onActivate(i, row);
+        action.clear();
+        scheme.onActivate(i * 54, row, action);
+        for (Row aggressor : action.nrrAggressors) {
+            ++result.nrrEvents;
+            if (aggressor >= 1)
+                fault.onRowRefresh(aggressor - 1);
+            if (aggressor + 1 < 65536)
+                fault.onRowRefresh(aggressor + 1);
+        }
+    }
+    result.flips = fault.flips().size();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    using graphene::TablePrinter;
+
+    core::GrapheneConfig config;
+    config.resetWindowDivisor = 2; // the evaluated Graphene point
+
+    TablePrinter table(
+        "Section VI: Graphene's policy over alternative "
+        "frequent-elements trackers (T_RH = 50K, k = 2, one reset "
+        "window at full ACT rate)");
+    table.header({"Tracker", "Table bits/bank", "NRRs (zipf 0.99)",
+                  "NRRs (worst-case 80 rows)", "NRRs (single row)",
+                  "Flips (all)"});
+
+    for (const auto kind : core::allTrackerKinds()) {
+        auto make_scheme = [&]() {
+            return core::TrackerScheme(
+                core::makeTracker(kind, config), config);
+        };
+
+        // Benign skewed stream: Zipf over a 16K-row working set.
+        Rng rng(71);
+        ZipfSampler zipf(16384, 0.99);
+        auto scheme_zipf = make_scheme();
+        const StreamResult zipf_result =
+            drive(scheme_zipf, config, [&](std::uint64_t) {
+                return static_cast<Row>(zipf.sample(rng) * 4 % 65536);
+            });
+
+        // Adversarial: 80 rows round-robin (drives MG to T).
+        auto scheme_worst = make_scheme();
+        const StreamResult worst_result =
+            drive(scheme_worst, config, [](std::uint64_t i) {
+                return static_cast<Row>(100 + (i % 80) * 7);
+            });
+
+        // Single-row hammer.
+        auto scheme_single = make_scheme();
+        const StreamResult single_result =
+            drive(scheme_single, config,
+                  [](std::uint64_t) { return Row(32768); });
+
+        const auto cost =
+            core::makeTracker(kind, config)->cost(65536);
+        table.row(
+            {core::trackerKindName(kind),
+             std::to_string(cost.totalBits()),
+             std::to_string(zipf_result.nrrEvents),
+             std::to_string(worst_result.nrrEvents),
+             std::to_string(single_result.nrrEvents),
+             std::to_string(zipf_result.flips + worst_result.flips +
+                            single_result.flips)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "Expected shape (paper Section VI): every tracker is\n"
+           "sound (zero flips) but they pay differently — Misra-\n"
+           "Gries and Space Saving track exactly with the fewest\n"
+           "bits; Lossy Counting needs ~an order of magnitude more\n"
+           "entries for the same guarantee; Count-Min avoids the\n"
+           "address CAM but its collision inflation buys spurious\n"
+           "NRRs on benign traffic (conservative update helps).\n"
+           "This is why Graphene is built on Misra-Gries.\n";
+    return 0;
+}

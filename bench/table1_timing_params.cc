@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table I: definition and typical values of the DDR4
+ * refresh parameters the whole derivation is built on, plus the
+ * quantities derived from them.
+ */
+
+#include <iostream>
+
+#include "common/table_printer.hh"
+#include "dram/timing.hh"
+
+int
+main()
+{
+    using graphene::TablePrinter;
+    const auto t = graphene::dram::TimingParams::ddr4_2400();
+
+    TablePrinter table("Table I: DDR4 refresh parameters (JEDEC)");
+    table.header({"Term", "Definition", "Value", "Paper"});
+    table.row({"tREFI", "Refresh interval",
+               TablePrinter::num(t.tREFI / 1000.0) + " us", "7.8 us"});
+    table.row({"tRFC", "Refresh command time",
+               TablePrinter::num(t.tRFC) + " ns", "350 ns"});
+    table.row({"tRC", "ACT to ACT interval",
+               TablePrinter::num(t.tRC) + " ns", "45 ns"});
+    table.row({"tREFW", "Refresh window",
+               TablePrinter::num(t.tREFW / 1e6) + " ms", "64 ms"});
+    table.print(std::cout);
+
+    TablePrinter derived("Derived quantities");
+    derived.header({"Quantity", "Value", "Paper"});
+    derived.row({"REF commands per tREFW",
+                 std::to_string(static_cast<unsigned long>(
+                     t.tREFW / t.tREFI)),
+                 "~8192"});
+    derived.row({"Bank availability (1 - tRFC/tREFI)",
+                 TablePrinter::pct(1.0 - t.tRFC / t.tREFI), "~95.5%"});
+    derived.row({"Max ACTs per bank per tREFW (W)",
+                 std::to_string(t.maxActsInWindow(1)), "1,360K"});
+    derived.print(std::cout);
+    return 0;
+}

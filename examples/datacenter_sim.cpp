@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Datacenter scenario: a 16-core server (4 x DDR4-2400 channels,
+ * Table III) running a memory-intensive workload while choosing a
+ * Row Hammer defence — the trade-off study an infrastructure team
+ * would run before enabling one fleet-wide.
+ *
+ *   $ ./datacenter_sim [workload]
+ *
+ *   workload: any SPEC-high app (lbm, mcf, ...), a multi-threaded
+ *             benchmark (MICA, PageRank, RADIX, FFT, Canneal), or
+ *             "mix-high" / "mix-blend" (default: mix-high).
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.hh"
+#include "model/area.hh"
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace graphene;
+
+    const std::string name = argc > 1 ? argv[1] : "mix-high";
+
+    sim::SystemConfig base;
+    base.windows = 0.25; // 16 ms of DRAM time
+
+    workloads::WorkloadSpec workload;
+    if (name == "mix-high")
+        workload = workloads::mixHigh(base.numCores, 42);
+    else if (name == "mix-blend")
+        workload = workloads::mixBlend(base.numCores, 43);
+    else
+        workload = workloads::homogeneous(name, base.numCores);
+
+    std::cout << "Simulating workload '" << workload.name << "' on "
+              << base.numCores << " cores / "
+              << base.geometry.channels << " channels for "
+              << base.windows * 64.0 << " ms...\n\n";
+
+    const auto kinds = schemes::evaluatedSchemes();
+    const auto rows = sim::runOverheadGrid(base, {workload}, kinds);
+
+    TablePrinter table("Row Hammer defence trade-offs for '" +
+                       workload.name + "'");
+    table.header({"Scheme", "Victim rows", "Refresh energy +",
+                  "Perf loss", "Table mm^2/rank", "Guaranteed?"});
+    for (const auto &r : rows) {
+        schemes::SchemeSpec spec;
+        for (const auto kind : kinds)
+            if (schemes::schemeKindName(kind) == r.scheme)
+                spec.kind = kind;
+        auto scheme = schemes::makeScheme(spec);
+        const bool guaranteed =
+            spec.kind != schemes::SchemeKind::Para;
+        table.row({r.scheme, std::to_string(r.victimRows),
+                   TablePrinter::pct(r.energyOverhead, 3),
+                   TablePrinter::pct(r.perfLoss, 3),
+                   TablePrinter::num(
+                       model::AreaModel::mm2(scheme->cost(), 16), 4),
+                   guaranteed ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "Reading the table the way the paper does: Graphene is\n"
+           "the only scheme that is simultaneously guaranteed,\n"
+           "overhead-free on this workload, and an order of\n"
+           "magnitude smaller than TWiCe.\n";
+    return 0;
+}

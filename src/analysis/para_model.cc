@@ -1,0 +1,81 @@
+#include "analysis/para_model.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace analysis {
+
+double
+ParaModel::windowFailureProbability(double p,
+                                    std::uint64_t rh_threshold,
+                                    std::uint64_t n_acts)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("para model: probability out of range");
+    if (n_acts < rh_threshold)
+        return 0.0;
+
+    // c = p (1 - p/2)^T computed in log space to avoid underflow to
+    // zero for large T.
+    const double log_c =
+        std::log(p) + static_cast<double>(rh_threshold) *
+                          std::log1p(-p / 2.0);
+    const double c = std::exp(log_c);
+
+    // P(e_N) with full memory of the last T_RH + 1 values. For the
+    // tiny c of practical configurations P grows essentially
+    // linearly, but we keep the exact recurrence.
+    std::vector<double> history(n_acts + 1, 0.0);
+    for (std::uint64_t n = rh_threshold; n <= n_acts; ++n) {
+        const std::uint64_t back = n - rh_threshold; // n - T, >= 0
+        const double prev = history[n - 1];
+        const double old =
+            back >= 1 ? history[back - 1] : 0.0;
+        double value = prev + c * (1.0 - old);
+        if (value > 1.0)
+            value = 1.0;
+        history[n] = value;
+    }
+    return history[n_acts];
+}
+
+double
+ParaModel::yearlyFailureProbability(double per_window, unsigned banks,
+                                    double window_seconds)
+{
+    if (window_seconds <= 0.0)
+        fatal("para model: non-positive window");
+    const double windows_per_year = 365.25 * 24 * 3600 / window_seconds;
+    const double trials =
+        windows_per_year * static_cast<double>(banks);
+    // 1 - (1 - q)^trials, computed stably.
+    const double log_safe = trials * std::log1p(-per_window);
+    return 1.0 - std::exp(log_safe);
+}
+
+double
+ParaModel::requiredProbability(std::uint64_t rh_threshold,
+                               std::uint64_t n_acts, unsigned banks,
+                               double window_seconds, double target)
+{
+    double lo = 1e-6;
+    double hi = 0.5;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const double pw =
+            windowFailureProbability(mid, rh_threshold, n_acts);
+        const double yearly =
+            yearlyFailureProbability(pw, banks, window_seconds);
+        if (yearly > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+} // namespace analysis
+} // namespace graphene

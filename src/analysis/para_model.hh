@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytical security model of PARA (paper Section V-A, footnote 2).
+ *
+ * For the worst-case access pattern — one aggressor activated
+ * back-to-back for the whole refresh window — the probability that a
+ * stream of N ACTs contains at least T_RH consecutive activations
+ * with neither victim row refreshed obeys the recurrence
+ *
+ *   P(e_N) = P(e_{N-1}) + c (1 - P(e_{N-T_RH-1})),
+ *   c = p (1 - p/2)^{T_RH},
+ *
+ * where each specific victim is refreshed with probability p/2 per
+ * ACT (the factor 2 in c accounts for the two victims). From the
+ * per-window failure probability we derive the yearly system failure
+ * odds across all banks and solve for the p achieving the paper's
+ * "near-complete protection" target: < 1% chance of a successful
+ * attack per year on a 64-bank system.
+ */
+
+#ifndef ANALYSIS_PARA_MODEL_HH
+#define ANALYSIS_PARA_MODEL_HH
+
+#include <cstdint>
+
+namespace graphene {
+namespace analysis {
+
+/** Closed-form-ish PARA failure probabilities. */
+class ParaModel
+{
+  public:
+    /**
+     * Probability that a single continuously hammered victim flips
+     * within a stream of @p n_acts maximum-rate ACTs under PARA-@p p.
+     */
+    static double windowFailureProbability(double p,
+                                           std::uint64_t rh_threshold,
+                                           std::uint64_t n_acts);
+
+    /**
+     * Probability of at least one successful attack in a year given
+     * a per-window failure probability, attacking all @p banks in
+     * parallel with windows of @p window_seconds.
+     */
+    static double yearlyFailureProbability(double per_window,
+                                           unsigned banks,
+                                           double window_seconds);
+
+    /**
+     * Smallest p such that the yearly failure probability on
+     * @p banks banks stays below @p target (default: the paper's 1%
+     * on 64 banks). @p n_acts is the max-rate ACT count per window.
+     */
+    static double requiredProbability(std::uint64_t rh_threshold,
+                                      std::uint64_t n_acts,
+                                      unsigned banks = 64,
+                                      double window_seconds = 0.064,
+                                      double target = 0.01);
+
+    /** Expected victim-row refreshes per ACT under PARA-@p p. */
+    static double expectedRefreshesPerAct(double p) { return p; }
+};
+
+} // namespace analysis
+} // namespace graphene
+
+#endif // ANALYSIS_PARA_MODEL_HH

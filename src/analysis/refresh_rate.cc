@@ -1,0 +1,61 @@
+#include "analysis/refresh_rate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace analysis {
+
+RefreshRateResult
+evaluateRefreshRate(const dram::TimingParams &timing,
+                    unsigned multiplier, std::uint64_t rh_threshold)
+{
+    if (multiplier == 0)
+        fatal("refresh-rate analysis: zero multiplier");
+
+    RefreshRateResult result;
+    result.multiplier = multiplier;
+
+    const double refi = timing.tREFI / multiplier;
+    result.bankTimeLost = timing.tRFC / refi;
+    result.feasible = result.bankTimeLost < 1.0;
+    result.energyMultiplier = static_cast<double>(multiplier);
+
+    if (!result.feasible) {
+        result.maxActsBetweenRefreshes = 0;
+        result.protects = false;
+        return result;
+    }
+
+    // A row is refreshed once per tREFW / m; the aggressor's budget
+    // is the ACTs that fit in that window at the legal rate. The
+    // worst case is double-sided, halving the budget per aggressor
+    // but not the victim's exposure, so the victim-side budget is
+    // what must stay below T_RH.
+    const double window = timing.tREFW / multiplier;
+    const double available = window * (1.0 - result.bankTimeLost);
+    result.maxActsBetweenRefreshes =
+        static_cast<std::uint64_t>(available / timing.tRC);
+    result.protects =
+        result.maxActsBetweenRefreshes < rh_threshold;
+    return result;
+}
+
+unsigned
+requiredMultiplier(const dram::TimingParams &timing,
+                   std::uint64_t rh_threshold)
+{
+    for (unsigned m = 1; m < 100000; ++m) {
+        const RefreshRateResult r =
+            evaluateRefreshRate(timing, m, rh_threshold);
+        if (r.feasible && r.protects)
+            return m;
+        if (!r.feasible)
+            break;
+    }
+    return 0; // cannot protect at any feasible rate
+}
+
+} // namespace analysis
+} // namespace graphene

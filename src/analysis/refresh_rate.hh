@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analysis of the elevated-refresh-rate mitigation (paper Section
+ * II-B): BIOS/UEFI vendors shipped patches that multiply the refresh
+ * rate (tREFI / m), which shrinks the window an aggressor has to
+ * accumulate activations. The paper dismisses it because "the
+ * refresh rate cannot be raised high enough to eliminate all threats
+ * due to a significant increase in energy consumption" — this module
+ * quantifies that: protection requires m > W / T_RH (about 27x for
+ * T_RH = 50K), while energy and bank-availability costs grow linearly
+ * in m and the scheme breaks outright once tRFC saturates tREFI.
+ */
+
+#ifndef ANALYSIS_REFRESH_RATE_HH
+#define ANALYSIS_REFRESH_RATE_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace graphene {
+namespace analysis {
+
+/** Outcome of running DRAM at an m-times refresh rate. */
+struct RefreshRateResult
+{
+    unsigned multiplier = 1;
+
+    /** Max ACTs an aggressor fits between two refreshes of a row. */
+    std::uint64_t maxActsBetweenRefreshes = 0;
+
+    /** True when maxActsBetweenRefreshes < the Row Hammer
+     *  threshold, i.e. the mitigation actually protects. */
+    bool protects = false;
+
+    /** Refresh energy relative to the baseline rate. */
+    double energyMultiplier = 1.0;
+
+    /** Fraction of bank time consumed by REF (tRFC m / tREFI). */
+    double bankTimeLost = 0.0;
+
+    /** False when REF commands no longer fit in tREFI / m at all. */
+    bool feasible = true;
+};
+
+/** Evaluate an m-times refresh rate against @p rh_threshold. */
+RefreshRateResult evaluateRefreshRate(const dram::TimingParams &timing,
+                                      unsigned multiplier,
+                                      std::uint64_t rh_threshold);
+
+/**
+ * The smallest integer multiplier that fully protects, ignoring
+ * feasibility — m > W / T_RH (the reason the mitigation cannot
+ * scale).
+ */
+unsigned requiredMultiplier(const dram::TimingParams &timing,
+                            std::uint64_t rh_threshold);
+
+} // namespace analysis
+} // namespace graphene
+
+#endif // ANALYSIS_REFRESH_RATE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 style.
+ *
+ * panic() flags an internal simulator bug and aborts; fatal() flags a
+ * user/configuration error and exits cleanly; warn() and inform()
+ * report conditions without stopping the run.
+ */
+
+#ifndef COMMON_LOGGING_HH
+#define COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace graphene {
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort the process. Never returns.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1. Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Panic when @p cond is false. Unlike assert(), this check is active
+ * in all build types because the protection-guarantee checkers rely
+ * on it.
+ */
+#define GRAPHENE_CHECK(cond, ...)                                         \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::graphene::panic("check `" #cond "` failed: " __VA_ARGS__);  \
+    } while (0)
+
+} // namespace graphene
+
+#endif // COMMON_LOGGING_HH

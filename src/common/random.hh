@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (PARA's coin flips, workload generators,
+ * Monte Carlo harnesses) draws from an explicitly seeded Rng so that
+ * experiments and tests replay bit-exactly. The generator is
+ * xoshiro256**, which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef COMMON_RANDOM_HH
+#define COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace graphene {
+
+/**
+ * A small, seedable, copyable PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** @return a uniform integer in [0, bound), bound must be > 0. */
+    std::uint64_t nextRange(std::uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /** @return a geometric-ish exponential sample with mean @p mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace graphene
+
+#endif // COMMON_RANDOM_HH

@@ -1,0 +1,82 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace graphene {
+
+Histogram::Histogram(std::string name, std::size_t num_buckets, double max)
+    : _name(std::move(name)), _buckets(num_buckets, 0),
+      _bucketWidth(max / static_cast<double>(num_buckets))
+{
+    if (num_buckets == 0 || max <= 0.0)
+        fatal("histogram %s: need positive bucket count and range",
+              _name.c_str());
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _maxSeen = std::max(_maxSeen, v);
+    const auto idx = static_cast<std::size_t>(v / _bucketWidth);
+    if (v < 0 || idx >= _buckets.size())
+        ++_overflow;
+    else
+        ++_buckets[idx];
+}
+
+double
+Histogram::mean() const
+{
+    return _count ? _sum / static_cast<double>(_count) : 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << _name << ": n=" << _count << " mean=" << mean()
+       << " max=" << _maxSeen << " overflow=" << _overflow << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        os << "  [" << i * _bucketWidth << ", " << (i + 1) * _bucketWidth
+           << "): " << _buckets[i] << "\n";
+    }
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name)
+{
+    auto it = _scalars.find(name);
+    if (it == _scalars.end())
+        it = _scalars.emplace(name, Scalar(name)).first;
+    return it->second;
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? 0.0 : it->second.value();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : _scalars)
+        kv.second.reset();
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    for (const auto &kv : _scalars)
+        os << std::left << std::setw(44) << kv.first
+           << kv.second.value() << "\n";
+}
+
+} // namespace graphene

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A tiny statistics package: named scalar counters and histograms that
+ * can be registered in a group and dumped as text. Modelled loosely on
+ * gem5's stats, scaled down to what the experiments here need.
+ */
+
+#ifndef COMMON_STATS_HH
+#define COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphene {
+
+/** A named monotonically updated scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name) : _name(std::move(name)) {}
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+
+    double value() const { return _value; }
+    const std::string &name() const { return _name; }
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    double _value = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, max) with overflow tracking.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param name stat name used when printing.
+     * @param num_buckets number of equal-width buckets.
+     * @param max upper bound of the bucketed range.
+     */
+    Histogram(std::string name, std::size_t num_buckets, double max);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const;
+    double max() const { return _maxSeen; }
+
+    /** Samples that fell at or above the bucketed range. */
+    std::uint64_t overflow() const { return _overflow; }
+
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::vector<std::uint64_t> _buckets;
+    double _bucketWidth;
+    std::uint64_t _count = 0;
+    std::uint64_t _overflow = 0;
+    double _sum = 0.0;
+    double _maxSeen = 0.0;
+};
+
+/**
+ * A flat registry of scalar statistics addressed by name; the
+ * simulator components create stats on first use and the experiment
+ * runner dumps them all at the end of a run.
+ */
+class StatGroup
+{
+  public:
+    /** Get or create the named scalar. */
+    Scalar &scalar(const std::string &name);
+
+    /** @return the value of @p name, or 0 if never created. */
+    double get(const std::string &name) const;
+
+    void reset();
+    void print(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Scalar> _scalars;
+};
+
+} // namespace graphene
+
+#endif // COMMON_STATS_HH

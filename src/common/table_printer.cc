@@ -1,0 +1,89 @@
+#include "common/table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace graphene {
+
+TablePrinter::TablePrinter(std::string title) : _title(std::move(title))
+{
+}
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    os << "== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        os << "\n";
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    os << "\n";
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << (i ? "," : "") << cells[i];
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return ss.str();
+}
+
+} // namespace graphene

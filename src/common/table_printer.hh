@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned text-table and CSV emission for the benchmark binaries that
+ * regenerate the paper's tables and figures.
+ */
+
+#ifndef COMMON_TABLE_PRINTER_HH
+#define COMMON_TABLE_PRINTER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphene {
+
+/**
+ * Collects rows of string cells and prints them either as an aligned
+ * monospace table (for terminals) or as CSV (for plotting scripts).
+ */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Print as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (header first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p precision significant decimals. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a percentage such as "0.34%". */
+    static std::string pct(double fraction, int precision = 2);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace graphene
+
+#endif // COMMON_TABLE_PRINTER_HH

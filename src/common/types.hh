@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the Graphene
+ * reproduction: cycles, nanoseconds, and DRAM row/bank identifiers.
+ */
+
+#ifndef COMMON_TYPES_HH
+#define COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace graphene {
+
+/** A count of DRAM command-clock cycles since simulation start. */
+using Cycle = std::uint64_t;
+
+/** Wall-clock time expressed in nanoseconds. */
+using Nanoseconds = double;
+
+/** A DRAM row address within one bank. */
+using Row = std::uint32_t;
+
+/** A flat bank identifier (unique across channels and ranks). */
+using BankId = std::uint32_t;
+
+/** A physical byte address as seen by the memory controller. */
+using Addr = std::uint64_t;
+
+/** Sentinel row value meaning "no row". */
+constexpr Row kInvalidRow = static_cast<Row>(-1);
+
+} // namespace graphene
+
+#endif // COMMON_TYPES_HH

@@ -1,0 +1,57 @@
+#include "common/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : _n(n)
+{
+    if (n == 0)
+        fatal("zipf: empty population");
+    // Cap the explicit CDF at a manageable size; the tail beyond the
+    // cap carries its analytically integrated probability mass and is
+    // sampled uniformly (the head dominates any skewed distribution).
+    const std::uint64_t cap = std::min<std::uint64_t>(n, 1 << 16);
+    _cdf.resize(cap);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < cap; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        _cdf[i] = sum;
+    }
+
+    double tail = 0.0;
+    if (n > cap) {
+        const double a = static_cast<double>(cap);
+        const double b = static_cast<double>(n);
+        if (std::fabs(theta - 1.0) < 1e-9)
+            tail = std::log(b / a);
+        else
+            tail = (std::pow(b, 1.0 - theta) -
+                    std::pow(a, 1.0 - theta)) /
+                   (1.0 - theta);
+    }
+
+    const double total = sum + tail;
+    for (auto &v : _cdf)
+        v /= total;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    if (u >= _cdf.back()) {
+        // Tail: uniform over the ranks beyond the explicit CDF.
+        const std::uint64_t cap = _cdf.size();
+        if (_n <= cap)
+            return cap - 1;
+        return cap + rng.nextRange(_n - cap);
+    }
+    const auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+    return static_cast<std::uint64_t>(it - _cdf.begin());
+}
+
+} // namespace graphene

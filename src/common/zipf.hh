@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Zipf-distributed integer sampling, used by the hot-row workload
+ * generators to reproduce the skewed row-activation frequency
+ * distributions of memory-intensive SPEC-like applications.
+ */
+
+#ifndef COMMON_ZIPF_HH
+#define COMMON_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace graphene {
+
+/**
+ * Samples integers in [0, n) with probability proportional to
+ * 1 / (rank + 1)^theta, using a precomputed inverse-CDF table.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n population size.
+     * @param theta skew exponent (0 = uniform, ~0.99 = classic YCSB).
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one sample (the item's frequency rank). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return _n; }
+
+  private:
+    std::uint64_t _n;
+    std::vector<double> _cdf;
+};
+
+} // namespace graphene
+
+#endif // COMMON_ZIPF_HH

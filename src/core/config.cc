@@ -1,0 +1,102 @@
+#include "core/config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace core {
+
+double
+GrapheneConfig::muFactor() const
+{
+    double f = 0.0;
+    for (double m : mu)
+        f += m;
+    return f;
+}
+
+void
+GrapheneConfig::validate() const
+{
+    if (rowHammerThreshold == 0)
+        fatal("graphene config: zero Row Hammer threshold");
+    if (resetWindowDivisor == 0)
+        fatal("graphene config: reset-window divisor must be >= 1");
+    if (mu.size() != blastRadius)
+        fatal("graphene config: blast radius %u but %zu coefficients",
+              blastRadius, mu.size());
+    if (mu.empty() || mu.front() != 1.0)
+        fatal("graphene config: mu_1 must be 1.0");
+    for (double m : mu)
+        if (m <= 0.0 || m > 1.0)
+            fatal("graphene config: coefficients must lie in (0, 1]");
+    if (trackingThreshold() == 0)
+        fatal("graphene config: derived tracking threshold is zero; "
+              "T_RH too small for this k and blast radius");
+}
+
+std::uint64_t
+GrapheneConfig::trackingThreshold() const
+{
+    const double f = muFactor();
+    const double k = static_cast<double>(resetWindowDivisor);
+    const double t = static_cast<double>(rowHammerThreshold) /
+                     (2.0 * (k + 1.0) * f);
+    return static_cast<std::uint64_t>(std::floor(t + 1e-9));
+}
+
+std::uint64_t
+GrapheneConfig::maxActsPerWindow() const
+{
+    return timing.maxActsInWindow(resetWindowDivisor);
+}
+
+unsigned
+GrapheneConfig::numEntries() const
+{
+    const std::uint64_t w = maxActsPerWindow();
+    const std::uint64_t t = trackingThreshold();
+    if (t == 0)
+        fatal("graphene config: tracking threshold underflow");
+    // Smallest integer strictly greater than W/T - 1; equals
+    // floor(W/T) both when T divides W and when it does not.
+    return static_cast<unsigned>(w / t);
+}
+
+Cycle
+GrapheneConfig::resetWindowCycles() const
+{
+    return timing.cREFW() / resetWindowDivisor;
+}
+
+std::uint64_t
+GrapheneConfig::worstCaseVictimRowsPerRefw() const
+{
+    const std::uint64_t w = maxActsPerWindow();
+    const std::uint64_t t = trackingThreshold();
+    const std::uint64_t hits_per_window = w / t;
+    return hits_per_window * 2ULL * blastRadius * resetWindowDivisor;
+}
+
+std::vector<double>
+GrapheneConfig::inverseSquareMu(unsigned n)
+{
+    if (n == 0)
+        fatal("blast radius must be >= 1");
+    std::vector<double> mu(n);
+    for (unsigned i = 1; i <= n; ++i)
+        mu[i - 1] = 1.0 / (static_cast<double>(i) * i);
+    return mu;
+}
+
+std::vector<double>
+GrapheneConfig::uniformMu(unsigned n)
+{
+    if (n == 0)
+        fatal("blast radius must be >= 1");
+    return std::vector<double>(n, 1.0);
+}
+
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Derivation of Graphene's configuration parameters from the Row
+ * Hammer threshold and the DRAM timing parameters (paper Sections
+ * III-B, III-D, IV-C; Table II; Figure 6).
+ */
+
+#ifndef CORE_CONFIG_HH
+#define CORE_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace graphene {
+namespace core {
+
+/**
+ * Inputs and derived parameters of a Graphene instance.
+ *
+ * Derivations (for reset window tREFW/k and blast radius n with
+ * distance coefficients mu):
+ *
+ *  - tracking threshold (Inequalities 2 and 3, extended per III-D):
+ *      T = floor(T_RH / (2 (k+1) F)),  F = 1 + mu_2 + ... + mu_n
+ *  - maximum stream length per reset window:
+ *      W = tREFW (1 - tRFC/tREFI) / tRC / k
+ *  - table entries (Inequality 1):  Nentry = smallest N > W/T - 1
+ */
+struct GrapheneConfig
+{
+    /** Row Hammer threshold T_RH (50K for today's DDR4). */
+    std::uint64_t rowHammerThreshold = 50000;
+
+    /** Reset-window divisor k (the paper evaluates k = 2). */
+    unsigned resetWindowDivisor = 1;
+
+    /**
+     * Blast radius n: the farthest row distance an ACT can disturb.
+     * mu must have exactly n coefficients with mu.front() == 1.0.
+     */
+    unsigned blastRadius = 1;
+
+    /** Distance coefficients mu_1..mu_n (mu_1 = 1). */
+    std::vector<double> mu = {1.0};
+
+    /** DRAM timing the derivation depends on. */
+    dram::TimingParams timing = dram::TimingParams::ddr4_2400();
+
+    /** F = mu_1 + mu_2 + ... + mu_n (mu_1 = 1). */
+    double muFactor() const;
+
+    /** Tracking threshold T. */
+    std::uint64_t trackingThreshold() const;
+
+    /** Maximum ACTs per reset window, W. */
+    std::uint64_t maxActsPerWindow() const;
+
+    /** Required number of table entries, Nentry. */
+    unsigned numEntries() const;
+
+    /** Reset window length in cycles (tREFW / k). */
+    Cycle resetWindowCycles() const;
+
+    /** Panic on internally inconsistent settings. */
+    void validate() const;
+
+    /**
+     * Worst-case victim-row refreshes over one full tREFW: an
+     * adversary can force at most floor(W/T) counter hits per reset
+     * window, each refreshing 2n rows, across k windows per tREFW.
+     */
+    std::uint64_t worstCaseVictimRowsPerRefw() const;
+
+    /**
+     * The inverse-square distance-decay profile the paper uses as the
+     * running example (mu_i = 1/i^2), truncated at radius @p n.
+     */
+    static std::vector<double> inverseSquareMu(unsigned n);
+
+    /** A uniform profile (mu_i = 1), the conservative alternative. */
+    static std::vector<double> uniformMu(unsigned n);
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_CONFIG_HH

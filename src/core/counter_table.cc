@@ -1,0 +1,132 @@
+#include "core/counter_table.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace core {
+
+CounterTable::CounterTable(unsigned num_entries)
+{
+    if (num_entries == 0)
+        fatal("counter table: need at least one entry");
+    _entries.resize(num_entries);
+    // All slots start at count 0; they live in bucket 0 so the first
+    // misses naturally claim them (count 0 == initial spillover 0).
+    for (unsigned i = 0; i < num_entries; ++i)
+        _buckets[0].insert(i);
+}
+
+void
+CounterTable::moveBucket(unsigned slot, std::uint64_t from,
+                         std::uint64_t to)
+{
+    auto it = _buckets.find(from);
+    if (it == _buckets.end() || it->second.erase(slot) == 0)
+        panic("counter table: bucket bookkeeping broken");
+    if (it->second.empty())
+        _buckets.erase(it);
+    _buckets[to].insert(slot);
+}
+
+CounterTable::Result
+CounterTable::processActivation(Row addr)
+{
+    Result result;
+    ++_streamLength;
+
+    auto hit = _index.find(addr);
+    if (hit != _index.end()) {
+        // Row address HIT: increment the estimated count.
+        Entry &e = _entries[hit->second];
+        moveBucket(hit->second, e.count, e.count + 1);
+        ++e.count;
+        result.hit = true;
+        result.estimatedCount = e.count;
+        return result;
+    }
+
+    auto bucket = _buckets.find(_spillover);
+    if (bucket != _buckets.end() && !bucket->second.empty()) {
+        // Entry replace: take any entry whose count equals the
+        // spillover count; the old count carries over (+1).
+        const unsigned slot = *bucket->second.begin();
+        Entry &e = _entries[slot];
+        if (e.addr != kInvalidRow)
+            _index.erase(e.addr);
+        else
+            ++_occupied;
+        moveBucket(slot, e.count, e.count + 1);
+        e.addr = addr;
+        ++e.count;
+        _index.emplace(addr, slot);
+        result.inserted = true;
+        result.estimatedCount = e.count;
+        return result;
+    }
+
+    // No replacement: the spillover count absorbs the activation.
+    ++_spillover;
+    result.spilled = true;
+    return result;
+}
+
+void
+CounterTable::reset()
+{
+    _index.clear();
+    _buckets.clear();
+    for (unsigned i = 0; i < _entries.size(); ++i) {
+        _entries[i] = Entry{};
+        _buckets[0].insert(i);
+    }
+    _spillover = 0;
+    _streamLength = 0;
+    _occupied = 0;
+}
+
+bool
+CounterTable::contains(Row addr) const
+{
+    return _index.find(addr) != _index.end();
+}
+
+std::uint64_t
+CounterTable::estimatedCount(Row addr) const
+{
+    auto it = _index.find(addr);
+    return it == _index.end() ? 0 : _entries[it->second].count;
+}
+
+std::uint64_t
+CounterTable::minEstimatedCount() const
+{
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &e : _entries)
+        min = e.count < min ? e.count : min;
+    return min;
+}
+
+void
+CounterTable::checkInvariants() const
+{
+    // Every estimated count >= spillover count (replacement candidates
+    // always exist at exactly the spillover value or not at all).
+    GRAPHENE_CHECK(minEstimatedCount() >= _spillover,
+                   "a count fell below the spillover count");
+
+    // Lemma 2: spillover <= streamLength / (Nentry + 1).
+    GRAPHENE_CHECK(_spillover * (_entries.size() + 1) <= _streamLength,
+                   "spillover exceeded W / (Nentry + 1)");
+
+    // Conservation: spillover + sum(counts) == streamLength.
+    std::uint64_t sum = _spillover;
+    for (const auto &e : _entries)
+        sum += e.count;
+    GRAPHENE_CHECK(sum == _streamLength,
+                   "counts + spillover != stream length");
+}
+
+} // namespace core
+} // namespace graphene

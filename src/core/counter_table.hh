@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Misra-Gries counter table at the heart of Graphene
+ * (paper Section III-A, Figures 1-2, and the CAM pseudo-code of
+ * Figure 5).
+ *
+ * The table is an associative array of (row address, estimated count)
+ * entries plus a spillover count register. On every activation:
+ *
+ *  - address hit: the entry's estimated count increments;
+ *  - address miss, some entry's count equals the spillover count:
+ *    that entry's address is replaced by the incoming address and its
+ *    count increments (the old count carries over);
+ *  - address miss otherwise: the spillover count increments.
+ *
+ * Guarantees (proved in Section III-C and asserted in the test
+ * suite):
+ *
+ *  - Lemma 1: every entry's estimated count >= the actual number of
+ *    activations of the corresponding row since the last reset;
+ *  - Lemma 2: the spillover count never exceeds W / (Nentry + 1)
+ *    after W activations.
+ *
+ * This model keeps full-precision logical counts; the overflow-bit
+ * bit-width optimisation of Section IV-B changes only the physical
+ * layout, which model::AreaModel accounts for.
+ */
+
+#ifndef CORE_COUNTER_TABLE_HH
+#define CORE_COUNTER_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace graphene {
+namespace core {
+
+/**
+ * Fixed-capacity Misra-Gries frequent-elements tracker over a stream
+ * of DRAM row addresses.
+ */
+class CounterTable
+{
+  public:
+    /** One associative entry. */
+    struct Entry
+    {
+        Row addr = kInvalidRow;
+        std::uint64_t count = 0;
+    };
+
+    /** Outcome of one processActivation() call. */
+    struct Result
+    {
+        bool hit = false;      ///< Address was already present.
+        bool inserted = false; ///< Address replaced an entry.
+        bool spilled = false;  ///< Spillover count incremented.
+        /** Estimated count after the update (0 when spilled). */
+        std::uint64_t estimatedCount = 0;
+    };
+
+    /** @param num_entries table capacity Nentry (must be > 0). */
+    explicit CounterTable(unsigned num_entries);
+
+    /** Process one activated row address (Figure 1 flow). */
+    Result processActivation(Row addr);
+
+    /** Clear the table and the spillover register (window reset). */
+    void reset();
+
+    std::uint64_t spilloverCount() const { return _spillover; }
+
+    /** @return true if @p addr currently occupies an entry. */
+    bool contains(Row addr) const;
+
+    /** Estimated count of @p addr, or 0 when absent. */
+    std::uint64_t estimatedCount(Row addr) const;
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(_entries.size());
+    }
+
+    /** Entries currently holding a valid address. */
+    unsigned occupied() const { return _occupied; }
+
+    /** Total activations processed since the last reset. */
+    std::uint64_t streamLength() const { return _streamLength; }
+
+    /** Smallest estimated count over all entries (for invariants). */
+    std::uint64_t minEstimatedCount() const;
+
+    const std::vector<Entry> &entries() const { return _entries; }
+
+    /**
+     * Panic unless the internal invariants hold: every count >= the
+     * spillover count, and spillover <= streamLength / (Nentry + 1).
+     * Used by the property tests after every step.
+     */
+    void checkInvariants() const;
+
+  private:
+    void moveBucket(unsigned slot, std::uint64_t from, std::uint64_t to);
+
+    std::vector<Entry> _entries;
+    /// Map from row address to slot index.
+    std::unordered_map<Row, unsigned> _index;
+    /// Map from count value to the set of slots holding that count.
+    std::unordered_map<std::uint64_t, std::unordered_set<unsigned>>
+        _buckets;
+    std::uint64_t _spillover = 0;
+    std::uint64_t _streamLength = 0;
+    unsigned _occupied = 0;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_COUNTER_TABLE_HH

@@ -1,0 +1,105 @@
+#include "core/graphene.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace core {
+
+namespace {
+
+/** Bits needed to represent values in [0, n]. */
+unsigned
+bitsFor(std::uint64_t n)
+{
+    unsigned bits = 0;
+    while (n > 0) {
+        ++bits;
+        n >>= 1;
+    }
+    return bits == 0 ? 1 : bits;
+}
+
+} // namespace
+
+Graphene::Graphene(const GrapheneConfig &config,
+                   std::uint64_t rows_per_bank)
+    : _config(config), _rowsPerBank(rows_per_bank),
+      _threshold(config.trackingThreshold()),
+      _windowCycles(config.resetWindowCycles()),
+      _table(config.numEntries())
+{
+    _config.validate();
+    if (_windowCycles == 0)
+        fatal("graphene: empty reset window");
+}
+
+std::string
+Graphene::name() const
+{
+    return "Graphene";
+}
+
+void
+Graphene::maybeReset(Cycle cycle)
+{
+    const std::uint64_t idx = cycle / _windowCycles;
+    if (idx != _windowIdx) {
+        _table.reset();
+        _windowIdx = idx;
+        ++_resetCount;
+    }
+}
+
+void
+Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    maybeReset(cycle);
+
+    const CounterTable::Result r = _table.processActivation(row);
+    if (r.spilled)
+        return;
+
+    // Estimated counts advance strictly by one (hits) or from a value
+    // below T (inserts, since spillover < T by Lemma 2 and the table
+    // sizing), so every multiple of T is observed exactly when it is
+    // reached.
+    if (r.estimatedCount % _threshold == 0) {
+        action.nrrAggressors.push_back(row);
+        ++_victimRefreshEvents;
+    }
+}
+
+TableCost
+Graphene::cost() const
+{
+    return costFor(_config, _rowsPerBank, true);
+}
+
+TableCost
+Graphene::costFor(const GrapheneConfig &config,
+                  std::uint64_t rows_per_bank, bool optimized)
+{
+    const std::uint64_t t = config.trackingThreshold();
+    const std::uint64_t w = config.maxActsPerWindow();
+    const unsigned entries = config.numEntries();
+
+    const unsigned addr_bits = bitsFor(rows_per_bank - 1);
+    // Raw counts must reach W; the overflow-bit optimisation caps the
+    // counter at T and adds one sticky overflow bit (Section IV-B).
+    const unsigned count_bits =
+        optimized ? bitsFor(t - 1) + 1 : bitsFor(w);
+
+    TableCost cost;
+    cost.entries = entries;
+    // Both the address array and the count array are CAMs (the count
+    // CAM is searched for the spillover value, Figure 4).
+    cost.camBits =
+        static_cast<std::uint64_t>(entries) * (addr_bits + count_bits);
+    cost.sramBits = 0;
+    return cost;
+}
+
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Graphene Row Hammer prevention scheme (paper Section III-B).
+ *
+ * One instance guards one DRAM bank: it feeds every ACT through a
+ * Misra-Gries counter table sized per GrapheneConfig, requests an NRR
+ * (nearby-row refresh) whenever an entry's estimated count reaches a
+ * multiple of the tracking threshold T, and resets the table every
+ * tREFW / k.
+ */
+
+#ifndef CORE_GRAPHENE_HH
+#define CORE_GRAPHENE_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/counter_table.hh"
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+namespace core {
+
+/**
+ * Graphene: deterministic, no-false-negative Row Hammer protection
+ * with a Misra-Gries aggressor tracker.
+ */
+class Graphene : public ProtectionScheme
+{
+  public:
+    /**
+     * @param config validated configuration; the table size and
+     *        tracking threshold are derived from it.
+     * @param rows_per_bank used only for cost() address width.
+     */
+    explicit Graphene(const GrapheneConfig &config,
+                      std::uint64_t rows_per_bank = 65536);
+
+    std::string name() const override;
+
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+
+    TableCost cost() const override;
+
+    const GrapheneConfig &config() const { return _config; }
+    const CounterTable &table() const { return _table; }
+
+    /** Tracking threshold T in use. */
+    std::uint64_t trackingThreshold() const { return _threshold; }
+
+    /** Number of table resets performed so far. */
+    std::uint64_t resetCount() const { return _resetCount; }
+
+    /**
+     * Per-bank table cost for an arbitrary configuration without
+     * instantiating a scheme (used by the area sweeps). Accounts for
+     * the Section IV-B overflow-bit optimisation: the count field
+     * needs ceil(log2(T)) + 1 bits instead of ceil(log2(W)).
+     *
+     * @param optimized apply the overflow-bit width reduction.
+     */
+    static TableCost costFor(const GrapheneConfig &config,
+                             std::uint64_t rows_per_bank,
+                             bool optimized = true);
+
+  private:
+    void maybeReset(Cycle cycle);
+
+    GrapheneConfig _config;
+    std::uint64_t _rowsPerBank;
+    std::uint64_t _threshold;
+    Cycle _windowCycles;
+    std::uint64_t _windowIdx = 0;
+    std::uint64_t _resetCount = 0;
+    CounterTable _table;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_GRAPHENE_HH

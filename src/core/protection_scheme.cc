@@ -1,0 +1,12 @@
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+
+void
+ProtectionScheme::onRefresh(Cycle cycle, RefreshAction &action)
+{
+    (void)cycle;
+    (void)action;
+}
+
+} // namespace graphene

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The common interface every Row Hammer protection scheme implements.
+ *
+ * A scheme instance guards a single DRAM bank. The memory controller
+ * calls onActivate() for every ACT and onRefresh() for every periodic
+ * REF; the scheme responds by requesting victim-row refreshes, either
+ * as NRR commands on aggressor rows (expanded to +/-n victims by the
+ * DRAM device) or as explicit row lists (CBT refreshes whole subtree
+ * ranges).
+ */
+
+#ifndef CORE_PROTECTION_SCHEME_HH
+#define CORE_PROTECTION_SCHEME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace graphene {
+
+/** Refresh work requested by a scheme in response to one event. */
+struct RefreshAction
+{
+    /** Aggressor rows for which the controller must issue NRR. */
+    std::vector<Row> nrrAggressors;
+
+    /** Explicit victim rows to refresh (row-range schemes). */
+    std::vector<Row> victimRows;
+
+    bool empty() const
+    {
+        return nrrAggressors.empty() && victimRows.empty();
+    }
+
+    void clear()
+    {
+        nrrAggressors.clear();
+        victimRows.clear();
+    }
+};
+
+/** Hardware cost of a scheme's per-bank tracking structures. */
+struct TableCost
+{
+    std::uint64_t camBits = 0;  ///< Content-addressable bits per bank.
+    std::uint64_t sramBits = 0; ///< Plain SRAM bits per bank.
+    std::uint64_t entries = 0;  ///< Table entries per bank.
+
+    std::uint64_t totalBits() const { return camBits + sramBits; }
+};
+
+/**
+ * Abstract per-bank Row Hammer protection scheme.
+ */
+class ProtectionScheme
+{
+  public:
+    virtual ~ProtectionScheme() = default;
+
+    /** Short identifier such as "Graphene" or "PARA". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Observe one ACT to this bank.
+     *
+     * @param cycle current simulation cycle.
+     * @param row the activated row.
+     * @param action out-parameter collecting requested refreshes.
+     */
+    virtual void onActivate(Cycle cycle, Row row,
+                            RefreshAction &action) = 0;
+
+    /**
+     * Observe one periodic REF command (PRoHIT piggybacks its victim
+     * refreshes on these). Default: no reaction.
+     */
+    virtual void onRefresh(Cycle cycle, RefreshAction &action);
+
+    /** Per-bank table cost for the area comparison (Table IV). */
+    virtual TableCost cost() const = 0;
+
+    /** Victim-refresh requests issued so far (NRR count, not rows). */
+    std::uint64_t victimRefreshEvents() const
+    {
+        return _victimRefreshEvents;
+    }
+
+  protected:
+    std::uint64_t _victimRefreshEvents = 0;
+};
+
+} // namespace graphene
+
+#endif // CORE_PROTECTION_SCHEME_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The streaming heavy-hitter tracker abstraction behind Graphene's
+ * design-space discussion (paper Section VI): Misra-Gries, Lossy
+ * Counting, Count-Min sketch, and Space Saving all solve the frequent
+ * elements problem with different trade-offs between space, update
+ * cost, and estimate tightness. Graphene picks Misra-Gries for its
+ * area efficiency and hardware-friendly update; this interface lets
+ * the rest of the system (and the ablation benches) swap trackers.
+ *
+ * The one property a tracker must provide for sound Row Hammer
+ * protection is *no underestimation*: its estimate for any row is an
+ * upper bound on the row's actual activation count since the last
+ * reset. All four implementations here guarantee that; they differ in
+ * how loose the bound gets and what it costs.
+ */
+
+#ifndef CORE_TRACKER_HH
+#define CORE_TRACKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+namespace core {
+
+/**
+ * Abstract per-bank activation tracker.
+ */
+class AggressorTracker
+{
+  public:
+    virtual ~AggressorTracker() = default;
+
+    /** Short identifier such as "misra-gries". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Process one activation.
+     *
+     * @return the tracker's estimate for @p row after the update;
+     *         0 when the row is not individually tracked (its count
+     *         is absorbed by shared state such as the spillover
+     *         counter).
+     */
+    virtual std::uint64_t processActivation(Row row) = 0;
+
+    /** Current estimate for @p row (0 when untracked). */
+    virtual std::uint64_t estimatedCount(Row row) const = 0;
+
+    /** Clear all state (reset-window boundary). */
+    virtual void reset() = 0;
+
+    /** Hardware cost of the structure. */
+    virtual TableCost cost(std::uint64_t rows_per_bank) const = 0;
+
+    /**
+     * Upper bound on how far the estimate can exceed the actual
+     * count after @p stream_length activations — the false-positive
+     * looseness (0 for exact trackers like Misra-Gries on tracked
+     * rows; W/width for a Count-Min row, etc.). Informational, used
+     * by the ablation bench.
+     */
+    virtual double
+    overestimateBound(std::uint64_t stream_length) const = 0;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_TRACKER_HH

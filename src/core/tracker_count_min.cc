@@ -1,0 +1,105 @@
+#include "core/tracker_count_min.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace core {
+
+CountMinTracker::CountMinTracker(const CountMinConfig &config)
+    : _config(config),
+      _counters(static_cast<std::size_t>(config.depth) * config.width,
+                0)
+{
+    if (config.depth == 0 || config.width == 0)
+        fatal("count-min: degenerate sketch shape");
+}
+
+std::string
+CountMinTracker::name() const
+{
+    return _config.conservativeUpdate ? "count-min-cu" : "count-min";
+}
+
+std::size_t
+CountMinTracker::bucketIndex(unsigned sketch_row, Row row) const
+{
+    // One splitmix64 pass per sketch row, seeded per row index.
+    std::uint64_t z = _config.seed + row +
+                      0x9e3779b97f4a7c15ULL * (sketch_row + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(sketch_row) * _config.width +
+           z % _config.width;
+}
+
+std::uint64_t
+CountMinTracker::processActivation(Row row)
+{
+    ++_streamLength;
+    std::uint64_t min_after = std::numeric_limits<std::uint64_t>::max();
+
+    if (_config.conservativeUpdate) {
+        // Raise only the minimal counters to min + 1: still an upper
+        // bound for every colliding row, with tighter estimates.
+        std::uint64_t min_before =
+            std::numeric_limits<std::uint64_t>::max();
+        for (unsigned d = 0; d < _config.depth; ++d)
+            min_before =
+                std::min(min_before, _counters[bucketIndex(d, row)]);
+        for (unsigned d = 0; d < _config.depth; ++d) {
+            auto &counter = _counters[bucketIndex(d, row)];
+            counter = std::max(counter, min_before + 1);
+            min_after = std::min(min_after, counter);
+        }
+    } else {
+        for (unsigned d = 0; d < _config.depth; ++d) {
+            auto &counter = _counters[bucketIndex(d, row)];
+            ++counter;
+            min_after = std::min(min_after, counter);
+        }
+    }
+    return min_after;
+}
+
+std::uint64_t
+CountMinTracker::estimatedCount(Row row) const
+{
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned d = 0; d < _config.depth; ++d)
+        min = std::min(min, _counters[bucketIndex(d, row)]);
+    return min;
+}
+
+void
+CountMinTracker::reset()
+{
+    std::fill(_counters.begin(), _counters.end(), 0);
+    _streamLength = 0;
+}
+
+TableCost
+CountMinTracker::cost(std::uint64_t rows_per_bank) const
+{
+    (void)rows_per_bank;
+    TableCost cost;
+    cost.entries =
+        static_cast<std::uint64_t>(_config.depth) * _config.width;
+    // Pure SRAM counters, no address storage at all.
+    cost.sramBits = cost.entries * 21ULL;
+    return cost;
+}
+
+double
+CountMinTracker::overestimateBound(std::uint64_t stream_length) const
+{
+    // Classic bound: with probability 1 - (1/2)^depth the estimate
+    // error stays below 2 W / width (expected collisions per bucket).
+    return 2.0 * static_cast<double>(stream_length) / _config.width;
+}
+
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lossy Counting [Manku & Motwani, VLDB 2002] as an aggressor
+ * tracker (paper Section VI).
+ *
+ * The stream is processed in buckets of fixed width w. Each tracked
+ * row keeps its observed frequency f and the bucket index delta at
+ * which it was inserted minus one — an upper bound on how many
+ * activations it may have had before insertion. At every bucket
+ * boundary, rows with f + delta <= current bucket index are dropped
+ * (they provably cannot be frequent). The estimate f + delta never
+ * underestimates the actual count, so the multiple-of-T trigger
+ * policy remains sound.
+ *
+ * Unlike Misra-Gries / Space Saving, the table's occupancy is not
+ * fixed: it is bounded by (1/e) log(eW) entries for e = 1/w, which is
+ * why the paper's hardware favours the fixed-size alternatives —
+ * visible directly in the ablation bench's cost column.
+ */
+
+#ifndef CORE_TRACKER_LOSSY_COUNTING_HH
+#define CORE_TRACKER_LOSSY_COUNTING_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/tracker.hh"
+
+namespace graphene {
+namespace core {
+
+/** Lossy Counting tracker. */
+class LossyCountingTracker : public AggressorTracker
+{
+  public:
+    /**
+     * @param bucket_width stream items per bucket (w); the estimate
+     *        error bound is one per bucket, i.e. W / w in total.
+     */
+    explicit LossyCountingTracker(std::uint64_t bucket_width);
+
+    std::string name() const override;
+    std::uint64_t processActivation(Row row) override;
+    std::uint64_t estimatedCount(Row row) const override;
+    void reset() override;
+    TableCost cost(std::uint64_t rows_per_bank) const override;
+    double
+    overestimateBound(std::uint64_t stream_length) const override;
+
+    std::size_t trackedRows() const { return _table.size(); }
+    std::size_t peakTrackedRows() const { return _peak; }
+    std::uint64_t currentBucket() const { return _bucket; }
+
+  private:
+    void pruneAtBoundary();
+
+    struct Entry
+    {
+        std::uint64_t frequency;
+        std::uint64_t delta;
+    };
+
+    std::uint64_t _bucketWidth;
+    std::uint64_t _bucket = 1;
+    std::uint64_t _itemsInBucket = 0;
+    std::unordered_map<Row, Entry> _table;
+    std::size_t _peak = 0;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_TRACKER_LOSSY_COUNTING_HH

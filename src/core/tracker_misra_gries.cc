@@ -1,0 +1,73 @@
+#include "core/tracker_misra_gries.hh"
+
+namespace graphene {
+namespace core {
+
+namespace {
+
+unsigned
+bitsFor(std::uint64_t n)
+{
+    unsigned bits = 0;
+    while (n > 0) {
+        ++bits;
+        n >>= 1;
+    }
+    return bits == 0 ? 1u : bits;
+}
+
+} // namespace
+
+MisraGriesTracker::MisraGriesTracker(unsigned entries) : _table(entries)
+{
+}
+
+std::string
+MisraGriesTracker::name() const
+{
+    return "misra-gries";
+}
+
+std::uint64_t
+MisraGriesTracker::processActivation(Row row)
+{
+    return _table.processActivation(row).estimatedCount;
+}
+
+std::uint64_t
+MisraGriesTracker::estimatedCount(Row row) const
+{
+    return _table.estimatedCount(row);
+}
+
+void
+MisraGriesTracker::reset()
+{
+    _table.reset();
+}
+
+TableCost
+MisraGriesTracker::cost(std::uint64_t rows_per_bank) const
+{
+    // Address CAM + count CAM, full-width counts (the overflow-bit
+    // layout optimisation applies equally to every entry-based
+    // tracker, so the comparison uses raw widths throughout).
+    TableCost cost;
+    cost.entries = _table.numEntries();
+    const unsigned addr_bits = bitsFor(rows_per_bank - 1);
+    cost.camBits = cost.entries * (addr_bits + 21ULL);
+    return cost;
+}
+
+double
+MisraGriesTracker::overestimateBound(std::uint64_t stream_length) const
+{
+    // A tracked row's estimate exceeds its actual count by at most
+    // the spillover bound W / (Nentry + 1): the carried-over count
+    // at its last insertion.
+    return static_cast<double>(stream_length) /
+           (_table.numEntries() + 1.0);
+}
+
+} // namespace core
+} // namespace graphene

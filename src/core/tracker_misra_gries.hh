@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Misra-Gries tracker (Graphene's choice) behind the generic
+ * AggressorTracker interface — an adapter over CounterTable so the
+ * Section VI design-space benches compare all trackers on equal
+ * footing.
+ */
+
+#ifndef CORE_TRACKER_MISRA_GRIES_HH
+#define CORE_TRACKER_MISRA_GRIES_HH
+
+#include "core/counter_table.hh"
+#include "core/tracker.hh"
+
+namespace graphene {
+namespace core {
+
+/** Misra-Gries as an AggressorTracker. */
+class MisraGriesTracker : public AggressorTracker
+{
+  public:
+    /** @param entries table capacity (Nentry). */
+    explicit MisraGriesTracker(unsigned entries);
+
+    std::string name() const override;
+    std::uint64_t processActivation(Row row) override;
+    std::uint64_t estimatedCount(Row row) const override;
+    void reset() override;
+    TableCost cost(std::uint64_t rows_per_bank) const override;
+    double
+    overestimateBound(std::uint64_t stream_length) const override;
+
+    const CounterTable &table() const { return _table; }
+
+  private:
+    CounterTable _table;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_TRACKER_MISRA_GRIES_HH

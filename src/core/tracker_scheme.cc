@@ -1,0 +1,130 @@
+#include "core/tracker_scheme.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/tracker_count_min.hh"
+#include "core/tracker_lossy_counting.hh"
+#include "core/tracker_misra_gries.hh"
+#include "core/tracker_space_saving.hh"
+
+namespace graphene {
+namespace core {
+
+std::string
+trackerKindName(TrackerKind kind)
+{
+    switch (kind) {
+      case TrackerKind::MisraGries:    return "misra-gries";
+      case TrackerKind::SpaceSaving:   return "space-saving";
+      case TrackerKind::LossyCounting: return "lossy-counting";
+      case TrackerKind::CountMin:      return "count-min";
+      case TrackerKind::CountMinConservative: return "count-min-cu";
+    }
+    return "?";
+}
+
+std::vector<TrackerKind>
+allTrackerKinds()
+{
+    return {TrackerKind::MisraGries, TrackerKind::SpaceSaving,
+            TrackerKind::LossyCounting, TrackerKind::CountMin,
+            TrackerKind::CountMinConservative};
+}
+
+std::unique_ptr<AggressorTracker>
+makeTracker(TrackerKind kind, const GrapheneConfig &config)
+{
+    const std::uint64_t w = config.maxActsPerWindow();
+    const std::uint64_t t = config.trackingThreshold();
+
+    switch (kind) {
+      case TrackerKind::MisraGries:
+        return std::make_unique<MisraGriesTracker>(
+            config.numEntries());
+
+      case TrackerKind::SpaceSaving:
+        // Same capacity criterion as Misra-Gries: with N > W/T - 1
+        // entries the summary minimum stays below T, so no row can
+        // reach T while untracked.
+        return std::make_unique<SpaceSavingTracker>(
+            config.numEntries());
+
+      case TrackerKind::LossyCounting: {
+        // Bucket width w = W/T keeps the insertion delta strictly
+        // below T: a row cannot reach T actual activations without
+        // its estimate (an upper bound) having crossed T first, and
+        // it is never pruned while hot.
+        const std::uint64_t width = std::max<std::uint64_t>(
+            1, w / std::max<std::uint64_t>(1, t));
+        return std::make_unique<LossyCountingTracker>(width);
+      }
+
+      case TrackerKind::CountMin:
+      case TrackerKind::CountMinConservative: {
+        // Width sized so expected collision inflation stays around
+        // T/4 per window: 4W/T counters per sketch row.
+        CountMinConfig cm;
+        cm.depth = 4;
+        cm.width = static_cast<unsigned>(std::max<std::uint64_t>(
+            16, 4 * w / std::max<std::uint64_t>(1, t)));
+        cm.conservativeUpdate =
+            kind == TrackerKind::CountMinConservative;
+        return std::make_unique<CountMinTracker>(cm);
+      }
+    }
+    fatal("unknown tracker kind");
+}
+
+TrackerScheme::TrackerScheme(
+    std::unique_ptr<AggressorTracker> tracker,
+    const GrapheneConfig &config)
+    : _tracker(std::move(tracker)), _config(config),
+      _threshold(config.trackingThreshold()),
+      _windowCycles(config.resetWindowCycles())
+{
+    if (!_tracker)
+        fatal("tracker scheme: null tracker");
+    _config.validate();
+}
+
+std::string
+TrackerScheme::name() const
+{
+    return "Graphene[" + _tracker->name() + "]";
+}
+
+void
+TrackerScheme::maybeReset(Cycle cycle)
+{
+    const std::uint64_t idx = cycle / _windowCycles;
+    if (idx != _windowIdx) {
+        _tracker->reset();
+        _windowIdx = idx;
+    }
+}
+
+void
+TrackerScheme::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    maybeReset(cycle);
+
+    const std::uint64_t before = _tracker->estimatedCount(row);
+    const std::uint64_t after = _tracker->processActivation(row);
+    if (after == 0)
+        return; // absorbed by shared state (spillover)
+
+    if (after / _threshold > before / _threshold) {
+        action.nrrAggressors.push_back(row);
+        ++_victimRefreshEvents;
+    }
+}
+
+TableCost
+TrackerScheme::cost() const
+{
+    return _tracker->cost(65536);
+}
+
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A Graphene-style protection scheme generic over its tracker: the
+ * harness for the Section VI design-space study. The policy is
+ * exactly Graphene's — victim refreshes whenever a row's estimate
+ * crosses a multiple of the tracking threshold T, table reset every
+ * tREFW / k — but the tracker substrate is pluggable.
+ *
+ * Soundness relies only on the tracker never underestimating: when a
+ * row's actual count reaches a multiple of T, its estimate has
+ * already crossed it, so the refresh fired no later than Graphene's
+ * would have. Trackers whose estimates jump on insertion (Space
+ * Saving's inherited minimum, Lossy Counting's delta) may cross
+ * several multiples at once; the crossing test handles that by
+ * comparing floor(estimate / T) before and after the update.
+ */
+
+#ifndef CORE_TRACKER_SCHEME_HH
+#define CORE_TRACKER_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hh"
+#include "core/tracker.hh"
+
+namespace graphene {
+namespace core {
+
+/** Which tracker substrate to instantiate. */
+enum class TrackerKind
+{
+    MisraGries,
+    SpaceSaving,
+    LossyCounting,
+    CountMin,
+    CountMinConservative,
+};
+
+/** Human-readable tracker name. */
+std::string trackerKindName(TrackerKind kind);
+
+/** All tracker kinds, for sweeps. */
+std::vector<TrackerKind> allTrackerKinds();
+
+/**
+ * Build a tracker sized for protection parity with Graphene at the
+ * given configuration: every row reaching the tracking threshold T
+ * within a reset window is guaranteed to trigger.
+ */
+std::unique_ptr<AggressorTracker>
+makeTracker(TrackerKind kind, const GrapheneConfig &config);
+
+/**
+ * Graphene's refresh policy over an arbitrary tracker.
+ */
+class TrackerScheme : public ProtectionScheme
+{
+  public:
+    TrackerScheme(std::unique_ptr<AggressorTracker> tracker,
+                  const GrapheneConfig &config);
+
+    std::string name() const override;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+    TableCost cost() const override;
+
+    const AggressorTracker &tracker() const { return *_tracker; }
+    std::uint64_t trackingThreshold() const { return _threshold; }
+
+  private:
+    void maybeReset(Cycle cycle);
+
+    std::unique_ptr<AggressorTracker> _tracker;
+    GrapheneConfig _config;
+    std::uint64_t _threshold;
+    Cycle _windowCycles;
+    std::uint64_t _windowIdx = 0;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_TRACKER_SCHEME_HH

@@ -1,0 +1,67 @@
+#include "dram/address.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace dram {
+
+BankId
+DecodedAddr::flatBank(const Geometry &g) const
+{
+    return (channel * g.ranksPerChannel + rank) * g.banksPerRank + bank;
+}
+
+std::string
+DecodedAddr::toString() const
+{
+    std::ostringstream ss;
+    ss << "ch" << channel << ".rk" << rank << ".ba" << bank << ".row"
+       << row << ".col" << column;
+    return ss.str();
+}
+
+AddressMapper::AddressMapper(const Geometry &geometry) : _geometry(geometry)
+{
+    if (geometry.channels == 0 || geometry.banksPerRank == 0 ||
+        geometry.rowsPerBank == 0) {
+        fatal("address mapper: degenerate geometry");
+    }
+}
+
+DecodedAddr
+AddressMapper::decode(Addr addr) const
+{
+    const Geometry &g = _geometry;
+    std::uint64_t line = addr / _lineBytes;
+    const std::uint64_t linesPerRow = g.bytesPerRow / _lineBytes;
+
+    DecodedAddr d{};
+    d.channel = static_cast<unsigned>(line % g.channels);
+    line /= g.channels;
+    d.bank = static_cast<unsigned>(line % g.banksPerRank);
+    line /= g.banksPerRank;
+    d.rank = static_cast<unsigned>(line % g.ranksPerChannel);
+    line /= g.ranksPerChannel;
+    d.column = (line % linesPerRow) * _lineBytes + addr % _lineBytes;
+    line /= linesPerRow;
+    d.row = static_cast<Row>(line % g.rowsPerBank);
+    return d;
+}
+
+Addr
+AddressMapper::encode(const DecodedAddr &d) const
+{
+    const Geometry &g = _geometry;
+    const std::uint64_t linesPerRow = g.bytesPerRow / _lineBytes;
+    std::uint64_t line = d.row;
+    line = line * linesPerRow + d.column / _lineBytes;
+    line = line * g.ranksPerChannel + d.rank;
+    line = line * g.banksPerRank + d.bank;
+    line = line * g.channels + d.channel;
+    return line * _lineBytes + d.column % _lineBytes;
+}
+
+} // namespace dram
+} // namespace graphene

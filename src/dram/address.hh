@@ -1,0 +1,84 @@
+/**
+ * @file
+ * DRAM organization and physical-address decomposition.
+ */
+
+#ifndef DRAM_ADDRESS_HH
+#define DRAM_ADDRESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace graphene {
+namespace dram {
+
+/**
+ * The memory-system organization used throughout the reproduction.
+ * Defaults match the paper's Table III: 4 channels x 1 rank, 16 banks
+ * per rank, 128 GB total => 64K rows of 8 KB per bank.
+ */
+struct Geometry
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 16;
+    std::uint64_t rowsPerBank = 65536;
+    std::uint64_t bytesPerRow = 8192;
+
+    unsigned totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(totalBanks()) * rowsPerBank *
+               bytesPerRow;
+    }
+};
+
+/** The (channel, rank, bank, row, column-offset) tuple of an access. */
+struct DecodedAddr
+{
+    unsigned channel;
+    unsigned rank;
+    unsigned bank;
+    Row row;
+    std::uint64_t column;
+
+    /** Flat bank id unique across the whole system. */
+    BankId flatBank(const Geometry &g) const;
+
+    std::string toString() const;
+};
+
+/**
+ * Maps physical byte addresses to DRAM coordinates. The layout is
+ * row : rank : bank : channel : column, i.e. consecutive cache lines
+ * stripe across channels first, then banks, to maximise parallelism —
+ * the usual choice for throughput-oriented controllers and the one
+ * that makes per-bank ACT streams realistic.
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const Geometry &geometry);
+
+    DecodedAddr decode(Addr addr) const;
+
+    /** Inverse of decode(); used by trace generators. */
+    Addr encode(const DecodedAddr &d) const;
+
+    const Geometry &geometry() const { return _geometry; }
+
+  private:
+    Geometry _geometry;
+    std::uint64_t _lineBytes = 64;
+};
+
+} // namespace dram
+} // namespace graphene
+
+#endif // DRAM_ADDRESS_HH

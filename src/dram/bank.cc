@@ -1,0 +1,109 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dram/command.hh"
+
+namespace graphene {
+namespace dram {
+
+const char *
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::ACT: return "ACT";
+      case Command::PRE: return "PRE";
+      case Command::RD:  return "RD";
+      case Command::WR:  return "WR";
+      case Command::REF: return "REF";
+      case Command::NRR: return "NRR";
+    }
+    return "?";
+}
+
+Bank::Bank(const TimingParams &timing, std::uint64_t num_rows)
+    : _timing(timing), _numRows(num_rows)
+{
+    if (num_rows == 0)
+        fatal("bank: need at least one row");
+}
+
+Cycle
+Bank::earliestAct(Cycle now) const
+{
+    return std::max(now, _actAllowedAt);
+}
+
+Cycle
+Bank::earliestReadWrite(Cycle now) const
+{
+    return std::max(now, _rwAllowedAt);
+}
+
+Cycle
+Bank::earliestPrecharge(Cycle now) const
+{
+    return std::max(now, _preAllowedAt);
+}
+
+void
+Bank::issueAct(Cycle cycle, Row row)
+{
+    if (isOpen())
+        panic("ACT to open bank (row %u open)", _openRow);
+    if (cycle < _actAllowedAt)
+        panic("ACT at %llu before allowed %llu",
+              static_cast<unsigned long long>(cycle),
+              static_cast<unsigned long long>(_actAllowedAt));
+    if (row >= _numRows)
+        panic("ACT to out-of-range row %u", row);
+
+    _openRow = row;
+    _rwAllowedAt = cycle + _timing.cRCD();
+    _preAllowedAt = cycle + _timing.cRAS();
+    // tRC lower-bounds the ACT-to-ACT interval to the same bank; the
+    // next ACT is additionally gated by the future precharge.
+    _actAllowedAt = cycle + _timing.cRC();
+    _lastActAt = cycle;
+    _everActivated = true;
+    ++_actCount;
+}
+
+Cycle
+Bank::issueReadWrite(Cycle cycle)
+{
+    if (!isOpen())
+        panic("RD/WR with no open row");
+    if (cycle < _rwAllowedAt)
+        panic("RD/WR issued before tRCD elapsed");
+    // Column accesses pipeline; the next is allowed a burst later.
+    _rwAllowedAt = cycle + _timing.cBL();
+    _preAllowedAt = std::max(_preAllowedAt, cycle + _timing.cBL());
+    return cycle + _timing.cCL() + _timing.cBL();
+}
+
+void
+Bank::issuePrecharge(Cycle cycle)
+{
+    if (!isOpen())
+        panic("PRE with no open row");
+    if (cycle < _preAllowedAt)
+        panic("PRE issued before tRAS elapsed");
+    _openRow = kInvalidRow;
+    _actAllowedAt = std::max(_actAllowedAt, cycle + _timing.cRP());
+}
+
+void
+Bank::block(Cycle from, Cycle until)
+{
+    if (until < from)
+        panic("bank blocked over a negative interval");
+    _openRow = kInvalidRow;
+    _actAllowedAt = std::max(_actAllowedAt, until);
+    _rwAllowedAt = std::max(_rwAllowedAt, until);
+    _preAllowedAt = std::max(_preAllowedAt, until);
+}
+
+} // namespace dram
+} // namespace graphene

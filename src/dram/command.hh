@@ -1,0 +1,30 @@
+/**
+ * @file
+ * DRAM command vocabulary, including the paper's proposed Nearby Row
+ * Refresh (NRR) extension (Section IV-A).
+ */
+
+#ifndef DRAM_COMMAND_HH
+#define DRAM_COMMAND_HH
+
+namespace graphene {
+namespace dram {
+
+/** Commands a memory controller can issue to a DRAM device. */
+enum class Command
+{
+    ACT, ///< Activate a row into the bank's row buffer.
+    PRE, ///< Precharge (close) the open row.
+    RD,  ///< Column read from the open row.
+    WR,  ///< Column write to the open row.
+    REF, ///< All-bank auto refresh (consumes tRFC).
+    NRR, ///< Nearby Row Refresh: refresh victims of a given row.
+};
+
+/** @return a short mnemonic for logging. */
+const char *commandName(Command cmd);
+
+} // namespace dram
+} // namespace graphene
+
+#endif // DRAM_COMMAND_HH

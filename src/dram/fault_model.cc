@@ -1,0 +1,108 @@
+#include "dram/fault_model.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace graphene {
+namespace dram {
+
+FaultModel::FaultModel(const FaultConfig &config, std::uint64_t num_rows)
+    : _config(config), _numRows(num_rows), _cells(num_rows)
+{
+    if (_config.mu.empty())
+        fatal("fault model: empty coefficient vector");
+    if (_config.rowHammerThreshold <= 0.0)
+        fatal("fault model: non-positive Row Hammer threshold");
+
+    if (_config.remap) {
+        // Fisher-Yates shuffle for the logical -> physical map.
+        _toPhysical.resize(num_rows);
+        _toLogical.resize(num_rows);
+        for (std::uint64_t i = 0; i < num_rows; ++i)
+            _toPhysical[i] = static_cast<Row>(i);
+        Rng rng(_config.remapSeed);
+        for (std::uint64_t i = num_rows - 1; i > 0; --i) {
+            const std::uint64_t j = rng.nextRange(i + 1);
+            std::swap(_toPhysical[i], _toPhysical[j]);
+        }
+        for (std::uint64_t i = 0; i < num_rows; ++i)
+            _toLogical[_toPhysical[i]] = static_cast<Row>(i);
+    }
+}
+
+void
+FaultModel::onActivate(Cycle cycle, Row aggressor)
+{
+    const Row phys = _config.remap ? _toPhysical[aggressor] : aggressor;
+    for (unsigned d = 1; d <= _config.mu.size(); ++d) {
+        const double amount = _config.mu[d - 1];
+        if (phys >= d) {
+            const Row victim_phys = static_cast<Row>(phys - d);
+            deposit(cycle,
+                    _config.remap ? _toLogical[victim_phys]
+                                  : victim_phys,
+                    amount);
+        }
+        if (phys + d < _numRows) {
+            const Row victim_phys = static_cast<Row>(phys + d);
+            deposit(cycle,
+                    _config.remap ? _toLogical[victim_phys]
+                                  : victim_phys,
+                    amount);
+        }
+    }
+}
+
+std::vector<Row>
+FaultModel::physicalNeighbors(Row aggressor, unsigned distance) const
+{
+    std::vector<Row> neighbors;
+    neighbors.reserve(2 * distance);
+    const Row phys = _config.remap ? _toPhysical[aggressor] : aggressor;
+    for (unsigned d = 1; d <= distance; ++d) {
+        if (phys >= d) {
+            const Row victim_phys = static_cast<Row>(phys - d);
+            neighbors.push_back(_config.remap
+                                    ? _toLogical[victim_phys]
+                                    : victim_phys);
+        }
+        if (phys + d < _numRows) {
+            const Row victim_phys = static_cast<Row>(phys + d);
+            neighbors.push_back(_config.remap
+                                    ? _toLogical[victim_phys]
+                                    : victim_phys);
+        }
+    }
+    return neighbors;
+}
+
+void
+FaultModel::deposit(Cycle cycle, Row victim, double amount)
+{
+    CellState &cell = _cells[victim];
+    cell.disturbance += amount;
+    if (cell.disturbance > _peak)
+        _peak = cell.disturbance;
+    if (!cell.flipped &&
+        cell.disturbance >= _config.rowHammerThreshold) {
+        cell.flipped = true;
+        _flips.push_back({victim, cycle, cell.disturbance});
+    }
+}
+
+void
+FaultModel::onRowRefresh(Row row)
+{
+    if (row >= _numRows)
+        panic("refresh of out-of-range row %u", row);
+    _cells[row] = CellState{};
+}
+
+double
+FaultModel::disturbance(Row row) const
+{
+    return row < _numRows ? _cells[row].disturbance : 0.0;
+}
+
+} // namespace dram
+} // namespace graphene

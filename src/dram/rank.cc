@@ -1,0 +1,181 @@
+#include "dram/rank.hh"
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace dram {
+
+Rank::Rank(const TimingParams &timing, unsigned num_banks,
+           std::uint64_t rows_per_bank, const FaultConfig &fault_config)
+    : _timing(timing), _rowsPerBank(rows_per_bank)
+{
+    if (num_banks == 0)
+        fatal("rank: need at least one bank");
+
+    _banks.reserve(num_banks);
+    _faults.reserve(num_banks);
+    for (unsigned i = 0; i < num_banks; ++i) {
+        _banks.emplace_back(timing, rows_per_bank);
+        _faults.emplace_back(fault_config, rows_per_bank);
+    }
+
+    _refreshesPerWindow =
+        static_cast<std::uint64_t>(timing.tREFW / timing.tREFI);
+    if (_refreshesPerWindow == 0)
+        fatal("rank: tREFW shorter than tREFI");
+    _rowsPerRefresh =
+        (rows_per_bank + _refreshesPerWindow - 1) / _refreshesPerWindow;
+    _nextRefreshAt = timing.cREFI();
+}
+
+Bank &
+Rank::bank(unsigned idx)
+{
+    if (idx >= _banks.size())
+        panic("bank index %u out of range", idx);
+    return _banks[idx];
+}
+
+const Bank &
+Rank::bank(unsigned idx) const
+{
+    if (idx >= _banks.size())
+        panic("bank index %u out of range", idx);
+    return _banks[idx];
+}
+
+FaultModel &
+Rank::faultModel(unsigned bank_idx)
+{
+    if (bank_idx >= _faults.size())
+        panic("bank index %u out of range", bank_idx);
+    return _faults[bank_idx];
+}
+
+const FaultModel &
+Rank::faultModel(unsigned bank_idx) const
+{
+    if (bank_idx >= _faults.size())
+        panic("bank index %u out of range", bank_idx);
+    return _faults[bank_idx];
+}
+
+void
+Rank::addRefreshListener(RefreshListener listener)
+{
+    _listeners.push_back(std::move(listener));
+}
+
+void
+Rank::refreshRow(unsigned bank_idx, Row row)
+{
+    _faults[bank_idx].onRowRefresh(row);
+    for (const auto &listener : _listeners)
+        listener(bank_idx, row);
+}
+
+void
+Rank::issueRefresh(Cycle cycle)
+{
+    if (cycle < _nextRefreshAt)
+        panic("REF issued before tREFI elapsed");
+
+    const Cycle done = cycle + _timing.cRFC();
+    for (auto &b : _banks)
+        b.block(cycle, done);
+
+    for (std::uint64_t i = 0; i < _rowsPerRefresh; ++i) {
+        const Row row =
+            static_cast<Row>((_refreshPointer + i) % _rowsPerBank);
+        for (unsigned b = 0; b < _banks.size(); ++b)
+            refreshRow(b, row);
+    }
+    _refreshPointer = static_cast<Row>(
+        (_refreshPointer + _rowsPerRefresh) % _rowsPerBank);
+
+    _nextRefreshAt += _timing.cREFI();
+    ++_refreshCount;
+}
+
+Cycle
+Rank::earliestFawAct(Cycle now) const
+{
+    if (_fawCount < 4)
+        return now;
+    // The oldest of the last four ACTs gates the next one.
+    const Cycle oldest = _fawActs[_fawHead];
+    const Cycle allowed = oldest + _timing.cFAW();
+    return allowed > now ? allowed : now;
+}
+
+void
+Rank::recordFawAct(Cycle cycle)
+{
+    _fawActs[_fawHead] = cycle;
+    _fawHead = (_fawHead + 1) % 4;
+    if (_fawCount < 4)
+        ++_fawCount;
+}
+
+void
+Rank::notifyActivate(Cycle cycle, unsigned bank_idx, Row row)
+{
+    if (bank_idx >= _faults.size())
+        panic("bank index %u out of range", bank_idx);
+    _faults[bank_idx].onActivate(cycle, row);
+}
+
+unsigned
+Rank::issueNrr(Cycle cycle, unsigned bank_idx, Row aggressor,
+               unsigned distance)
+{
+    if (bank_idx >= _banks.size())
+        panic("bank index %u out of range", bank_idx);
+    if (distance == 0)
+        panic("NRR with zero blast radius");
+
+    // NRR is executed inside the device, which knows its own row
+    // remapping: the refreshed rows are the aggressor's *physical*
+    // neighbours (Section II-C — this is what logical-range schemes
+    // cannot do from the controller side).
+    const std::vector<Row> victims =
+        _faults[bank_idx].physicalNeighbors(aggressor, distance);
+    unsigned refreshed = 0;
+    for (Row v : victims) {
+        refreshRow(bank_idx, v);
+        ++refreshed;
+    }
+
+    // Each victim row costs one internal row cycle; the bank is busy
+    // for the duration (Section V-B overhead accounting).
+    const Cycle busy = static_cast<Cycle>(refreshed) * _timing.cRC();
+    _banks[bank_idx].block(cycle, cycle + busy);
+    _nrrRowCount += refreshed;
+    return refreshed;
+}
+
+void
+Rank::refreshVictimRows(Cycle cycle, unsigned bank_idx,
+                        const std::vector<Row> &rows)
+{
+    const Cycle busy = refreshVictimRowsDeferred(bank_idx, rows);
+    _banks[bank_idx].block(cycle, cycle + busy);
+}
+
+Cycle
+Rank::refreshVictimRowsDeferred(unsigned bank_idx,
+                                const std::vector<Row> &rows)
+{
+    if (bank_idx >= _banks.size())
+        panic("bank index %u out of range", bank_idx);
+    for (Row r : rows) {
+        if (r >= _rowsPerBank)
+            panic("victim row %u out of range", r);
+        refreshRow(bank_idx, r);
+    }
+    _nrrRowCount += rows.size();
+    return static_cast<Cycle>(rows.size()) * _timing.cRC();
+}
+
+} // namespace dram
+} // namespace graphene

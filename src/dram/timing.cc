@@ -1,0 +1,33 @@
+#include "dram/timing.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace dram {
+
+TimingParams
+TimingParams::ddr4_2400()
+{
+    return TimingParams{};
+}
+
+Cycle
+TimingParams::toCycles(Nanoseconds ns) const
+{
+    return static_cast<Cycle>(std::ceil(ns / tCK - 1e-9));
+}
+
+std::uint64_t
+TimingParams::maxActsInWindow(unsigned k) const
+{
+    if (k == 0)
+        fatal("reset-window divisor k must be >= 1");
+    const double available = tREFW * (1.0 - tRFC / tREFI);
+    return static_cast<std::uint64_t>(available / tRC /
+                                      static_cast<double>(k));
+}
+
+} // namespace dram
+} // namespace graphene

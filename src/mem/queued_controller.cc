@@ -1,0 +1,147 @@
+#include "mem/queued_controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace mem {
+
+QueuedChannelController::QueuedChannelController(
+    const ControllerConfig &config, SchedulerPolicy policy,
+    unsigned batch_cap)
+    : _config(config), _inner(config), _policy(policy),
+      _batchCap(batch_cap)
+{
+}
+
+std::size_t
+QueuedChannelController::pickNext(const std::deque<Pending> &queue,
+                                  unsigned bank,
+                                  unsigned bypasses) const
+{
+    if (_policy == SchedulerPolicy::Fcfs || queue.size() == 1)
+        return 0;
+    // Starvation bound: once the head has been overtaken batch-cap
+    // times, it is served regardless of row hits.
+    if (bypasses >= _batchCap)
+        return 0;
+
+    // FR-FCFS: the oldest row hit wins.
+    const dram::Bank &b = _inner.rank().bank(bank);
+    if (!b.isOpen())
+        return 0;
+    const Row open = b.openRow();
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        if (queue[i].row == open)
+            return i;
+    return 0;
+}
+
+std::vector<ServedRequest>
+QueuedChannelController::run(const std::vector<MemRequest> &requests,
+                             const std::vector<unsigned> &banks,
+                             const std::vector<Row> &rows)
+{
+    if (requests.size() != banks.size() ||
+        requests.size() != rows.size())
+        fatal("queued controller: mismatched request metadata");
+
+    const unsigned num_banks = _config.banksPerRank;
+    std::vector<std::deque<Pending>> queues(num_banks);
+    std::vector<Cycle> bank_free(num_banks, 0);
+    std::vector<unsigned> bypasses(num_banks, 0);
+    std::vector<ServedRequest> served;
+    served.reserve(requests.size());
+
+    std::size_t next_arrival = 0;
+    std::size_t in_flight = 0;
+
+    auto admit_until = [&](Cycle cycle) {
+        while (next_arrival < requests.size() &&
+               requests[next_arrival].issue <= cycle) {
+            const auto i = next_arrival++;
+            queues[banks[i]].push_back(
+                {requests[i], banks[i], rows[i]});
+            ++in_flight;
+        }
+    };
+
+    while (next_arrival < requests.size() || in_flight > 0) {
+        if (in_flight == 0) {
+            admit_until(requests[next_arrival].issue);
+            continue;
+        }
+
+        // Candidate per bank: its scheduler pick, feasible at
+        // max(arrival, bank frontier). Serve the globally earliest.
+        Cycle best_time = std::numeric_limits<Cycle>::max();
+        unsigned best_bank = 0;
+        std::size_t best_idx = 0;
+        for (unsigned b = 0; b < num_banks; ++b) {
+            if (queues[b].empty())
+                continue;
+            const std::size_t idx =
+                pickNext(queues[b], b, bypasses[b]);
+            const Cycle t =
+                std::max(queues[b][idx].request.issue, bank_free[b]);
+            if (t < best_time) {
+                best_time = t;
+                best_bank = b;
+                best_idx = idx;
+            }
+        }
+
+        // A not-yet-admitted request may beat (or change) the pick.
+        if (next_arrival < requests.size() &&
+            requests[next_arrival].issue <= best_time) {
+            admit_until(best_time);
+            continue;
+        }
+
+        Pending p = queues[best_bank][best_idx];
+        queues[best_bank].erase(queues[best_bank].begin() +
+                                static_cast<long>(best_idx));
+        bypasses[best_bank] =
+            best_idx > 0 ? bypasses[best_bank] + 1 : 0;
+        --in_flight;
+
+        const ServiceResult r = _inner.access(
+            best_time, p.bank, p.row, p.request.isWrite);
+        // The bank's frontier advances to the completion: later
+        // picks for this bank wait behind it, which is what lets the
+        // queue build up and reordering take effect.
+        bank_free[p.bank] = std::max(bank_free[p.bank], r.completion);
+        served.push_back({p.request, r.completion, r.rowHit});
+    }
+    return served;
+}
+
+ReplayStats
+QueuedChannelController::stats(
+    const std::vector<ServedRequest> &served) const
+{
+    ReplayStats s;
+    s.requests = served.size();
+    double total = 0.0;
+    std::uint64_t hits = 0;
+    for (const auto &r : served) {
+        const Cycle lat = r.completion - r.request.issue;
+        total += static_cast<double>(lat);
+        s.maxLatency = std::max(s.maxLatency, lat);
+        hits += r.rowHit;
+    }
+    if (!served.empty()) {
+        s.meanLatency = total / static_cast<double>(served.size());
+        s.rowHitRate = static_cast<double>(hits) /
+                       static_cast<double>(served.size());
+    }
+    s.victimRowsRefreshed = _inner.victimRowsRefreshed();
+    for (unsigned b = 0; b < _config.banksPerRank; ++b)
+        s.bitFlips += _inner.rank().faultModel(b).flips().size();
+    return s;
+}
+
+} // namespace mem
+} // namespace graphene

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A queued, reordering front-end over the channel controller for
+ * open-loop (trace-replay) simulation: per-bank request queues
+ * scheduled FR-FCFS — row-buffer hits first, oldest otherwise — with
+ * a PAR-BS-style cap on how many younger hits may overtake the
+ * oldest request, bounding starvation the way the paper's scheduler
+ * does.
+ *
+ * The closed-loop system simulator (sim::runSystem) serves requests
+ * in arrival order because its cores block on completions; with a
+ * recorded trace all arrivals are known up front, so reordering is
+ * well-defined and this controller exploits it. The underlying
+ * timing, refresh, and protection machinery is the ordinary
+ * ChannelController.
+ */
+
+#ifndef MEM_QUEUED_CONTROLLER_HH
+#define MEM_QUEUED_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/controller.hh"
+#include "mem/request.hh"
+
+namespace graphene {
+namespace mem {
+
+/** Scheduling policy of the queued front-end. */
+enum class SchedulerPolicy
+{
+    Fcfs,   ///< Strict arrival order per bank.
+    FrFcfs, ///< Row hits first, oldest otherwise (capped).
+};
+
+/** One serviced trace request. */
+struct ServedRequest
+{
+    MemRequest request;
+    Cycle completion = 0;
+    bool rowHit = false;
+};
+
+/** Aggregate statistics of a replay. */
+struct ReplayStats
+{
+    std::uint64_t requests = 0;
+    double meanLatency = 0.0;
+    Cycle maxLatency = 0;
+    double rowHitRate = 0.0;
+    std::uint64_t victimRowsRefreshed = 0;
+    std::uint64_t bitFlips = 0;
+};
+
+/**
+ * Replays a request stream for one channel through per-bank queues.
+ */
+class QueuedChannelController
+{
+  public:
+    /**
+     * @param config the underlying channel configuration.
+     * @param policy scheduling policy.
+     * @param batch_cap maximum younger row hits that may overtake
+     *        the oldest pending request of a bank (FR-FCFS only).
+     */
+    QueuedChannelController(const ControllerConfig &config,
+                            SchedulerPolicy policy,
+                            unsigned batch_cap = 4);
+
+    /**
+     * Service @p requests (sorted by issue cycle; all for this
+     * channel, with bank/row pre-decoded into MemRequest::addr via
+     * the caller's mapper — see replayTrace()).
+     *
+     * @param banks pre-decoded bank index per request.
+     * @param rows pre-decoded row per request.
+     * @return per-request completions, in service order.
+     */
+    std::vector<ServedRequest>
+    run(const std::vector<MemRequest> &requests,
+        const std::vector<unsigned> &banks,
+        const std::vector<Row> &rows);
+
+    ChannelController &inner() { return _inner; }
+
+    /** Summarise @p served into aggregate statistics. */
+    ReplayStats stats(const std::vector<ServedRequest> &served) const;
+
+  private:
+    struct Pending
+    {
+        MemRequest request;
+        unsigned bank;
+        Row row;
+    };
+
+    /**
+     * Index into @p queue of the request to serve next.
+     * @param bypasses how many times this bank's head request has
+     *        already been overtaken; at the batch cap the head is
+     *        forced (the PAR-BS-style starvation bound).
+     */
+    std::size_t pickNext(const std::deque<Pending> &queue,
+                         unsigned bank, unsigned bypasses) const;
+
+    ControllerConfig _config;
+    ChannelController _inner;
+    SchedulerPolicy _policy;
+    unsigned _batchCap;
+};
+
+} // namespace mem
+} // namespace graphene
+
+#endif // MEM_QUEUED_CONTROLLER_HH

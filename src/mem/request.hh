@@ -1,0 +1,26 @@
+/**
+ * @file
+ * A memory request as seen by the controller.
+ */
+
+#ifndef MEM_REQUEST_HH
+#define MEM_REQUEST_HH
+
+#include "common/types.hh"
+
+namespace graphene {
+namespace mem {
+
+/** One cache-line request from a core. */
+struct MemRequest
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    unsigned coreId = 0;
+    Cycle issue = 0; ///< Cycle the request reaches the controller.
+};
+
+} // namespace mem
+} // namespace graphene
+
+#endif // MEM_REQUEST_HH

@@ -1,0 +1,22 @@
+#include "model/area.hh"
+
+namespace graphene {
+namespace model {
+
+double
+AreaModel::mm2(const TableCost &cost, unsigned banks)
+{
+    const double cam = static_cast<double>(cost.camBits);
+    const double sram =
+        static_cast<double>(cost.sramBits) / kCamOverSramFactor;
+    return (cam + sram) * kMm2PerCamBit * banks;
+}
+
+std::uint64_t
+AreaModel::bits(const TableCost &cost, unsigned banks)
+{
+    return cost.totalBits() * banks;
+}
+
+} // namespace model
+} // namespace graphene

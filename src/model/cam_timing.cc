@@ -1,0 +1,31 @@
+#include "model/cam_timing.hh"
+
+#include <cmath>
+
+namespace graphene {
+namespace model {
+
+double
+CamTimingModel::searchNs(std::uint64_t entries)
+{
+    double ns = 1.0;
+    if (entries > 64)
+        ns += 0.25 * std::log2(static_cast<double>(entries) / 64.0);
+    return ns;
+}
+
+double
+CamTimingModel::criticalPathNs(std::uint64_t entries)
+{
+    return 2.0 * searchNs(entries) + kWriteNs;
+}
+
+bool
+CamTimingModel::hiddenWithinTrc(const dram::TimingParams &timing,
+                                std::uint64_t entries)
+{
+    return criticalPathNs(entries) < timing.tRC;
+}
+
+} // namespace model
+} // namespace graphene

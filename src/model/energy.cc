@@ -1,0 +1,30 @@
+#include "model/energy.hh"
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace model {
+
+double
+EnergyModel::refreshOverhead(std::uint64_t victim_rows, unsigned banks,
+                             double windows)
+{
+    if (banks == 0 || windows <= 0.0)
+        fatal("energy model: degenerate normalisation");
+    const double extra = static_cast<double>(victim_rows) * kActPreNj;
+    const double base =
+        static_cast<double>(banks) * windows * kRefreshPerBankPerRefwNj;
+    return extra / base;
+}
+
+double
+EnergyModel::grapheneTrackerOverhead(std::uint64_t acts)
+{
+    const double tracker = kGrapheneStaticPerRefwNj +
+                           kGrapheneDynamicPerActNj *
+                               static_cast<double>(acts);
+    return tracker / kRefreshPerBankPerRefwNj;
+}
+
+} // namespace model
+} // namespace graphene

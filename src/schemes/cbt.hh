@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CBT — Counter-Based Tree [Seyedzadeh et al., CAL 2017 / ISCA 2018].
+ *
+ * A bank's rows are covered by a dynamic binary tree of counters. The
+ * root initially covers every row; when a counter at level l reaches
+ * that level's split threshold and spare counters remain, it splits
+ * into two children each covering half its range. Children inherit
+ * the parent's count (conservative: a row's activations are never
+ * under-counted, preserving the no-false-negative property). When any
+ * counter reaches the final threshold — T_RH / 4, by the same
+ * double-sided + refresh-phase argument as Graphene's T — every row
+ * it covers is refreshed, plus the boundary neighbours, and the
+ * counter resets.
+ *
+ * Counters persist across refresh windows: because a trigger
+ * refreshes every victim the counter covers, the count safely
+ * restarts from zero at that point and no tREFW-aligned reset is
+ * needed (or possible — CBT never learns when individual rows are
+ * auto-refreshed). This is what makes CBT chronically bursty even on
+ * benign traffic: any workload eventually walks some counter to the
+ * final threshold and pays a whole-range refresh burst, the behaviour
+ * the paper's Figure 8 criticises.
+ *
+ * Split-threshold schedule (documented variant): level l of L splits
+ * at finalThreshold / 2^(L - l), i.e. thresholds double with depth
+ * and the deepest level's threshold is the final threshold.
+ *
+ * The burst behaviour the paper criticises is inherent: a trigger on
+ * a level-l counter refreshes rows/2^l + 2 rows at once. If DRAM
+ * remaps row addresses internally (assumeContiguous = false), the
+ * covered rows are not physically contiguous and 2x rows must be
+ * refreshed instead (Section II-C).
+ */
+
+#ifndef SCHEMES_CBT_HH
+#define SCHEMES_CBT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/protection_scheme.hh"
+#include "dram/timing.hh"
+
+namespace graphene {
+namespace schemes {
+
+/** Configuration for CBT. */
+struct CbtConfig
+{
+    unsigned numCounters = 128; ///< Total counter budget (CBT-128).
+    unsigned levels = 10;       ///< Maximum tree depth.
+    std::uint64_t rowHammerThreshold = 50000;
+    std::uint64_t rowsPerBank = 65536;
+    unsigned blastRadius = 1;
+    bool assumeContiguous = true;
+    dram::TimingParams timing = dram::TimingParams::ddr4_2400();
+
+    /**
+     * Start from a steady-state snapshot instead of a cold tree:
+     * counters pre-split breadth-first over the whole row space and
+     * initialised with pseudo-random phases in [0, finalThreshold).
+     * A long-running machine's CBT sits in exactly such a state (its
+     * counters never reset except by their own triggers), so cold
+     * starts systematically under-report CBT's refresh bursts on
+     * runs shorter than several tREFW. Conservative by construction:
+     * counts only ever over-estimate any row's activations.
+     */
+    bool warmStart = false;
+
+    /** Seed for the warm-start counter phases. */
+    std::uint64_t warmStartSeed = 1;
+
+    /**
+     * Adaptive tree maintenance (the ISCA 2018 refinement): when a
+     * hot counter wants to split but the budget is exhausted, merge
+     * the coldest aligned sibling pair back into its parent (with
+     * the maximum of the two counts — still an upper bound on every
+     * covered row) to free a counter. Without it (the CAL 2017
+     * variant) a saturated tree is stuck at whatever shape it grew
+     * and hot rows stay in wide ranges, making bursts far larger.
+     */
+    bool adaptive = true;
+
+    /** Final (refresh-triggering) threshold: T_RH / 4. */
+    std::uint64_t finalThreshold() const { return rowHammerThreshold / 4; }
+
+    /** Split threshold of level @p level. */
+    std::uint64_t splitThreshold(unsigned level) const;
+};
+
+/** Counter-based tree protection. */
+class Cbt : public ProtectionScheme
+{
+  public:
+    explicit Cbt(const CbtConfig &config);
+
+    std::string name() const override;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+    TableCost cost() const override;
+
+    /** Number of counters currently allocated in the tree. */
+    unsigned allocatedCounters() const
+    {
+        return static_cast<unsigned>(_ranges.size());
+    }
+
+    /** Rows refreshed by the last trigger (burst-size telemetry). */
+    std::uint64_t lastBurstRows() const { return _lastBurstRows; }
+
+  private:
+    struct Node
+    {
+        Row start;
+        std::uint64_t length;
+        unsigned level;
+        std::uint64_t count;
+    };
+
+    void resetTree();
+    std::map<Row, Node>::iterator findNode(Row row);
+    void split(std::map<Row, Node>::iterator it);
+    bool reclaimColderThan(std::uint64_t hot_count);
+    void trigger(std::map<Row, Node>::iterator it,
+                 RefreshAction &action);
+
+    CbtConfig _config;
+    /// Allocated counters keyed by range start; ranges partition
+    /// the row space.
+    std::map<Row, Node> _ranges;
+    std::uint64_t _lastBurstRows = 0;
+    /// Cached minimum mergeable-pair score, or ~0 when no pair
+    /// qualifies; counts only grow between structure changes, so a
+    /// cached refusal stays valid until a split, merge, or trigger.
+    std::uint64_t _mergeScoreCache = ~0ULL;
+    bool _mergeCacheValid = false;
+};
+
+} // namespace schemes
+} // namespace graphene
+
+#endif // SCHEMES_CBT_HH

@@ -1,0 +1,81 @@
+#include "schemes/mrloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace schemes {
+
+MrLoc::MrLoc(const MrLocConfig &config)
+    : _config(config), _rng(config.seed)
+{
+    if (config.queueEntries == 0)
+        fatal("mrloc: queue must have at least one entry");
+    if (config.pBase < 0 || config.pBase > 1 || config.pHot < 0 ||
+        config.pHot > 1) {
+        fatal("mrloc: probability out of range");
+    }
+}
+
+std::string
+MrLoc::name() const
+{
+    return "MRLoc";
+}
+
+void
+MrLoc::touch(Row victim, RefreshAction &action)
+{
+    auto it = std::find(_queue.begin(), _queue.end(), victim);
+    if (it != _queue.end()) {
+        // Recency-weighted refresh probability: most recent entries
+        // (near the back) are the likeliest Row Hammer victims.
+        const double recency =
+            static_cast<double>(it - _queue.begin() + 1) /
+            static_cast<double>(_queue.size());
+        const double p = _config.pBase / 2.0 +
+                         (_config.pHot - _config.pBase / 2.0) * recency;
+        if (_rng.bernoulli(p)) {
+            action.victimRows.push_back(victim);
+            ++_victimRefreshEvents;
+        }
+        _queue.erase(it);
+        _queue.push_back(victim);
+        return;
+    }
+
+    if (_rng.bernoulli(_config.pBase / 2.0)) {
+        action.victimRows.push_back(victim);
+        ++_victimRefreshEvents;
+    }
+    _queue.push_back(victim);
+    if (_queue.size() > _config.queueEntries)
+        _queue.pop_front();
+}
+
+void
+MrLoc::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    (void)cycle;
+    if (row >= 1)
+        touch(row - 1, action);
+    if (row + 1 < _config.rowsPerBank)
+        touch(static_cast<Row>(row + 1), action);
+}
+
+TableCost
+MrLoc::cost() const
+{
+    unsigned addr_bits = 0;
+    for (std::uint64_t n = _config.rowsPerBank - 1; n > 0; n >>= 1)
+        ++addr_bits;
+    TableCost cost;
+    cost.entries = _config.queueEntries;
+    cost.sramBits =
+        static_cast<std::uint64_t>(cost.entries) * addr_bits;
+    return cost;
+}
+
+} // namespace schemes
+} // namespace graphene

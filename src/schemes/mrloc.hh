@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MRLoc [You & Yang, DAC 2019]: a probabilistic scheme that exploits
+ * memory locality through a queue of recently seen victim rows.
+ *
+ * Faithful-variant notes (documented for the Figure 7(b) experiment):
+ *
+ *  - On every ACT the two adjacent victim rows are looked up in a
+ *    FIFO history queue.
+ *  - A victim found in the queue is refreshed with a probability that
+ *    grows with its recency (queue position), scaled by pHot; it then
+ *    moves to the queue tail.
+ *  - A victim absent from the queue is refreshed with the PARA
+ *    baseline probability pBase / 2 and pushed, evicting the oldest
+ *    entry when full.
+ *
+ * The paper's adversarial pattern — eight distinct, mutually
+ * non-adjacent rows accessed round-robin — produces 16 distinct
+ * victims against a 15-entry queue, so every victim is evicted before
+ * it recurs and the scheme degenerates to plain PARA at pBase.
+ */
+
+#ifndef SCHEMES_MRLOC_HH
+#define SCHEMES_MRLOC_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/random.hh"
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+namespace schemes {
+
+/** Configuration for MRLoc. */
+struct MrLocConfig
+{
+    unsigned queueEntries = 15; ///< History-queue depth (Fig. 7b).
+
+    /** Baseline refresh probability for queue misses (PARA-like). */
+    double pBase = 0.00145;
+
+    /** Maximum refresh probability for the most recent queue hit. */
+    double pHot = 0.05;
+
+    std::uint64_t seed = 3;
+    std::uint64_t rowsPerBank = 65536;
+};
+
+/** Locality-aware probabilistic victim refresh. */
+class MrLoc : public ProtectionScheme
+{
+  public:
+    explicit MrLoc(const MrLocConfig &config);
+
+    std::string name() const override;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+    TableCost cost() const override;
+
+    const std::deque<Row> &queue() const { return _queue; }
+
+  private:
+    void touch(Row victim, RefreshAction &action);
+
+    MrLocConfig _config;
+    Rng _rng;
+    /// Victim history, oldest at the front.
+    std::deque<Row> _queue;
+};
+
+} // namespace schemes
+} // namespace graphene
+
+#endif // SCHEMES_MRLOC_HH

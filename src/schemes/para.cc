@@ -1,0 +1,86 @@
+#include "schemes/para.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace schemes {
+
+Para::Para(const ParaConfig &config)
+    : _config(config), _rng(config.seed)
+{
+    if (_config.probabilities.empty())
+        fatal("para: need at least one refresh probability");
+    for (double p : _config.probabilities)
+        if (p < 0.0 || p > 1.0)
+            fatal("para: probability out of range");
+}
+
+std::string
+Para::name() const
+{
+    return "PARA";
+}
+
+void
+Para::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    (void)cycle;
+    for (unsigned d = 1; d <= _config.probabilities.size(); ++d) {
+        if (!_rng.bernoulli(_config.probabilities[d - 1]))
+            continue;
+        // Refresh one of the two rows at distance d, chosen evenly,
+        // so each specific victim sees probability p_d / 2.
+        const bool up = _rng.bernoulli(0.5);
+        const bool up_ok = row + d < _config.rowsPerBank;
+        const bool down_ok = row >= d;
+        if (!up_ok && !down_ok)
+            continue;
+        if ((up && up_ok) || !down_ok)
+            action.victimRows.push_back(static_cast<Row>(row + d));
+        else
+            action.victimRows.push_back(static_cast<Row>(row - d));
+        ++_victimRefreshEvents;
+    }
+}
+
+TableCost
+Para::cost() const
+{
+    // PARA keeps no tracking state: a PRNG and a comparator only.
+    return TableCost{};
+}
+
+double
+Para::requiredProbability(std::uint64_t rh_threshold)
+{
+    // The paper's near-complete-protection settings (Section V-C):
+    // probability needed for < 1% yearly failure odds on a 64-bank
+    // system. Interpolate on p * T_RH, which varies slowly.
+    struct Point { double trh; double p; };
+    static const Point table[] = {
+        {1562.5, 0.05034}, {3125.0, 0.02485}, {6250.0, 0.01224},
+        {12500.0, 0.00602}, {25000.0, 0.00295}, {50000.0, 0.00145},
+    };
+    const double t = static_cast<double>(rh_threshold);
+    if (t <= table[0].trh)
+        return table[0].p * table[0].trh / t;
+    const int n = static_cast<int>(sizeof(table) / sizeof(table[0]));
+    if (t >= table[n - 1].trh)
+        return table[n - 1].p * table[n - 1].trh / t;
+    for (int i = 0; i + 1 < n; ++i) {
+        if (t >= table[i].trh && t <= table[i + 1].trh) {
+            const double f = (std::log(t) - std::log(table[i].trh)) /
+                             (std::log(table[i + 1].trh) -
+                              std::log(table[i].trh));
+            const double pt = table[i].p * table[i].trh * (1.0 - f) +
+                              table[i + 1].p * table[i + 1].trh * f;
+            return pt / t;
+        }
+    }
+    return table[n - 1].p;
+}
+
+} // namespace schemes
+} // namespace graphene

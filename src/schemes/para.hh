@@ -1,0 +1,69 @@
+/**
+ * @file
+ * PARA [Kim et al., ISCA 2014]: the canonical probabilistic Row
+ * Hammer defence. On every ACT, with probability p, one neighbouring
+ * row of the activated row is refreshed (each specific neighbour is
+ * hit with probability p/2 for the +/-1 case — the footnote-2 model
+ * the paper's security analysis uses).
+ *
+ * The extension to non-adjacent (+/-n) Row Hammer uses one
+ * probability per distance (Section V-D): with probability p_d one
+ * of the two rows at distance d is refreshed.
+ */
+
+#ifndef SCHEMES_PARA_HH
+#define SCHEMES_PARA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+namespace schemes {
+
+/** Configuration for PARA. */
+struct ParaConfig
+{
+    /**
+     * Refresh probabilities per distance; probabilities[0] is the
+     * chance of refreshing a +/-1 neighbour per ACT. The paper's
+     * near-complete-protection setting for T_RH = 50K is 0.00145.
+     */
+    std::vector<double> probabilities = {0.00145};
+
+    /** RNG seed (deterministic replay). */
+    std::uint64_t seed = 1;
+
+    /** Rows per bank, for clipping victims at the bank edges. */
+    std::uint64_t rowsPerBank = 65536;
+};
+
+/** Probabilistic neighbour refresh on every ACT. */
+class Para : public ProtectionScheme
+{
+  public:
+    explicit Para(const ParaConfig &config);
+
+    std::string name() const override;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+    TableCost cost() const override;
+
+    /**
+     * The near-complete-protection probability the paper derives per
+     * Row Hammer threshold (Section V-C). Values for thresholds not
+     * in the paper's list are interpolated from the closed form
+     * p ~ c / T_RH fitted to the published points.
+     */
+    static double requiredProbability(std::uint64_t rh_threshold);
+
+  private:
+    ParaConfig _config;
+    Rng _rng;
+};
+
+} // namespace schemes
+} // namespace graphene
+
+#endif // SCHEMES_PARA_HH

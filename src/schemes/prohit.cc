@@ -1,0 +1,94 @@
+#include "schemes/prohit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace schemes {
+
+ProHit::ProHit(const ProHitConfig &config)
+    : _config(config), _rng(config.seed)
+{
+    if (config.hotEntries == 0 || config.coldEntries == 0)
+        fatal("prohit: tables must have at least one entry each");
+}
+
+std::string
+ProHit::name() const
+{
+    return "PRoHIT";
+}
+
+void
+ProHit::present(Row victim)
+{
+    auto hot_it = std::find(_hot.begin(), _hot.end(), victim);
+    if (hot_it != _hot.end()) {
+        // Frequency promotion: move one slot toward the top.
+        if (hot_it != _hot.begin())
+            std::iter_swap(hot_it, hot_it - 1);
+        return;
+    }
+
+    auto cold_it = std::find(_cold.begin(), _cold.end(), victim);
+    if (cold_it != _cold.end()) {
+        _cold.erase(cold_it);
+        if (_hot.size() < _config.hotEntries) {
+            _hot.push_back(victim);
+        } else {
+            // Displace the coldest hot entry into the cold table.
+            const Row evictee = _hot.back();
+            _hot.back() = victim;
+            _cold.push_back(evictee);
+            if (_cold.size() > _config.coldEntries)
+                _cold.pop_front();
+        }
+        return;
+    }
+
+    _cold.push_back(victim);
+    if (_cold.size() > _config.coldEntries)
+        _cold.pop_front();
+}
+
+void
+ProHit::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    (void)cycle;
+    (void)action;
+    if (!_rng.bernoulli(_config.insertionProbability))
+        return;
+    if (row >= 1)
+        present(row - 1);
+    if (row + 1 < _config.rowsPerBank)
+        present(static_cast<Row>(row + 1));
+}
+
+void
+ProHit::onRefresh(Cycle cycle, RefreshAction &action)
+{
+    (void)cycle;
+    if (_hot.empty() || !_rng.bernoulli(_config.refreshProbability))
+        return;
+    action.victimRows.push_back(_hot.front());
+    _hot.erase(_hot.begin());
+    ++_victimRefreshEvents;
+}
+
+TableCost
+ProHit::cost() const
+{
+    // Both tables store a row address per entry in SRAM; the hot
+    // table's ordering is positional, needing no extra bits.
+    unsigned addr_bits = 0;
+    for (std::uint64_t n = _config.rowsPerBank - 1; n > 0; n >>= 1)
+        ++addr_bits;
+    TableCost cost;
+    cost.entries = _config.hotEntries + _config.coldEntries;
+    cost.sramBits = static_cast<std::uint64_t>(cost.entries) * addr_bits;
+    return cost;
+}
+
+} // namespace schemes
+} // namespace graphene

@@ -1,0 +1,145 @@
+#include "schemes/twice.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace schemes {
+
+std::uint64_t
+TwiCeConfig::intervalsPerWindow() const
+{
+    return static_cast<std::uint64_t>(timing.tREFW / timing.tREFI);
+}
+
+double
+TwiCeConfig::pruneThreshold() const
+{
+    return static_cast<double>(triggerThreshold()) /
+           static_cast<double>(intervalsPerWindow());
+}
+
+unsigned
+TwiCeConfig::requiredEntries() const
+{
+    // A lifetime-i entry must hold count >= thPI * i; at most
+    // maxActsPerInterval * i activations exist to distribute among
+    // lifetime-i entries, so at most maxActs/thPI entries survive per
+    // lifetime class weighted 1/i — the harmonic sum over classes.
+    const double max_acts_per_interval =
+        (timing.tREFI - timing.tRFC) / timing.tRC;
+    const std::uint64_t n = intervalsPerWindow();
+    double harmonic = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        harmonic += 1.0 / static_cast<double>(i);
+    const double bound =
+        max_acts_per_interval / pruneThreshold() * harmonic;
+    return static_cast<unsigned>(std::ceil(bound));
+}
+
+TwiCe::TwiCe(const TwiCeConfig &config)
+    : _config(config),
+      _capacity(config.maxEntries ? config.maxEntries
+                                  : config.requiredEntries()),
+      _trigger(config.triggerThreshold()),
+      _thPi(config.pruneThreshold()),
+      _intervals(config.intervalsPerWindow())
+{
+    if (_trigger == 0)
+        fatal("twice: Row Hammer threshold too small");
+    _entries.reserve(_capacity);
+}
+
+std::string
+TwiCe::name() const
+{
+    return "TWiCe";
+}
+
+void
+TwiCe::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    (void)cycle;
+    auto it = _entries.find(row);
+    if (it == _entries.end()) {
+        if (_entries.size() >= _capacity) {
+            prune();
+            if (_entries.size() >= _capacity) {
+                // Conservative fallback: protect the victims now
+                // rather than lose track of the aggressor.
+                action.nrrAggressors.push_back(row);
+                ++_victimRefreshEvents;
+                ++_overflowFallbacks;
+                return;
+            }
+        }
+        it = _entries.emplace(row, Entry{}).first;
+        if (_entries.size() > _peakEntries)
+            _peakEntries = static_cast<unsigned>(_entries.size());
+    }
+
+    Entry &e = it->second;
+    ++e.count;
+    if (e.count >= _trigger) {
+        action.nrrAggressors.push_back(row);
+        ++_victimRefreshEvents;
+        e.count = 0;
+    }
+}
+
+void
+TwiCe::prune()
+{
+    std::vector<Row> dead;
+    for (auto &kv : _entries) {
+        const double needed =
+            _thPi * static_cast<double>(kv.second.life);
+        if (static_cast<double>(kv.second.count) < needed ||
+            kv.second.life >= _intervals) {
+            dead.push_back(kv.first);
+        }
+    }
+    for (Row r : dead)
+        _entries.erase(r);
+}
+
+void
+TwiCe::onRefresh(Cycle cycle, RefreshAction &action)
+{
+    (void)cycle;
+    (void)action;
+    for (auto &kv : _entries)
+        ++kv.second.life;
+    prune();
+}
+
+TableCost
+TwiCe::cost() const
+{
+    auto bits_for = [](std::uint64_t n) {
+        unsigned bits = 0;
+        while (n > 0) {
+            ++bits;
+            n >>= 1;
+        }
+        return bits == 0 ? 1u : bits;
+    };
+
+    const unsigned addr_bits = bits_for(_config.rowsPerBank - 1);
+    const unsigned count_bits = bits_for(_trigger);
+    const unsigned life_bits = bits_for(_intervals);
+
+    // The row address is searched associatively (CAM); counts,
+    // lifetimes, and the valid bit live in SRAM (Table IV layout).
+    TableCost cost;
+    cost.entries = _capacity;
+    cost.camBits = static_cast<std::uint64_t>(_capacity) * addr_bits;
+    cost.sramBits = static_cast<std::uint64_t>(_capacity) *
+                    (count_bits + life_bits + 1);
+    return cost;
+}
+
+} // namespace schemes
+} // namespace graphene

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * TWiCe — Time Window Counters [Lee et al., ISCA 2019]: the
+ * state-of-the-art counter-based scheme the paper compares against.
+ *
+ * TWiCe keeps one {row address, activation count, lifetime} entry per
+ * tracked row. A row is allocated on its first ACT; at every pruning
+ * interval (one tREFI) each entry's lifetime increments and entries
+ * whose count has fallen below thPI x lifetime are pruned — such rows
+ * can no longer reach the triggering threshold before their normal
+ * refresh arrives, because the ACT rate needed would exceed what the
+ * bank can physically deliver. An entry whose count reaches
+ * T_RH / 4 triggers a nearby-row refresh and its count resets.
+ * Entries whose lifetime reaches tREFW / tREFI are dropped (their row
+ * was normally refreshed).
+ *
+ * The pruning bound keeps the table small relative to one-counter-
+ * per-row, but it is still an order of magnitude larger than
+ * Graphene's (Table IV): the analytic size bound implemented in
+ * requiredEntries() is  maxActsPerInterval / thPI x H(nPI), the
+ * harmonic-sum over lifetime classes.
+ */
+
+#ifndef SCHEMES_TWICE_HH
+#define SCHEMES_TWICE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/protection_scheme.hh"
+#include "dram/timing.hh"
+
+namespace graphene {
+namespace schemes {
+
+/** Configuration for TWiCe. */
+struct TwiCeConfig
+{
+    std::uint64_t rowHammerThreshold = 50000;
+    std::uint64_t rowsPerBank = 65536;
+    unsigned blastRadius = 1;
+    dram::TimingParams timing = dram::TimingParams::ddr4_2400();
+
+    /** 0 = size the table from the analytic bound. */
+    unsigned maxEntries = 0;
+
+    /** Triggering threshold: T_RH / 4. */
+    std::uint64_t triggerThreshold() const
+    {
+        return rowHammerThreshold / 4;
+    }
+
+    /** Pruning intervals per refresh window (tREFW / tREFI). */
+    std::uint64_t intervalsPerWindow() const;
+
+    /** Pruning threshold per interval, thPI. */
+    double pruneThreshold() const;
+
+    /** Analytic upper bound on simultaneously valid entries. */
+    unsigned requiredEntries() const;
+};
+
+/** Precise per-row time-window counting with lifetime pruning. */
+class TwiCe : public ProtectionScheme
+{
+  public:
+    explicit TwiCe(const TwiCeConfig &config);
+
+    std::string name() const override;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action) override;
+    void onRefresh(Cycle cycle, RefreshAction &action) override;
+    TableCost cost() const override;
+
+    unsigned validEntries() const
+    {
+        return static_cast<unsigned>(_entries.size());
+    }
+
+    /** Peak occupancy observed (validates the analytic bound). */
+    unsigned peakEntries() const { return _peakEntries; }
+
+    /** ACTs that could not be tracked because the table was full;
+     *  each fell back to an immediate conservative NRR. */
+    std::uint64_t overflowFallbacks() const { return _overflowFallbacks; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint64_t life = 0;
+    };
+
+    void prune();
+
+    TwiCeConfig _config;
+    unsigned _capacity;
+    std::uint64_t _trigger;
+    double _thPi;
+    std::uint64_t _intervals;
+    std::unordered_map<Row, Entry> _entries;
+    unsigned _peakEntries = 0;
+    std::uint64_t _overflowFallbacks = 0;
+};
+
+} // namespace schemes
+} // namespace graphene
+
+#endif // SCHEMES_TWICE_HH

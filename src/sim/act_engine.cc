@@ -1,0 +1,123 @@
+#include "sim/act_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/energy.hh"
+
+namespace graphene {
+namespace sim {
+
+ActEngineResult
+runActStream(const ActEngineConfig &config,
+             workloads::ActPattern &pattern)
+{
+    if (config.actRate <= 0.0 || config.actRate > 1.0)
+        fatal("act engine: rate must lie in (0, 1]");
+    if (config.windows <= 0.0)
+        fatal("act engine: need a positive duration");
+
+    dram::FaultConfig fault;
+    fault.rowHammerThreshold = static_cast<double>(
+        config.physicalThreshold ? config.physicalThreshold
+                                 : config.scheme.rowHammerThreshold);
+    const unsigned radius =
+        std::max(config.faultRadius, 1u);
+    fault.mu.assign(radius, 0.0);
+    for (unsigned i = 1; i <= radius; ++i)
+        fault.mu[i - 1] = 1.0 / (static_cast<double>(i) * i);
+    fault.remap = config.remap;
+    fault.remapSeed = config.remapSeed;
+
+    dram::Rank rank(config.timing, 1, config.rowsPerBank, fault);
+
+    schemes::SchemeSpec spec = config.scheme;
+    spec.rowsPerBank = config.rowsPerBank;
+    spec.timing = config.timing;
+    auto scheme = schemes::makeScheme(spec);
+
+    const Cycle horizon = static_cast<Cycle>(
+        static_cast<double>(config.timing.cREFW()) * config.windows);
+    // Inter-ACT spacing at the requested fraction of the max rate.
+    const double spacing =
+        static_cast<double>(config.timing.cRC()) / config.actRate;
+
+    dram::Bank &bank = rank.bank(0);
+    RefreshAction action;
+    ActEngineResult result;
+
+    auto apply_action = [&](Cycle cycle) {
+        if (action.empty())
+            return;
+        for (Row aggressor : action.nrrAggressors) {
+            rank.issueNrr(cycle, 0, aggressor,
+                          spec.blastRadius);
+            ++result.nrrEvents;
+        }
+        if (!action.victimRows.empty()) {
+            std::vector<Row> rows;
+            rows.reserve(action.victimRows.size());
+            for (Row r : action.victimRows)
+                if (r < config.rowsPerBank)
+                    rows.push_back(r);
+            rank.refreshVictimRows(cycle, 0, rows);
+        }
+        action.clear();
+    };
+
+    auto catch_up_refresh = [&](Cycle cycle) {
+        while (rank.nextRefreshDue() <= cycle) {
+            const Cycle due = rank.nextRefreshDue();
+            rank.issueRefresh(due);
+            ++result.refreshCommands;
+            if (scheme) {
+                action.clear();
+                scheme->onRefresh(due, action);
+                apply_action(due);
+            }
+        }
+    };
+
+    double next_act = 0.0;
+    while (true) {
+        Cycle cycle = static_cast<Cycle>(next_act);
+        if (cycle >= horizon)
+            break;
+        catch_up_refresh(cycle);
+
+        // Victim refreshes and REF may have pushed the bank's ACT
+        // availability past the nominal slot.
+        cycle = bank.earliestAct(cycle);
+        if (cycle >= horizon)
+            break;
+        catch_up_refresh(cycle);
+        cycle = bank.earliestAct(cycle);
+        if (cycle >= horizon)
+            break;
+
+        const Row row = pattern.next();
+        bank.issueAct(cycle, row);
+        bank.issuePrecharge(bank.earliestPrecharge(cycle));
+        ++result.acts;
+        rank.notifyActivate(cycle, 0, row);
+
+        if (scheme) {
+            action.clear();
+            scheme->onActivate(cycle, row, action);
+            apply_action(cycle);
+        }
+
+        next_act = static_cast<double>(cycle) + spacing;
+    }
+
+    result.victimRowsRefreshed = rank.nrrRowCount();
+    result.bitFlips = rank.faultModel(0).flips().size();
+    result.peakDisturbance = rank.faultModel(0).peakDisturbance();
+    result.windows = config.windows;
+    result.refreshEnergyOverhead = model::EnergyModel::refreshOverhead(
+        result.victimRowsRefreshed, 1, config.windows);
+    return result;
+}
+
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The ACT-stream engine: drives one protected DRAM bank with a raw
+ * row-activation pattern at a configurable fraction of the maximum
+ * legal ACT rate, with full auto-refresh rotation and the Row Hammer
+ * fault model engaged.
+ *
+ * This is the fast harness behind the security experiments
+ * (Figure 7), the adversarial-pattern overhead numbers
+ * (Figure 8(b)), and the scalability sweeps (Figure 9(b)-(c)): the
+ * quantities those report — victim-row refreshes, refresh energy,
+ * bit flips — are functions of the per-bank ACT stream alone, so no
+ * core/controller model is needed.
+ */
+
+#ifndef SIM_ACT_ENGINE_HH
+#define SIM_ACT_ENGINE_HH
+
+#include <cstdint>
+
+#include "dram/rank.hh"
+#include "schemes/factory.hh"
+#include "workloads/act_patterns.hh"
+
+namespace graphene {
+namespace sim {
+
+/** Configuration of one ACT-stream run. */
+struct ActEngineConfig
+{
+    schemes::SchemeSpec scheme;
+    std::uint64_t rowsPerBank = 65536;
+    dram::TimingParams timing = dram::TimingParams::ddr4_2400();
+
+    /** ACT intensity as a fraction of the maximum legal rate. */
+    double actRate = 1.0;
+
+    /** Simulated length in refresh windows (tREFW units). */
+    double windows = 1.0;
+
+    /** Blast radius of the *physical* disturbance; usually equals
+     *  scheme.blastRadius but can exceed it to model an
+     *  under-provisioned defence. */
+    unsigned faultRadius = 1;
+
+    /** Physical Row Hammer threshold of the DRAM cells; defaults to
+     *  the scheme's configured threshold. 0 = use scheme's. */
+    std::uint64_t physicalThreshold = 0;
+
+    /** Enable internal row remapping in the device (Section II-C). */
+    bool remap = false;
+
+    /** Seed of the remap permutation. */
+    std::uint64_t remapSeed = 0xdecafbadULL;
+};
+
+/** Aggregate outcome of one ACT-stream run. */
+struct ActEngineResult
+{
+    std::uint64_t acts = 0;
+    std::uint64_t victimRowsRefreshed = 0;
+    std::uint64_t nrrEvents = 0;
+    std::uint64_t refreshCommands = 0;
+    std::uint64_t bitFlips = 0;
+
+    /** Highest disturbance any victim accumulated between refreshes
+     *  (the empirical Section III-C bound). */
+    double peakDisturbance = 0.0;
+
+    /** Refresh-energy overhead fraction (EnergyModel accounting). */
+    double refreshEnergyOverhead = 0.0;
+
+    /** Windows actually simulated. */
+    double windows = 0.0;
+};
+
+/** Run @p pattern through one protected bank. */
+ActEngineResult runActStream(const ActEngineConfig &config,
+                             workloads::ActPattern &pattern);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // SIM_ACT_ENGINE_HH

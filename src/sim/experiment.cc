@@ -1,0 +1,64 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace sim {
+
+std::vector<OverheadRow>
+runOverheadGrid(const SystemConfig &base,
+                const std::vector<workloads::WorkloadSpec> &suite,
+                const std::vector<schemes::SchemeKind> &kinds)
+{
+    std::vector<OverheadRow> rows;
+    for (const auto &workload : suite) {
+        SystemConfig none = base;
+        none.scheme.kind = schemes::SchemeKind::None;
+        const SystemResult baseline = runSystem(none, workload);
+
+        for (const auto kind : kinds) {
+            SystemConfig config = base;
+            config.scheme.kind = kind;
+            const SystemResult r = runSystem(config, workload);
+
+            OverheadRow row;
+            row.workload = workload.name;
+            row.scheme = schemes::schemeKindName(kind);
+            row.victimRows = r.victimRowsRefreshed;
+            row.bitFlips = r.bitFlips;
+            row.energyOverhead = r.refreshEnergyOverhead;
+            row.perfLoss = r.speedupLossVs(baseline);
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+std::vector<OverheadRow>
+runAdversarialGrid(const ActEngineConfig &base,
+                   const std::vector<schemes::SchemeKind> &kinds,
+                   std::uint64_t seed)
+{
+    std::vector<OverheadRow> rows;
+    for (const auto kind : kinds) {
+        auto suite = workloads::patterns::adversarialSuite(
+            base.rowsPerBank, seed);
+        for (auto &pattern : suite) {
+            ActEngineConfig config = base;
+            config.scheme.kind = kind;
+            const ActEngineResult r = runActStream(config, *pattern);
+
+            OverheadRow row;
+            row.workload = pattern->name();
+            row.scheme = schemes::schemeKindName(kind);
+            row.victimRows = r.victimRowsRefreshed;
+            row.bitFlips = r.bitFlips;
+            row.energyOverhead = r.refreshEnergyOverhead;
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+} // namespace sim
+} // namespace graphene

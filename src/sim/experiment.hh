@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiment orchestration: the workload x scheme comparison grids
+ * behind Figures 8 and 9, with baseline (unprotected) runs for the
+ * weighted-speedup metric.
+ */
+
+#ifndef SIM_EXPERIMENT_HH
+#define SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/act_engine.hh"
+#include "sim/system.hh"
+
+namespace graphene {
+namespace sim {
+
+/** One cell of the Figure 8 comparison grid. */
+struct OverheadRow
+{
+    std::string workload;
+    std::string scheme;
+    std::uint64_t victimRows = 0;
+    std::uint64_t bitFlips = 0;
+    double energyOverhead = 0.0;
+    double perfLoss = 0.0;
+};
+
+/**
+ * Run every workload under every scheme (plus an unprotected
+ * baseline per workload for the performance metric).
+ */
+std::vector<OverheadRow>
+runOverheadGrid(const SystemConfig &base,
+                const std::vector<workloads::WorkloadSpec> &suite,
+                const std::vector<schemes::SchemeKind> &kinds);
+
+/**
+ * Run every adversarial ACT pattern under every scheme via the
+ * ACT-stream engine (Figure 8(b)).
+ */
+std::vector<OverheadRow>
+runAdversarialGrid(const ActEngineConfig &base,
+                   const std::vector<schemes::SchemeKind> &kinds,
+                   std::uint64_t seed);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // SIM_EXPERIMENT_HH

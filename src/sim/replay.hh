@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-channel trace replay: runs a recorded request trace through
+ * queued (FR-FCFS / FCFS) channel controllers with any protection
+ * scheme — the open-loop complement of the closed-loop system
+ * simulator, and the path external traces enter through.
+ */
+
+#ifndef SIM_REPLAY_HH
+#define SIM_REPLAY_HH
+
+#include <vector>
+
+#include "dram/address.hh"
+#include "mem/queued_controller.hh"
+#include "schemes/factory.hh"
+#include "workloads/trace_io.hh"
+
+namespace graphene {
+namespace sim {
+
+/** Configuration of a trace replay. */
+struct ReplayConfig
+{
+    dram::Geometry geometry;
+    dram::TimingParams timing = dram::TimingParams::ddr4_2400();
+    schemes::SchemeSpec scheme;
+    mem::SchedulerPolicy policy = mem::SchedulerPolicy::FrFcfs;
+    unsigned batchCap = 4;
+
+    /** Physical fault threshold; 0 = the scheme's threshold. */
+    std::uint64_t physicalThreshold = 0;
+};
+
+/** Replay outcome aggregated over all channels. */
+struct ReplayResult
+{
+    std::uint64_t requests = 0;
+    double meanLatency = 0.0;
+    Cycle maxLatency = 0;
+    double rowHitRate = 0.0;
+    std::uint64_t victimRowsRefreshed = 0;
+    std::uint64_t bitFlips = 0;
+};
+
+/** Replay @p records (sorted by issue) under @p config. */
+ReplayResult replayTrace(const ReplayConfig &config,
+                         const std::vector<workloads::TraceRecord>
+                             &records);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // SIM_REPLAY_HH

@@ -1,0 +1,199 @@
+#include "workloads/act_patterns.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace workloads {
+
+SingleRowPattern::SingleRowPattern(Row row) : _row(row)
+{
+}
+
+std::string
+SingleRowPattern::name() const
+{
+    return "S3-single-row";
+}
+
+Row
+SingleRowPattern::next()
+{
+    return _row;
+}
+
+RoundRobinPattern::RoundRobinPattern(std::string name,
+                                     std::vector<Row> rows)
+    : _name(std::move(name)), _rows(std::move(rows))
+{
+    if (_rows.empty())
+        fatal("round-robin pattern: need rows");
+}
+
+std::string
+RoundRobinPattern::name() const
+{
+    return _name;
+}
+
+Row
+RoundRobinPattern::next()
+{
+    const Row r = _rows[_idx];
+    _idx = (_idx + 1) % _rows.size();
+    return r;
+}
+
+NoisyPattern::NoisyPattern(std::string name,
+                           std::unique_ptr<ActPattern> base,
+                           double noise_fraction,
+                           std::uint64_t num_rows, std::uint64_t seed)
+    : _name(std::move(name)), _base(std::move(base)),
+      _noise(noise_fraction), _numRows(num_rows), _rng(seed)
+{
+    if (!_base)
+        fatal("noisy pattern: need a base pattern");
+}
+
+std::string
+NoisyPattern::name() const
+{
+    return _name;
+}
+
+Row
+NoisyPattern::next()
+{
+    if (_rng.bernoulli(_noise))
+        return static_cast<Row>(_rng.nextRange(_numRows));
+    return _base->next();
+}
+
+DoubleSidedPattern::DoubleSidedPattern(Row victim) : _victim(victim)
+{
+    if (victim == 0)
+        fatal("double-sided pattern: victim needs a lower neighbour");
+}
+
+std::string
+DoubleSidedPattern::name() const
+{
+    return "double-sided";
+}
+
+Row
+DoubleSidedPattern::next()
+{
+    _upper = !_upper;
+    return _upper ? static_cast<Row>(_victim + 1)
+                  : static_cast<Row>(_victim - 1);
+}
+
+namespace patterns {
+
+namespace {
+
+std::vector<Row>
+distinctRows(unsigned n, std::uint64_t num_rows, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::unordered_set<Row> seen;
+    std::vector<Row> rows;
+    while (rows.size() < n) {
+        const Row r = static_cast<Row>(rng.nextRange(num_rows));
+        if (seen.insert(r).second)
+            rows.push_back(r);
+    }
+    return rows;
+}
+
+} // namespace
+
+std::unique_ptr<ActPattern>
+s1(unsigned n, std::uint64_t num_rows, std::uint64_t seed)
+{
+    return std::make_unique<RoundRobinPattern>(
+        "S1-repeat-" + std::to_string(n),
+        distinctRows(n, num_rows, seed));
+}
+
+std::unique_ptr<ActPattern>
+s2(unsigned n, std::uint64_t num_rows, std::uint64_t seed)
+{
+    auto base = std::make_unique<RoundRobinPattern>(
+        "S2-base", distinctRows(n, num_rows, seed));
+    return std::make_unique<NoisyPattern>(
+        "S2-repeat-" + std::to_string(n) + "-noisy", std::move(base),
+        0.2, num_rows, seed + 1);
+}
+
+std::unique_ptr<ActPattern>
+s3(std::uint64_t num_rows)
+{
+    return std::make_unique<SingleRowPattern>(
+        static_cast<Row>(num_rows / 2));
+}
+
+std::unique_ptr<ActPattern>
+s4(std::uint64_t num_rows, std::uint64_t seed)
+{
+    auto base = std::make_unique<SingleRowPattern>(
+        static_cast<Row>(num_rows / 2));
+    return std::make_unique<NoisyPattern>("S4-single-noisy",
+                                          std::move(base), 0.5,
+                                          num_rows, seed);
+}
+
+std::unique_ptr<ActPattern>
+proHitAdversarial(Row x)
+{
+    if (x < 4)
+        fatal("prohit pattern: centre row too close to the edge");
+    const std::vector<Row> seq = {
+        static_cast<Row>(x - 4), static_cast<Row>(x - 2),
+        static_cast<Row>(x - 2), x,
+        x,                       x,
+        static_cast<Row>(x + 2), static_cast<Row>(x + 2),
+        static_cast<Row>(x + 4)};
+    return std::make_unique<RoundRobinPattern>("fig7a-prohit", seq);
+}
+
+std::unique_ptr<ActPattern>
+mrLocAdversarial(Row base, Row spacing)
+{
+    if (spacing < 3)
+        fatal("mrloc pattern: rows must be mutually non-adjacent");
+    std::vector<Row> rows;
+    for (unsigned i = 0; i < 8; ++i)
+        rows.push_back(static_cast<Row>(base + i * spacing));
+    return std::make_unique<RoundRobinPattern>("fig7b-mrloc",
+                                               std::move(rows));
+}
+
+std::unique_ptr<ActPattern>
+counterWorstCase(unsigned distinct_rows, std::uint64_t num_rows,
+                 std::uint64_t seed)
+{
+    return std::make_unique<RoundRobinPattern>(
+        "counter-worst-" + std::to_string(distinct_rows),
+        distinctRows(distinct_rows, num_rows, seed));
+}
+
+std::vector<std::unique_ptr<ActPattern>>
+adversarialSuite(std::uint64_t num_rows, std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<ActPattern>> suite;
+    suite.push_back(s1(10, num_rows, seed));
+    suite.push_back(s1(20, num_rows, seed + 10));
+    suite.push_back(s2(10, num_rows, seed + 20));
+    suite.push_back(s2(20, num_rows, seed + 30));
+    suite.push_back(s3(num_rows));
+    suite.push_back(s4(num_rows, seed + 40));
+    return suite;
+}
+
+} // namespace patterns
+
+} // namespace workloads
+} // namespace graphene

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Row-level ACT patterns: the paper's synthetic adversarial workloads
+ * S1-S4 (Section V-B), the PRoHIT- and MRLoc-defeating patterns of
+ * Figure 7, classic single- and double-sided hammering, and the
+ * worst-case pattern for counter tables.
+ */
+
+#ifndef WORKLOADS_ACT_PATTERNS_HH
+#define WORKLOADS_ACT_PATTERNS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace graphene {
+namespace workloads {
+
+/** A deterministic or stochastic stream of activated row addresses. */
+class ActPattern
+{
+  public:
+    virtual ~ActPattern() = default;
+    virtual std::string name() const = 0;
+    /** The next activated row. */
+    virtual Row next() = 0;
+};
+
+/** S3: one row hammered continuously. */
+class SingleRowPattern : public ActPattern
+{
+  public:
+    explicit SingleRowPattern(Row row);
+    std::string name() const override;
+    Row next() override;
+
+  private:
+    Row _row;
+};
+
+/** S1 and the Figure 7(b) MRLoc pattern: N rows round-robin. */
+class RoundRobinPattern : public ActPattern
+{
+  public:
+    RoundRobinPattern(std::string name, std::vector<Row> rows);
+    std::string name() const override;
+    Row next() override;
+
+  private:
+    std::string _name;
+    std::vector<Row> _rows;
+    std::size_t _idx = 0;
+};
+
+/**
+ * S2/S4: a base pattern diluted with uniform random rows at a given
+ * fraction.
+ */
+class NoisyPattern : public ActPattern
+{
+  public:
+    NoisyPattern(std::string name, std::unique_ptr<ActPattern> base,
+                 double noise_fraction, std::uint64_t num_rows,
+                 std::uint64_t seed);
+    std::string name() const override;
+    Row next() override;
+
+  private:
+    std::string _name;
+    std::unique_ptr<ActPattern> _base;
+    double _noise;
+    std::uint64_t _numRows;
+    Rng _rng;
+};
+
+/** Classic double-sided hammer of the victim at @p victim. */
+class DoubleSidedPattern : public ActPattern
+{
+  public:
+    explicit DoubleSidedPattern(Row victim);
+    std::string name() const override;
+    Row next() override;
+
+  private:
+    Row _victim;
+    bool _upper = false;
+};
+
+/** Factory helpers for the named paper patterns. */
+namespace patterns {
+
+/** S1: N arbitrary distinct rows repeated (N = 10 or 20). */
+std::unique_ptr<ActPattern> s1(unsigned n, std::uint64_t num_rows,
+                               std::uint64_t seed);
+
+/** S2: S1 with occasional random rows in between. */
+std::unique_ptr<ActPattern> s2(unsigned n, std::uint64_t num_rows,
+                               std::uint64_t seed);
+
+/** S3: a single row hammered continuously. */
+std::unique_ptr<ActPattern> s3(std::uint64_t num_rows);
+
+/** S4: S3 mixed with random row accesses. */
+std::unique_ptr<ActPattern> s4(std::uint64_t num_rows,
+                               std::uint64_t seed);
+
+/**
+ * Figure 7(a): {x-4, x-2, x-2, x, x, x, x+2, x+2, x+4} repeated —
+ * starves PRoHIT's history tables of rows x-5 and x+5.
+ */
+std::unique_ptr<ActPattern> proHitAdversarial(Row x);
+
+/**
+ * Figure 7(b): eight distinct mutually non-adjacent rows round-robin
+ * — 16 potential victims against MRLoc's 15-entry queue.
+ */
+std::unique_ptr<ActPattern> mrLocAdversarial(Row base, Row spacing);
+
+/**
+ * Worst case for Misra-Gries-style counters: hammer exactly
+ * @p distinct_rows distinct rows evenly at the maximum rate, driving
+ * as many entries as possible to the tracking threshold.
+ */
+std::unique_ptr<ActPattern> counterWorstCase(unsigned distinct_rows,
+                                             std::uint64_t num_rows,
+                                             std::uint64_t seed);
+
+/** All adversarial patterns evaluated in Figure 8(b). */
+std::vector<std::unique_ptr<ActPattern>>
+adversarialSuite(std::uint64_t num_rows, std::uint64_t seed);
+
+} // namespace patterns
+
+} // namespace workloads
+} // namespace graphene
+
+#endif // WORKLOADS_ACT_PATTERNS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named application profiles and multiprogrammed workload suites
+ * mirroring the paper's evaluation set (Section V-B): the nine
+ * memory-intensive SPEC CPU2006 applications (SPEC-high), the
+ * mix-high and mix-blend multiprogrammed mixes, and the five
+ * multi-threaded benchmarks (MICA, PageRank, RADIX, FFT, Canneal).
+ *
+ * Each profile is a SyntheticParams point chosen to reproduce the
+ * application's published memory character: streaming codes
+ * (libquantum, lbm, leslie3d, GemsFDTD) have high sequential
+ * fractions and high intensity; pointer-heavy codes (mcf, omnetpp,
+ * canneal) have low locality; skewed-reuse codes (sphinx3, soplex,
+ * MICA) use Zipfian row reuse.
+ */
+
+#ifndef WORKLOADS_PROFILES_HH
+#define WORKLOADS_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace graphene {
+namespace workloads {
+
+/** A complete multiprogrammed workload: one profile per core. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<SyntheticParams> coreParams;
+};
+
+/** Profile for one named application; fatal on unknown names. */
+SyntheticParams appProfile(const std::string &name);
+
+/** The nine SPEC-high applications (Section V-B). */
+std::vector<std::string> specHighApps();
+
+/** The five multi-threaded benchmarks. */
+std::vector<std::string> multiThreadedApps();
+
+/** @p copies copies of @p app on as many cores (SPEC-high runs). */
+WorkloadSpec homogeneous(const std::string &app, unsigned copies);
+
+/** 16 applications drawn from SPEC-high (mix-high). */
+WorkloadSpec mixHigh(unsigned cores, std::uint64_t seed);
+
+/** 16 applications drawn from all of SPEC CPU2006 (mix-blend). */
+WorkloadSpec mixBlend(unsigned cores, std::uint64_t seed);
+
+/**
+ * The full "normal workloads" list of Figure 8(a)/(c): nine
+ * SPEC-high runs, two mixes, five multi-threaded benchmarks.
+ */
+std::vector<WorkloadSpec> normalWorkloads(unsigned cores);
+
+} // namespace workloads
+} // namespace graphene
+
+#endif // WORKLOADS_PROFILES_HH

@@ -1,0 +1,76 @@
+#include "workloads/synthetic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace workloads {
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticParams &params,
+                                       const dram::AddressMapper &mapper,
+                                       unsigned core_id,
+                                       std::uint64_t seed)
+    : _params(params), _mapper(mapper), _coreId(core_id),
+      _rng(seed ^ (0x5851f42d4c957f2dULL * (core_id + 1))),
+      _zipf(params.workingSetRows,
+            params.zipfTheta > 0.0 ? params.zipfTheta : 1e-9)
+{
+    const auto &g = mapper.geometry();
+    if (params.workingSetRows == 0)
+        fatal("synthetic workload: empty working set");
+    if (params.workingSetRows > g.rowsPerBank)
+        fatal("synthetic workload: working set exceeds bank rows");
+    _linesPerRow = g.bytesPerRow / 64;
+    // Spread the cores' working sets across the row space so that
+    // multiprogrammed mixes do not alias (OS page placement).
+    const std::uint64_t stride = g.rowsPerBank / 16;
+    _baseRow = static_cast<Row>((core_id * stride) % g.rowsPerBank);
+}
+
+Addr
+SyntheticGenerator::lineFor(std::uint64_t row_rank,
+                            std::uint64_t line_in_row)
+{
+    const auto &g = _mapper.geometry();
+    dram::DecodedAddr d{};
+    const std::uint64_t row =
+        (_baseRow + row_rank) % g.rowsPerBank;
+    d.row = static_cast<Row>(row);
+    d.column = (line_in_row % _linesPerRow) * 64;
+    // Hash the row into channel/bank so per-bank streams decorrelate.
+    const std::uint64_t h =
+        (row * 0x9e3779b97f4a7c15ULL) ^ (_coreId * 0xbf58476d1ce4e5b9ULL);
+    d.channel = static_cast<unsigned>(h % g.channels);
+    d.bank = static_cast<unsigned>((h >> 8) % g.banksPerRank);
+    d.rank = static_cast<unsigned>((h >> 16) % g.ranksPerChannel);
+    return _mapper.encode(d);
+}
+
+CoreAccess
+SyntheticGenerator::next()
+{
+    CoreAccess access;
+
+    if (_rng.bernoulli(_params.sequentialFraction)) {
+        // Continue the sequential run; cross into the next row when
+        // the current one is exhausted.
+        ++_seqLine;
+        if (_seqLine >= _linesPerRow) {
+            _seqLine = 0;
+            _seqRow = (_seqRow + 1) % _params.workingSetRows;
+        }
+    } else {
+        _seqRow = _zipf.sample(_rng) % _params.workingSetRows;
+        _seqLine = _rng.nextRange(_linesPerRow);
+    }
+
+    access.addr = lineFor(_seqRow, _seqLine);
+    access.isWrite = _rng.bernoulli(_params.writeFraction);
+    access.gap = static_cast<Cycle>(
+        _rng.exponential(_params.meanGapCycles));
+    return access;
+}
+
+} // namespace workloads
+} // namespace graphene

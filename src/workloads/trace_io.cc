@@ -1,0 +1,127 @@
+#include "workloads/trace_io.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workloads/synthetic.hh"
+
+namespace graphene {
+namespace workloads {
+
+void
+writeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    os << "# graphene request trace v1\n";
+    os << "# <issue-cycle> <hex-address> R|W <core>\n";
+    for (const auto &r : records) {
+        os << r.issue << " 0x" << std::hex << r.addr << std::dec
+           << (r.isWrite ? " W " : " R ") << r.coreId << "\n";
+    }
+}
+
+std::vector<TraceRecord>
+readTrace(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        TraceRecord r;
+        std::string rw;
+        if (!(ss >> r.issue >> std::hex >> r.addr >> std::dec >> rw >>
+              r.coreId) ||
+            (rw != "R" && rw != "W")) {
+            fatal("trace parse error at line %zu: '%s'", line_no,
+                  line.c_str());
+        }
+        r.isWrite = rw == "W";
+        records.push_back(r);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+captureTrace(const WorkloadSpec &workload,
+             const dram::AddressMapper &mapper, Cycle horizon,
+             std::uint64_t seed)
+{
+    std::vector<TraceRecord> records;
+    for (unsigned core = 0; core < workload.coreParams.size();
+         ++core) {
+        SyntheticGenerator gen(workload.coreParams[core], mapper,
+                               core, seed + core);
+        Cycle now = 0;
+        while (true) {
+            const CoreAccess access = gen.next();
+            now += access.gap;
+            if (now >= horizon)
+                break;
+            records.push_back(
+                {now, access.addr, access.isWrite, core});
+        }
+    }
+    std::sort(records.begin(), records.end(),
+              [](const TraceRecord &a, const TraceRecord &b) {
+                  return a.issue < b.issue;
+              });
+    return records;
+}
+
+void
+writeActTrace(std::ostream &os, const std::vector<Row> &rows)
+{
+    os << "# graphene ACT trace v1 (one row per line)\n";
+    for (Row r : rows)
+        os << r << "\n";
+}
+
+std::vector<Row>
+readActTrace(std::istream &is)
+{
+    std::vector<Row> rows;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::uint64_t row;
+        if (!(ss >> row))
+            fatal("ACT trace parse error at line %zu: '%s'", line_no,
+                  line.c_str());
+        rows.push_back(static_cast<Row>(row));
+    }
+    return rows;
+}
+
+TracePattern::TracePattern(std::vector<Row> rows)
+    : _rows(std::move(rows))
+{
+    if (_rows.empty())
+        fatal("trace pattern: empty row stream");
+}
+
+std::string
+TracePattern::name() const
+{
+    return "trace-replay";
+}
+
+Row
+TracePattern::next()
+{
+    const Row r = _rows[_idx];
+    _idx = (_idx + 1) % _rows.size();
+    return r;
+}
+
+} // namespace workloads
+} // namespace graphene

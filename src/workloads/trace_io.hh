@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * Two formats cover the two simulator layers:
+ *
+ *  - request traces (`<issue-cycle> <hex-address> R|W <core>` per
+ *    line) drive the full-system path open-loop; captureTrace()
+ *    produces one from the synthetic generators so experiments can
+ *    be archived and replayed bit-exactly, and external traces (e.g.
+ *    converted DRAM command logs) can be fed in;
+ *  - ACT traces (one row address per line) drive the ACT-stream
+ *    engine via TracePattern, e.g. a recorded attacker pattern.
+ *
+ * Lines starting with '#' are comments; blank lines are ignored.
+ */
+
+#ifndef WORKLOADS_TRACE_IO_HH
+#define WORKLOADS_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/act_patterns.hh"
+#include "workloads/profiles.hh"
+
+namespace graphene {
+namespace workloads {
+
+/** One memory request in a captured trace. */
+struct TraceRecord
+{
+    Cycle issue = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+    unsigned coreId = 0;
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+/** Serialise @p records to @p os in the text format above. */
+void writeTrace(std::ostream &os,
+                const std::vector<TraceRecord> &records);
+
+/**
+ * Parse a request trace. Fatal on malformed lines (with the line
+ * number in the message).
+ */
+std::vector<TraceRecord> readTrace(std::istream &is);
+
+/**
+ * Generate a request trace from a workload's synthetic generators:
+ * each core contributes requests with its think-time gaps applied
+ * back-to-back (service time zero), until @p horizon cycles. The
+ * result is sorted by issue cycle.
+ */
+std::vector<TraceRecord>
+captureTrace(const WorkloadSpec &workload,
+             const dram::AddressMapper &mapper, Cycle horizon,
+             std::uint64_t seed);
+
+/** Serialise an ACT-level trace (one row per line). */
+void writeActTrace(std::ostream &os, const std::vector<Row> &rows);
+
+/** Parse an ACT-level trace. */
+std::vector<Row> readActTrace(std::istream &is);
+
+/** Replays a recorded row stream as an ActPattern (looping). */
+class TracePattern : public ActPattern
+{
+  public:
+    explicit TracePattern(std::vector<Row> rows);
+
+    std::string name() const override;
+    Row next() override;
+
+  private:
+    std::vector<Row> _rows;
+    std::size_t _idx = 0;
+};
+
+} // namespace workloads
+} // namespace graphene
+
+#endif // WORKLOADS_TRACE_IO_HH

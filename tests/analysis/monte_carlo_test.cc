@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Monte Carlo validation of the PARA security model: empirical
+ * protection-failure rates of the actual Para scheme implementation
+ * against the Section V-A recurrence, at a scaled-down threshold
+ * where failures are frequent enough to measure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/para_model.hh"
+#include "schemes/para.hh"
+
+namespace graphene {
+namespace analysis {
+namespace {
+
+/**
+ * One trial of the analytic model's worst case: a single aggressor
+ * hammered for @p n_acts ACTs; the trial fails if either victim ever
+ * sees @p trh consecutive ACTs with no refresh.
+ */
+bool
+trialFails(double p, std::uint64_t trh, std::uint64_t n_acts,
+           std::uint64_t seed)
+{
+    schemes::ParaConfig config;
+    config.probabilities = {p};
+    config.seed = seed;
+    schemes::Para para(config);
+
+    const Row aggressor = 1000;
+    std::uint64_t run_low = 0, run_high = 0;
+    RefreshAction action;
+    for (std::uint64_t i = 0; i < n_acts; ++i) {
+        ++run_low;
+        ++run_high;
+        if (run_low >= trh || run_high >= trh)
+            return true;
+        action.clear();
+        para.onActivate(i, aggressor, action);
+        for (Row v : action.victimRows) {
+            if (v == aggressor - 1)
+                run_low = 0;
+            else if (v == aggressor + 1)
+                run_high = 0;
+        }
+    }
+    return false;
+}
+
+TEST(MonteCarlo, EmpiricalFailureRateMatchesRecurrence)
+{
+    const double p = 0.017;
+    const std::uint64_t trh = 1000;
+    const std::uint64_t n_acts = 100000;
+
+    const double predicted =
+        ParaModel::windowFailureProbability(p, trh, n_acts);
+    ASSERT_GT(predicted, 0.1);
+    ASSERT_LT(predicted, 0.6);
+
+    const int trials = 400;
+    int failures = 0;
+    for (int t = 0; t < trials; ++t)
+        failures += trialFails(p, trh, n_acts, 1000 + t);
+    const double measured =
+        static_cast<double>(failures) / trials;
+
+    // Binomial noise at 400 trials is ~2.3% std; allow 4 sigma plus
+    // model slack (the recurrence treats the two victims as one
+    // compound event).
+    EXPECT_NEAR(measured, predicted, 0.12)
+        << "predicted " << predicted << " measured " << measured;
+}
+
+TEST(MonteCarlo, HigherProbabilityLowersFailures)
+{
+    const std::uint64_t trh = 1000;
+    const std::uint64_t n_acts = 50000;
+    auto rate = [&](double p) {
+        int failures = 0;
+        for (int t = 0; t < 150; ++t)
+            failures += trialFails(p, trh, n_acts, 77 + t);
+        return failures / 150.0;
+    };
+    const double low_p = rate(0.010);
+    const double high_p = rate(0.030);
+    EXPECT_GT(low_p, high_p);
+}
+
+TEST(MonteCarlo, SafeMarginProbabilityNeverFails)
+{
+    // p large enough that (1 - p/2)^trh is astronomically small.
+    for (int t = 0; t < 50; ++t)
+        EXPECT_FALSE(trialFails(0.2, 1000, 100000, 5 + t));
+}
+
+} // namespace
+} // namespace analysis
+} // namespace graphene

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the elevated-refresh-rate analysis (Section II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/refresh_rate.hh"
+#include "sim/act_engine.hh"
+
+namespace graphene {
+namespace analysis {
+namespace {
+
+TEST(RefreshRate, BaselineMatchesW)
+{
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const auto r = evaluateRefreshRate(timing, 1, 50000);
+    EXPECT_EQ(r.maxActsBetweenRefreshes, timing.maxActsInWindow(1));
+    EXPECT_FALSE(r.protects);
+    EXPECT_DOUBLE_EQ(r.energyMultiplier, 1.0);
+}
+
+TEST(RefreshRate, DoublingDoesNotProtect)
+{
+    // The vendors' 2x patch leaves a ~680K-ACT window: useless
+    // against a 50K threshold.
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const auto r = evaluateRefreshRate(timing, 2, 50000);
+    EXPECT_FALSE(r.protects);
+    EXPECT_GT(r.maxActsBetweenRefreshes, 50000u * 10);
+}
+
+TEST(RefreshRate, RequiredMultiplierNear13For50K)
+{
+    // W/m alone suggests ~27x, but the growing tRFC share of tREFI
+    // shrinks the usable window too, so the wall arrives earlier.
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const unsigned m = requiredMultiplier(timing, 50000);
+    EXPECT_GE(m, 12u);
+    EXPECT_LE(m, 14u);
+    const auto r = evaluateRefreshRate(timing, m, 50000);
+    EXPECT_TRUE(r.protects);
+    EXPECT_FALSE(evaluateRefreshRate(timing, m - 1, 50000).protects);
+}
+
+TEST(RefreshRate, CostsGrowLinearly)
+{
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const auto r4 = evaluateRefreshRate(timing, 4, 50000);
+    const auto r8 = evaluateRefreshRate(timing, 8, 50000);
+    EXPECT_DOUBLE_EQ(r8.energyMultiplier, 2 * r4.energyMultiplier);
+    EXPECT_NEAR(r8.bankTimeLost, 2 * r4.bankTimeLost, 1e-12);
+}
+
+TEST(RefreshRate, InfeasibleWhenRefSaturates)
+{
+    // tREFI / m < tRFC: the device does nothing but refresh.
+    const auto timing = dram::TimingParams::ddr4_2400();
+    const auto r = evaluateRefreshRate(timing, 23, 50000);
+    EXPECT_FALSE(r.feasible); // 7800 / 23 = 339 ns < tRFC = 350 ns
+    EXPECT_FALSE(r.protects);
+}
+
+TEST(RefreshRate, VeryLowThresholdsAreUnprotectable)
+{
+    // Below the feasibility wall no multiplier protects at all.
+    const auto timing = dram::TimingParams::ddr4_2400();
+    EXPECT_EQ(requiredMultiplier(timing, 50), 0u);
+}
+
+TEST(RefreshRate, SimulatedFastRefreshStopsAttackWhereAnalysisSaysSo)
+{
+    // Cross-check the analysis against the actual simulator: scale
+    // tREFW/tREFI down by m and run a single-row attack at a
+    // threshold the analysis says m protects.
+    const auto base = dram::TimingParams::ddr4_2400();
+    const std::uint64_t trh = 200000;
+    const unsigned m = requiredMultiplier(base, trh);
+    ASSERT_GT(m, 0u);
+
+    dram::TimingParams fast = base;
+    fast.tREFI = base.tREFI / m;
+    fast.tREFW = base.tREFW / m;
+
+    sim::ActEngineConfig config;
+    config.scheme.kind = schemes::SchemeKind::None;
+    config.timing = fast;
+    config.physicalThreshold = trh;
+    config.windows = 2.0 * m; // same wall-clock as 2 base windows
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const auto protected_run = sim::runActStream(config, *pattern);
+    EXPECT_EQ(protected_run.bitFlips, 0u);
+
+    // And one multiplier lower fails.
+    dram::TimingParams slow = base;
+    slow.tREFI = base.tREFI / (m - 1);
+    slow.tREFW = base.tREFW / (m - 1);
+    sim::ActEngineConfig weak = config;
+    weak.timing = slow;
+    weak.windows = 2.0 * (m - 1);
+    auto pattern2 = workloads::patterns::s3(weak.rowsPerBank);
+    const auto weak_run = sim::runActStream(weak, *pattern2);
+    EXPECT_GT(weak_run.bitFlips, 0u);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace graphene

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+
+namespace graphene {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextRange(17), 17u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(5);
+    const double p = 0.137;
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(p);
+    const double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, p, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-0.5));
+        EXPECT_TRUE(rng.bernoulli(1.5));
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(9);
+    const double mean = 42.0;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / n, mean, 1.0);
+}
+
+TEST(Rng, UniformBits)
+{
+    // Each of the 64 bit positions should be set about half the time.
+    Rng rng(13);
+    int counts[64] = {};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = rng.next64();
+        for (int b = 0; b < 64; ++b)
+            counts[b] += (v >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b)
+        EXPECT_NEAR(counts[b] / static_cast<double>(n), 0.5, 0.02)
+            << "bit " << b;
+}
+
+} // namespace
+} // namespace graphene

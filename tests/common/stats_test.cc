@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace graphene {
+namespace {
+
+TEST(Scalar, StartsAtZeroAndAccumulates)
+{
+    Scalar s("x");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h("lat", 10, 100.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.0);
+    h.sample(250.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_DOUBLE_EQ(h.max(), 250.0);
+    EXPECT_NEAR(h.mean(), (5 + 15 + 15 + 250) / 4.0, 1e-9);
+}
+
+TEST(Histogram, NegativeSamplesCountAsOverflow)
+{
+    Histogram h("neg", 4, 8.0);
+    h.sample(-1.0);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, PrintMentionsNameAndCount)
+{
+    Histogram h("lat", 4, 8.0);
+    h.sample(1.0);
+    std::ostringstream os;
+    h.print(os);
+    EXPECT_NE(os.str().find("lat"), std::string::npos);
+    EXPECT_NE(os.str().find("n=1"), std::string::npos);
+}
+
+TEST(StatGroup, CreatesOnFirstUse)
+{
+    StatGroup g;
+    EXPECT_EQ(g.get("acts"), 0.0);
+    ++g.scalar("acts");
+    ++g.scalar("acts");
+    EXPECT_EQ(g.get("acts"), 2.0);
+}
+
+TEST(StatGroup, ResetClearsAll)
+{
+    StatGroup g;
+    g.scalar("a") += 5;
+    g.scalar("b") += 7;
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0.0);
+    EXPECT_EQ(g.get("b"), 0.0);
+}
+
+TEST(StatGroup, PrintListsEveryStat)
+{
+    StatGroup g;
+    g.scalar("alpha") += 1;
+    g.scalar("beta") += 2;
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+} // namespace
+} // namespace graphene

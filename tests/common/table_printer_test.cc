@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.hh"
+
+namespace graphene {
+namespace {
+
+TEST(TablePrinter, AlignedOutputContainsEverything)
+{
+    TablePrinter t("Demo");
+    t.header({"col-a", "b"});
+    t.row({"1", "two"});
+    t.row({"three", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("col-a"), std::string::npos);
+    EXPECT_NE(s.find("three"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t("Demo");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.23456, 3), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.0034, 2), "0.34%");
+    EXPECT_EQ(TablePrinter::pct(0.051, 1), "5.1%");
+}
+
+TEST(TablePrinter, RowsOfDifferentWidthsDoNotCrash)
+{
+    TablePrinter t("Ragged");
+    t.header({"a"});
+    t.row({"1", "2", "3"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/zipf.hh"
+
+namespace graphene {
+namespace {
+
+TEST(Zipf, SamplesStayInRange)
+{
+    Rng rng(1);
+    ZipfSampler z(100, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(2);
+    ZipfSampler z(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(rng)];
+    // Rank 0 should dominate rank 99 by roughly 100^0.99.
+    EXPECT_GT(counts[0], counts[99] * 10);
+    // The head (top 10%) should hold the majority of samples.
+    int head = 0;
+    for (int i = 0; i < 100; ++i)
+        head += counts[i];
+    EXPECT_GT(head, 50000);
+}
+
+TEST(Zipf, NearUniformWhenThetaTiny)
+{
+    Rng rng(3);
+    ZipfSampler z(10, 1e-9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(rng)];
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NEAR(counts[i] / 100000.0, 0.1, 0.01);
+}
+
+TEST(Zipf, LargePopulationTailIsReachable)
+{
+    Rng rng(4);
+    ZipfSampler z(1ULL << 20, 0.5);
+    bool tail_hit = false;
+    for (int i = 0; i < 100000 && !tail_hit; ++i)
+        tail_hit = z.sample(rng) >= (1ULL << 16);
+    EXPECT_TRUE(tail_hit);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for Graphene's parameter derivation: Table II, the
+ * reset-window trade-off of Section IV-C / Figure 6, and the
+ * non-adjacent extension of Section III-D.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace graphene {
+namespace core {
+namespace {
+
+TEST(GrapheneConfig, TableIIBaseline)
+{
+    GrapheneConfig c; // T_RH = 50K, k = 1, +/-1
+    c.validate();
+    EXPECT_EQ(c.trackingThreshold(), 12500u);
+    EXPECT_NEAR(static_cast<double>(c.maxActsPerWindow()), 1360000.0,
+                5000.0);
+    EXPECT_EQ(c.numEntries(), 108u);
+}
+
+TEST(GrapheneConfig, EvaluatedKEquals2)
+{
+    GrapheneConfig c;
+    c.resetWindowDivisor = 2;
+    c.validate();
+    // Section IV-C: T = 50000 / (2*3) = 8333, Nentry = 81.
+    EXPECT_EQ(c.trackingThreshold(), 8333u);
+    EXPECT_EQ(c.numEntries(), 81u);
+}
+
+TEST(GrapheneConfig, InequalityOneHolds)
+{
+    // Nentry must strictly exceed W/T - 1 for every configuration.
+    for (unsigned k = 1; k <= 10; ++k) {
+        for (std::uint64_t trh :
+             {50000ULL, 25000ULL, 12500ULL, 6250ULL, 3125ULL}) {
+            GrapheneConfig c;
+            c.rowHammerThreshold = trh;
+            c.resetWindowDivisor = k;
+            const double w =
+                static_cast<double>(c.maxActsPerWindow());
+            const double t =
+                static_cast<double>(c.trackingThreshold());
+            EXPECT_GT(static_cast<double>(c.numEntries()),
+                      w / t - 1.0)
+                << "k=" << k << " trh=" << trh;
+        }
+    }
+}
+
+TEST(GrapheneConfig, InequalityThreeHolds)
+{
+    // (k+1)(T-1) < T_RH / 2 must hold for every k.
+    for (unsigned k = 1; k <= 10; ++k) {
+        GrapheneConfig c;
+        c.resetWindowDivisor = k;
+        const double t = static_cast<double>(c.trackingThreshold());
+        EXPECT_LT((k + 1) * (t - 1.0), 50000.0 / 2.0) << "k=" << k;
+    }
+}
+
+TEST(GrapheneConfig, Figure6TableSizeShrinksAndSaturates)
+{
+    // Table entries decrease with k but saturate (k+1)/k -> 1.
+    std::vector<unsigned> entries;
+    for (unsigned k = 1; k <= 10; ++k) {
+        GrapheneConfig c;
+        c.resetWindowDivisor = k;
+        entries.push_back(c.numEntries());
+    }
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        EXPECT_LE(entries[i], entries[i - 1]);
+    // Baseline-to-k=2 saving is large...
+    EXPECT_LE(entries[1], 81u);
+    // ...but the curve flattens: k=9 -> k=10 saves at most 1 entry.
+    EXPECT_LE(entries[8] - entries[9], 1u);
+}
+
+TEST(GrapheneConfig, Figure6RefreshesGrowWithK)
+{
+    std::uint64_t prev = 0;
+    for (unsigned k = 1; k <= 10; ++k) {
+        GrapheneConfig c;
+        c.resetWindowDivisor = k;
+        const std::uint64_t victims = c.worstCaseVictimRowsPerRefw();
+        EXPECT_GE(victims, prev) << "k=" << k;
+        prev = victims;
+    }
+}
+
+TEST(GrapheneConfig, WorstCaseK2MatchesPaper)
+{
+    // 2 windows x floor(679202/8333)=81 NRRs x 2 rows = 324 rows per
+    // tREFW — the basis of the paper's 0.34% refresh-energy bound.
+    GrapheneConfig c;
+    c.resetWindowDivisor = 2;
+    EXPECT_EQ(c.worstCaseVictimRowsPerRefw(), 324u);
+}
+
+TEST(GrapheneConfig, InverseSquareMuFactorApproaches164)
+{
+    // Section III-D: sum(1/i^2) -> pi^2/6 ~ 1.64.
+    GrapheneConfig c;
+    c.blastRadius = 100;
+    c.mu = GrapheneConfig::inverseSquareMu(100);
+    EXPECT_NEAR(c.muFactor(), 1.64, 0.01);
+    EXPECT_GT(c.muFactor(), 1.0);
+    EXPECT_LT(c.muFactor(), 1.6449341); // pi^2/6 upper-bounds it
+}
+
+TEST(GrapheneConfig, NonAdjacentShrinksTAndGrowsTable)
+{
+    GrapheneConfig base;
+    GrapheneConfig wide;
+    wide.blastRadius = 4;
+    wide.mu = GrapheneConfig::inverseSquareMu(4);
+    EXPECT_LT(wide.trackingThreshold(), base.trackingThreshold());
+    EXPECT_GT(wide.numEntries(), base.numEntries());
+    // Growth factor bounded by the mu sum (Section III-D): 1.64x.
+    EXPECT_LT(static_cast<double>(wide.numEntries()),
+              static_cast<double>(base.numEntries()) * 1.65);
+}
+
+TEST(GrapheneConfig, UniformMuIsMoreConservative)
+{
+    GrapheneConfig inv, uni;
+    inv.blastRadius = uni.blastRadius = 3;
+    inv.mu = GrapheneConfig::inverseSquareMu(3);
+    uni.mu = GrapheneConfig::uniformMu(3);
+    EXPECT_LT(uni.trackingThreshold(), inv.trackingThreshold());
+    EXPECT_GT(uni.numEntries(), inv.numEntries());
+}
+
+TEST(GrapheneConfig, ScalesToLowThresholds)
+{
+    // Section V-C thresholds down to 1.56K must stay derivable.
+    for (std::uint64_t trh :
+         {50000ULL, 25000ULL, 12500ULL, 6250ULL, 3125ULL, 1560ULL}) {
+        GrapheneConfig c;
+        c.rowHammerThreshold = trh;
+        c.resetWindowDivisor = 2;
+        c.validate();
+        EXPECT_GT(c.trackingThreshold(), 0u);
+        // Entries scale inversely with the threshold.
+        EXPECT_NEAR(static_cast<double>(c.numEntries()),
+                    81.0 * 50000.0 / static_cast<double>(trh),
+                    81.0 * 50000.0 / static_cast<double>(trh) * 0.05);
+    }
+}
+
+TEST(GrapheneConfig, ValidateRejectsBadSettings)
+{
+    GrapheneConfig c;
+    c.mu = {1.0, 0.5}; // radius mismatch
+    EXPECT_DEATH(c.validate(), "blast radius");
+
+    GrapheneConfig c2;
+    c2.mu = {0.5};
+    EXPECT_DEATH(c2.validate(), "mu_1");
+
+    GrapheneConfig c3;
+    c3.resetWindowDivisor = 0;
+    EXPECT_DEATH(c3.validate(), "divisor");
+}
+
+} // namespace
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the Graphene scheme itself: the Section III-C theorem as
+ * an executable property (no row's actual count advances by T
+ * without a victim refresh), reset-window behaviour, worst-case
+ * refresh bounds, and the Table IV cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "common/random.hh"
+#include "core/graphene.hh"
+
+namespace graphene {
+namespace core {
+namespace {
+
+GrapheneConfig
+testConfig(std::uint64_t trh = 2000, unsigned k = 1)
+{
+    GrapheneConfig c;
+    c.rowHammerThreshold = trh;
+    c.resetWindowDivisor = k;
+    return c;
+}
+
+TEST(Graphene, NameAndThreshold)
+{
+    Graphene g(testConfig(50000, 2));
+    EXPECT_EQ(g.name(), "Graphene");
+    EXPECT_EQ(g.trackingThreshold(), 8333u);
+}
+
+TEST(Graphene, CostMatchesTableIV)
+{
+    // k = 2, T_RH = 50K: 81 entries x (16 addr + 14 count + 1
+    // overflow) = 2,511 CAM bits per bank.
+    GrapheneConfig c = testConfig(50000, 2);
+    const TableCost cost = Graphene::costFor(c, 65536, true);
+    EXPECT_EQ(cost.entries, 81u);
+    EXPECT_EQ(cost.camBits, 2511u);
+    EXPECT_EQ(cost.sramBits, 0u);
+}
+
+TEST(Graphene, OverflowBitOptimizationSavesSixBits)
+{
+    // Section IV-B: 21 -> 15 count bits at the baseline config.
+    GrapheneConfig c = testConfig(50000, 1);
+    const TableCost raw = Graphene::costFor(c, 65536, false);
+    const TableCost opt = Graphene::costFor(c, 65536, true);
+    EXPECT_EQ(raw.camBits / raw.entries, 16u + 21u);
+    EXPECT_EQ(opt.camBits / opt.entries, 16u + 15u);
+}
+
+TEST(Graphene, SingleRowTriggersAtEveryMultipleOfT)
+{
+    Graphene g(testConfig(2000));
+    const std::uint64_t t = g.trackingThreshold(); // 500
+    RefreshAction action;
+    std::uint64_t triggers = 0;
+    for (std::uint64_t i = 1; i <= 4 * t; ++i) {
+        action.clear();
+        g.onActivate(i, 1234, action);
+        if (!action.empty()) {
+            ++triggers;
+            ASSERT_EQ(action.nrrAggressors.size(), 1u);
+            EXPECT_EQ(action.nrrAggressors[0], 1234u);
+            EXPECT_EQ(i % t, 0u) << "trigger off-multiple at " << i;
+        }
+    }
+    EXPECT_EQ(triggers, 4u);
+}
+
+TEST(Graphene, NoTriggersBelowThreshold)
+{
+    Graphene g(testConfig(2000));
+    RefreshAction action;
+    for (std::uint64_t i = 1; i < g.trackingThreshold(); ++i) {
+        g.onActivate(i, 42, action);
+        EXPECT_TRUE(action.empty());
+    }
+}
+
+TEST(Graphene, TableResetsEveryWindow)
+{
+    GrapheneConfig c = testConfig(2000, 2);
+    Graphene g(c);
+    const Cycle window = c.resetWindowCycles();
+    RefreshAction action;
+    g.onActivate(1, 7, action);
+    EXPECT_EQ(g.table().estimatedCount(7), 1u);
+    g.onActivate(window + 1, 7, action);
+    // First ACT of the new window: the old count is gone.
+    EXPECT_EQ(g.table().estimatedCount(7), 1u);
+    EXPECT_EQ(g.resetCount(), 1u);
+}
+
+TEST(Graphene, SpreadTrafficNeverTriggers)
+{
+    // Uniform traffic over many rows cannot reach T on any row.
+    Graphene g(testConfig(2000));
+    Rng rng(5);
+    RefreshAction action;
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+        g.onActivate(i, static_cast<Row>(rng.nextRange(65536)),
+                     action);
+    }
+    EXPECT_TRUE(action.empty());
+    EXPECT_EQ(g.victimRefreshEvents(), 0u);
+}
+
+std::uint64_t
+fnv(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : s)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return h;
+}
+
+/**
+ * Theorem property (Section III-C): for any stream, no row's actual
+ * per-window count advances by T past the count at its last victim
+ * refresh.
+ */
+class TheoremProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(TheoremProperty, ActualCountNeverAdvancesByT)
+{
+    const auto [kind, k] = GetParam();
+    GrapheneConfig config = testConfig(2000, k);
+    Graphene g(config);
+    const std::uint64_t t = g.trackingThreshold();
+    const Cycle window = config.resetWindowCycles();
+
+    Rng rng(fnv(kind));
+    std::map<Row, std::uint64_t> actual;
+    std::map<Row, std::uint64_t> at_last_refresh;
+    std::uint64_t window_idx = 0;
+    RefreshAction action;
+
+    // One ACT per tRC-ish step, several windows long.
+    const std::uint64_t steps = 300000;
+    const Cycle step = 54;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        const Cycle cycle = i * step;
+        if (cycle / window != window_idx) {
+            window_idx = cycle / window;
+            actual.clear();
+            at_last_refresh.clear();
+        }
+
+        Row row;
+        if (kind == "single") {
+            row = 100;
+        } else if (kind == "pair") {
+            row = i % 2 ? 100 : 102;
+        } else if (kind == "rotate-hot") {
+            row = static_cast<Row>(100 + (i / 1000) % 8);
+        } else if (kind == "zipf-ish") {
+            row = static_cast<Row>(rng.nextRange(16) == 0
+                                       ? 100
+                                       : rng.nextRange(4096));
+        } else { // worst-case: exactly W/T rows round-robin
+            row = static_cast<Row>(i % (270000 / t));
+        }
+
+        ++actual[row];
+        action.clear();
+        g.onActivate(cycle, row, action);
+        for (Row a : action.nrrAggressors)
+            at_last_refresh[a] = actual[a];
+
+        const std::uint64_t base = at_last_refresh.count(row)
+                                       ? at_last_refresh[row]
+                                       : 0;
+        ASSERT_LE(actual[row] - base, t)
+            << kind << ": row " << row << " advanced past T at step "
+            << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, TheoremProperty,
+    ::testing::Combine(::testing::Values("single", "pair",
+                                         "rotate-hot", "zipf-ish",
+                                         "worst-case"),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Graphene, WorstCaseTriggersPerWindowBounded)
+{
+    // An adversary hammering floor(W/T) rows evenly at full rate can
+    // force at most floor(W/T) triggers per reset window.
+    GrapheneConfig config = testConfig(50000, 2);
+    Graphene g(config);
+    const std::uint64_t w = config.maxActsPerWindow();
+    const std::uint64_t t = g.trackingThreshold();
+    const unsigned rows = static_cast<unsigned>(w / t);
+
+    RefreshAction action;
+    const Cycle window = config.resetWindowCycles();
+    // Full-rate ACTs: one per tRC (54 cycles), one window's worth.
+    std::uint64_t triggers = 0;
+    for (std::uint64_t i = 0; i * 54 < window; ++i) {
+        action.clear();
+        g.onActivate(i * 54, static_cast<Row>(i % rows), action);
+        triggers += action.nrrAggressors.size();
+    }
+    EXPECT_LE(triggers, w / t);
+    EXPECT_GT(triggers, 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the rank: auto-refresh rotation, NRR expansion, and
+ * refresh listeners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/rank.hh"
+
+namespace graphene {
+namespace dram {
+namespace {
+
+FaultConfig
+defaultFault()
+{
+    FaultConfig c;
+    c.rowHammerThreshold = 1e12; // physics disabled for these tests
+    return c;
+}
+
+TEST(Rank, RefreshRotationCoversEveryRowWithinWindow)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    const std::uint64_t rows = 65536;
+    Rank rank(t, 2, rows, defaultFault());
+
+    std::set<Row> refreshed;
+    rank.addRefreshListener([&refreshed](unsigned bank, Row row) {
+        if (bank == 0)
+            refreshed.insert(row);
+    });
+
+    const std::uint64_t refs_per_window =
+        static_cast<std::uint64_t>(t.tREFW / t.tREFI);
+    for (std::uint64_t i = 0; i < refs_per_window; ++i)
+        rank.issueRefresh(rank.nextRefreshDue());
+
+    EXPECT_EQ(refreshed.size(), rows);
+    EXPECT_EQ(rank.refreshCount(), refs_per_window);
+}
+
+TEST(Rank, RefreshBlocksBanksForTrfc)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 2, 1024, defaultFault());
+    const Cycle due = rank.nextRefreshDue();
+    rank.issueRefresh(due);
+    EXPECT_GE(rank.bank(0).earliestAct(due), due + t.cRFC());
+    EXPECT_GE(rank.bank(1).earliestAct(due), due + t.cRFC());
+}
+
+TEST(Rank, EarlyRefreshPanics)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 1024, defaultFault());
+    EXPECT_DEATH(rank.issueRefresh(0), "REF");
+}
+
+TEST(Rank, NrrRefreshesVictimsAtDistance)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 1024, defaultFault());
+    std::set<Row> seen;
+    rank.addRefreshListener(
+        [&seen](unsigned, Row row) { seen.insert(row); });
+
+    const unsigned count = rank.issueNrr(100, 0, 500, 2);
+    EXPECT_EQ(count, 4u);
+    EXPECT_EQ(seen, (std::set<Row>{498, 499, 501, 502}));
+    EXPECT_EQ(rank.nrrRowCount(), 4u);
+}
+
+TEST(Rank, NrrClipsAtBankEdge)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 1024, defaultFault());
+    EXPECT_EQ(rank.issueNrr(0, 0, 0, 2), 2u);    // only +1, +2
+    EXPECT_EQ(rank.issueNrr(0, 0, 1023, 1), 1u); // only -1
+}
+
+TEST(Rank, NrrBlocksBankPerRow)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 1024, defaultFault());
+    rank.issueNrr(1000, 0, 500, 1);
+    EXPECT_GE(rank.bank(0).earliestAct(1000), 1000 + 2 * t.cRC());
+}
+
+TEST(Rank, VictimRowListRefresh)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 1024, defaultFault());
+    std::set<Row> seen;
+    rank.addRefreshListener(
+        [&seen](unsigned, Row row) { seen.insert(row); });
+    rank.refreshVictimRows(0, 0, {10, 20, 30});
+    EXPECT_EQ(seen, (std::set<Row>{10, 20, 30}));
+    EXPECT_EQ(rank.nrrRowCount(), 3u);
+    EXPECT_GE(rank.bank(0).earliestAct(0), 3 * t.cRC());
+}
+
+TEST(Rank, RefreshClearsFaultDisturbance)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    FaultConfig fc;
+    fc.rowHammerThreshold = 1000.0;
+    Rank rank(t, 1, 1024, fc);
+    for (int i = 0; i < 100; ++i)
+        rank.notifyActivate(i, 0, 500);
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(499), 100.0);
+    rank.issueNrr(200, 0, 500, 1);
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(499), 0.0);
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(501), 0.0);
+}
+
+TEST(Rank, FawAllowsFourFastActs)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 8, 1024, defaultFault());
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(rank.earliestFawAct(static_cast<Cycle>(i)),
+                  static_cast<Cycle>(i));
+        rank.recordFawAct(static_cast<Cycle>(i));
+    }
+    // The fifth ACT waits until the first leaves the window.
+    EXPECT_EQ(rank.earliestFawAct(4), t.cFAW());
+}
+
+TEST(Rank, FawWindowSlides)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 8, 1024, defaultFault());
+    const Cycle faw = t.cFAW();
+    rank.recordFawAct(0);
+    rank.recordFawAct(10);
+    rank.recordFawAct(20);
+    rank.recordFawAct(30);
+    EXPECT_EQ(rank.earliestFawAct(5), faw);
+    rank.recordFawAct(faw);
+    // Now the oldest is the ACT at 10.
+    EXPECT_EQ(rank.earliestFawAct(faw), 10 + faw);
+}
+
+TEST(Rank, FawNeverBindsBeforeFourActs)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 8, 1024, defaultFault());
+    rank.recordFawAct(100);
+    rank.recordFawAct(100);
+    rank.recordFawAct(100);
+    EXPECT_EQ(rank.earliestFawAct(100), 100u);
+}
+
+TEST(Rank, RowsPerRefreshCoversBank)
+{
+    TimingParams t = TimingParams::ddr4_2400();
+    Rank rank(t, 1, 65536, defaultFault());
+    const std::uint64_t refs =
+        static_cast<std::uint64_t>(t.tREFW / t.tREFI);
+    EXPECT_GE(rank.rowsPerRefresh() * refs, 65536u);
+}
+
+} // namespace
+} // namespace dram
+} // namespace graphene

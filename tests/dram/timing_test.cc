@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the DDR4 timing parameters (paper Table I) and the
+ * maximum-ACT-rate derivation behind W (Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+namespace graphene {
+namespace dram {
+namespace {
+
+TEST(Timing, TableIValues)
+{
+    const TimingParams t = TimingParams::ddr4_2400();
+    EXPECT_DOUBLE_EQ(t.tREFI, 7800.0);
+    EXPECT_DOUBLE_EQ(t.tRFC, 350.0);
+    EXPECT_DOUBLE_EQ(t.tRC, 45.0);
+    EXPECT_DOUBLE_EQ(t.tREFW, 64.0e6);
+    EXPECT_NEAR(t.tRCD, 13.3, 1e-9);
+}
+
+TEST(Timing, CycleConversionRoundsUp)
+{
+    TimingParams t;
+    t.tCK = 1.0;
+    EXPECT_EQ(t.toCycles(10.0), 10u);
+    EXPECT_EQ(t.toCycles(10.2), 11u);
+    EXPECT_EQ(t.toCycles(0.1), 1u);
+}
+
+TEST(Timing, MaxActsMatchesPaperW)
+{
+    // W = tREFW (1 - tRFC/tREFI) / tRC ~ 1360K (Table II).
+    const TimingParams t = TimingParams::ddr4_2400();
+    const std::uint64_t w = t.maxActsInWindow(1);
+    EXPECT_NEAR(static_cast<double>(w), 1360000.0, 5000.0);
+    EXPECT_EQ(w, 1358404u);
+}
+
+TEST(Timing, MaxActsScalesWithK)
+{
+    const TimingParams t = TimingParams::ddr4_2400();
+    const std::uint64_t w1 = t.maxActsInWindow(1);
+    for (unsigned k = 2; k <= 10; ++k) {
+        const std::uint64_t wk = t.maxActsInWindow(k);
+        EXPECT_NEAR(static_cast<double>(wk),
+                    static_cast<double>(w1) / k, 1.0)
+            << "k=" << k;
+    }
+}
+
+TEST(Timing, RefreshConsumesBandwidthFraction)
+{
+    const TimingParams t = TimingParams::ddr4_2400();
+    // tRFC/tREFI ~ 4.5% of time is spent refreshing.
+    EXPECT_NEAR(t.tRFC / t.tREFI, 0.0449, 0.0005);
+}
+
+TEST(Timing, RefreshesPerWindow)
+{
+    const TimingParams t = TimingParams::ddr4_2400();
+    // 64 ms / 7.8 us ~ 8205 REF commands per tREFW.
+    EXPECT_EQ(static_cast<std::uint64_t>(t.tREFW / t.tREFI), 8205u);
+}
+
+} // namespace
+} // namespace dram
+} // namespace graphene

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the area and energy models against the paper's reported
+ * constants (Tables IV and V, Sections V-B1/V-B2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/graphene.hh"
+#include "model/area.hh"
+#include "model/cam_timing.hh"
+#include "model/energy.hh"
+#include "schemes/factory.hh"
+
+namespace graphene {
+namespace model {
+namespace {
+
+TEST(Area, GrapheneRankAreaMatchesSynthesis)
+{
+    // 2,511 CAM bits x 16 banks should land on the paper's
+    // 0.1456 mm^2 per rank (the calibration point).
+    core::GrapheneConfig c;
+    c.resetWindowDivisor = 2;
+    const TableCost cost = core::Graphene::costFor(c, 65536, true);
+    EXPECT_NEAR(AreaModel::mm2(cost, 16), 0.1456, 1e-6);
+}
+
+TEST(Area, SramSlightlyDenserThanCam)
+{
+    TableCost cam;
+    cam.camBits = 1000;
+    TableCost sram;
+    sram.sramBits = 1000;
+    EXPECT_GT(AreaModel::mm2(cam, 1), AreaModel::mm2(sram, 1));
+    EXPECT_NEAR(AreaModel::mm2(cam, 1) / AreaModel::mm2(sram, 1),
+                1.07, 1e-9);
+}
+
+TEST(Area, BitsAggregateOverBanks)
+{
+    TableCost cost;
+    cost.camBits = 100;
+    cost.sramBits = 50;
+    EXPECT_EQ(AreaModel::bits(cost, 16), 150u * 16u);
+}
+
+TEST(Area, TableIVOrdering)
+{
+    // Graphene < CBT-128 < TWiCe in per-bank table bits.
+    schemes::SchemeSpec spec;
+    spec.kind = schemes::SchemeKind::Graphene;
+    auto graphene = schemes::makeScheme(spec);
+    spec.kind = schemes::SchemeKind::Cbt;
+    auto cbt = schemes::makeScheme(spec);
+    spec.kind = schemes::SchemeKind::TwiCe;
+    auto twice = schemes::makeScheme(spec);
+
+    const auto g = graphene->cost().totalBits();
+    const auto c = cbt->cost().totalBits();
+    const auto t = twice->cost().totalBits();
+    EXPECT_EQ(g, 2511u);
+    EXPECT_LT(g, c);
+    EXPECT_LT(c, t);
+    // "An order of magnitude smaller" than TWiCe.
+    EXPECT_GT(t, 10u * g);
+}
+
+TEST(Energy, WorstCaseGrapheneOverheadIsPoint34Percent)
+{
+    // 324 victim rows per bank per tREFW (k = 2 worst case):
+    // 324 x 11.49 nJ / 1.08e6 nJ = 0.345%.
+    core::GrapheneConfig c;
+    c.resetWindowDivisor = 2;
+    const double overhead = EnergyModel::refreshOverhead(
+        c.worstCaseVictimRowsPerRefw(), 1, 1.0);
+    EXPECT_NEAR(overhead, 0.0034, 0.0002);
+}
+
+TEST(Energy, ParaConstantOverheadIsTwoPercent)
+{
+    // PARA-0.00145 at the max ACT rate refreshes p x W rows per
+    // window: 1970 x 11.49 / 1.08e6 ~ 2.1% (Section V-B2).
+    const double victim_rows = 0.00145 * 1358404.0;
+    const double overhead = EnergyModel::refreshOverhead(
+        static_cast<std::uint64_t>(victim_rows), 1, 1.0);
+    EXPECT_NEAR(overhead, 0.021, 0.002);
+}
+
+TEST(Energy, TrackerDynamicEnergyNegligible)
+{
+    // Table V: 3.69e-3 nJ per ACT is 0.032% of one ACT+PRE.
+    EXPECT_NEAR(EnergyModel::kGrapheneDynamicPerActNj /
+                    EnergyModel::kActPreNj,
+                0.00032, 0.00002);
+    // Tracker energy per window (static + dynamic at max rate) stays
+    // well below 1% of the bank's refresh energy.
+    EXPECT_LT(EnergyModel::grapheneTrackerOverhead(1358404), 0.01);
+}
+
+TEST(Energy, OverheadScalesWithBanksAndWindows)
+{
+    const double one = EnergyModel::refreshOverhead(1000, 1, 1.0);
+    EXPECT_NEAR(EnergyModel::refreshOverhead(1000, 2, 1.0), one / 2,
+                1e-12);
+    EXPECT_NEAR(EnergyModel::refreshOverhead(1000, 1, 4.0), one / 4,
+                1e-12);
+    EXPECT_NEAR(EnergyModel::refreshOverhead(2000, 1, 1.0), one * 2,
+                1e-12);
+}
+
+TEST(CamTiming, UpdateHiddenWithinTrc)
+{
+    // Section IV-B's claim: the two-search-one-write pipeline fits
+    // in tRC, for today's table and for the largest Figure 9
+    // configuration (T_RH = 1.56K, ~2.6K entries).
+    const auto timing = dram::TimingParams::ddr4_2400();
+    EXPECT_TRUE(CamTimingModel::hiddenWithinTrc(timing, 81));
+    EXPECT_TRUE(CamTimingModel::hiddenWithinTrc(timing, 2612));
+    EXPECT_LT(CamTimingModel::criticalPathNs(81), 5.0);
+}
+
+TEST(CamTiming, SearchGrowsWeaklyWithDepth)
+{
+    const double small = CamTimingModel::searchNs(81);
+    const double large = CamTimingModel::searchNs(81 * 32);
+    EXPECT_GT(large, small);
+    // 32x more entries must cost far less than 32x the latency.
+    EXPECT_LT(large, 3.0 * small);
+}
+
+TEST(Area, Figure9aScalingAcrossThresholds)
+{
+    // Table bits grow ~linearly as T_RH shrinks, for all three
+    // counter-based schemes, with TWiCe remaining the largest.
+    std::uint64_t prev_g = 0, prev_t = 0, prev_c = 0;
+    for (std::uint64_t trh : {50000ULL, 25000ULL, 12500ULL, 6250ULL}) {
+        schemes::SchemeSpec spec;
+        spec.rowHammerThreshold = trh;
+        spec.kind = schemes::SchemeKind::Graphene;
+        const auto g = schemes::makeScheme(spec)->cost().totalBits();
+        spec.kind = schemes::SchemeKind::TwiCe;
+        const auto t = schemes::makeScheme(spec)->cost().totalBits();
+        spec.kind = schemes::SchemeKind::Cbt;
+        const auto c = schemes::makeScheme(spec)->cost().totalBits();
+        EXPECT_GT(g, prev_g);
+        EXPECT_GT(t, prev_t);
+        EXPECT_GT(c, prev_c);
+        EXPECT_GT(t, 5 * g) << "trh " << trh;
+        prev_g = g;
+        prev_t = t;
+        prev_c = c;
+    }
+}
+
+} // namespace
+} // namespace model
+} // namespace graphene

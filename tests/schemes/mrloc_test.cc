@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for MRLoc's history queue and its Figure 7(b) degeneration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "schemes/mrloc.hh"
+#include "workloads/act_patterns.hh"
+
+namespace graphene {
+namespace schemes {
+namespace {
+
+TEST(MrLoc, VictimsEnterQueue)
+{
+    MrLocConfig config;
+    config.pBase = 0.0;
+    config.pHot = 0.0;
+    MrLoc m(config);
+    RefreshAction action;
+    m.onActivate(0, 100, action);
+    const auto &q = m.queue();
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_NE(std::find(q.begin(), q.end(), 99), q.end());
+    EXPECT_NE(std::find(q.begin(), q.end(), 101), q.end());
+}
+
+TEST(MrLoc, QueueEvictsOldest)
+{
+    MrLocConfig config;
+    config.queueEntries = 4;
+    config.pBase = 0.0;
+    config.pHot = 0.0;
+    MrLoc m(config);
+    RefreshAction action;
+    m.onActivate(0, 100, action);
+    m.onActivate(1, 200, action);
+    m.onActivate(2, 300, action);
+    const auto &q = m.queue();
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(std::find(q.begin(), q.end(), 99), q.end());
+    EXPECT_NE(std::find(q.begin(), q.end(), 301), q.end());
+}
+
+TEST(MrLoc, QueueHitMovesToTail)
+{
+    MrLocConfig config;
+    config.pBase = 0.0;
+    config.pHot = 0.0;
+    MrLoc m(config);
+    RefreshAction action;
+    m.onActivate(0, 100, action); // queue: 99, 101
+    m.onActivate(1, 200, action); // queue: 99, 101, 199, 201
+    m.onActivate(2, 100, action); // hits move 99, 101 to tail
+    const auto &q = m.queue();
+    EXPECT_EQ(q.back(), 101u);
+}
+
+TEST(MrLoc, HotVictimRefreshedMoreOftenThanColdMiss)
+{
+    MrLocConfig config;
+    config.pBase = 0.00145;
+    config.pHot = 0.05;
+    MrLoc m(config);
+    RefreshAction action;
+    // Hammer one row: its victims stay at the queue tail (hot).
+    for (int i = 0; i < 200000; ++i)
+        m.onActivate(i, 500, action);
+    const double hot_rate =
+        static_cast<double>(action.victimRows.size()) / 200000.0;
+
+    MrLoc cold(config);
+    RefreshAction cold_action;
+    // Touch 16 distinct victims round-robin (always evicted).
+    auto pattern = workloads::patterns::mrLocAdversarial(1000, 10);
+    for (int i = 0; i < 200000; ++i)
+        cold.onActivate(i, pattern->next(), cold_action);
+    const double cold_rate =
+        static_cast<double>(cold_action.victimRows.size()) / 200000.0;
+
+    EXPECT_GT(hot_rate, cold_rate * 5)
+        << "hot " << hot_rate << " cold " << cold_rate;
+}
+
+TEST(MrLoc, Figure7bDegeneratesToParaBase)
+{
+    // 8 mutually non-adjacent rows -> 16 victims > 15 queue slots:
+    // every lookup misses and the refresh probability collapses to
+    // pBase/2 per victim (i.e. pBase per ACT), PARA-equivalent.
+    MrLocConfig config;
+    config.pBase = 0.00145;
+    config.pHot = 0.05;
+    MrLoc m(config);
+    auto pattern = workloads::patterns::mrLocAdversarial(1000, 10);
+    RefreshAction action;
+    const int n = 2000000;
+    for (int i = 0; i < n; ++i)
+        m.onActivate(i, pattern->next(), action);
+    const double rate =
+        static_cast<double>(action.victimRows.size()) / n;
+    EXPECT_NEAR(rate, config.pBase, config.pBase * 0.15);
+}
+
+TEST(MrLoc, SmallerSpacingKeepsQueueEffective)
+{
+    // With only 7 aggressors (14 victims <= 15 slots) the queue works
+    // and the refresh rate rises well above pBase.
+    MrLocConfig config;
+    config.pBase = 0.00145;
+    config.pHot = 0.05;
+    MrLoc m(config);
+    std::vector<Row> rows;
+    for (unsigned i = 0; i < 7; ++i)
+        rows.push_back(static_cast<Row>(1000 + i * 10));
+    workloads::RoundRobinPattern pattern("7rows", rows);
+    RefreshAction action;
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        m.onActivate(i, pattern.next(), action);
+    const double rate =
+        static_cast<double>(action.victimRows.size()) / n;
+    EXPECT_GT(rate, config.pBase * 5);
+}
+
+TEST(MrLoc, CostIsQueueOnly)
+{
+    MrLoc m(MrLocConfig{});
+    EXPECT_EQ(m.cost().entries, 15u);
+    EXPECT_EQ(m.cost().sramBits, 15u * 16u);
+}
+
+} // namespace
+} // namespace schemes
+} // namespace graphene

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for PARA: refresh-rate statistics, victim adjacency, and the
+ * per-threshold probability table (Section V-A / V-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "schemes/para.hh"
+
+namespace graphene {
+namespace schemes {
+namespace {
+
+TEST(Para, RefreshRateMatchesProbability)
+{
+    ParaConfig config;
+    config.probabilities = {0.01};
+    Para para(config);
+    RefreshAction action;
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        para.onActivate(i, 1000, action);
+    const double rate =
+        static_cast<double>(action.victimRows.size()) / n;
+    EXPECT_NEAR(rate, 0.01, 0.001);
+}
+
+TEST(Para, VictimsAreAdjacent)
+{
+    ParaConfig config;
+    config.probabilities = {0.5};
+    Para para(config);
+    RefreshAction action;
+    for (int i = 0; i < 1000; ++i)
+        para.onActivate(i, 1000, action);
+    bool saw_lower = false, saw_upper = false;
+    for (Row v : action.victimRows) {
+        ASSERT_TRUE(v == 999 || v == 1001) << "victim " << v;
+        saw_lower |= v == 999;
+        saw_upper |= v == 1001;
+    }
+    EXPECT_TRUE(saw_lower);
+    EXPECT_TRUE(saw_upper);
+}
+
+TEST(Para, BothSidesEquallyLikely)
+{
+    ParaConfig config;
+    config.probabilities = {1.0};
+    Para para(config);
+    RefreshAction action;
+    int lower = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        action.clear();
+        para.onActivate(i, 1000, action);
+        ASSERT_EQ(action.victimRows.size(), 1u);
+        lower += action.victimRows[0] == 999;
+    }
+    EXPECT_NEAR(lower / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(Para, EdgeRowsRefreshTheOnlyNeighbour)
+{
+    ParaConfig config;
+    config.probabilities = {1.0};
+    config.rowsPerBank = 1024;
+    Para para(config);
+    RefreshAction action;
+    for (int i = 0; i < 100; ++i)
+        para.onActivate(i, 0, action);
+    for (Row v : action.victimRows)
+        EXPECT_EQ(v, 1u);
+    action.clear();
+    for (int i = 0; i < 100; ++i)
+        para.onActivate(i, 1023, action);
+    for (Row v : action.victimRows)
+        EXPECT_EQ(v, 1022u);
+}
+
+TEST(Para, NonAdjacentDistancesCovered)
+{
+    ParaConfig config;
+    config.probabilities = {1.0, 1.0};
+    Para para(config);
+    RefreshAction action;
+    para.onActivate(0, 1000, action);
+    ASSERT_EQ(action.victimRows.size(), 2u);
+    const Row d1 = action.victimRows[0];
+    const Row d2 = action.victimRows[1];
+    EXPECT_TRUE(d1 == 999 || d1 == 1001);
+    EXPECT_TRUE(d2 == 998 || d2 == 1002);
+}
+
+TEST(Para, ZeroTableCost)
+{
+    Para para(ParaConfig{});
+    EXPECT_EQ(para.cost().totalBits(), 0u);
+}
+
+TEST(Para, RequiredProbabilityMatchesPaperPoints)
+{
+    EXPECT_NEAR(Para::requiredProbability(50000), 0.00145, 1e-5);
+    EXPECT_NEAR(Para::requiredProbability(25000), 0.00295, 1e-5);
+    EXPECT_NEAR(Para::requiredProbability(12500), 0.00602, 1e-5);
+    EXPECT_NEAR(Para::requiredProbability(6250), 0.01224, 1e-5);
+    EXPECT_NEAR(Para::requiredProbability(3125), 0.02485, 1e-5);
+    EXPECT_NEAR(Para::requiredProbability(1562), 0.05034, 2e-4);
+}
+
+TEST(Para, RequiredProbabilityMonotone)
+{
+    double prev = 0.0;
+    for (std::uint64_t trh = 50000; trh >= 1000; trh /= 2) {
+        const double p = Para::requiredProbability(trh);
+        EXPECT_GT(p, prev) << "trh " << trh;
+        prev = 0.0; // compare successive halvings directly below
+        EXPECT_GT(Para::requiredProbability(trh / 2), p);
+    }
+}
+
+TEST(Para, DeterministicWithSameSeed)
+{
+    ParaConfig config;
+    config.probabilities = {0.1};
+    config.seed = 77;
+    Para a(config), b(config);
+    RefreshAction ra, rb;
+    for (int i = 0; i < 10000; ++i) {
+        a.onActivate(i, 500, ra);
+        b.onActivate(i, 500, rb);
+    }
+    EXPECT_EQ(ra.victimRows, rb.victimRows);
+}
+
+} // namespace
+} // namespace schemes
+} // namespace graphene

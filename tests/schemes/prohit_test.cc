@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for PRoHIT's table management and its Figure 7(a) starvation
+ * vulnerability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "schemes/prohit.hh"
+#include "workloads/act_patterns.hh"
+
+namespace graphene {
+namespace schemes {
+namespace {
+
+ProHitConfig
+alwaysInsert()
+{
+    ProHitConfig config;
+    config.insertionProbability = 1.0;
+    config.refreshProbability = 1.0;
+    return config;
+}
+
+TEST(ProHit, VictimsEnterColdTable)
+{
+    ProHit p(alwaysInsert());
+    RefreshAction action;
+    p.onActivate(0, 100, action);
+    const auto &cold = p.coldTable();
+    EXPECT_EQ(cold.size(), 2u);
+    EXPECT_NE(std::find(cold.begin(), cold.end(), 99), cold.end());
+    EXPECT_NE(std::find(cold.begin(), cold.end(), 101), cold.end());
+}
+
+TEST(ProHit, RepeatedVictimPromotesToHot)
+{
+    ProHit p(alwaysInsert());
+    RefreshAction action;
+    p.onActivate(0, 100, action);
+    p.onActivate(1, 100, action);
+    const auto &hot = p.hotTable();
+    EXPECT_EQ(hot.size(), 2u);
+    EXPECT_NE(std::find(hot.begin(), hot.end(), 99), hot.end());
+}
+
+TEST(ProHit, ColdTableEvictsOldestWhenFull)
+{
+    ProHit p(alwaysInsert());
+    RefreshAction action;
+    // 4 cold entries; present 3 ACTs = 6 distinct victims.
+    p.onActivate(0, 100, action);
+    p.onActivate(1, 200, action);
+    p.onActivate(2, 300, action);
+    const auto &cold = p.coldTable();
+    EXPECT_EQ(cold.size(), 4u);
+    // The first ACT's victims (99, 101) must have been evicted.
+    EXPECT_EQ(std::find(cold.begin(), cold.end(), 99), cold.end());
+}
+
+TEST(ProHit, RefreshTakesTopHotEntry)
+{
+    ProHit p(alwaysInsert());
+    RefreshAction action;
+    p.onActivate(0, 100, action); // victims cold
+    p.onActivate(1, 100, action); // victims hot
+    EXPECT_TRUE(action.empty());
+
+    p.onRefresh(2, action);
+    ASSERT_EQ(action.victimRows.size(), 1u);
+    const Row refreshed = action.victimRows[0];
+    EXPECT_TRUE(refreshed == 99 || refreshed == 101);
+    // The refreshed entry leaves the hot table.
+    const auto &hot = p.hotTable();
+    EXPECT_EQ(std::find(hot.begin(), hot.end(), refreshed),
+              hot.end());
+}
+
+TEST(ProHit, RefreshWithEmptyTablesDoesNothing)
+{
+    ProHit p(alwaysInsert());
+    RefreshAction action;
+    p.onRefresh(0, action);
+    EXPECT_TRUE(action.empty());
+}
+
+TEST(ProHit, Figure7aStarvesOuterVictims)
+{
+    // Under {x-4, x-2, x-2, x, x, x, x+2, x+2, x+4}, rows x-5/x+5 are
+    // hammered by x-4/x+4 but should almost never be refreshed:
+    // hotter victims (x+-1, x+-3) dominate the tables.
+    ProHitConfig config;
+    config.insertionProbability = 0.05;
+    ProHit p(config);
+    auto pattern = workloads::patterns::proHitAdversarial(1000);
+
+    std::map<Row, int> refreshes;
+    RefreshAction action;
+    for (int i = 0; i < 300000; ++i) {
+        action.clear();
+        p.onActivate(i, pattern->next(), action);
+        if (i % 165 == 0) // REF cadence relative to ACT rate
+            p.onRefresh(i, action);
+        for (Row v : action.victimRows)
+            ++refreshes[v];
+    }
+
+    const int outer = refreshes[995] + refreshes[1005]; // x-5, x+5
+    int inner = 0;
+    for (Row r : {999u, 1001u, 997u, 1003u})
+        inner += refreshes[r];
+    EXPECT_GT(inner, 0);
+    // The starved rows receive a vanishing share of refreshes even
+    // though their aggressors provide 2/9 of all ACTs.
+    EXPECT_LT(outer * 20, inner)
+        << "outer=" << outer << " inner=" << inner;
+}
+
+TEST(ProHit, CostIsTiny)
+{
+    ProHit p(ProHitConfig{});
+    const TableCost cost = p.cost();
+    EXPECT_EQ(cost.entries, 7u);
+    EXPECT_EQ(cost.sramBits, 7u * 16u);
+    EXPECT_EQ(cost.camBits, 0u);
+}
+
+} // namespace
+} // namespace schemes
+} // namespace graphene

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * The gold-standard protection property: every counter-based scheme
+ * (Graphene, TWiCe, CBT) must produce ZERO bit flips in the physical
+ * fault model under every attack pattern, while an unprotected bank
+ * demonstrably flips under the same attacks (so the test would catch
+ * a broken fault model too).
+ *
+ * Runs use a reduced Row Hammer threshold so an unprotected attack
+ * succeeds quickly; every scheme is configured for that same
+ * threshold, which is exactly the paper's scaling scenario
+ * (Section V-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/config.hh"
+#include "sim/act_engine.hh"
+
+namespace graphene {
+namespace sim {
+namespace {
+
+std::unique_ptr<workloads::ActPattern>
+makePattern(const std::string &kind, std::uint64_t rows)
+{
+    using namespace workloads;
+    if (kind == "single")
+        return patterns::s3(rows);
+    if (kind == "double-sided")
+        return std::make_unique<DoubleSidedPattern>(
+            static_cast<Row>(rows / 2));
+    if (kind == "s1")
+        return patterns::s1(10, rows, 5);
+    if (kind == "s2")
+        return patterns::s2(10, rows, 6);
+    if (kind == "s4")
+        return patterns::s4(rows, 7);
+    if (kind == "prohit-adv")
+        return patterns::proHitAdversarial(
+            static_cast<Row>(rows / 2));
+    if (kind == "mrloc-adv")
+        return patterns::mrLocAdversarial(
+            static_cast<Row>(rows / 4), 16);
+    return patterns::counterWorstCase(64, rows, 8);
+}
+
+ActEngineConfig
+makeConfig(schemes::SchemeKind kind, std::uint64_t trh)
+{
+    ActEngineConfig config;
+    config.scheme.kind = kind;
+    config.scheme.rowHammerThreshold = trh;
+    config.rowsPerBank = 8192;
+    config.scheme.rowsPerBank = 8192;
+    config.windows = 1.0;
+    config.actRate = 1.0;
+    return config;
+}
+
+TEST(ProtectionSanity, UnprotectedBankFlipsUnderSingleSidedHammer)
+{
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::None, 10000);
+    config.physicalThreshold = 10000;
+    auto pattern = makePattern("single", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+    EXPECT_EQ(r.victimRowsRefreshed, 0u);
+}
+
+TEST(ProtectionSanity, UnprotectedBankFlipsUnderDoubleSidedHammer)
+{
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::None, 10000);
+    config.physicalThreshold = 10000;
+    auto pattern = makePattern("double-sided", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+}
+
+TEST(ProtectionSanity, RefreshAloneStopsSlowHammer)
+{
+    // At a low ACT rate the periodic refresh rotation alone keeps
+    // accumulated disturbance below a high threshold.
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::None, 2000000);
+    config.physicalThreshold = 2000000;
+    config.actRate = 0.5;
+    auto pattern = makePattern("single", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u);
+}
+
+/** (scheme, pattern, threshold) grid for the zero-flip property. */
+class NoFalseNegative
+    : public ::testing::TestWithParam<
+          std::tuple<schemes::SchemeKind, std::string, std::uint64_t>>
+{
+};
+
+TEST_P(NoFalseNegative, ZeroBitFlips)
+{
+    const auto [scheme, pattern_kind, trh] = GetParam();
+    ActEngineConfig config = makeConfig(scheme, trh);
+    auto pattern = makePattern(pattern_kind, config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u)
+        << schemes::schemeKindName(scheme) << " failed vs "
+        << pattern->name() << " at T_RH=" << trh;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CounterSchemes, NoFalseNegative,
+    ::testing::Combine(
+        ::testing::Values(schemes::SchemeKind::Graphene,
+                          schemes::SchemeKind::TwiCe,
+                          schemes::SchemeKind::Cbt),
+        ::testing::Values("single", "double-sided", "s1", "s2", "s4",
+                          "prohit-adv", "mrloc-adv", "worst-case"),
+        ::testing::Values(10000ULL, 4000ULL)),
+    [](const auto &info) {
+        std::string name =
+            schemes::schemeKindName(std::get<0>(info.param)) + "_" +
+            std::get<1>(info.param) + "_t" +
+            std::to_string(std::get<2>(info.param));
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(ProtectionCost, GrapheneRefreshesStayNearWorstCaseBound)
+{
+    // Even under the counter-worst-case pattern, Graphene's victim
+    // rows per tREFW stay within the analytic bound of Section IV-C.
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 10000);
+    auto pattern = makePattern("worst-case", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+
+    core::GrapheneConfig gc;
+    gc.rowHammerThreshold = 10000;
+    gc.resetWindowDivisor = config.scheme.grapheneK;
+    EXPECT_LE(r.victimRowsRefreshed,
+              gc.worstCaseVictimRowsPerRefw());
+}
+
+/**
+ * Sensitivity (failure injection): deliberately mis-configured
+ * defences must be caught by the fault model, proving the zero-flip
+ * assertions above are not vacuous.
+ */
+TEST(FailureInjection, UndersizedGrapheneThresholdFlips)
+{
+    // A Graphene derived for a 4x higher threshold than the physical
+    // cells tolerate tracks too lazily and must lose.
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 16000);
+    config.physicalThreshold = 4000;
+    config.windows = 2.0;
+    auto pattern = makePattern("double-sided", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+}
+
+TEST(FailureInjection, NaiveTEqualToTrhFlips)
+{
+    // Section III-B's point: naively setting T = T_RH (ignoring the
+    // double-sided factor and the refresh-phase factor) is unsafe.
+    // Emulate it by giving Graphene a threshold 4(k+1)/2... i.e. a
+    // config whose derived T equals the physical T_RH.
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 24000);
+    config.scheme.grapheneK = 1; // derived T = 24000/4 = 6000
+    config.physicalThreshold = 6000;
+    config.windows = 2.0;
+    auto pattern = makePattern("double-sided", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+}
+
+TEST(FailureInjection, RadiusOneSchemeMissesRadiusTwoPhysics)
+{
+    // +/-2 physics against a +/-1 defence: the distance-2 victims
+    // are left to the refresh rotation and flip (Section III-D's
+    // motivation).
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 4000);
+    config.faultRadius = 2;
+    config.windows = 2.0;
+    auto pattern = makePattern("single", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+}
+
+TEST(NonAdjacent, RadiusTwoSchemeCoversRadiusTwoPhysics)
+{
+    for (auto kind : {schemes::SchemeKind::Graphene,
+                      schemes::SchemeKind::TwiCe,
+                      schemes::SchemeKind::Cbt}) {
+        ActEngineConfig config = makeConfig(kind, 4000);
+        config.scheme.blastRadius = 2;
+        config.faultRadius = 2;
+        config.windows = 2.0;
+        auto pattern = makePattern("single", config.rowsPerBank);
+        const ActEngineResult r = runActStream(config, *pattern);
+        EXPECT_EQ(r.bitFlips, 0u)
+            << schemes::schemeKindName(kind);
+    }
+}
+
+TEST(NonAdjacent, RadiusThreeGrapheneHoldsUnderWorstCase)
+{
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 12000);
+    config.scheme.blastRadius = 3;
+    config.faultRadius = 3;
+    config.windows = 1.0;
+    auto pattern = makePattern("worst-case", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u);
+    EXPECT_GT(r.victimRowsRefreshed, 0u);
+}
+
+/**
+ * Section II-C: internal row remapping. NRR-based schemes are immune
+ * (the device resolves physical adjacency); CBT's contiguous range
+ * refresh silently misses the true victims unless it falls back to
+ * per-row NRRs at twice the cost.
+ */
+TEST(Remap, GrapheneImmuneToRemapping)
+{
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Graphene, 4000);
+    config.remap = true;
+    config.windows = 2.0;
+    auto pattern = makePattern("double-sided", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u);
+    EXPECT_GT(r.victimRowsRefreshed, 0u);
+}
+
+TEST(Remap, TwiCeImmuneToRemapping)
+{
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::TwiCe, 4000);
+    config.remap = true;
+    config.windows = 2.0;
+    auto pattern = makePattern("single", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u);
+}
+
+TEST(Remap, ContiguousCbtMissesRemappedVictims)
+{
+    ActEngineConfig config = makeConfig(schemes::SchemeKind::Cbt,
+                                        4000);
+    config.remap = true;
+    config.scheme.cbtAssumeContiguous = true;
+    config.windows = 2.0;
+    auto pattern = makePattern("single", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u)
+        << "the Section II-C caveat should have bitten";
+}
+
+TEST(Remap, NrrFallbackCbtSurvivesRemappingAtTwiceTheCost)
+{
+    auto run = [](bool contiguous, bool remap) {
+        ActEngineConfig config =
+            makeConfig(schemes::SchemeKind::Cbt, 4000);
+        config.remap = remap;
+        config.scheme.cbtAssumeContiguous = contiguous;
+        config.windows = 2.0;
+        auto pattern = makePattern("single", config.rowsPerBank);
+        return runActStream(config, *pattern);
+    };
+    const ActEngineResult safe = run(false, true);
+    EXPECT_EQ(safe.bitFlips, 0u);
+    EXPECT_GT(safe.victimRowsRefreshed, 0u);
+
+    const ActEngineResult base = run(true, false);
+    EXPECT_EQ(base.bitFlips, 0u);
+    // The N/2^l x 2 vs N/2^l + 2 cost comparison concerns wide
+    // ranges and is asserted in Cbt.NonContiguousModeDoublesRefresh-
+    // Cost; under this single-row attack the adaptive tree deepens
+    // to single-row ranges where both strategies cost a few rows.
+}
+
+TEST(ProtectionCost, ProbabilisticSchemesAreNotGuaranteed)
+{
+    // PARA at far-below-required probability must flip eventually —
+    // demonstrating why "near-complete" needs the solved p.
+    ActEngineConfig config =
+        makeConfig(schemes::SchemeKind::Para, 4000);
+    config.physicalThreshold = 4000;
+    config.windows = 2.0;
+    // Force a hopeless probability via a custom scheme spec: reuse
+    // PARA for a much higher assumed threshold (tiny p).
+    config.scheme.rowHammerThreshold = 4000000;
+    auto pattern = makePattern("double-sided", config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_GT(r.bitFlips, 0u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for TWiCe: allocation, lifetime pruning, trigger threshold,
+ * table-size bound, and overflow fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "schemes/twice.hh"
+
+namespace graphene {
+namespace schemes {
+namespace {
+
+TwiCeConfig
+smallConfig()
+{
+    TwiCeConfig c;
+    c.rowHammerThreshold = 4000; // trigger 1000
+    c.rowsPerBank = 4096;
+    return c;
+}
+
+TEST(TwiCe, DerivedParameters)
+{
+    TwiCeConfig c; // T_RH = 50K
+    EXPECT_EQ(c.triggerThreshold(), 12500u);
+    EXPECT_EQ(c.intervalsPerWindow(), 8205u);
+    EXPECT_NEAR(c.pruneThreshold(), 12500.0 / 8205.0, 1e-9);
+    // The analytic entry bound: ~max_acts/thPI * H(8205) ~ 1000.
+    EXPECT_GT(c.requiredEntries(), 500u);
+    EXPECT_LT(c.requiredEntries(), 2000u);
+}
+
+TEST(TwiCe, AllocatesOnFirstAct)
+{
+    TwiCe tw(smallConfig());
+    RefreshAction action;
+    tw.onActivate(0, 100, action);
+    EXPECT_EQ(tw.validEntries(), 1u);
+    tw.onActivate(1, 200, action);
+    EXPECT_EQ(tw.validEntries(), 2u);
+    tw.onActivate(2, 100, action);
+    EXPECT_EQ(tw.validEntries(), 2u);
+}
+
+TEST(TwiCe, TriggersAtThresholdAndResets)
+{
+    TwiCeConfig c = smallConfig();
+    TwiCe tw(c);
+    RefreshAction action;
+    for (std::uint64_t i = 0; i < c.triggerThreshold() - 1; ++i) {
+        action.clear();
+        tw.onActivate(i, 100, action);
+        ASSERT_TRUE(action.empty()) << "premature trigger at " << i;
+    }
+    action.clear();
+    tw.onActivate(9999, 100, action);
+    ASSERT_EQ(action.nrrAggressors.size(), 1u);
+    EXPECT_EQ(action.nrrAggressors[0], 100u);
+    EXPECT_EQ(tw.victimRefreshEvents(), 1u);
+
+    // Count reset: the next trigger needs another full threshold.
+    for (std::uint64_t i = 0; i < c.triggerThreshold() - 1; ++i) {
+        action.clear();
+        tw.onActivate(20000 + i, 100, action);
+        ASSERT_TRUE(action.empty());
+    }
+}
+
+TEST(TwiCe, SlowRowsArePruned)
+{
+    TwiCe tw(smallConfig());
+    RefreshAction action;
+    tw.onActivate(0, 100, action); // count 1
+    // After a few pruning intervals, count 1 < thPI * life: pruned.
+    for (int i = 0; i < 20; ++i)
+        tw.onRefresh(i, action);
+    EXPECT_EQ(tw.validEntries(), 0u);
+}
+
+TEST(TwiCe, FastRowsSurvivePruning)
+{
+    TwiCeConfig c = smallConfig();
+    TwiCe tw(c);
+    RefreshAction action;
+    // Feed well above thPI activations per interval.
+    const auto per_interval =
+        static_cast<std::uint64_t>(c.pruneThreshold()) + 5;
+    for (int interval = 0; interval < 50; ++interval) {
+        for (std::uint64_t i = 0; i < per_interval; ++i)
+            tw.onActivate(interval * 1000 + i, 100, action);
+        tw.onRefresh(interval * 1000 + 999, action);
+        ASSERT_EQ(tw.validEntries(), 1u) << "interval " << interval;
+    }
+}
+
+TEST(TwiCe, TriggeredEntryIsPrunedAtNextInterval)
+{
+    // After a trigger resets the count, the entry can no longer meet
+    // thPI x life and the next pruning interval drops it — its
+    // victims were just refreshed, so dropping is safe.
+    TwiCeConfig c = smallConfig();
+    TwiCe tw(c);
+    RefreshAction action;
+    tw.onRefresh(0, action); // age the clock so life > 0 later
+    for (std::uint64_t i = 0; i < c.triggerThreshold(); ++i)
+        tw.onActivate(i, 100, action);
+    EXPECT_EQ(tw.victimRefreshEvents(), 1u);
+    EXPECT_EQ(tw.validEntries(), 1u);
+    tw.onRefresh(99999, action);
+    EXPECT_EQ(tw.validEntries(), 0u);
+}
+
+TEST(TwiCe, CannotAccumulateTriggerAcrossPruneEpochs)
+{
+    // A row that is pruned and re-allocated restarts its count; the
+    // total it can accrue without a trigger across epochs within one
+    // window stays below thPI x intervals == triggerThreshold, so
+    // the victims survive (the TWiCe soundness argument).
+    TwiCeConfig c = smallConfig();
+    TwiCe tw(c);
+    RefreshAction action;
+    std::uint64_t total_without_trigger = 0;
+    // One ACT per interval: always pruned, never triggered.
+    for (int interval = 0; interval < 100; ++interval) {
+        tw.onActivate(interval * 10, 100, action);
+        ++total_without_trigger;
+        tw.onRefresh(interval * 10 + 5, action);
+        ASSERT_TRUE(action.empty());
+    }
+    EXPECT_LT(total_without_trigger,
+              c.triggerThreshold());
+}
+
+TEST(TwiCe, PeakOccupancyStaysWithinAnalyticBound)
+{
+    TwiCeConfig c;
+    c.rowHammerThreshold = 50000;
+    c.rowsPerBank = 65536;
+    TwiCe tw(c);
+    Rng rng(3);
+    RefreshAction action;
+    // Max-rate ACT stream (165 per tREFI) with random rows — the
+    // allocation-heaviest realistic pattern.
+    std::uint64_t cycle = 0;
+    for (int interval = 0; interval < 2000; ++interval) {
+        for (int i = 0; i < 165; ++i)
+            tw.onActivate(cycle++, static_cast<Row>(
+                                       rng.nextRange(65536)),
+                          action);
+        tw.onRefresh(cycle++, action);
+    }
+    EXPECT_LE(tw.peakEntries(), c.requiredEntries());
+    EXPECT_EQ(tw.overflowFallbacks(), 0u);
+}
+
+TEST(TwiCe, CostAnOrderOfMagnitudeAboveGraphene)
+{
+    TwiCeConfig c;
+    TwiCe tw(c);
+    const TableCost cost = tw.cost();
+    // Paper Table IV: 20,484 CAM + 15,932 SRAM bits. Our analytic
+    // layout lands in the same ~10x-Graphene regime.
+    EXPECT_GT(cost.totalBits(), 10u * 2511u);
+    EXPECT_GT(cost.camBits, 0u);
+    EXPECT_GT(cost.sramBits, 0u);
+}
+
+TEST(TwiCe, OverflowFallbackStillProtects)
+{
+    TwiCeConfig c = smallConfig();
+    c.maxEntries = 4;
+    TwiCe tw(c);
+    RefreshAction action;
+    // Five simultaneously hot rows against a 4-entry table: the
+    // fifth must produce conservative NRRs, not silent dropping.
+    for (int round = 0; round < 100; ++round)
+        for (Row r = 0; r < 5; ++r)
+            tw.onActivate(round * 5 + r, 100 + r * 10, action);
+    EXPECT_GT(tw.overflowFallbacks(), 0u);
+    EXPECT_FALSE(action.nrrAggressors.empty());
+}
+
+} // namespace
+} // namespace schemes
+} // namespace graphene

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the ACT-stream engine: rate control, refresh cadence,
+ * and overhead accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/act_engine.hh"
+
+namespace graphene {
+namespace sim {
+namespace {
+
+ActEngineConfig
+base(schemes::SchemeKind kind)
+{
+    ActEngineConfig c;
+    c.scheme.kind = kind;
+    c.rowsPerBank = 8192;
+    c.scheme.rowsPerBank = 8192;
+    return c;
+}
+
+TEST(ActEngine, FullRateDeliversWActs)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::None);
+    config.physicalThreshold = 1ULL << 40;
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    // W = 1,358,404 at full rate over one tREFW (within refresh
+    // rounding).
+    EXPECT_NEAR(static_cast<double>(r.acts), 1358404.0, 15000.0);
+}
+
+TEST(ActEngine, HalfRateHalvesActs)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::None);
+    config.physicalThreshold = 1ULL << 40;
+    config.actRate = 0.5;
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_NEAR(static_cast<double>(r.acts), 1358404.0 / 2, 15000.0);
+}
+
+TEST(ActEngine, RefreshCommandsPerWindow)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::None);
+    config.physicalThreshold = 1ULL << 40;
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    // tREFW / tREFI = 8205 REFs per window.
+    EXPECT_NEAR(static_cast<double>(r.refreshCommands), 8205.0, 2.0);
+}
+
+TEST(ActEngine, GrapheneBoundsWorstCaseEnergy)
+{
+    // The paper's headline: even the most adversarial pattern costs
+    // Graphene at most ~0.34% extra refresh energy (k = 2, 50K).
+    ActEngineConfig config = base(schemes::SchemeKind::Graphene);
+    config.rowsPerBank = 65536;
+    config.scheme.rowsPerBank = 65536;
+    auto pattern = workloads::patterns::counterWorstCase(
+        80, config.rowsPerBank, 11);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_EQ(r.bitFlips, 0u);
+    EXPECT_LE(r.refreshEnergyOverhead, 0.0035);
+    EXPECT_GT(r.refreshEnergyOverhead, 0.0015);
+}
+
+TEST(ActEngine, GrapheneIdleUnderSpreadTraffic)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::Graphene);
+    auto pattern =
+        workloads::patterns::counterWorstCase(4096, 8192, 3);
+    config.actRate = 0.3;
+    const ActEngineResult r = runActStream(config, *pattern);
+    // 4096 rows at 30% rate: no row comes near T.
+    EXPECT_EQ(r.victimRowsRefreshed, 0u);
+    EXPECT_EQ(r.refreshEnergyOverhead, 0.0);
+}
+
+TEST(ActEngine, ParaOverheadTracksProbability)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::Para);
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    const double expected =
+        0.00145 * static_cast<double>(r.acts);
+    EXPECT_NEAR(static_cast<double>(r.victimRowsRefreshed), expected,
+                expected * 0.1);
+    // ~2.1% constant refresh-energy overhead (Section V-B2).
+    EXPECT_NEAR(r.refreshEnergyOverhead, 0.021, 0.004);
+}
+
+TEST(ActEngine, FractionalWindows)
+{
+    ActEngineConfig config = base(schemes::SchemeKind::None);
+    config.physicalThreshold = 1ULL << 40;
+    config.windows = 0.25;
+    auto pattern = workloads::patterns::s3(config.rowsPerBank);
+    const ActEngineResult r = runActStream(config, *pattern);
+    EXPECT_NEAR(static_cast<double>(r.acts), 1358404.0 / 4, 8000.0);
+}
+
+TEST(ActEngine, VictimRefreshesThrottleTheAttacker)
+{
+    // With a very low threshold Graphene spends bank time on NRRs;
+    // the attacker's achieved ACT count drops below the unprotected
+    // run's.
+    ActEngineConfig unprotected = base(schemes::SchemeKind::None);
+    unprotected.physicalThreshold = 1ULL << 40;
+    auto p1 = workloads::patterns::s3(unprotected.rowsPerBank);
+    const auto r_none = runActStream(unprotected, *p1);
+
+    ActEngineConfig protected_cfg = base(schemes::SchemeKind::Graphene);
+    protected_cfg.scheme.rowHammerThreshold = 1000;
+    protected_cfg.physicalThreshold = 1000;
+    auto p2 = workloads::patterns::s3(protected_cfg.rowsPerBank);
+    const auto r_graphene = runActStream(protected_cfg, *p2);
+
+    EXPECT_EQ(r_graphene.bitFlips, 0u);
+    EXPECT_LT(r_graphene.acts, r_none.acts);
+}
+
+} // namespace
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the adversarial ACT patterns (S1-S4, Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/act_patterns.hh"
+
+namespace graphene {
+namespace workloads {
+namespace {
+
+TEST(Patterns, SingleRowIsConstant)
+{
+    SingleRowPattern p(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(p.next(), 123u);
+}
+
+TEST(Patterns, RoundRobinCycles)
+{
+    RoundRobinPattern p("rr", {1, 2, 3});
+    EXPECT_EQ(p.next(), 1u);
+    EXPECT_EQ(p.next(), 2u);
+    EXPECT_EQ(p.next(), 3u);
+    EXPECT_EQ(p.next(), 1u);
+}
+
+TEST(Patterns, S1HasExactlyNDistinctRows)
+{
+    auto p = patterns::s1(10, 65536, 1);
+    std::set<Row> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.insert(p->next());
+    EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(Patterns, S2MixesNoiseIntoRepeats)
+{
+    auto p = patterns::s2(10, 65536, 1);
+    std::map<Row, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[p->next()];
+    // The 10 base rows dominate; noise spreads over many rows.
+    int hot = 0;
+    for (const auto &kv : counts)
+        hot += kv.second > 1000;
+    EXPECT_EQ(hot, 10);
+    EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(Patterns, S4IsHalfSingleHalfRandom)
+{
+    auto p = patterns::s4(65536, 2);
+    std::map<Row, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[p->next()];
+    EXPECT_NEAR(counts[65536 / 2] / static_cast<double>(n), 0.5,
+                0.02);
+}
+
+TEST(Patterns, Figure7aSequenceExact)
+{
+    auto p = patterns::proHitAdversarial(1000);
+    const Row expected[9] = {996, 998, 998, 1000, 1000,
+                             1000, 1002, 1002, 1004};
+    for (int rep = 0; rep < 3; ++rep)
+        for (int i = 0; i < 9; ++i)
+            EXPECT_EQ(p->next(), expected[i])
+                << "rep " << rep << " pos " << i;
+}
+
+TEST(Patterns, Figure7bRowsMutuallyNonAdjacent)
+{
+    auto p = patterns::mrLocAdversarial(500, 10);
+    std::set<Row> rows;
+    for (int i = 0; i < 8; ++i)
+        rows.insert(p->next());
+    EXPECT_EQ(rows.size(), 8u);
+    for (Row a : rows) {
+        for (Row b : rows) {
+            if (a != b)
+                EXPECT_GT(a > b ? a - b : b - a, 2u);
+        }
+    }
+    // Round-robin order repeats.
+    EXPECT_EQ(p->next(), 500u);
+}
+
+TEST(Patterns, DoubleSidedAlternates)
+{
+    DoubleSidedPattern p(100);
+    std::set<Row> seen;
+    seen.insert(p.next());
+    seen.insert(p.next());
+    EXPECT_EQ(seen, (std::set<Row>{99, 101}));
+}
+
+TEST(Patterns, CounterWorstCaseEvenCoverage)
+{
+    auto p = patterns::counterWorstCase(64, 65536, 3);
+    std::map<Row, int> counts;
+    for (int i = 0; i < 6400; ++i)
+        ++counts[p->next()];
+    EXPECT_EQ(counts.size(), 64u);
+    for (const auto &kv : counts)
+        EXPECT_EQ(kv.second, 100);
+}
+
+TEST(Patterns, AdversarialSuiteIsComplete)
+{
+    auto suite = patterns::adversarialSuite(65536, 5);
+    EXPECT_EQ(suite.size(), 6u);
+    std::set<std::string> names;
+    for (const auto &p : suite)
+        names.insert(p->name());
+    EXPECT_TRUE(names.count("S3-single-row"));
+    EXPECT_TRUE(names.count("S1-repeat-10"));
+    EXPECT_TRUE(names.count("S1-repeat-20"));
+    EXPECT_TRUE(names.count("S4-single-noisy"));
+}
+
+} // namespace
+} // namespace workloads
+} // namespace graphene

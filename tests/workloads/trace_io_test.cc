@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for trace capture, serialisation, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/trace_io.hh"
+
+namespace graphene {
+namespace workloads {
+namespace {
+
+TEST(TraceIo, RoundTripRequestTrace)
+{
+    std::vector<TraceRecord> records = {
+        {100, 0xdeadc0, false, 0},
+        {250, 0x123440, true, 3},
+        {251, 0x0, false, 15},
+    };
+    std::stringstream ss;
+    writeTrace(ss, records);
+    const auto parsed = readTrace(ss);
+    EXPECT_EQ(parsed, records);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss(
+        "# header\n\n10 0xff R 1\n# trailing comment\n20 0x40 W 2\n");
+    const auto parsed = readTrace(ss);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].issue, 10u);
+    EXPECT_EQ(parsed[0].addr, 0xffu);
+    EXPECT_FALSE(parsed[0].isWrite);
+    EXPECT_TRUE(parsed[1].isWrite);
+}
+
+TEST(TraceIo, MalformedLineIsFatal)
+{
+    std::stringstream ss("10 0xff X 1\n");
+    EXPECT_DEATH(readTrace(ss), "parse error");
+}
+
+TEST(TraceIo, CaptureIsSortedAndDeterministic)
+{
+    dram::Geometry g;
+    dram::AddressMapper mapper(g);
+    const auto workload = homogeneous("mcf", 4);
+    const auto a = captureTrace(workload, mapper, 100000, 7);
+    const auto b = captureTrace(workload, mapper, 100000, 7);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.size(), 100u);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_LE(a[i - 1].issue, a[i].issue);
+    for (const auto &r : a)
+        EXPECT_LT(r.coreId, 4u);
+}
+
+TEST(TraceIo, CaptureChangesWithSeed)
+{
+    dram::Geometry g;
+    dram::AddressMapper mapper(g);
+    const auto workload = homogeneous("mcf", 2);
+    const auto a = captureTrace(workload, mapper, 50000, 7);
+    const auto b = captureTrace(workload, mapper, 50000, 8);
+    EXPECT_NE(a, b);
+}
+
+TEST(TraceIo, ActTraceRoundTrip)
+{
+    const std::vector<Row> rows = {1, 5, 5, 65535, 0};
+    std::stringstream ss;
+    writeActTrace(ss, rows);
+    EXPECT_EQ(readActTrace(ss), rows);
+}
+
+TEST(TraceIo, TracePatternLoops)
+{
+    TracePattern p({7, 8, 9});
+    EXPECT_EQ(p.next(), 7u);
+    EXPECT_EQ(p.next(), 8u);
+    EXPECT_EQ(p.next(), 9u);
+    EXPECT_EQ(p.next(), 7u);
+    EXPECT_EQ(p.name(), "trace-replay");
+}
+
+TEST(TraceIo, EmptyTracePatternIsFatal)
+{
+    EXPECT_DEATH(TracePattern({}), "empty");
+}
+
+} // namespace
+} // namespace workloads
+} // namespace graphene
