@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_misra_gries_walkthrough.
+# This may be replaced when dependencies are built.

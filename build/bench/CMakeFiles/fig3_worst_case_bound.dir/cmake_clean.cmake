@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_worst_case_bound.dir/fig3_worst_case_bound.cc.o"
+  "CMakeFiles/fig3_worst_case_bound.dir/fig3_worst_case_bound.cc.o.d"
+  "fig3_worst_case_bound"
+  "fig3_worst_case_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_worst_case_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_worst_case_bound.
+# This may be replaced when dependencies are built.

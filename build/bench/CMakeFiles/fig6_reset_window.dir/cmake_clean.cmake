@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reset_window.dir/fig6_reset_window.cc.o"
+  "CMakeFiles/fig6_reset_window.dir/fig6_reset_window.cc.o.d"
+  "fig6_reset_window"
+  "fig6_reset_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reset_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_security_analysis.dir/fig7_security_analysis.cc.o"
+  "CMakeFiles/fig7_security_analysis.dir/fig7_security_analysis.cc.o.d"
+  "fig7_security_analysis"
+  "fig7_security_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_security_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_table_update.dir/micro_table_update.cc.o"
+  "CMakeFiles/micro_table_update.dir/micro_table_update.cc.o.d"
+  "micro_table_update"
+  "micro_table_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_table_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

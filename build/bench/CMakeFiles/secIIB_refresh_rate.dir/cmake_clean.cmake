@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secIIB_refresh_rate.dir/secIIB_refresh_rate.cc.o"
+  "CMakeFiles/secIIB_refresh_rate.dir/secIIB_refresh_rate.cc.o.d"
+  "secIIB_refresh_rate"
+  "secIIB_refresh_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIIB_refresh_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secIIB_refresh_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secIIC_remap.dir/secIIC_remap.cc.o"
+  "CMakeFiles/secIIC_remap.dir/secIIC_remap.cc.o.d"
+  "secIIC_remap"
+  "secIIC_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIIC_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

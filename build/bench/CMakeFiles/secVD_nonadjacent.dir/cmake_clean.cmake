@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVD_nonadjacent.dir/secVD_nonadjacent.cc.o"
+  "CMakeFiles/secVD_nonadjacent.dir/secVD_nonadjacent.cc.o.d"
+  "secVD_nonadjacent"
+  "secVD_nonadjacent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVD_nonadjacent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

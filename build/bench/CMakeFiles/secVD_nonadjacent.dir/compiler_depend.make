@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secVD_nonadjacent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVI_trackers.dir/secVI_trackers.cc.o"
+  "CMakeFiles/secVI_trackers.dir/secVI_trackers.cc.o.d"
+  "secVI_trackers"
+  "secVI_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVI_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

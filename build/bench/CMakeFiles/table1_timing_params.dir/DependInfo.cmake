@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_timing_params.cc" "bench/CMakeFiles/table1_timing_params.dir/table1_timing_params.cc.o" "gcc" "bench/CMakeFiles/table1_timing_params.dir/table1_timing_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/graphene_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/graphene_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphene_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/graphene_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/graphene_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/graphene_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_timing_params.dir/table1_timing_params.cc.o"
+  "CMakeFiles/table1_timing_params.dir/table1_timing_params.cc.o.d"
+  "table1_timing_params"
+  "table1_timing_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_timing_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_table_sizes.dir/table4_table_sizes.cc.o"
+  "CMakeFiles/table4_table_sizes.dir/table4_table_sizes.cc.o.d"
+  "table4_table_sizes"
+  "table4_table_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_table_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

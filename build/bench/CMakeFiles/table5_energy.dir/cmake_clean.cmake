@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_energy.dir/table5_energy.cc.o"
+  "CMakeFiles/table5_energy.dir/table5_energy.cc.o.d"
+  "table5_energy"
+  "table5_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

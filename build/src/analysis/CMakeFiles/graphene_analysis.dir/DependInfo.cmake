@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/para_model.cc" "src/analysis/CMakeFiles/graphene_analysis.dir/para_model.cc.o" "gcc" "src/analysis/CMakeFiles/graphene_analysis.dir/para_model.cc.o.d"
+  "/root/repo/src/analysis/refresh_rate.cc" "src/analysis/CMakeFiles/graphene_analysis.dir/refresh_rate.cc.o" "gcc" "src/analysis/CMakeFiles/graphene_analysis.dir/refresh_rate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/graphene_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_analysis.dir/para_model.cc.o"
+  "CMakeFiles/graphene_analysis.dir/para_model.cc.o.d"
+  "CMakeFiles/graphene_analysis.dir/refresh_rate.cc.o"
+  "CMakeFiles/graphene_analysis.dir/refresh_rate.cc.o.d"
+  "libgraphene_analysis.a"
+  "libgraphene_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_common.dir/logging.cc.o"
+  "CMakeFiles/graphene_common.dir/logging.cc.o.d"
+  "CMakeFiles/graphene_common.dir/random.cc.o"
+  "CMakeFiles/graphene_common.dir/random.cc.o.d"
+  "CMakeFiles/graphene_common.dir/stats.cc.o"
+  "CMakeFiles/graphene_common.dir/stats.cc.o.d"
+  "CMakeFiles/graphene_common.dir/table_printer.cc.o"
+  "CMakeFiles/graphene_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/graphene_common.dir/zipf.cc.o"
+  "CMakeFiles/graphene_common.dir/zipf.cc.o.d"
+  "libgraphene_common.a"
+  "libgraphene_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

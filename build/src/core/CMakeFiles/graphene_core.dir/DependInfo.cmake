@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/graphene_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/config.cc.o.d"
+  "/root/repo/src/core/counter_table.cc" "src/core/CMakeFiles/graphene_core.dir/counter_table.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/counter_table.cc.o.d"
+  "/root/repo/src/core/graphene.cc" "src/core/CMakeFiles/graphene_core.dir/graphene.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/graphene.cc.o.d"
+  "/root/repo/src/core/protection_scheme.cc" "src/core/CMakeFiles/graphene_core.dir/protection_scheme.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/protection_scheme.cc.o.d"
+  "/root/repo/src/core/tracker_count_min.cc" "src/core/CMakeFiles/graphene_core.dir/tracker_count_min.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/tracker_count_min.cc.o.d"
+  "/root/repo/src/core/tracker_lossy_counting.cc" "src/core/CMakeFiles/graphene_core.dir/tracker_lossy_counting.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/tracker_lossy_counting.cc.o.d"
+  "/root/repo/src/core/tracker_misra_gries.cc" "src/core/CMakeFiles/graphene_core.dir/tracker_misra_gries.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/tracker_misra_gries.cc.o.d"
+  "/root/repo/src/core/tracker_scheme.cc" "src/core/CMakeFiles/graphene_core.dir/tracker_scheme.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/tracker_scheme.cc.o.d"
+  "/root/repo/src/core/tracker_space_saving.cc" "src/core/CMakeFiles/graphene_core.dir/tracker_space_saving.cc.o" "gcc" "src/core/CMakeFiles/graphene_core.dir/tracker_space_saving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/graphene_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

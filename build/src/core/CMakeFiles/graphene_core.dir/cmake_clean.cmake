@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_core.dir/config.cc.o"
+  "CMakeFiles/graphene_core.dir/config.cc.o.d"
+  "CMakeFiles/graphene_core.dir/counter_table.cc.o"
+  "CMakeFiles/graphene_core.dir/counter_table.cc.o.d"
+  "CMakeFiles/graphene_core.dir/graphene.cc.o"
+  "CMakeFiles/graphene_core.dir/graphene.cc.o.d"
+  "CMakeFiles/graphene_core.dir/protection_scheme.cc.o"
+  "CMakeFiles/graphene_core.dir/protection_scheme.cc.o.d"
+  "CMakeFiles/graphene_core.dir/tracker_count_min.cc.o"
+  "CMakeFiles/graphene_core.dir/tracker_count_min.cc.o.d"
+  "CMakeFiles/graphene_core.dir/tracker_lossy_counting.cc.o"
+  "CMakeFiles/graphene_core.dir/tracker_lossy_counting.cc.o.d"
+  "CMakeFiles/graphene_core.dir/tracker_misra_gries.cc.o"
+  "CMakeFiles/graphene_core.dir/tracker_misra_gries.cc.o.d"
+  "CMakeFiles/graphene_core.dir/tracker_scheme.cc.o"
+  "CMakeFiles/graphene_core.dir/tracker_scheme.cc.o.d"
+  "CMakeFiles/graphene_core.dir/tracker_space_saving.cc.o"
+  "CMakeFiles/graphene_core.dir/tracker_space_saving.cc.o.d"
+  "libgraphene_core.a"
+  "libgraphene_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

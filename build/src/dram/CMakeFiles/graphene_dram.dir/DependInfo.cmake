@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address.cc" "src/dram/CMakeFiles/graphene_dram.dir/address.cc.o" "gcc" "src/dram/CMakeFiles/graphene_dram.dir/address.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/graphene_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/graphene_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/fault_model.cc" "src/dram/CMakeFiles/graphene_dram.dir/fault_model.cc.o" "gcc" "src/dram/CMakeFiles/graphene_dram.dir/fault_model.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/dram/CMakeFiles/graphene_dram.dir/rank.cc.o" "gcc" "src/dram/CMakeFiles/graphene_dram.dir/rank.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/graphene_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/graphene_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

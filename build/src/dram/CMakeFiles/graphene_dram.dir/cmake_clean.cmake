@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_dram.dir/address.cc.o"
+  "CMakeFiles/graphene_dram.dir/address.cc.o.d"
+  "CMakeFiles/graphene_dram.dir/bank.cc.o"
+  "CMakeFiles/graphene_dram.dir/bank.cc.o.d"
+  "CMakeFiles/graphene_dram.dir/fault_model.cc.o"
+  "CMakeFiles/graphene_dram.dir/fault_model.cc.o.d"
+  "CMakeFiles/graphene_dram.dir/rank.cc.o"
+  "CMakeFiles/graphene_dram.dir/rank.cc.o.d"
+  "CMakeFiles/graphene_dram.dir/timing.cc.o"
+  "CMakeFiles/graphene_dram.dir/timing.cc.o.d"
+  "libgraphene_dram.a"
+  "libgraphene_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

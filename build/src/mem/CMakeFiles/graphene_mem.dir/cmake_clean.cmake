@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_mem.dir/controller.cc.o"
+  "CMakeFiles/graphene_mem.dir/controller.cc.o.d"
+  "CMakeFiles/graphene_mem.dir/queued_controller.cc.o"
+  "CMakeFiles/graphene_mem.dir/queued_controller.cc.o.d"
+  "libgraphene_mem.a"
+  "libgraphene_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

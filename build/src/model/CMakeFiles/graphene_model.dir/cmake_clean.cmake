@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_model.dir/area.cc.o"
+  "CMakeFiles/graphene_model.dir/area.cc.o.d"
+  "CMakeFiles/graphene_model.dir/cam_timing.cc.o"
+  "CMakeFiles/graphene_model.dir/cam_timing.cc.o.d"
+  "CMakeFiles/graphene_model.dir/energy.cc.o"
+  "CMakeFiles/graphene_model.dir/energy.cc.o.d"
+  "libgraphene_model.a"
+  "libgraphene_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/cbt.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/cbt.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/cbt.cc.o.d"
+  "/root/repo/src/schemes/factory.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/factory.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/factory.cc.o.d"
+  "/root/repo/src/schemes/mrloc.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/mrloc.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/mrloc.cc.o.d"
+  "/root/repo/src/schemes/para.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/para.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/para.cc.o.d"
+  "/root/repo/src/schemes/prohit.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/prohit.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/prohit.cc.o.d"
+  "/root/repo/src/schemes/twice.cc" "src/schemes/CMakeFiles/graphene_schemes.dir/twice.cc.o" "gcc" "src/schemes/CMakeFiles/graphene_schemes.dir/twice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/graphene_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

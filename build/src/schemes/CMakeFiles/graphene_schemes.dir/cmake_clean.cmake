@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_schemes.dir/cbt.cc.o"
+  "CMakeFiles/graphene_schemes.dir/cbt.cc.o.d"
+  "CMakeFiles/graphene_schemes.dir/factory.cc.o"
+  "CMakeFiles/graphene_schemes.dir/factory.cc.o.d"
+  "CMakeFiles/graphene_schemes.dir/mrloc.cc.o"
+  "CMakeFiles/graphene_schemes.dir/mrloc.cc.o.d"
+  "CMakeFiles/graphene_schemes.dir/para.cc.o"
+  "CMakeFiles/graphene_schemes.dir/para.cc.o.d"
+  "CMakeFiles/graphene_schemes.dir/prohit.cc.o"
+  "CMakeFiles/graphene_schemes.dir/prohit.cc.o.d"
+  "CMakeFiles/graphene_schemes.dir/twice.cc.o"
+  "CMakeFiles/graphene_schemes.dir/twice.cc.o.d"
+  "libgraphene_schemes.a"
+  "libgraphene_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/act_engine.cc" "src/sim/CMakeFiles/graphene_sim.dir/act_engine.cc.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/act_engine.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/graphene_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/sim/CMakeFiles/graphene_sim.dir/replay.cc.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/replay.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/graphene_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphene_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/graphene_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/graphene_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphene_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/graphene_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/graphene_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/graphene_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

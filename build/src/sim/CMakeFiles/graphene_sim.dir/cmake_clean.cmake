@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_sim.dir/act_engine.cc.o"
+  "CMakeFiles/graphene_sim.dir/act_engine.cc.o.d"
+  "CMakeFiles/graphene_sim.dir/experiment.cc.o"
+  "CMakeFiles/graphene_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/graphene_sim.dir/replay.cc.o"
+  "CMakeFiles/graphene_sim.dir/replay.cc.o.d"
+  "CMakeFiles/graphene_sim.dir/system.cc.o"
+  "CMakeFiles/graphene_sim.dir/system.cc.o.d"
+  "libgraphene_sim.a"
+  "libgraphene_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

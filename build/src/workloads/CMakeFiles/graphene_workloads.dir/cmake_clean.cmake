@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_workloads.dir/act_patterns.cc.o"
+  "CMakeFiles/graphene_workloads.dir/act_patterns.cc.o.d"
+  "CMakeFiles/graphene_workloads.dir/profiles.cc.o"
+  "CMakeFiles/graphene_workloads.dir/profiles.cc.o.d"
+  "CMakeFiles/graphene_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/graphene_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/graphene_workloads.dir/trace_io.cc.o"
+  "CMakeFiles/graphene_workloads.dir/trace_io.cc.o.d"
+  "libgraphene_workloads.a"
+  "libgraphene_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_test.dir/schemes/cbt_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/cbt_test.cc.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/mrloc_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/mrloc_test.cc.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/para_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/para_test.cc.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/prohit_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/prohit_test.cc.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/protection_property_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/protection_property_test.cc.o.d"
+  "CMakeFiles/schemes_test.dir/schemes/twice_test.cc.o"
+  "CMakeFiles/schemes_test.dir/schemes/twice_test.cc.o.d"
+  "schemes_test"
+  "schemes_test.pdb"
+  "schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
