@@ -1,0 +1,78 @@
+#include "check/contracts.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace graphene {
+namespace check {
+
+namespace {
+
+std::atomic<std::uint64_t> violation_count{0};
+
+void
+defaultHandler(ContractKind kind, const char *message)
+{
+#ifdef GRAPHENE_CONTRACT_POLICY_WARN
+    violation_count.fetch_add(1, std::memory_order_relaxed);
+    warn("contract (%s) violated: %s", contractKindName(kind),
+         message);
+#else
+    panic("contract (%s) violated: %s", contractKindName(kind),
+          message);
+#endif
+}
+
+std::atomic<ContractHandler> current_handler{&defaultHandler};
+
+} // namespace
+
+const char *
+contractKindName(ContractKind kind)
+{
+    switch (kind) {
+      case ContractKind::Precondition:  return "expects";
+      case ContractKind::Postcondition: return "ensures";
+      case ContractKind::Invariant:     return "invariant";
+    }
+    return "?";
+}
+
+ContractHandler
+setContractHandler(ContractHandler handler)
+{
+    return current_handler.exchange(handler ? handler
+                                            : &defaultHandler);
+}
+
+std::uint64_t
+contractViolationCount()
+{
+    return violation_count.load(std::memory_order_relaxed);
+}
+
+void
+failContract(ContractKind kind, const char *condition,
+             const char *file, int line, const char *fmt, ...)
+{
+    char detail[512];
+    detail[0] = '\0';
+    if (fmt != nullptr && fmt[0] != '\0') {
+        va_list args;
+        va_start(args, fmt);
+        std::vsnprintf(detail, sizeof(detail), fmt, args);
+        va_end(args);
+    }
+
+    char message[768];
+    std::snprintf(message, sizeof(message), "`%s` at %s:%d%s%s",
+                  condition, file, line, detail[0] ? ": " : "",
+                  detail);
+    current_handler.load()(kind, message);
+}
+
+} // namespace check
+} // namespace graphene

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Checked-contract macros for the invariant-rich layers: explicit
+ * preconditions (GRAPHENE_EXPECTS), postconditions (GRAPHENE_ENSURES)
+ * and object/loop invariants (GRAPHENE_INVARIANT), each carrying the
+ * paper property it enforces in its message.
+ *
+ * Build-time policy, selected by the GRAPHENE_CONTRACTS CMake option
+ * (compile definition GRAPHENE_CONTRACTS_ENABLED):
+ *
+ *  - ON  (default): a violated contract calls the installed handler;
+ *    the default handler panics (abort) or warns, per the
+ *    GRAPHENE_CONTRACT_POLICY option.
+ *  - OFF: every macro expands to an unevaluated-operand no-op —
+ *    `(void)sizeof(...)` — so the condition is never executed, emits
+ *    no code, and still marks its operands used (no -Wunused noise).
+ *
+ * The handler indirection exists for the checker's own test suite:
+ * tests install a counting handler to prove that a deliberately
+ * broken implementation trips a contract, then restore the default.
+ */
+
+#ifndef CHECK_CONTRACTS_HH
+#define CHECK_CONTRACTS_HH
+
+#include <cstdint>
+
+namespace graphene {
+namespace check {
+
+/** Which contract class was violated. */
+enum class ContractKind
+{
+    Precondition,  ///< GRAPHENE_EXPECTS
+    Postcondition, ///< GRAPHENE_ENSURES
+    Invariant,     ///< GRAPHENE_INVARIANT
+};
+
+/** Human-readable name of a contract kind ("expects", ...). */
+const char *contractKindName(ContractKind kind);
+
+/**
+ * Callback invoked on every contract violation. @p message is the
+ * fully formatted description (condition text, source location, and
+ * the caller's explanation). Returning (instead of aborting) lets a
+ * test harness count violations; the default handler never returns
+ * under the abort policy.
+ */
+using ContractHandler = void (*)(ContractKind kind,
+                                 const char *message);
+
+/**
+ * Install @p handler and return the previous one. Passing nullptr
+ * restores the default policy handler.
+ */
+ContractHandler setContractHandler(ContractHandler handler);
+
+/** Violations seen by the default *warn*-policy handler so far. */
+std::uint64_t contractViolationCount();
+
+/**
+ * Format and dispatch one violation to the current handler. Called by
+ * the macros only; printf-style @p fmt explains the broken property.
+ */
+void failContract(ContractKind kind, const char *condition,
+                  const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 5, 6)));
+
+/** Message-less form used when a contract gives no explanation. */
+inline void
+failContract(ContractKind kind, const char *condition,
+             const char *file, int line)
+{
+    failContract(kind, condition, file, line, "%s", "");
+}
+
+/** True when this build evaluates contracts. */
+#ifdef GRAPHENE_CONTRACTS_ENABLED
+inline constexpr bool kContractsEnabled = true;
+#else
+inline constexpr bool kContractsEnabled = false;
+#endif
+
+} // namespace check
+} // namespace graphene
+
+#ifdef GRAPHENE_CONTRACTS_ENABLED
+
+#define GRAPHENE_CONTRACT_IMPL_(kind, cond, ...)                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::graphene::check::failContract(                              \
+                ::graphene::check::ContractKind::kind, #cond, __FILE__,   \
+                __LINE__ __VA_OPT__(, "" __VA_ARGS__));                   \
+        }                                                                 \
+    } while (0)
+
+#else
+
+/*
+ * sizeof's operand is unevaluated: the condition type-checks (so a
+ * contract cannot silently rot when disabled) but no code is
+ * generated and no side effect can run.
+ */
+#define GRAPHENE_CONTRACT_IMPL_(kind, cond, ...)                          \
+    static_cast<void>(sizeof(static_cast<void>(cond), 0))
+
+#endif // GRAPHENE_CONTRACTS_ENABLED
+
+/** Precondition: argument/state requirements on entry. */
+#define GRAPHENE_EXPECTS(cond, ...)                                       \
+    GRAPHENE_CONTRACT_IMPL_(Precondition, cond, __VA_ARGS__)
+
+/** Postcondition: guarantees on exit. */
+#define GRAPHENE_ENSURES(cond, ...)                                       \
+    GRAPHENE_CONTRACT_IMPL_(Postcondition, cond, __VA_ARGS__)
+
+/** Object or loop invariant holding at a checkpoint. */
+#define GRAPHENE_INVARIANT(cond, ...)                                     \
+    GRAPHENE_CONTRACT_IMPL_(Invariant, cond, __VA_ARGS__)
+
+#endif // CHECK_CONTRACTS_HH

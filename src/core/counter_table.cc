@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -40,10 +41,15 @@ CounterTable::processActivation(Row addr)
     if (hit != _index.end()) {
         // Row address HIT: increment the estimated count.
         Entry &e = _entries[hit->second];
+        GRAPHENE_EXPECTS(e.count >= _spillover,
+                         "resident count below spillover (Lemma 1 "
+                         "precondition)");
         moveBucket(hit->second, e.count, e.count + 1);
         ++e.count;
         result.hit = true;
         result.estimatedCount = e.count;
+        GRAPHENE_ENSURES(e.count > _spillover,
+                         "hit must leave the count above spillover");
         return result;
     }
 
@@ -57,18 +63,28 @@ CounterTable::processActivation(Row addr)
             _index.erase(e.addr);
         else
             ++_occupied;
+        GRAPHENE_EXPECTS(e.count == _spillover,
+                         "replacement candidate must sit exactly at "
+                         "the spillover count (Figure 1 flow)");
         moveBucket(slot, e.count, e.count + 1);
         e.addr = addr;
         ++e.count;
         _index.emplace(addr, slot);
         result.inserted = true;
         result.estimatedCount = e.count;
+        GRAPHENE_ENSURES(result.estimatedCount == _spillover + 1,
+                         "inserted count must carry spillover + 1");
         return result;
     }
 
     // No replacement: the spillover count absorbs the activation.
     ++_spillover;
     result.spilled = true;
+    // Lemma 2: a spill means every entry is strictly hotter than the
+    // spillover count, so spillover <= W / (Nentry + 1) holds.
+    GRAPHENE_INVARIANT(_spillover * (_entries.size() + 1) <=
+                           _streamLength,
+                       "spillover exceeded W / (Nentry + 1)");
     return result;
 }
 
@@ -84,6 +100,8 @@ CounterTable::reset()
     _spillover = 0;
     _streamLength = 0;
     _occupied = 0;
+    GRAPHENE_ENSURES(_index.empty() && minEstimatedCount() == 0,
+                     "reset must clear all tracked state");
 }
 
 bool

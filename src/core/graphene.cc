@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -45,6 +46,9 @@ void
 Graphene::maybeReset(Cycle cycle)
 {
     const std::uint64_t idx = cycle / _windowCycles;
+    GRAPHENE_EXPECTS(idx >= _windowIdx,
+                     "activation cycle ran backwards across a reset "
+                     "window boundary");
     if (idx != _windowIdx) {
         _table.reset();
         _windowIdx = idx;
@@ -61,6 +65,13 @@ Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
     if (r.spilled)
         return;
 
+    // The multiple-of-T trigger is only exact if an insert lands
+    // below T: guaranteed by the table sizing (Nentry > W/T - 1
+    // keeps spillover < T, Inequality 1).
+    GRAPHENE_INVARIANT(!r.inserted || r.estimatedCount <= _threshold,
+                       "insert landed past the tracking threshold — "
+                       "table undersized for W/T");
+
     // Estimated counts advance strictly by one (hits) or from a value
     // below T (inserts, since spillover < T by Lemma 2 and the table
     // sizing), so every multiple of T is observed exactly when it is
@@ -68,6 +79,8 @@ Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
     if (r.estimatedCount % _threshold == 0) {
         action.nrrAggressors.push_back(row);
         ++_victimRefreshEvents;
+        GRAPHENE_ENSURES(action.nrrAggressors.back() == row,
+                         "NRR must target the crossing aggressor");
     }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -62,6 +63,12 @@ CountMinTracker::processActivation(Row row)
             min_after = std::min(min_after, counter);
         }
     }
+    // Every counter absorbs each colliding activation, so the
+    // estimate (the row-wise minimum) can never undercount: the
+    // sketch's no-false-negative foundation.
+    GRAPHENE_ENSURES(min_after >= 1 &&
+                         min_after <= _streamLength,
+                     "count-min estimate left [1, W] after an update");
     return min_after;
 }
 

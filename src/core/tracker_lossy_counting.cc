@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -45,6 +46,13 @@ LossyCountingTracker::processActivation(Row row)
     }
     const std::uint64_t estimate =
         it->second.frequency + it->second.delta;
+    // The insertion delta is the completed-bucket count, so the
+    // estimate can exceed the actual count by at most bucket - 1:
+    // the deterministic bound protection parity relies on.
+    GRAPHENE_INVARIANT(it->second.delta < _bucket,
+                       "lossy counting delta outran the bucket index");
+    GRAPHENE_ENSURES(estimate >= it->second.frequency,
+                     "estimate must dominate the observed frequency");
 
     if (++_itemsInBucket >= _bucketWidth) {
         _itemsInBucket = 0;

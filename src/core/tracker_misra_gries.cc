@@ -1,5 +1,7 @@
 #include "core/tracker_misra_gries.hh"
 
+#include "check/contracts.hh"
+
 namespace graphene {
 namespace core {
 
@@ -31,7 +33,14 @@ MisraGriesTracker::name() const
 std::uint64_t
 MisraGriesTracker::processActivation(Row row)
 {
-    return _table.processActivation(row).estimatedCount;
+    const CounterTable::Result r = _table.processActivation(row);
+    // A spilled activation is the only way to come back untracked;
+    // any tracked outcome must report a count above the spillover
+    // floor (Lemma 1 needs the carried-over base plus this ACT).
+    GRAPHENE_ENSURES(r.spilled ||
+                         r.estimatedCount > _table.spilloverCount(),
+                     "tracked row fell to the spillover floor");
+    return r.estimatedCount;
 }
 
 std::uint64_t

@@ -100,6 +100,7 @@ TrackerScheme::maybeReset(Cycle cycle)
     const std::uint64_t idx = cycle / _windowCycles;
     if (idx != _windowIdx) {
         _tracker->reset();
+        _levels.clear();
         _windowIdx = idx;
     }
 }
@@ -109,12 +110,20 @@ TrackerScheme::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
     maybeReset(cycle);
 
-    const std::uint64_t before = _tracker->estimatedCount(row);
     const std::uint64_t after = _tracker->processActivation(row);
     if (after == 0)
         return; // absorbed by shared state (spillover)
 
-    if (after / _threshold > before / _threshold) {
+    // Catch-up crossing rule (see the file comment): refresh when the
+    // estimate's T-level exceeds the level at this row's last
+    // refresh, so a crossing caused by a colliding row's update is
+    // caught at the victim's next own activation.
+    const std::uint64_t level_after = after / _threshold;
+    const auto it = _levels.find(row);
+    const std::uint64_t level_last =
+        it == _levels.end() ? 0 : it->second;
+    if (level_after > level_last) {
+        _levels[row] = level_after;
         action.nrrAggressors.push_back(row);
         ++_victimRefreshEvents;
     }

@@ -6,13 +6,18 @@
  * crosses a multiple of the tracking threshold T, table reset every
  * tREFW / k — but the tracker substrate is pluggable.
  *
- * Soundness relies only on the tracker never underestimating: when a
- * row's actual count reaches a multiple of T, its estimate has
- * already crossed it, so the refresh fired no later than Graphene's
- * would have. Trackers whose estimates jump on insertion (Space
- * Saving's inherited minimum, Lossy Counting's delta) may cross
- * several multiples at once; the crossing test handles that by
- * comparing floor(estimate / T) before and after the update.
+ * Soundness relies on the tracker never underestimating, plus one
+ * subtlety the differential model-checker exposed: for shared-state
+ * sketches (Count-Min), *another* row's activation can push a
+ * victim's estimate across a multiple of T between the victim's own
+ * ACTs, so comparing floor(estimate / T) before and after each
+ * update silently skips that crossing. The policy therefore compares
+ * the estimate's T-level against the level recorded at the row's
+ * last refresh (catch-up rule). For trackers whose per-row estimates
+ * advance only on the row's own activations (Misra-Gries, Space
+ * Saving, Lossy Counting) this is equivalent to the before/after
+ * crossing test; insertion jumps (Space Saving's inherited minimum,
+ * Lossy Counting's delta) still trigger at most one refresh.
  */
 
 #ifndef CORE_TRACKER_SCHEME_HH
@@ -20,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "core/config.hh"
 #include "core/tracker.hh"
@@ -75,6 +81,11 @@ class TrackerScheme : public ProtectionScheme
     std::uint64_t _threshold;
     Cycle _windowCycles;
     std::uint64_t _windowIdx = 0;
+    /// floor(estimate / T) at each row's last refresh this window.
+    /// Only rows that have been refreshed carry an entry; for
+    /// Misra-Gries this state is implicit in the counter itself, the
+    /// sketch substrates genuinely need it (see the file comment).
+    std::unordered_map<Row, std::uint64_t> _levels;
 };
 
 } // namespace core

@@ -1,5 +1,6 @@
 #include "core/tracker_space_saving.hh"
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -63,6 +64,8 @@ SpaceSavingTracker::processActivation(Row row)
         _entries.push_back({row, 1});
         _index.emplace(row, slot);
         _buckets[1].insert(slot);
+        GRAPHENE_ENSURES(_entries.size() <= _capacity,
+                         "space saving grew past its capacity");
         return 1;
     }
 
@@ -71,6 +74,9 @@ SpaceSavingTracker::processActivation(Row row)
     auto min_bucket = _buckets.begin();
     const unsigned slot = *min_bucket->second.begin();
     Entry &e = _entries[slot];
+    GRAPHENE_EXPECTS(e.count * _capacity <= _streamLength,
+                     "evicted minimum exceeds W / N — the estimate "
+                     "bound the protection sizing relies on");
     _index.erase(e.addr);
     moveBucket(slot, e.count, e.count + 1);
     e.addr = row;

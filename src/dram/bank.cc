@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 #include "dram/command.hh"
 
@@ -68,6 +69,11 @@ Bank::issueAct(Cycle cycle, Row row)
     _lastActAt = cycle;
     _everActivated = true;
     ++_actCount;
+    GRAPHENE_ENSURES(isOpen() && _openRow == row,
+                     "ACT must leave its row open");
+    GRAPHENE_ENSURES(_actAllowedAt >= cycle + _timing.cRC() &&
+                         _preAllowedAt >= cycle + _timing.cRAS(),
+                     "ACT must arm the tRC and tRAS windows");
 }
 
 Cycle
@@ -80,7 +86,10 @@ Bank::issueReadWrite(Cycle cycle)
     // Column accesses pipeline; the next is allowed a burst later.
     _rwAllowedAt = cycle + _timing.cBL();
     _preAllowedAt = std::max(_preAllowedAt, cycle + _timing.cBL());
-    return cycle + _timing.cCL() + _timing.cBL();
+    const Cycle done = cycle + _timing.cCL() + _timing.cBL();
+    GRAPHENE_ENSURES(done >= cycle,
+                     "column access cannot finish in the past");
+    return done;
 }
 
 void
@@ -92,6 +101,9 @@ Bank::issuePrecharge(Cycle cycle)
         panic("PRE issued before tRAS elapsed");
     _openRow = kInvalidRow;
     _actAllowedAt = std::max(_actAllowedAt, cycle + _timing.cRP());
+    GRAPHENE_ENSURES(!isOpen() &&
+                         _actAllowedAt >= cycle + _timing.cRP(),
+                     "PRE must close the row and arm tRP");
 }
 
 void
@@ -103,6 +115,8 @@ Bank::block(Cycle from, Cycle until)
     _actAllowedAt = std::max(_actAllowedAt, until);
     _rwAllowedAt = std::max(_rwAllowedAt, until);
     _preAllowedAt = std::max(_preAllowedAt, until);
+    GRAPHENE_ENSURES(!isOpen() && _actAllowedAt >= until,
+                     "a blocked bank must stay closed until released");
 }
 
 } // namespace dram

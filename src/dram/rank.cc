@@ -1,5 +1,6 @@
 #include "dram/rank.hh"
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -111,6 +112,11 @@ Rank::earliestFawAct(Cycle now) const
 void
 Rank::recordFawAct(Cycle cycle)
 {
+    // tFAW: the window holds at most four ACTs, so a fifth may only
+    // be recorded once the oldest has aged out of the window.
+    GRAPHENE_EXPECTS(_fawCount < 4 ||
+                         cycle >= _fawActs[_fawHead] + _timing.cFAW(),
+                     "fifth ACT recorded inside a tFAW window");
     _fawActs[_fawHead] = cycle;
     _fawHead = (_fawHead + 1) % 4;
     if (_fawCount < 4)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -47,6 +48,15 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
     if (requests.size() != banks.size() ||
         requests.size() != rows.size())
         fatal("queued controller: mismatched request metadata");
+
+    // The admission loop assumes requests arrive sorted by issue
+    // cycle; checking it is O(n), so it only runs in checked builds.
+    if constexpr (check::kContractsEnabled) {
+        for (std::size_t i = 1; i < requests.size(); ++i)
+            GRAPHENE_EXPECTS(requests[i - 1].issue <=
+                                 requests[i].issue,
+                             "request %zu issued out of order", i);
+    }
 
     const unsigned num_banks = _config.banksPerRank;
     std::vector<std::deque<Pending>> queues(num_banks);
@@ -106,9 +116,16 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
         bypasses[best_bank] =
             best_idx > 0 ? bypasses[best_bank] + 1 : 0;
         --in_flight;
+        // The batch cap bounds head-of-line starvation: a non-head
+        // pick is only legal while the head's bypass budget lasts.
+        GRAPHENE_INVARIANT(bypasses[best_bank] <= _batchCap,
+                           "FR-FCFS overtook the queue head past the "
+                           "starvation bound");
 
         const ServiceResult r = _inner.access(
             best_time, p.bank, p.row, p.request.isWrite);
+        GRAPHENE_ENSURES(r.completion >= best_time,
+                         "a request completed before it was issued");
         // The bank's frontier advances to the completion: later
         // picks for this bank wait behind it, which is what lets the
         // queue build up and reordering take effect.
@@ -137,6 +154,8 @@ QueuedChannelController::stats(
         s.rowHitRate = static_cast<double>(hits) /
                        static_cast<double>(served.size());
     }
+    GRAPHENE_ENSURES(s.rowHitRate >= 0.0 && s.rowHitRate <= 1.0,
+                     "row hit rate must be a fraction");
     s.victimRowsRefreshed = _inner.victimRowsRefreshed();
     for (unsigned b = 0; b < _config.banksPerRank; ++b)
         s.bitFlips += _inner.rank().faultModel(b).flips().size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -97,6 +98,9 @@ Cbt::split(std::map<Row, Node>::iterator it)
     Node left{parent.start, half, parent.level + 1, parent.count};
     Node right{static_cast<Row>(parent.start + half),
                parent.length - half, parent.level + 1, parent.count};
+    GRAPHENE_ENSURES(left.length + right.length == parent.length,
+                     "split children must exactly cover the parent "
+                     "range");
     _ranges.erase(it);
     _ranges.emplace(left.start, left);
     _ranges.emplace(right.start, right);
@@ -146,6 +150,8 @@ Cbt::trigger(std::map<Row, Node>::iterator it, RefreshAction &action)
     _lastBurstRows = refreshed;
     _mergeCacheValid = false;
     ++_victimRefreshEvents;
+    GRAPHENE_ENSURES(refreshed > 0 && !action.empty(),
+                     "a trigger must refresh at least one victim");
 }
 
 bool
@@ -227,8 +233,16 @@ Cbt::onActivate(Cycle cycle, Row row, RefreshAction &action)
         it = findNode(row);
     }
 
+    // Counter budget: merges always pay for splits one-for-one.
+    GRAPHENE_INVARIANT(_ranges.size() <= _config.numCounters,
+                       "counter tree outgrew its hardware budget");
+
     if (it->second.count >= _config.finalThreshold())
         trigger(it, action);
+
+    GRAPHENE_ENSURES(it->second.count < _config.finalThreshold(),
+                     "a counter at the final threshold must have "
+                     "triggered and cleared");
 }
 
 TableCost

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -52,6 +53,11 @@ MrLoc::touch(Row victim, RefreshAction &action)
     _queue.push_back(victim);
     if (_queue.size() > _config.queueEntries)
         _queue.pop_front();
+    // The recency weighting divides by the queue position, so both
+    // exit paths must leave the queue non-empty and within budget.
+    GRAPHENE_INVARIANT(!_queue.empty() &&
+                           _queue.size() <= _config.queueEntries,
+                       "victim queue left its configured bounds");
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -41,6 +42,11 @@ Para::onActivate(Cycle cycle, Row row, RefreshAction &action)
             action.victimRows.push_back(static_cast<Row>(row + d));
         else
             action.victimRows.push_back(static_cast<Row>(row - d));
+        // The edge clamping above must never emit a row outside the
+        // bank, or the refresh would alias into a neighbour bank.
+        GRAPHENE_ENSURES(action.victimRows.back() <
+                             _config.rowsPerBank,
+                         "PARA picked a victim outside the bank");
         ++_victimRefreshEvents;
     }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -44,12 +45,21 @@ ProHit::present(Row victim)
             if (_cold.size() > _config.coldEntries)
                 _cold.pop_front();
         }
+        GRAPHENE_INVARIANT(_hot.size() <= _config.hotEntries &&
+                               _cold.size() <= _config.coldEntries,
+                           "promotion overflowed a history table");
         return;
     }
 
     _cold.push_back(victim);
     if (_cold.size() > _config.coldEntries)
         _cold.pop_front();
+
+    // Both tables are fixed SRAM structures; every insertion path
+    // above must leave them within their configured budgets.
+    GRAPHENE_INVARIANT(_hot.size() <= _config.hotEntries &&
+                           _cold.size() <= _config.coldEntries,
+                       "history tables outgrew their SRAM budget");
 }
 
 void

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/contracts.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -87,6 +88,13 @@ TwiCe::onActivate(Cycle cycle, Row row, RefreshAction &action)
         ++_victimRefreshEvents;
         e.count = 0;
     }
+    // The no-false-negative argument needs every tracked count to
+    // stay strictly below the trigger between activations, and the
+    // table to respect its derived entry bound.
+    GRAPHENE_ENSURES(e.count < _trigger,
+                     "count at the trigger survived onActivate");
+    GRAPHENE_INVARIANT(_entries.size() <= _capacity,
+                       "TWiCe table outgrew its derived capacity");
 }
 
 void

@@ -84,8 +84,9 @@ TEST(Patterns, Figure7bRowsMutuallyNonAdjacent)
     EXPECT_EQ(rows.size(), 8u);
     for (Row a : rows) {
         for (Row b : rows) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_GT(a > b ? a - b : b - a, 2u);
+            }
         }
     }
     // Round-robin order repeats.
