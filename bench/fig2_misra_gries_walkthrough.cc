@@ -19,13 +19,13 @@ printState(const graphene::core::CounterTable &table,
     std::cout << caption << "\n";
     std::cout << "  Row Address  Count\n";
     for (const auto &e : table.entries()) {
-        if (e.addr == graphene::kInvalidRow)
+        if (e.addr == graphene::Row::invalid())
             continue;
         std::cout << "  0x" << std::hex << std::setw(4)
-                  << std::setfill('0') << e.addr << std::dec
+                  << std::setfill('0') << e.addr.value() << std::dec
                   << std::setfill(' ') << "       " << e.count << "\n";
     }
-    std::cout << "  Spillover Count: " << table.spilloverCount()
+    std::cout << "  Spillover Count: " << table.spilloverCount().value()
               << "\n\n";
 }
 
@@ -34,33 +34,35 @@ printState(const graphene::core::CounterTable &table,
 int
 main()
 {
+    using graphene::Row;
+
     graphene::core::CounterTable table(3);
 
     // Reproduce the figure's initial state: 0x1010:5, 0x2020:7,
     // 0x3030:3, spillover 2.
     for (int i = 0; i < 5; ++i)
-        table.processActivation(0x1010);
+        table.processActivation(Row{0x1010});
     for (int i = 0; i < 7; ++i)
-        table.processActivation(0x2020);
-    table.processActivation(0x3030);
-    table.processActivation(0xAAAA); // spillover -> 1
-    table.processActivation(0x3030);
-    table.processActivation(0xBBBB); // spillover -> 2
-    table.processActivation(0x3030);
+        table.processActivation(Row{0x2020});
+    table.processActivation(Row{0x3030});
+    table.processActivation(Row{0xAAAA}); // spillover -> 1
+    table.processActivation(Row{0x3030});
+    table.processActivation(Row{0xBBBB}); // spillover -> 2
+    table.processActivation(Row{0x3030});
 
     std::cout << "== Figure 2: Misra-Gries aggressor tracking "
                  "walkthrough ==\n\n";
     printState(table, "Initial state");
 
-    table.processActivation(0x1010);
+    table.processActivation(Row{0x1010});
     printState(table, "Step 1: ACT 0x1010 (hit -> count 5 to 6)");
 
-    table.processActivation(0x4040);
+    table.processActivation(Row{0x4040});
     printState(table,
                "Step 2: ACT 0x4040 (miss, no count == spillover -> "
                "spillover 2 to 3)");
 
-    table.processActivation(0x5050);
+    table.processActivation(Row{0x5050});
     printState(table,
                "Step 3: ACT 0x5050 (miss, 0x3030's count == spillover "
                "-> replaced, count carries over to 4)");

@@ -29,7 +29,7 @@ main()
     gc.resetWindowDivisor = 2;
     const double bound =
         2.0 * (gc.resetWindowDivisor + 1) *
-        static_cast<double>(gc.trackingThreshold() - 1);
+        static_cast<double>(gc.trackingThreshold().value() - 1);
 
     auto run = [&](std::unique_ptr<workloads::ActPattern> pattern) {
         sim::ActEngineConfig config;
@@ -44,7 +44,7 @@ main()
     };
 
     run(workloads::patterns::s3(65536));
-    run(std::make_unique<workloads::DoubleSidedPattern>(32768));
+    run(std::make_unique<workloads::DoubleSidedPattern>(Row{32768}));
     run(workloads::patterns::s1(10, 65536, 21));
     run(workloads::patterns::counterWorstCase(80, 65536, 22));
 

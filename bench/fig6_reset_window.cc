@@ -30,7 +30,7 @@ main()
         c.validate();
         const std::uint64_t victims = c.worstCaseVictimRowsPerRefw();
         table.row({std::to_string(k),
-                   std::to_string(c.trackingThreshold()),
+                   std::to_string(c.trackingThreshold().value()),
                    std::to_string(c.numEntries()),
                    std::to_string(victims),
                    TablePrinter::pct(model::EnergyModel::

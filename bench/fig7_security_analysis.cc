@@ -36,7 +36,7 @@ paraDerivation()
     table.header({"T_RH", "p (solved)", "p (paper)",
                   "P(fail)/window at solved p", "P(fail)/year"});
     const auto timing = dram::TimingParams::ddr4_2400();
-    const std::uint64_t w = timing.maxActsInWindow(1);
+    const std::uint64_t w = timing.maxActsInWindow(1).value();
     const struct { std::uint64_t trh; const char *paper; } rows[] = {
         {50000, "0.00145"},  {25000, "0.00295"}, {12500, "0.00602"},
         {6250, "0.01224"},   {3125, "0.02485"},  {1562, "0.05034"},
@@ -87,7 +87,7 @@ figure7()
     };
 
     const double windows = 8.0;
-    const Row x = 32768;
+    const Row x{32768};
 
     row("PRoHIT",
         attack(schemes::SchemeKind::ProHit,
@@ -95,7 +95,8 @@ figure7()
         "Fig7(a) {x-4,x-2,x-2,x,x,x,x+2,x+2,x+4}", windows);
     row("MRLoc",
         attack(schemes::SchemeKind::MrLoc,
-               workloads::patterns::mrLocAdversarial(x, 16), windows),
+               workloads::patterns::mrLocAdversarial(x, Row{16}),
+               windows),
         "Fig7(b) 8 non-adjacent rows", windows);
     row("PARA-0.00145",
         attack(schemes::SchemeKind::Para,
@@ -107,7 +108,8 @@ figure7()
         "Fig7(a)", windows);
     row("Graphene",
         attack(schemes::SchemeKind::Graphene,
-               workloads::patterns::mrLocAdversarial(x, 16), windows),
+               workloads::patterns::mrLocAdversarial(x, Row{16}),
+               windows),
         "Fig7(b)", windows);
 
     table.print(std::cout);
@@ -131,7 +133,7 @@ figure7()
 void
 starvationAnalysis()
 {
-    const Row x = 32768;
+    const Row x{32768};
     const std::uint64_t acts = 4 * 1358404ULL; // 4 windows of ACTs
 
     TablePrinter table(
@@ -160,9 +162,9 @@ starvationAnalysis()
             else if (row == x + 4)
                 max_gap = std::max(max_gap, ++gap_high);
             action.clear();
-            scheme->onActivate(i * 54, row, action);
+            scheme->onActivate(Cycle{i * 54}, row, action);
             if (i % 165 == 0)
-                scheme->onRefresh(i * 54, action);
+                scheme->onRefresh(Cycle{i * 54}, action);
             for (Row v : action.victimRows) {
                 if (v == x - 5) {
                     ++outer;

@@ -21,9 +21,9 @@ void
 BM_CounterTableHit(benchmark::State &state)
 {
     core::CounterTable table(81);
-    table.processActivation(42);
+    table.processActivation(Row{42});
     for (auto _ : state)
-        benchmark::DoNotOptimize(table.processActivation(42));
+        benchmark::DoNotOptimize(table.processActivation(Row{42}));
 }
 BENCHMARK(BM_CounterTableHit);
 
@@ -32,11 +32,11 @@ BM_CounterTableSpill(benchmark::State &state)
 {
     core::CounterTable table(81);
     // Fill every slot beyond the spillover value so misses spill.
-    for (Row r = 0; r < 81; ++r) {
+    for (Row r{}; r.value() < 81; ++r) {
         table.processActivation(r);
         table.processActivation(r);
     }
-    Row miss = 1000;
+    Row miss{1000};
     for (auto _ : state)
         benchmark::DoNotOptimize(table.processActivation(miss++));
 }
@@ -48,10 +48,10 @@ BM_CounterTableReplaceHeavy(benchmark::State &state)
     // Round-robin over more rows than entries: the worst-case mix of
     // replacements and spills.
     core::CounterTable table(81);
-    Row r = 0;
+    Row r{};
     for (auto _ : state) {
         benchmark::DoNotOptimize(table.processActivation(r));
-        r = (r + 1) % 200;
+        r = Row{(r.value() + 1) % 200};
     }
 }
 BENCHMARK(BM_CounterTableReplaceHeavy);
@@ -64,13 +64,13 @@ BM_SchemeOnActivate(benchmark::State &state)
     auto scheme = schemes::makeScheme(spec);
     Rng rng(1);
     RefreshAction action;
-    Cycle cycle = 0;
+    Cycle cycle{};
     for (auto _ : state) {
         action.clear();
-        scheme->onActivate(cycle, static_cast<Row>(
-                                      rng.nextRange(65536)),
-                           action);
-        cycle += 54;
+        scheme->onActivate(
+            cycle, Row{static_cast<Row::rep>(rng.nextRange(65536))},
+            action);
+        cycle += Cycle{54};
         benchmark::DoNotOptimize(action);
     }
     state.SetLabel(scheme->name());
@@ -92,11 +92,11 @@ BM_GrapheneHammerLoop(benchmark::State &state)
     config.resetWindowDivisor = 2;
     core::Graphene graphene(config);
     RefreshAction action;
-    Cycle cycle = 0;
+    Cycle cycle{};
     for (auto _ : state) {
         action.clear();
-        graphene.onActivate(cycle, 12345, action);
-        cycle += 54;
+        graphene.onActivate(cycle, Row{12345}, action);
+        cycle += Cycle{54};
         benchmark::DoNotOptimize(action);
     }
 }

@@ -40,7 +40,7 @@ main()
             table.row({std::to_string(n),
                        uniform ? "uniform" : "1/i^2",
                        TablePrinter::num(c.muFactor(), 4),
-                       std::to_string(c.trackingThreshold()),
+                       std::to_string(c.trackingThreshold().value()),
                        std::to_string(c.numEntries()),
                        std::to_string(cost.camBits),
                        std::to_string(

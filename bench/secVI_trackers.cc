@@ -47,17 +47,17 @@ drive(core::TrackerScheme &scheme, const core::GrapheneConfig &config,
 
     StreamResult result;
     RefreshAction action;
-    const std::uint64_t acts = config.maxActsPerWindow();
+    const std::uint64_t acts = config.maxActsPerWindow().value();
     for (std::uint64_t i = 0; i < acts; ++i) {
         const Row row = next_row(i);
-        fault.onActivate(i, row);
+        fault.onActivate(Cycle{i}, row);
         action.clear();
-        scheme.onActivate(i * 54, row, action);
+        scheme.onActivate(Cycle{i * 54}, row, action);
         for (Row aggressor : action.nrrAggressors) {
             ++result.nrrEvents;
-            if (aggressor >= 1)
+            if (aggressor.value() >= 1)
                 fault.onRowRefresh(aggressor - 1);
-            if (aggressor + 1 < 65536)
+            if (aggressor.value() + 1 < 65536)
                 fault.onRowRefresh(aggressor + 1);
         }
     }
@@ -95,14 +95,14 @@ main()
         auto scheme_zipf = make_scheme();
         const StreamResult zipf_result =
             drive(scheme_zipf, config, [&](std::uint64_t) {
-                return static_cast<Row>(zipf.sample(rng) * 4 % 65536);
+                return Row{static_cast<Row::rep>(zipf.sample(rng) * 4 % 65536)};
             });
 
         // Adversarial: 80 rows round-robin (drives MG to T).
         auto scheme_worst = make_scheme();
         const StreamResult worst_result =
             drive(scheme_worst, config, [](std::uint64_t i) {
-                return static_cast<Row>(100 + (i % 80) * 7);
+                return Row{static_cast<Row::rep>(100 + (i % 80) * 7)};
             });
 
         // Single-row hammer.

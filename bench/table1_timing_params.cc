@@ -19,13 +19,15 @@ main()
     TablePrinter table("Table I: DDR4 refresh parameters (JEDEC)");
     table.header({"Term", "Definition", "Value", "Paper"});
     table.row({"tREFI", "Refresh interval",
-               TablePrinter::num(t.tREFI / 1000.0) + " us", "7.8 us"});
+               TablePrinter::num(t.tREFI.value() / 1000.0) + " us",
+               "7.8 us"});
     table.row({"tRFC", "Refresh command time",
-               TablePrinter::num(t.tRFC) + " ns", "350 ns"});
+               TablePrinter::num(t.tRFC.value()) + " ns", "350 ns"});
     table.row({"tRC", "ACT to ACT interval",
-               TablePrinter::num(t.tRC) + " ns", "45 ns"});
+               TablePrinter::num(t.tRC.value()) + " ns", "45 ns"});
     table.row({"tREFW", "Refresh window",
-               TablePrinter::num(t.tREFW / 1e6) + " ms", "64 ms"});
+               TablePrinter::num(t.tREFW.value() / 1e6) + " ms",
+               "64 ms"});
     table.print(std::cout);
 
     TablePrinter derived("Derived quantities");
@@ -37,7 +39,7 @@ main()
     derived.row({"Bank availability (1 - tRFC/tREFI)",
                  TablePrinter::pct(1.0 - t.tRFC / t.tREFI), "~95.5%"});
     derived.row({"Max ACTs per bank per tREFW (W)",
-                 std::to_string(t.maxActsInWindow(1)), "1,360K"});
+                 std::to_string(t.maxActsInWindow(1).value()), "1,360K"});
     derived.print(std::cout);
     return 0;
 }

@@ -27,9 +27,9 @@ main()
     table.row({"T_RH", "Row Hammer threshold",
                std::to_string(base.rowHammerThreshold), "50K"});
     table.row({"W", "Max ACTs in a reset window",
-               std::to_string(base.maxActsPerWindow()), "1,360K"});
+               std::to_string(base.maxActsPerWindow().value()), "1,360K"});
     table.row({"T", "Threshold for aggressor tracking",
-               std::to_string(base.trackingThreshold()), "12.5K"});
+               std::to_string(base.trackingThreshold().value()), "12.5K"});
     table.row({"Nentry", "Number of table entries",
                std::to_string(base.numEntries()), "108"});
     table.print(std::cout);
@@ -42,9 +42,9 @@ main()
     TablePrinter optimized(
         "Optimized configuration (Section IV-C, k = 2)");
     optimized.header({"Term", "Derived", "Paper"});
-    optimized.row({"W", std::to_string(opt.maxActsPerWindow()),
+    optimized.row({"W", std::to_string(opt.maxActsPerWindow().value()),
                    "680K"});
-    optimized.row({"T", std::to_string(opt.trackingThreshold()),
+    optimized.row({"T", std::to_string(opt.trackingThreshold().value()),
                    "8,333"});
     optimized.row({"Nentry", std::to_string(opt.numEntries()), "81"});
     optimized.row({"Bits per entry",

@@ -38,7 +38,7 @@ main()
     table.print(std::cout);
 
     const auto timing = dram::TimingParams::ddr4_2400();
-    const std::uint64_t w = timing.maxActsInWindow(1);
+    const std::uint64_t w = timing.maxActsInWindow(1).value();
 
     TablePrinter derived("Derived ratios (Section V-B)");
     derived.header({"Quantity", "Value", "Paper"});

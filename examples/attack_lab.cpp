@@ -62,7 +62,7 @@ parsePattern(const std::string &name, std::uint64_t rows)
         return patterns::s3(rows);
     if (name == "double")
         return std::make_unique<DoubleSidedPattern>(
-            static_cast<Row>(rows / 2));
+            Row{static_cast<Row::rep>(rows / 2)});
     if (name == "s1")
         return patterns::s1(10, rows, 1);
     if (name == "s2")
@@ -70,10 +70,10 @@ parsePattern(const std::string &name, std::uint64_t rows)
     if (name == "s4")
         return patterns::s4(rows, 3);
     if (name == "prohit-adv")
-        return patterns::proHitAdversarial(static_cast<Row>(rows / 2));
+        return patterns::proHitAdversarial(Row{static_cast<Row::rep>(rows / 2)});
     if (name == "mrloc-adv")
-        return patterns::mrLocAdversarial(static_cast<Row>(rows / 4),
-                                          16);
+        return patterns::mrLocAdversarial(
+            Row{static_cast<Row::rep>(rows / 4)}, Row{16});
     if (name.rfind("trace:", 0) == 0) {
         const std::string path = name.substr(6);
         std::ifstream file(path);

@@ -51,7 +51,7 @@ main(int argc, char **argv)
                 c.worstCaseVictimRowsPerRefw(), 1, 1.0);
             table.row(
                 {std::to_string(k), std::to_string(n),
-                 std::to_string(c.trackingThreshold()),
+                 std::to_string(c.trackingThreshold().value()),
                  std::to_string(c.numEntries()),
                  std::to_string(cost.camBits),
                  TablePrinter::num(model::AreaModel::mm2(cost, 16),

@@ -29,10 +29,10 @@ main()
 
     std::cout << "Derived configuration:\n"
               << "  tracking threshold T = "
-              << config.trackingThreshold() << "\n"
+              << config.trackingThreshold().value() << "\n"
               << "  table entries Nentry = " << config.numEntries()
               << "\n  max ACTs per window W = "
-              << config.maxActsPerWindow() << "\n\n";
+              << config.maxActsPerWindow().value() << "\n\n";
 
     // 2. Instantiate the per-bank scheme.
     core::Graphene graphene(config);
@@ -41,20 +41,22 @@ main()
     //    tRC = 54 cycles) and apply whatever refreshes Graphene asks
     //    for. In a real memory controller this hook runs on every
     //    ACT command.
-    const Row aggressor = 0x1337;
+    const Row aggressor{0x1337};
     RefreshAction action;
     std::uint64_t nrr_count = 0;
 
     for (std::uint64_t i = 1; i <= 100000; ++i) {
         action.clear();
-        graphene.onActivate(/*cycle=*/i * 54, aggressor, action);
+        graphene.onActivate(/*cycle=*/Cycle{i * 54}, aggressor,
+                            action);
         for (Row row : action.nrrAggressors) {
             ++nrr_count;
             if (nrr_count <= 3) {
                 std::cout << "ACT #" << i << ": NRR on row 0x"
-                          << std::hex << row << std::dec
-                          << " -> victims 0x" << std::hex << row - 1
-                          << " and 0x" << row + 1 << std::dec
+                          << std::hex << row.value() << std::dec
+                          << " -> victims 0x" << std::hex
+                          << row.value() - 1 << " and 0x"
+                          << row.value() + 1 << std::dec
                           << " refreshed\n";
             }
         }
@@ -64,7 +66,7 @@ main()
     //    so the victim rows never absorbed T_RH disturbances.
     std::cout << "...\n"
               << nrr_count << " NRRs over 100000 ACTs (one per T = "
-              << config.trackingThreshold() << " activations)\n"
+              << config.trackingThreshold().value() << " activations)\n"
               << "table cost: " << graphene.cost().camBits
               << " CAM bits per bank\n";
     return 0;

@@ -47,8 +47,8 @@ capture(const std::string &app, const std::string &path, double ms)
     dram::Geometry geometry;
     const dram::AddressMapper mapper(geometry);
     const auto timing = dram::TimingParams::ddr4_2400();
-    const auto horizon =
-        static_cast<Cycle>(ms * 1e6 / timing.tCK);
+    const auto horizon = Cycle{
+        static_cast<std::uint64_t>(ms * 1e6 / timing.tCK.value())};
 
     const workloads::WorkloadSpec workload =
         app == "mix-high" ? workloads::mixHigh(16, 42)
@@ -90,7 +90,7 @@ replay(const std::string &path, const std::string &scheme,
     table.row({"Mean latency (cycles)",
                TablePrinter::num(r.meanLatency, 4)});
     table.row({"Max latency (cycles)",
-               std::to_string(r.maxLatency)});
+               std::to_string(r.maxLatency.value())});
     table.row({"Victim rows refreshed",
                std::to_string(r.victimRowsRefreshed)});
     table.row({"Bit flips", std::to_string(r.bitFlips)});

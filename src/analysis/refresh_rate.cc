@@ -17,7 +17,7 @@ evaluateRefreshRate(const dram::TimingParams &timing,
     RefreshRateResult result;
     result.multiplier = multiplier;
 
-    const double refi = timing.tREFI / multiplier;
+    const Nanoseconds refi = timing.tREFI / multiplier;
     result.bankTimeLost = timing.tRFC / refi;
     result.feasible = result.bankTimeLost < 1.0;
     result.energyMultiplier = static_cast<double>(multiplier);
@@ -33,8 +33,9 @@ evaluateRefreshRate(const dram::TimingParams &timing,
     // worst case is double-sided, halving the budget per aggressor
     // but not the victim's exposure, so the victim-side budget is
     // what must stay below T_RH.
-    const double window = timing.tREFW / multiplier;
-    const double available = window * (1.0 - result.bankTimeLost);
+    const Nanoseconds window = timing.tREFW / multiplier;
+    const Nanoseconds available =
+        window * (1.0 - result.bankTimeLost);
     result.maxActsBetweenRefreshes =
         static_cast<std::uint64_t>(available / timing.tRC);
     result.protects =

@@ -33,7 +33,7 @@ class UniformPattern : public ActPattern
     Row
     next() override
     {
-        return static_cast<Row>(_rng.nextRange(_numRows));
+        return Row{static_cast<Row::rep>(_rng.nextRange(_numRows))};
     }
 
   private:
@@ -60,7 +60,7 @@ class ZipfPattern : public ActPattern
     Row
     next() override
     {
-        return static_cast<Row>(_sampler.sample(_rng));
+        return Row{static_cast<Row::rep>(_sampler.sample(_rng))};
     }
 
   private:
@@ -93,13 +93,12 @@ class DoubleSidedWavePattern : public ActPattern
     Row
     next() override
     {
-        const Row out = _upper ? static_cast<Row>(_victim + 1)
-                               : static_cast<Row>(_victim - 1);
+        const Row out = _upper ? _victim + 1 : _victim - 1;
         _upper = !_upper;
         if (++_count >= _burst) {
             _count = 0;
-            _victim += 3;
-            if (_victim + 1 >= _numRows)
+            _victim = _victim + 3;
+            if (_victim.value() + 1 >= _numRows)
                 _victim = pickStart();
         }
         return out;
@@ -109,13 +108,14 @@ class DoubleSidedWavePattern : public ActPattern
     Row
     pickStart()
     {
-        return static_cast<Row>(1 + _rng.nextRange(_numRows / 4));
+        return Row{
+            static_cast<Row::rep>(1 + _rng.nextRange(_numRows / 4))};
     }
 
     std::uint64_t _numRows;
     std::uint64_t _burst;
     Rng _rng;
-    Row _victim = 1;
+    Row _victim{1};
     std::uint64_t _count = 0;
     bool _upper = false;
 };
@@ -157,7 +157,7 @@ class ThresholdStraddlePattern : public ActPattern
         _rows.clear();
         for (unsigned i = 0; i < _group; ++i)
             _rows.push_back(
-                static_cast<Row>(_rng.nextRange(_numRows)));
+                Row{static_cast<Row::rep>(_rng.nextRange(_numRows))});
         _idx = 0;
         // Round-robin until every row in the group has exactly T
         // activations.
@@ -186,7 +186,7 @@ class ResetStraddlePattern : public ActPattern
                          std::uint64_t num_rows, std::uint64_t seed)
         : _resetEvery(reset_every), _half(half_burst),
           _numRows(num_rows), _rng(seed),
-          _hot(static_cast<Row>(_rng.nextRange(num_rows)))
+          _hot(Row{static_cast<Row::rep>(_rng.nextRange(num_rows))})
     {
     }
 
@@ -201,7 +201,7 @@ class ResetStraddlePattern : public ActPattern
             if (pos >= _resetEvery - _half || pos < _half)
                 return _hot;
         }
-        return static_cast<Row>(_rng.nextRange(_numRows));
+        return Row{static_cast<Row::rep>(_rng.nextRange(_numRows))};
     }
 
   private:
@@ -227,9 +227,9 @@ class StrideAliasPattern : public ActPattern
     {
         const std::uint64_t base = _rng.nextRange(num_rows);
         for (unsigned i = 0; i < std::max(1u, hot_rows); ++i)
-            _hot.push_back(static_cast<Row>(
+            _hot.push_back(Row{static_cast<Row::rep>(
                 (base + static_cast<std::uint64_t>(i) * 4097) %
-                num_rows));
+                num_rows)});
     }
 
     std::string name() const override { return "stride-alias"; }
@@ -238,7 +238,8 @@ class StrideAliasPattern : public ActPattern
     next() override
     {
         if (_rng.bernoulli(0.1))
-            return static_cast<Row>(_rng.nextRange(_numRows));
+            return Row{
+                static_cast<Row::rep>(_rng.nextRange(_numRows))};
         const Row out = _hot[_idx];
         _idx = (_idx + 1) % _hot.size();
         return out;
@@ -265,7 +266,7 @@ standardFamilies()
 
     std::vector<StreamFamily> families;
     auto add = [&families](std::string name, auto fn) {
-        families.push_back({std::move(name), fn});
+        families.push_back(StreamFamily{std::move(name), fn});
     };
 
     add("uniform", [](const ModelCheckConfig &c, std::uint64_t seed) {
@@ -288,7 +289,7 @@ standardFamilies()
             -> std::unique_ptr<ActPattern> {
             Rng rng(seed);
             return std::make_unique<workloads::SingleRowPattern>(
-                static_cast<Row>(rng.nextRange(c.numRows)));
+                Row{static_cast<Row::rep>(rng.nextRange(c.numRows))});
         });
     add("round-robin-hot",
         [](const ModelCheckConfig &c, std::uint64_t seed) {
@@ -323,16 +324,16 @@ standardFamilies()
     add("prohit-adversarial",
         [](const ModelCheckConfig &c, std::uint64_t seed) {
             Rng rng(seed);
-            const Row x = static_cast<Row>(
-                8 + rng.nextRange(c.numRows - 16));
+            const Row x{static_cast<Row::rep>(
+                8 + rng.nextRange(c.numRows - 16))};
             return proHitAdversarial(x);
         });
     add("mrloc-adversarial",
         [](const ModelCheckConfig &c, std::uint64_t seed) {
             Rng rng(seed);
-            const Row base = static_cast<Row>(
-                rng.nextRange(c.numRows / 2));
-            return mrLocAdversarial(base, 16);
+            const Row base{static_cast<Row::rep>(
+                rng.nextRange(c.numRows / 2))};
+            return mrLocAdversarial(base, Row{16});
         });
     add("counter-worst-case",
         [](const ModelCheckConfig &c, std::uint64_t seed) {
@@ -515,9 +516,10 @@ ModelChecker::runStream(const StreamFamily &family, std::uint64_t seed,
     // P1/P2 for one row against the exact reference.
     auto checkRow = [&](Row row, std::uint64_t step) {
         const std::uint64_t actual = exact.count(row);
-        const std::uint64_t estimate = tracker.estimatedCount(row);
-        const double bound =
-            tracker.overestimateBound(exact.streamLength());
+        const std::uint64_t estimate =
+            tracker.estimatedCount(row).value();
+        const double bound = tracker.overestimateBound(
+            ActCount{exact.streamLength()});
         ++report.checks;
         if (estimate == 0) {
             if (static_cast<double>(actual) > bound) {
@@ -547,7 +549,7 @@ ModelChecker::runStream(const StreamFamily &family, std::uint64_t seed,
     auto checkWindow = [&](std::uint64_t step) {
         ++report.checks;
         if (props.monotoneEstimates && window_nrr * t > window_acts) {
-            violation("P4-refresh-count", step, kInvalidRow,
+            violation("P4-refresh-count", step, Row::invalid(),
                       std::to_string(window_nrr) +
                           " refreshes in a window of " +
                           std::to_string(window_acts) +
@@ -583,7 +585,8 @@ ModelChecker::runStream(const StreamFamily &family, std::uint64_t seed,
         }
 
         const Row row = pattern->next();
-        const std::uint64_t after = tracker.processActivation(row);
+        const std::uint64_t after =
+            tracker.processActivation(row).value();
         exact.processActivation(row);
         ++window_acts;
         ++stream_acts;
@@ -633,7 +636,7 @@ ModelChecker::runStream(const StreamFamily &family, std::uint64_t seed,
     ++report.checks;
     if (total_nrr > stream_acts) {
         violation("P4-refresh-count", _config.streamLength,
-                  kInvalidRow,
+                  Row::invalid(),
                   "more refreshes than activations");
     }
     ++report.streams;

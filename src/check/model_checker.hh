@@ -146,7 +146,7 @@ struct Violation
     std::string property; ///< "P1-underestimate", ...
     std::uint64_t seed = 0;
     std::uint64_t step = 0; ///< Activation index within the stream.
-    Row row = kInvalidRow;  ///< Row the property failed for.
+    Row row = Row::invalid(); ///< Row the property failed for.
     std::string detail;     ///< Human-readable specifics.
 };
 

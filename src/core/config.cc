@@ -31,22 +31,23 @@ GrapheneConfig::validate() const
     for (double m : mu)
         if (m <= 0.0 || m > 1.0)
             fatal("graphene config: coefficients must lie in (0, 1]");
-    if (trackingThreshold() == 0)
+    if (trackingThreshold() == ActCount{})
         fatal("graphene config: derived tracking threshold is zero; "
               "T_RH too small for this k and blast radius");
 }
 
-std::uint64_t
+ActCount
 GrapheneConfig::trackingThreshold() const
 {
     const double f = muFactor();
     const double k = static_cast<double>(resetWindowDivisor);
     const double t = static_cast<double>(rowHammerThreshold) /
                      (2.0 * (k + 1.0) * f);
-    return static_cast<std::uint64_t>(std::floor(t + 1e-9));
+    return ActCount{
+        static_cast<std::uint64_t>(std::floor(t + 1e-9))};
 }
 
-std::uint64_t
+ActCount
 GrapheneConfig::maxActsPerWindow() const
 {
     return timing.maxActsInWindow(resetWindowDivisor);
@@ -55,9 +56,9 @@ GrapheneConfig::maxActsPerWindow() const
 unsigned
 GrapheneConfig::numEntries() const
 {
-    const std::uint64_t w = maxActsPerWindow();
-    const std::uint64_t t = trackingThreshold();
-    if (t == 0)
+    const ActCount w = maxActsPerWindow();
+    const ActCount t = trackingThreshold();
+    if (t == ActCount{})
         fatal("graphene config: tracking threshold underflow");
     // Smallest integer strictly greater than W/T - 1; equals
     // floor(W/T) both when T divides W and when it does not.
@@ -73,8 +74,8 @@ GrapheneConfig::resetWindowCycles() const
 std::uint64_t
 GrapheneConfig::worstCaseVictimRowsPerRefw() const
 {
-    const std::uint64_t w = maxActsPerWindow();
-    const std::uint64_t t = trackingThreshold();
+    const ActCount w = maxActsPerWindow();
+    const ActCount t = trackingThreshold();
     const std::uint64_t hits_per_window = w / t;
     return hits_per_window * 2ULL * blastRadius * resetWindowDivisor;
 }

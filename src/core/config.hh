@@ -53,10 +53,10 @@ struct GrapheneConfig
     double muFactor() const;
 
     /** Tracking threshold T. */
-    std::uint64_t trackingThreshold() const;
+    ActCount trackingThreshold() const;
 
     /** Maximum ACTs per reset window, W. */
-    std::uint64_t maxActsPerWindow() const;
+    ActCount maxActsPerWindow() const;
 
     /** Required number of table entries, Nentry. */
     unsigned numEntries() const;

@@ -16,12 +16,11 @@ CounterTable::CounterTable(unsigned num_entries)
     // All slots start at count 0; they live in bucket 0 so the first
     // misses naturally claim them (count 0 == initial spillover 0).
     for (unsigned i = 0; i < num_entries; ++i)
-        _buckets[0].insert(i);
+        _buckets[ActCount{}].insert(i);
 }
 
 void
-CounterTable::moveBucket(unsigned slot, std::uint64_t from,
-                         std::uint64_t to)
+CounterTable::moveBucket(unsigned slot, ActCount from, ActCount to)
 {
     auto it = _buckets.find(from);
     if (it == _buckets.end() || it->second.erase(slot) == 0)
@@ -44,7 +43,7 @@ CounterTable::processActivation(Row addr)
         GRAPHENE_EXPECTS(e.count >= _spillover,
                          "resident count below spillover (Lemma 1 "
                          "precondition)");
-        moveBucket(hit->second, e.count, e.count + 1);
+        moveBucket(hit->second, e.count, e.count + ActCount{1});
         ++e.count;
         result.hit = true;
         result.estimatedCount = e.count;
@@ -59,20 +58,21 @@ CounterTable::processActivation(Row addr)
         // spillover count; the old count carries over (+1).
         const unsigned slot = *bucket->second.begin();
         Entry &e = _entries[slot];
-        if (e.addr != kInvalidRow)
+        if (e.addr.isValid())
             _index.erase(e.addr);
         else
             ++_occupied;
         GRAPHENE_EXPECTS(e.count == _spillover,
                          "replacement candidate must sit exactly at "
                          "the spillover count (Figure 1 flow)");
-        moveBucket(slot, e.count, e.count + 1);
+        moveBucket(slot, e.count, e.count + ActCount{1});
         e.addr = addr;
         ++e.count;
         _index.emplace(addr, slot);
         result.inserted = true;
         result.estimatedCount = e.count;
-        GRAPHENE_ENSURES(result.estimatedCount == _spillover + 1,
+        GRAPHENE_ENSURES(result.estimatedCount ==
+                             _spillover + ActCount{1},
                          "inserted count must carry spillover + 1");
         return result;
     }
@@ -95,12 +95,13 @@ CounterTable::reset()
     _buckets.clear();
     for (unsigned i = 0; i < _entries.size(); ++i) {
         _entries[i] = Entry{};
-        _buckets[0].insert(i);
+        _buckets[ActCount{}].insert(i);
     }
-    _spillover = 0;
-    _streamLength = 0;
+    _spillover = ActCount{};
+    _streamLength = ActCount{};
     _occupied = 0;
-    GRAPHENE_ENSURES(_index.empty() && minEstimatedCount() == 0,
+    GRAPHENE_ENSURES(_index.empty() &&
+                         minEstimatedCount() == ActCount{},
                      "reset must clear all tracked state");
 }
 
@@ -110,17 +111,17 @@ CounterTable::contains(Row addr) const
     return _index.find(addr) != _index.end();
 }
 
-std::uint64_t
+ActCount
 CounterTable::estimatedCount(Row addr) const
 {
     auto it = _index.find(addr);
-    return it == _index.end() ? 0 : _entries[it->second].count;
+    return it == _index.end() ? ActCount{} : _entries[it->second].count;
 }
 
-std::uint64_t
+ActCount
 CounterTable::minEstimatedCount() const
 {
-    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    ActCount min = ActCount::max();
     for (const auto &e : _entries)
         min = e.count < min ? e.count : min;
     return min;
@@ -139,7 +140,7 @@ CounterTable::checkInvariants() const
                    "spillover exceeded W / (Nentry + 1)");
 
     // Conservation: spillover + sum(counts) == streamLength.
-    std::uint64_t sum = _spillover;
+    ActCount sum = _spillover;
     for (const auto &e : _entries)
         sum += e.count;
     GRAPHENE_CHECK(sum == _streamLength,

@@ -49,8 +49,8 @@ class CounterTable
     /** One associative entry. */
     struct Entry
     {
-        Row addr = kInvalidRow;
-        std::uint64_t count = 0;
+        Row addr = Row::invalid();
+        ActCount count{};
     };
 
     /** Outcome of one processActivation() call. */
@@ -60,7 +60,7 @@ class CounterTable
         bool inserted = false; ///< Address replaced an entry.
         bool spilled = false;  ///< Spillover count incremented.
         /** Estimated count after the update (0 when spilled). */
-        std::uint64_t estimatedCount = 0;
+        ActCount estimatedCount{};
     };
 
     /** @param num_entries table capacity Nentry (must be > 0). */
@@ -72,13 +72,13 @@ class CounterTable
     /** Clear the table and the spillover register (window reset). */
     void reset();
 
-    std::uint64_t spilloverCount() const { return _spillover; }
+    ActCount spilloverCount() const { return _spillover; }
 
     /** @return true if @p addr currently occupies an entry. */
     bool contains(Row addr) const;
 
     /** Estimated count of @p addr, or 0 when absent. */
-    std::uint64_t estimatedCount(Row addr) const;
+    ActCount estimatedCount(Row addr) const;
 
     unsigned numEntries() const
     {
@@ -89,10 +89,10 @@ class CounterTable
     unsigned occupied() const { return _occupied; }
 
     /** Total activations processed since the last reset. */
-    std::uint64_t streamLength() const { return _streamLength; }
+    ActCount streamLength() const { return _streamLength; }
 
     /** Smallest estimated count over all entries (for invariants). */
-    std::uint64_t minEstimatedCount() const;
+    ActCount minEstimatedCount() const;
 
     const std::vector<Entry> &entries() const { return _entries; }
 
@@ -104,16 +104,16 @@ class CounterTable
     void checkInvariants() const;
 
   private:
-    void moveBucket(unsigned slot, std::uint64_t from, std::uint64_t to);
+    void moveBucket(unsigned slot, ActCount from, ActCount to);
 
     std::vector<Entry> _entries;
     /// Map from row address to slot index.
     std::unordered_map<Row, unsigned> _index;
     /// Map from count value to the set of slots holding that count.
-    std::unordered_map<std::uint64_t, std::unordered_set<unsigned>>
+    std::unordered_map<ActCount, std::unordered_set<unsigned>>
         _buckets;
-    std::uint64_t _spillover = 0;
-    std::uint64_t _streamLength = 0;
+    ActCount _spillover{};
+    ActCount _streamLength{};
     unsigned _occupied = 0;
 };
 

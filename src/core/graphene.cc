@@ -32,7 +32,7 @@ Graphene::Graphene(const GrapheneConfig &config,
       _table(config.numEntries())
 {
     _config.validate();
-    if (_windowCycles == 0)
+    if (_windowCycles == Cycle{})
         fatal("graphene: empty reset window");
 }
 
@@ -45,7 +45,7 @@ Graphene::name() const
 void
 Graphene::maybeReset(Cycle cycle)
 {
-    const std::uint64_t idx = cycle / _windowCycles;
+    const RefWindow idx{cycle / _windowCycles};
     GRAPHENE_EXPECTS(idx >= _windowIdx,
                      "activation cycle ran backwards across a reset "
                      "window boundary");
@@ -76,7 +76,7 @@ Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
     // below T (inserts, since spillover < T by Lemma 2 and the table
     // sizing), so every multiple of T is observed exactly when it is
     // reached.
-    if (r.estimatedCount % _threshold == 0) {
+    if (r.estimatedCount % _threshold == ActCount{}) {
         action.nrrAggressors.push_back(row);
         ++_victimRefreshEvents;
         GRAPHENE_ENSURES(action.nrrAggressors.back() == row,
@@ -94,15 +94,15 @@ TableCost
 Graphene::costFor(const GrapheneConfig &config,
                   std::uint64_t rows_per_bank, bool optimized)
 {
-    const std::uint64_t t = config.trackingThreshold();
-    const std::uint64_t w = config.maxActsPerWindow();
+    const ActCount t = config.trackingThreshold();
+    const ActCount w = config.maxActsPerWindow();
     const unsigned entries = config.numEntries();
 
     const unsigned addr_bits = bitsFor(rows_per_bank - 1);
     // Raw counts must reach W; the overflow-bit optimisation caps the
     // counter at T and adds one sticky overflow bit (Section IV-B).
     const unsigned count_bits =
-        optimized ? bitsFor(t - 1) + 1 : bitsFor(w);
+        optimized ? bitsFor(t.value() - 1) + 1 : bitsFor(w.value());
 
     TableCost cost;
     cost.entries = entries;

@@ -46,7 +46,7 @@ class Graphene : public ProtectionScheme
     const CounterTable &table() const { return _table; }
 
     /** Tracking threshold T in use. */
-    std::uint64_t trackingThreshold() const { return _threshold; }
+    ActCount trackingThreshold() const { return _threshold; }
 
     /** Number of table resets performed so far. */
     std::uint64_t resetCount() const { return _resetCount; }
@@ -68,9 +68,9 @@ class Graphene : public ProtectionScheme
 
     GrapheneConfig _config;
     std::uint64_t _rowsPerBank;
-    std::uint64_t _threshold;
+    ActCount _threshold;
     Cycle _windowCycles;
-    std::uint64_t _windowIdx = 0;
+    RefWindow _windowIdx{};
     std::uint64_t _resetCount = 0;
     CounterTable _table;
 };

@@ -46,10 +46,10 @@ class AggressorTracker
      *         is absorbed by shared state such as the spillover
      *         counter).
      */
-    virtual std::uint64_t processActivation(Row row) = 0;
+    virtual ActCount processActivation(Row row) = 0;
 
     /** Current estimate for @p row (0 when untracked). */
-    virtual std::uint64_t estimatedCount(Row row) const = 0;
+    virtual ActCount estimatedCount(Row row) const = 0;
 
     /** Clear all state (reset-window boundary). */
     virtual void reset() = 0;
@@ -65,7 +65,7 @@ class AggressorTracker
      * by the ablation bench.
      */
     virtual double
-    overestimateBound(std::uint64_t stream_length) const = 0;
+    overestimateBound(ActCount stream_length) const = 0;
 };
 
 } // namespace core

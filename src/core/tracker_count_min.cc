@@ -28,7 +28,7 @@ std::size_t
 CountMinTracker::bucketIndex(unsigned sketch_row, Row row) const
 {
     // One splitmix64 pass per sketch row, seeded per row index.
-    std::uint64_t z = _config.seed + row +
+    std::uint64_t z = _config.seed + row.value() +
                       0x9e3779b97f4a7c15ULL * (sketch_row + 1);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -37,7 +37,7 @@ CountMinTracker::bucketIndex(unsigned sketch_row, Row row) const
            z % _config.width;
 }
 
-std::uint64_t
+ActCount
 CountMinTracker::processActivation(Row row)
 {
     ++_streamLength;
@@ -67,25 +67,25 @@ CountMinTracker::processActivation(Row row)
     // estimate (the row-wise minimum) can never undercount: the
     // sketch's no-false-negative foundation.
     GRAPHENE_ENSURES(min_after >= 1 &&
-                         min_after <= _streamLength,
+                         min_after <= _streamLength.value(),
                      "count-min estimate left [1, W] after an update");
-    return min_after;
+    return ActCount{min_after};
 }
 
-std::uint64_t
+ActCount
 CountMinTracker::estimatedCount(Row row) const
 {
     std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
     for (unsigned d = 0; d < _config.depth; ++d)
         min = std::min(min, _counters[bucketIndex(d, row)]);
-    return min;
+    return ActCount{min};
 }
 
 void
 CountMinTracker::reset()
 {
     std::fill(_counters.begin(), _counters.end(), 0);
-    _streamLength = 0;
+    _streamLength = ActCount{};
 }
 
 TableCost
@@ -101,11 +101,12 @@ CountMinTracker::cost(std::uint64_t rows_per_bank) const
 }
 
 double
-CountMinTracker::overestimateBound(std::uint64_t stream_length) const
+CountMinTracker::overestimateBound(ActCount stream_length) const
 {
     // Classic bound: with probability 1 - (1/2)^depth the estimate
     // error stays below 2 W / width (expected collisions per bucket).
-    return 2.0 * static_cast<double>(stream_length) / _config.width;
+    return 2.0 * static_cast<double>(stream_length.value()) /
+           _config.width;
 }
 
 } // namespace core

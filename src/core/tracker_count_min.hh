@@ -46,12 +46,12 @@ class CountMinTracker : public AggressorTracker
     explicit CountMinTracker(const CountMinConfig &config);
 
     std::string name() const override;
-    std::uint64_t processActivation(Row row) override;
-    std::uint64_t estimatedCount(Row row) const override;
+    ActCount processActivation(Row row) override;
+    ActCount estimatedCount(Row row) const override;
     void reset() override;
     TableCost cost(std::uint64_t rows_per_bank) const override;
     double
-    overestimateBound(std::uint64_t stream_length) const override;
+    overestimateBound(ActCount stream_length) const override;
 
     const CountMinConfig &config() const { return _config; }
 
@@ -60,7 +60,7 @@ class CountMinTracker : public AggressorTracker
 
     CountMinConfig _config;
     std::vector<std::uint64_t> _counters; ///< depth x width, row-major.
-    std::uint64_t _streamLength = 0;
+    ActCount _streamLength{};
 };
 
 } // namespace core

@@ -26,6 +26,7 @@ void
 LossyCountingTracker::pruneAtBoundary()
 {
     std::vector<Row> dead;
+    // lint: order-independent (collect-then-erase, per-entry test)
     for (const auto &kv : _table)
         if (kv.second.frequency + kv.second.delta <= _bucket)
             dead.push_back(kv.first);
@@ -34,7 +35,7 @@ LossyCountingTracker::pruneAtBoundary()
     ++_bucket;
 }
 
-std::uint64_t
+ActCount
 LossyCountingTracker::processActivation(Row row)
 {
     auto it = _table.find(row);
@@ -58,16 +59,16 @@ LossyCountingTracker::processActivation(Row row)
         _itemsInBucket = 0;
         pruneAtBoundary();
     }
-    return estimate;
+    return ActCount{estimate};
 }
 
-std::uint64_t
+ActCount
 LossyCountingTracker::estimatedCount(Row row) const
 {
     auto it = _table.find(row);
     return it == _table.end()
-               ? 0
-               : it->second.frequency + it->second.delta;
+               ? ActCount{}
+               : ActCount{it->second.frequency + it->second.delta};
 }
 
 void
@@ -105,11 +106,10 @@ LossyCountingTracker::cost(std::uint64_t rows_per_bank) const
 }
 
 double
-LossyCountingTracker::overestimateBound(
-    std::uint64_t stream_length) const
+LossyCountingTracker::overestimateBound(ActCount stream_length) const
 {
     // delta <= number of completed buckets.
-    return static_cast<double>(stream_length) /
+    return static_cast<double>(stream_length.value()) /
            static_cast<double>(_bucketWidth);
 }
 

@@ -40,12 +40,12 @@ class LossyCountingTracker : public AggressorTracker
     explicit LossyCountingTracker(std::uint64_t bucket_width);
 
     std::string name() const override;
-    std::uint64_t processActivation(Row row) override;
-    std::uint64_t estimatedCount(Row row) const override;
+    ActCount processActivation(Row row) override;
+    ActCount estimatedCount(Row row) const override;
     void reset() override;
     TableCost cost(std::uint64_t rows_per_bank) const override;
     double
-    overestimateBound(std::uint64_t stream_length) const override;
+    overestimateBound(ActCount stream_length) const override;
 
     std::size_t trackedRows() const { return _table.size(); }
     std::size_t peakTrackedRows() const { return _peak; }

@@ -30,7 +30,7 @@ MisraGriesTracker::name() const
     return "misra-gries";
 }
 
-std::uint64_t
+ActCount
 MisraGriesTracker::processActivation(Row row)
 {
     const CounterTable::Result r = _table.processActivation(row);
@@ -43,7 +43,7 @@ MisraGriesTracker::processActivation(Row row)
     return r.estimatedCount;
 }
 
-std::uint64_t
+ActCount
 MisraGriesTracker::estimatedCount(Row row) const
 {
     return _table.estimatedCount(row);
@@ -69,12 +69,12 @@ MisraGriesTracker::cost(std::uint64_t rows_per_bank) const
 }
 
 double
-MisraGriesTracker::overestimateBound(std::uint64_t stream_length) const
+MisraGriesTracker::overestimateBound(ActCount stream_length) const
 {
     // A tracked row's estimate exceeds its actual count by at most
     // the spillover bound W / (Nentry + 1): the carried-over count
     // at its last insertion.
-    return static_cast<double>(stream_length) /
+    return static_cast<double>(stream_length.value()) /
            (_table.numEntries() + 1.0);
 }
 

@@ -23,12 +23,12 @@ class MisraGriesTracker : public AggressorTracker
     explicit MisraGriesTracker(unsigned entries);
 
     std::string name() const override;
-    std::uint64_t processActivation(Row row) override;
-    std::uint64_t estimatedCount(Row row) const override;
+    ActCount processActivation(Row row) override;
+    ActCount estimatedCount(Row row) const override;
     void reset() override;
     TableCost cost(std::uint64_t rows_per_bank) const override;
     double
-    overestimateBound(std::uint64_t stream_length) const override;
+    overestimateBound(ActCount stream_length) const override;
 
     const CounterTable &table() const { return _table; }
 

@@ -35,8 +35,8 @@ allTrackerKinds()
 std::unique_ptr<AggressorTracker>
 makeTracker(TrackerKind kind, const GrapheneConfig &config)
 {
-    const std::uint64_t w = config.maxActsPerWindow();
-    const std::uint64_t t = config.trackingThreshold();
+    const std::uint64_t w = config.maxActsPerWindow().value();
+    const std::uint64_t t = config.trackingThreshold().value();
 
     switch (kind) {
       case TrackerKind::MisraGries:
@@ -97,7 +97,7 @@ TrackerScheme::name() const
 void
 TrackerScheme::maybeReset(Cycle cycle)
 {
-    const std::uint64_t idx = cycle / _windowCycles;
+    const RefWindow idx{cycle / _windowCycles};
     if (idx != _windowIdx) {
         _tracker->reset();
         _levels.clear();
@@ -110,8 +110,8 @@ TrackerScheme::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
     maybeReset(cycle);
 
-    const std::uint64_t after = _tracker->processActivation(row);
-    if (after == 0)
+    const ActCount after = _tracker->processActivation(row);
+    if (after == ActCount{})
         return; // absorbed by shared state (spillover)
 
     // Catch-up crossing rule (see the file comment): refresh when the

@@ -71,16 +71,16 @@ class TrackerScheme : public ProtectionScheme
     TableCost cost() const override;
 
     const AggressorTracker &tracker() const { return *_tracker; }
-    std::uint64_t trackingThreshold() const { return _threshold; }
+    ActCount trackingThreshold() const { return _threshold; }
 
   private:
     void maybeReset(Cycle cycle);
 
     std::unique_ptr<AggressorTracker> _tracker;
     GrapheneConfig _config;
-    std::uint64_t _threshold;
+    ActCount _threshold;
     Cycle _windowCycles;
-    std::uint64_t _windowIdx = 0;
+    RefWindow _windowIdx{};
     /// floor(estimate / T) at each row's last refresh this window.
     /// Only rows that have been refreshed carry an entry; for
     /// Misra-Gries this state is implicit in the counter itself, the

@@ -47,7 +47,7 @@ SpaceSavingTracker::moveBucket(unsigned slot, std::uint64_t from,
     _buckets[to].insert(slot);
 }
 
-std::uint64_t
+ActCount
 SpaceSavingTracker::processActivation(Row row)
 {
     ++_streamLength;
@@ -56,7 +56,7 @@ SpaceSavingTracker::processActivation(Row row)
     if (hit != _index.end()) {
         Entry &e = _entries[hit->second];
         moveBucket(hit->second, e.count, e.count + 1);
-        return ++e.count;
+        return ActCount{++e.count};
     }
 
     if (_entries.size() < _capacity) {
@@ -66,7 +66,7 @@ SpaceSavingTracker::processActivation(Row row)
         _buckets[1].insert(slot);
         GRAPHENE_ENSURES(_entries.size() <= _capacity,
                          "space saving grew past its capacity");
-        return 1;
+        return ActCount{1};
     }
 
     // Replace the minimum-count entry; the newcomer inherits its
@@ -82,14 +82,15 @@ SpaceSavingTracker::processActivation(Row row)
     e.addr = row;
     ++e.count;
     _index.emplace(row, slot);
-    return e.count;
+    return ActCount{e.count};
 }
 
-std::uint64_t
+ActCount
 SpaceSavingTracker::estimatedCount(Row row) const
 {
     auto it = _index.find(row);
-    return it == _index.end() ? 0 : _entries[it->second].count;
+    return it == _index.end() ? ActCount{}
+                              : ActCount{_entries[it->second].count};
 }
 
 void
@@ -101,12 +102,12 @@ SpaceSavingTracker::reset()
     _streamLength = 0;
 }
 
-std::uint64_t
+ActCount
 SpaceSavingTracker::minCount() const
 {
     if (_entries.size() < _capacity)
-        return 0;
-    return _buckets.begin()->first;
+        return ActCount{};
+    return ActCount{_buckets.begin()->first};
 }
 
 void
@@ -118,7 +119,7 @@ SpaceSavingTracker::checkInvariants() const
     GRAPHENE_CHECK(sum == _streamLength,
                    "space saving: count mass != stream length");
     GRAPHENE_CHECK(_streamLength == 0 ||
-                       minCount() * _capacity <= _streamLength,
+                       minCount().value() * _capacity <= _streamLength,
                    "space saving: minimum exceeds W / N");
 }
 
@@ -135,11 +136,10 @@ SpaceSavingTracker::cost(std::uint64_t rows_per_bank) const
 }
 
 double
-SpaceSavingTracker::overestimateBound(
-    std::uint64_t stream_length) const
+SpaceSavingTracker::overestimateBound(ActCount stream_length) const
 {
     // estimate - actual <= min at insertion <= W / N.
-    return static_cast<double>(stream_length) / _capacity;
+    return static_cast<double>(stream_length.value()) / _capacity;
 }
 
 } // namespace core

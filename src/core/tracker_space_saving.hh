@@ -39,18 +39,18 @@ class SpaceSavingTracker : public AggressorTracker
     explicit SpaceSavingTracker(unsigned entries);
 
     std::string name() const override;
-    std::uint64_t processActivation(Row row) override;
-    std::uint64_t estimatedCount(Row row) const override;
+    ActCount processActivation(Row row) override;
+    ActCount estimatedCount(Row row) const override;
     void reset() override;
     TableCost cost(std::uint64_t rows_per_bank) const override;
     double
-    overestimateBound(std::uint64_t stream_length) const override;
+    overestimateBound(ActCount stream_length) const override;
 
     /** Smallest count in the summary (0 while not yet full). */
-    std::uint64_t minCount() const;
+    ActCount minCount() const;
 
     unsigned capacity() const { return _capacity; }
-    std::uint64_t streamLength() const { return _streamLength; }
+    ActCount streamLength() const { return ActCount{_streamLength}; }
 
     /** Panic unless sum(counts) == stream length and the minimum is
      *  consistent (test hook). */

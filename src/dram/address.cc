@@ -1,5 +1,6 @@
 #include "dram/address.hh"
 
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -7,10 +8,54 @@
 namespace graphene {
 namespace dram {
 
+namespace {
+
+/** a * b, or a fatal error if the product does not fit in 64 bits. */
+std::uint64_t
+checkedMul(std::uint64_t a, std::uint64_t b, const char *what)
+{
+    if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a)
+        fatal("geometry: %s overflows 64 bits", what);
+    return a * b;
+}
+
+} // namespace
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    const std::uint64_t banks = totalBanks();
+    return checkedMul(checkedMul(banks, rowsPerBank, "banks x rows"),
+                      bytesPerRow, "capacity");
+}
+
+const char *
+mappingPolicyName(MappingPolicy policy)
+{
+    switch (policy) {
+      case MappingPolicy::ChannelInterleaved:
+        return "channel-interleaved";
+      case MappingPolicy::BankInterleaved:
+        return "bank-interleaved";
+      case MappingPolicy::RowContiguous:
+        return "row-contiguous";
+    }
+    return "?";
+}
+
+std::vector<MappingPolicy>
+allMappingPolicies()
+{
+    return {MappingPolicy::ChannelInterleaved,
+            MappingPolicy::BankInterleaved,
+            MappingPolicy::RowContiguous};
+}
+
 BankId
 DecodedAddr::flatBank(const Geometry &g) const
 {
-    return (channel * g.ranksPerChannel + rank) * g.banksPerRank + bank;
+    return BankId{(channel * g.ranksPerChannel + rank) * g.banksPerRank +
+                  bank};
 }
 
 std::string
@@ -22,31 +67,78 @@ DecodedAddr::toString() const
     return ss.str();
 }
 
-AddressMapper::AddressMapper(const Geometry &geometry) : _geometry(geometry)
+AddressMapper::AddressMapper(const Geometry &geometry,
+                             MappingPolicy policy)
+    : _geometry(geometry), _policy(policy)
 {
-    if (geometry.channels == 0 || geometry.banksPerRank == 0 ||
-        geometry.rowsPerBank == 0) {
+    if (geometry.channels == 0 || geometry.ranksPerChannel == 0 ||
+        geometry.banksPerRank == 0 || geometry.rowsPerBank == 0) {
         fatal("address mapper: degenerate geometry");
     }
+    if (geometry.bytesPerRow < _lineBytes ||
+        geometry.bytesPerRow % _lineBytes != 0) {
+        fatal("address mapper: bytesPerRow must be a multiple of the "
+              "%llu-byte line",
+              static_cast<unsigned long long>(_lineBytes));
+    }
+    // Row is a 32-bit id and all-ones is the invalid() sentinel; a
+    // geometry with more rows per bank than that would silently
+    // truncate in decode (or mint a "valid" sentinel row).
+    if (geometry.rowsPerBank >
+        static_cast<std::uint64_t>(Row::invalid().value())) {
+        fatal("address mapper: rowsPerBank exceeds the Row id space");
+    }
+    // Triggers the overflow audit for pathological geometries.
+    (void)geometry.capacityBytes();
 }
 
 DecodedAddr
 AddressMapper::decode(Addr addr) const
 {
     const Geometry &g = _geometry;
-    std::uint64_t line = addr / _lineBytes;
+    std::uint64_t line = addr.value() / _lineBytes;
     const std::uint64_t linesPerRow = g.bytesPerRow / _lineBytes;
 
     DecodedAddr d{};
-    d.channel = static_cast<unsigned>(line % g.channels);
-    line /= g.channels;
-    d.bank = static_cast<unsigned>(line % g.banksPerRank);
-    line /= g.banksPerRank;
-    d.rank = static_cast<unsigned>(line % g.ranksPerChannel);
-    line /= g.ranksPerChannel;
-    d.column = (line % linesPerRow) * _lineBytes + addr % _lineBytes;
-    line /= linesPerRow;
-    d.row = static_cast<Row>(line % g.rowsPerBank);
+    d.column = 0; // line-in-row merged below
+    std::uint64_t lineInRow = 0;
+
+    switch (_policy) {
+      case MappingPolicy::ChannelInterleaved:
+        d.channel = static_cast<unsigned>(line % g.channels);
+        line /= g.channels;
+        d.bank = static_cast<unsigned>(line % g.banksPerRank);
+        line /= g.banksPerRank;
+        d.rank = static_cast<unsigned>(line % g.ranksPerChannel);
+        line /= g.ranksPerChannel;
+        lineInRow = line % linesPerRow;
+        line /= linesPerRow;
+        d.row = Row{static_cast<Row::rep>(line % g.rowsPerBank)};
+        break;
+      case MappingPolicy::BankInterleaved:
+        d.bank = static_cast<unsigned>(line % g.banksPerRank);
+        line /= g.banksPerRank;
+        d.rank = static_cast<unsigned>(line % g.ranksPerChannel);
+        line /= g.ranksPerChannel;
+        d.channel = static_cast<unsigned>(line % g.channels);
+        line /= g.channels;
+        lineInRow = line % linesPerRow;
+        line /= linesPerRow;
+        d.row = Row{static_cast<Row::rep>(line % g.rowsPerBank)};
+        break;
+      case MappingPolicy::RowContiguous:
+        lineInRow = line % linesPerRow;
+        line /= linesPerRow;
+        d.row = Row{static_cast<Row::rep>(line % g.rowsPerBank)};
+        line /= g.rowsPerBank;
+        d.bank = static_cast<unsigned>(line % g.banksPerRank);
+        line /= g.banksPerRank;
+        d.rank = static_cast<unsigned>(line % g.ranksPerChannel);
+        line /= g.ranksPerChannel;
+        d.channel = static_cast<unsigned>(line % g.channels);
+        break;
+    }
+    d.column = lineInRow * _lineBytes + addr.value() % _lineBytes;
     return d;
 }
 
@@ -55,12 +147,33 @@ AddressMapper::encode(const DecodedAddr &d) const
 {
     const Geometry &g = _geometry;
     const std::uint64_t linesPerRow = g.bytesPerRow / _lineBytes;
-    std::uint64_t line = d.row;
-    line = line * linesPerRow + d.column / _lineBytes;
-    line = line * g.ranksPerChannel + d.rank;
-    line = line * g.banksPerRank + d.bank;
-    line = line * g.channels + d.channel;
-    return line * _lineBytes + d.column % _lineBytes;
+    const std::uint64_t lineInRow = d.column / _lineBytes;
+    std::uint64_t line = 0;
+
+    switch (_policy) {
+      case MappingPolicy::ChannelInterleaved:
+        line = d.row.value();
+        line = line * linesPerRow + lineInRow;
+        line = line * g.ranksPerChannel + d.rank;
+        line = line * g.banksPerRank + d.bank;
+        line = line * g.channels + d.channel;
+        break;
+      case MappingPolicy::BankInterleaved:
+        line = d.row.value();
+        line = line * linesPerRow + lineInRow;
+        line = line * g.channels + d.channel;
+        line = line * g.ranksPerChannel + d.rank;
+        line = line * g.banksPerRank + d.bank;
+        break;
+      case MappingPolicy::RowContiguous:
+        line = d.channel;
+        line = line * g.ranksPerChannel + d.rank;
+        line = line * g.banksPerRank + d.bank;
+        line = line * g.rowsPerBank + d.row.value();
+        line = line * linesPerRow + lineInRow;
+        break;
+    }
+    return Addr{line * _lineBytes + d.column % _lineBytes};
 }
 
 } // namespace dram

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -32,12 +33,41 @@ struct Geometry
         return channels * ranksPerChannel * banksPerRank;
     }
 
-    std::uint64_t capacityBytes() const
-    {
-        return static_cast<std::uint64_t>(totalBanks()) * rowsPerBank *
-               bytesPerRow;
-    }
+    /**
+     * Total capacity in bytes. Multiplies with overflow checking:
+     * a geometry whose capacity does not fit in 64 bits is a
+     * configuration error, reported instead of silently wrapped.
+     */
+    std::uint64_t capacityBytes() const;
 };
+
+/**
+ * How the line-interleaving fields are ordered inside a physical
+ * address. All policies keep the column (line offset within a row) in
+ * the low bits and are exact inverses of each other's decode/encode;
+ * they differ in which resource consecutive lines stripe across.
+ */
+enum class MappingPolicy
+{
+    /** row : rank : bank : channel : column — consecutive lines
+     *  stripe channels first, then banks (the throughput-oriented
+     *  default; the layout of the original reproduction). */
+    ChannelInterleaved,
+
+    /** row : channel : rank : bank : column — consecutive lines
+     *  stripe banks first, then channels. */
+    BankInterleaved,
+
+    /** channel : rank : bank : row : column — a whole bank's rows are
+     *  contiguous (page-contiguous baseline; minimal parallelism). */
+    RowContiguous,
+};
+
+/** Short name ("channel-interleaved", ...) for logs and sweeps. */
+const char *mappingPolicyName(MappingPolicy policy);
+
+/** All policies, for sweeps and property tests. */
+std::vector<MappingPolicy> allMappingPolicies();
 
 /** The (channel, rank, bank, row, column-offset) tuple of an access. */
 struct DecodedAddr
@@ -55,16 +85,17 @@ struct DecodedAddr
 };
 
 /**
- * Maps physical byte addresses to DRAM coordinates. The layout is
- * row : rank : bank : channel : column, i.e. consecutive cache lines
- * stripe across channels first, then banks, to maximise parallelism —
- * the usual choice for throughput-oriented controllers and the one
- * that makes per-bank ACT streams realistic.
+ * Maps physical byte addresses to DRAM coordinates under a
+ * MappingPolicy (default: channel-interleaved, the usual choice for
+ * throughput-oriented controllers and the one that makes per-bank ACT
+ * streams realistic).
  */
 class AddressMapper
 {
   public:
-    explicit AddressMapper(const Geometry &geometry);
+    explicit AddressMapper(
+        const Geometry &geometry,
+        MappingPolicy policy = MappingPolicy::ChannelInterleaved);
 
     DecodedAddr decode(Addr addr) const;
 
@@ -72,9 +103,11 @@ class AddressMapper
     Addr encode(const DecodedAddr &d) const;
 
     const Geometry &geometry() const { return _geometry; }
+    MappingPolicy policy() const { return _policy; }
 
   private:
     Geometry _geometry;
+    MappingPolicy _policy;
     std::uint64_t _lineBytes = 64;
 };
 

@@ -52,13 +52,13 @@ void
 Bank::issueAct(Cycle cycle, Row row)
 {
     if (isOpen())
-        panic("ACT to open bank (row %u open)", _openRow);
+        panic("ACT to open bank (row %u open)", _openRow.value());
     if (cycle < _actAllowedAt)
         panic("ACT at %llu before allowed %llu",
-              static_cast<unsigned long long>(cycle),
-              static_cast<unsigned long long>(_actAllowedAt));
-    if (row >= _numRows)
-        panic("ACT to out-of-range row %u", row);
+              static_cast<unsigned long long>(cycle.value()),
+              static_cast<unsigned long long>(_actAllowedAt.value()));
+    if (row.value() >= _numRows)
+        panic("ACT to out-of-range row %u", row.value());
 
     _openRow = row;
     _rwAllowedAt = cycle + _timing.cRCD();
@@ -99,7 +99,7 @@ Bank::issuePrecharge(Cycle cycle)
         panic("PRE with no open row");
     if (cycle < _preAllowedAt)
         panic("PRE issued before tRAS elapsed");
-    _openRow = kInvalidRow;
+    _openRow = Row::invalid();
     _actAllowedAt = std::max(_actAllowedAt, cycle + _timing.cRP());
     GRAPHENE_ENSURES(!isOpen() &&
                          _actAllowedAt >= cycle + _timing.cRP(),
@@ -111,7 +111,7 @@ Bank::block(Cycle from, Cycle until)
 {
     if (until < from)
         panic("bank blocked over a negative interval");
-    _openRow = kInvalidRow;
+    _openRow = Row::invalid();
     _actAllowedAt = std::max(_actAllowedAt, until);
     _rwAllowedAt = std::max(_rwAllowedAt, until);
     _preAllowedAt = std::max(_preAllowedAt, until);

@@ -28,9 +28,9 @@ class Bank
     Bank(const TimingParams &timing, std::uint64_t num_rows);
 
     /** @return true if a row is latched in the row buffer. */
-    bool isOpen() const { return _openRow != kInvalidRow; }
+    bool isOpen() const { return _openRow.isValid(); }
 
-    /** @return the open row, or kInvalidRow. */
+    /** @return the open row, or Row::invalid(). */
     Row openRow() const { return _openRow; }
 
     Cycle earliestAct(Cycle now) const;
@@ -56,20 +56,20 @@ class Bank
     void block(Cycle from, Cycle until);
 
     /** Total ACTs this bank has received. */
-    std::uint64_t actCount() const { return _actCount; }
+    ActCount actCount() const { return _actCount; }
 
     std::uint64_t numRows() const { return _numRows; }
 
   private:
     TimingParams _timing;
     std::uint64_t _numRows;
-    Row _openRow = kInvalidRow;
-    Cycle _actAllowedAt = 0;
-    Cycle _rwAllowedAt = 0;
-    Cycle _preAllowedAt = 0;
-    Cycle _lastActAt = 0;
+    Row _openRow = Row::invalid();
+    Cycle _actAllowedAt{};
+    Cycle _rwAllowedAt{};
+    Cycle _preAllowedAt{};
+    Cycle _lastActAt{};
     bool _everActivated = false;
-    std::uint64_t _actCount = 0;
+    ActCount _actCount{};
 };
 
 } // namespace dram

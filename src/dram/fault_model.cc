@@ -19,34 +19,37 @@ FaultModel::FaultModel(const FaultConfig &config, std::uint64_t num_rows)
         _toPhysical.resize(num_rows);
         _toLogical.resize(num_rows);
         for (std::uint64_t i = 0; i < num_rows; ++i)
-            _toPhysical[i] = static_cast<Row>(i);
+            _toPhysical[i] = Row{static_cast<Row::rep>(i)};
         Rng rng(_config.remapSeed);
         for (std::uint64_t i = num_rows - 1; i > 0; --i) {
             const std::uint64_t j = rng.nextRange(i + 1);
             std::swap(_toPhysical[i], _toPhysical[j]);
         }
         for (std::uint64_t i = 0; i < num_rows; ++i)
-            _toLogical[_toPhysical[i]] = static_cast<Row>(i);
+            _toLogical[_toPhysical[i].value()] =
+                Row{static_cast<Row::rep>(i)};
     }
 }
 
 void
 FaultModel::onActivate(Cycle cycle, Row aggressor)
 {
-    const Row phys = _config.remap ? _toPhysical[aggressor] : aggressor;
+    const Row phys =
+        _config.remap ? _toPhysical[aggressor.value()] : aggressor;
     for (unsigned d = 1; d <= _config.mu.size(); ++d) {
         const double amount = _config.mu[d - 1];
-        if (phys >= d) {
-            const Row victim_phys = static_cast<Row>(phys - d);
+        const auto dist = static_cast<Row::difference_type>(d);
+        if (phys.value() >= d) {
+            const Row victim_phys = phys - dist;
             deposit(cycle,
-                    _config.remap ? _toLogical[victim_phys]
+                    _config.remap ? _toLogical[victim_phys.value()]
                                   : victim_phys,
                     amount);
         }
-        if (phys + d < _numRows) {
-            const Row victim_phys = static_cast<Row>(phys + d);
+        if (phys.value() + d < _numRows) {
+            const Row victim_phys = phys + dist;
             deposit(cycle,
-                    _config.remap ? _toLogical[victim_phys]
+                    _config.remap ? _toLogical[victim_phys.value()]
                                   : victim_phys,
                     amount);
         }
@@ -58,18 +61,20 @@ FaultModel::physicalNeighbors(Row aggressor, unsigned distance) const
 {
     std::vector<Row> neighbors;
     neighbors.reserve(2 * distance);
-    const Row phys = _config.remap ? _toPhysical[aggressor] : aggressor;
+    const Row phys =
+        _config.remap ? _toPhysical[aggressor.value()] : aggressor;
     for (unsigned d = 1; d <= distance; ++d) {
-        if (phys >= d) {
-            const Row victim_phys = static_cast<Row>(phys - d);
+        const auto dist = static_cast<Row::difference_type>(d);
+        if (phys.value() >= d) {
+            const Row victim_phys = phys - dist;
             neighbors.push_back(_config.remap
-                                    ? _toLogical[victim_phys]
+                                    ? _toLogical[victim_phys.value()]
                                     : victim_phys);
         }
-        if (phys + d < _numRows) {
-            const Row victim_phys = static_cast<Row>(phys + d);
+        if (phys.value() + d < _numRows) {
+            const Row victim_phys = phys + dist;
             neighbors.push_back(_config.remap
-                                    ? _toLogical[victim_phys]
+                                    ? _toLogical[victim_phys.value()]
                                     : victim_phys);
         }
     }
@@ -79,7 +84,7 @@ FaultModel::physicalNeighbors(Row aggressor, unsigned distance) const
 void
 FaultModel::deposit(Cycle cycle, Row victim, double amount)
 {
-    CellState &cell = _cells[victim];
+    CellState &cell = _cells[victim.value()];
     cell.disturbance += amount;
     if (cell.disturbance > _peak)
         _peak = cell.disturbance;
@@ -93,15 +98,16 @@ FaultModel::deposit(Cycle cycle, Row victim, double amount)
 void
 FaultModel::onRowRefresh(Row row)
 {
-    if (row >= _numRows)
-        panic("refresh of out-of-range row %u", row);
-    _cells[row] = CellState{};
+    if (row.value() >= _numRows)
+        panic("refresh of out-of-range row %u", row.value());
+    _cells[row.value()] = CellState{};
 }
 
 double
 FaultModel::disturbance(Row row) const
 {
-    return row < _numRows ? _cells[row].disturbance : 0.0;
+    return row.value() < _numRows ? _cells[row.value()].disturbance
+                                  : 0.0;
 }
 
 } // namespace dram

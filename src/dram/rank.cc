@@ -86,13 +86,13 @@ Rank::issueRefresh(Cycle cycle)
         b.block(cycle, done);
 
     for (std::uint64_t i = 0; i < _rowsPerRefresh; ++i) {
-        const Row row =
-            static_cast<Row>((_refreshPointer + i) % _rowsPerBank);
+        const Row row{static_cast<Row::rep>(
+            (_refreshPointer.value() + i) % _rowsPerBank)};
         for (unsigned b = 0; b < _banks.size(); ++b)
             refreshRow(b, row);
     }
-    _refreshPointer = static_cast<Row>(
-        (_refreshPointer + _rowsPerRefresh) % _rowsPerBank);
+    _refreshPointer = Row{static_cast<Row::rep>(
+        (_refreshPointer.value() + _rowsPerRefresh) % _rowsPerBank)};
 
     _nextRefreshAt += _timing.cREFI();
     ++_refreshCount;
@@ -154,7 +154,7 @@ Rank::issueNrr(Cycle cycle, unsigned bank_idx, Row aggressor,
 
     // Each victim row costs one internal row cycle; the bank is busy
     // for the duration (Section V-B overhead accounting).
-    const Cycle busy = static_cast<Cycle>(refreshed) * _timing.cRC();
+    const Cycle busy = _timing.cRC() * refreshed;
     _banks[bank_idx].block(cycle, cycle + busy);
     _nrrRowCount += refreshed;
     return refreshed;
@@ -175,12 +175,12 @@ Rank::refreshVictimRowsDeferred(unsigned bank_idx,
     if (bank_idx >= _banks.size())
         panic("bank index %u out of range", bank_idx);
     for (Row r : rows) {
-        if (r >= _rowsPerBank)
-            panic("victim row %u out of range", r);
+        if (r.value() >= _rowsPerBank)
+            panic("victim row %u out of range", r.value());
         refreshRow(bank_idx, r);
     }
     _nrrRowCount += rows.size();
-    return static_cast<Cycle>(rows.size()) * _timing.cRC();
+    return _timing.cRC() * rows.size();
 }
 
 } // namespace dram

@@ -121,12 +121,12 @@ class Rank
 
     std::uint64_t _refreshesPerWindow;
     std::uint64_t _rowsPerRefresh;
-    Row _refreshPointer = 0;
+    Row _refreshPointer{};
     Cycle _nextRefreshAt;
     std::uint64_t _refreshCount = 0;
     std::uint64_t _nrrRowCount = 0;
     /// Issue times of the last four ACTs (ring buffer).
-    Cycle _fawActs[4] = {0, 0, 0, 0};
+    Cycle _fawActs[4] = {};
     unsigned _fawHead = 0;
     unsigned _fawCount = 0;
 };

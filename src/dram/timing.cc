@@ -16,17 +16,18 @@ TimingParams::ddr4_2400()
 Cycle
 TimingParams::toCycles(Nanoseconds ns) const
 {
-    return static_cast<Cycle>(std::ceil(ns / tCK - 1e-9));
+    return Cycle{
+        static_cast<std::uint64_t>(std::ceil(ns / tCK - 1e-9))};
 }
 
-std::uint64_t
+ActCount
 TimingParams::maxActsInWindow(unsigned k) const
 {
     if (k == 0)
         fatal("reset-window divisor k must be >= 1");
-    const double available = tREFW * (1.0 - tRFC / tREFI);
-    return static_cast<std::uint64_t>(available / tRC /
-                                      static_cast<double>(k));
+    const Nanoseconds available = tREFW * (1.0 - tRFC / tREFI);
+    return ActCount{static_cast<std::uint64_t>(
+        available / tRC / static_cast<double>(k))};
 }
 
 } // namespace dram

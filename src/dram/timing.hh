@@ -24,13 +24,13 @@ namespace dram {
  */
 struct TimingParams
 {
-    Nanoseconds tCK = 1000.0 / 1200.0; ///< Command clock period.
-    Nanoseconds tREFI = 7800.0;        ///< Refresh interval.
-    Nanoseconds tRFC = 350.0;          ///< Refresh command time.
-    Nanoseconds tRC = 45.0;            ///< ACT-to-ACT interval.
-    Nanoseconds tRCD = 13.3;           ///< ACT-to-RD/WR delay.
-    Nanoseconds tRP = 13.3;            ///< Precharge time.
-    Nanoseconds tCL = 13.3;            ///< CAS latency.
+    Nanoseconds tCK{1000.0 / 1200.0}; ///< Command clock period.
+    Nanoseconds tREFI{7800.0};        ///< Refresh interval.
+    Nanoseconds tRFC{350.0};          ///< Refresh command time.
+    Nanoseconds tRC{45.0};            ///< ACT-to-ACT interval.
+    Nanoseconds tRCD{13.3};           ///< ACT-to-RD/WR delay.
+    Nanoseconds tRP{13.3};            ///< Precharge time.
+    Nanoseconds tCL{13.3};            ///< CAS latency.
     /**
      * ACT-to-PRE minimum, chosen so that tRAS + tRP == tRC holds in
      * the cycle domain too (ceil(31.5/tCK) + ceil(13.3/tCK) ==
@@ -38,9 +38,9 @@ struct TimingParams
      * the effective ACT-to-ACT interval past tRC and silently lower
      * the maximum ACT rate that W is derived from.
      */
-    Nanoseconds tRAS = 31.5;
-    Nanoseconds tBL = 4 * 1000.0 / 1200.0; ///< Burst (BL8) on the bus.
-    Nanoseconds tREFW = 64.0e6;        ///< Refresh window (64 ms).
+    Nanoseconds tRAS{31.5};
+    Nanoseconds tBL{4 * 1000.0 / 1200.0}; ///< Burst (BL8) on the bus.
+    Nanoseconds tREFW{64.0e6};        ///< Refresh window (64 ms).
 
     /**
      * Four-activation window: at most four ACTs to one rank per
@@ -48,7 +48,7 @@ struct TimingParams
      * single bank) but it caps the *aggregate* ACT rate an attacker
      * can spread over many banks of a rank.
      */
-    Nanoseconds tFAW = 21.0;
+    Nanoseconds tFAW{21.0};
 
     /** The paper's DDR4-2400 configuration. */
     static TimingParams ddr4_2400();
@@ -72,7 +72,7 @@ struct TimingParams
      * reset window of tREFW / @p k — the paper's W (Section III-B):
      * W = tREFW * (1 - tRFC/tREFI) / tRC / k.
      */
-    std::uint64_t maxActsInWindow(unsigned k = 1) const;
+    ActCount maxActsInWindow(unsigned k = 1) const;
 };
 
 } // namespace dram

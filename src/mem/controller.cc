@@ -12,7 +12,7 @@ ChannelController::ChannelController(const ControllerConfig &config)
       _rank(config.timing, config.banksPerRank, config.rowsPerBank,
             config.fault),
       _consecutiveHits(config.banksPerRank, 0),
-      _refreshDebt(config.banksPerRank, 0)
+      _refreshDebt(config.banksPerRank, Cycle{})
 {
     schemes::SchemeSpec spec = config.scheme;
     spec.rowsPerBank = config.rowsPerBank;
@@ -65,7 +65,7 @@ ChannelController::applyAction(Cycle cycle, unsigned bank,
         std::vector<Row> rows;
         rows.reserve(action.victimRows.size());
         for (Row r : action.victimRows)
-            if (r < _config.rowsPerBank)
+            if (r.value() < _config.rowsPerBank)
                 rows.push_back(r);
         const unsigned chunk = _config.refreshChunkRows;
         if (chunk == 0 || rows.size() <= chunk) {
@@ -89,10 +89,9 @@ ChannelController::access(Cycle issue, unsigned bank, Row row,
 
     // Pay down one chunk of outstanding victim-refresh debt before
     // serving demand work (the interleaved drain of a large burst).
-    if (_refreshDebt[bank] > 0) {
+    if (_refreshDebt[bank] > Cycle{}) {
         const Cycle chunk =
-            static_cast<Cycle>(_config.refreshChunkRows) *
-            _config.timing.cRC();
+            _config.timing.cRC() * _config.refreshChunkRows;
         const Cycle pay = std::min(_refreshDebt[bank], chunk);
         const Cycle start = b.earliestAct(issue);
         b.block(start, start + pay);
@@ -121,7 +120,7 @@ ChannelController::access(Cycle issue, unsigned bank, Row row,
         unsigned attempts = 0;
         while (!b.isOpen()) {
             if (++attempts > 16)
-                panic("livelock re-activating row %u", row);
+                panic("livelock re-activating row %u", row.value());
             Cycle act_at = b.earliestAct(issue);
             catchUpRefresh(act_at);
             act_at = b.earliestAct(act_at);

@@ -71,7 +71,7 @@ struct ControllerConfig
 /** Outcome of servicing one request. */
 struct ServiceResult
 {
-    Cycle completion = 0; ///< Data available on the bus.
+    Cycle completion{};   ///< Data available on the bus.
     bool rowHit = false;  ///< Serviced from the open row buffer.
     bool didAct = false;  ///< An ACT was required.
 };
@@ -109,7 +109,7 @@ class ChannelController
     }
 
     /** Total ACT commands issued. */
-    std::uint64_t actCount() const { return _acts; }
+    ActCount actCount() const { return ActCount{_acts}; }
 
     /** Total requests serviced. */
     std::uint64_t requestCount() const { return _requests; }
@@ -129,7 +129,7 @@ class ChannelController
     std::vector<unsigned> _consecutiveHits;
     /// Outstanding victim-refresh busy cycles owed per bank.
     std::vector<Cycle> _refreshDebt;
-    Cycle _busFreeAt = 0;
+    Cycle _busFreeAt{};
     std::uint64_t _acts = 0;
     std::uint64_t _requests = 0;
     std::uint64_t _rowHits = 0;

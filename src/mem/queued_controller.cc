@@ -60,7 +60,7 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
 
     const unsigned num_banks = _config.banksPerRank;
     std::vector<std::deque<Pending>> queues(num_banks);
-    std::vector<Cycle> bank_free(num_banks, 0);
+    std::vector<Cycle> bank_free(num_banks, Cycle{});
     std::vector<unsigned> bypasses(num_banks, 0);
     std::vector<ServedRequest> served;
     served.reserve(requests.size());
@@ -86,7 +86,7 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
 
         // Candidate per bank: its scheduler pick, feasible at
         // max(arrival, bank frontier). Serve the globally earliest.
-        Cycle best_time = std::numeric_limits<Cycle>::max();
+        Cycle best_time = Cycle::max();
         unsigned best_bank = 0;
         std::size_t best_idx = 0;
         for (unsigned b = 0; b < num_banks; ++b) {
@@ -145,7 +145,7 @@ QueuedChannelController::stats(
     std::uint64_t hits = 0;
     for (const auto &r : served) {
         const Cycle lat = r.completion - r.request.issue;
-        total += static_cast<double>(lat);
+        total += static_cast<double>(lat.value());
         s.maxLatency = std::max(s.maxLatency, lat);
         hits += r.rowHit;
     }

@@ -39,7 +39,7 @@ enum class SchedulerPolicy
 struct ServedRequest
 {
     MemRequest request;
-    Cycle completion = 0;
+    Cycle completion{};
     bool rowHit = false;
 };
 
@@ -48,7 +48,7 @@ struct ReplayStats
 {
     std::uint64_t requests = 0;
     double meanLatency = 0.0;
-    Cycle maxLatency = 0;
+    Cycle maxLatency{};
     double rowHitRate = 0.0;
     std::uint64_t victimRowsRefreshed = 0;
     std::uint64_t bitFlips = 0;

@@ -14,10 +14,10 @@ namespace mem {
 /** One cache-line request from a core. */
 struct MemRequest
 {
-    Addr addr = 0;
+    Addr addr{};
     bool isWrite = false;
     unsigned coreId = 0;
-    Cycle issue = 0; ///< Cycle the request reaches the controller.
+    Cycle issue{}; ///< Cycle the request reaches the controller.
 };
 
 } // namespace mem

@@ -24,7 +24,7 @@ bool
 CamTimingModel::hiddenWithinTrc(const dram::TimingParams &timing,
                                 std::uint64_t entries)
 {
-    return criticalPathNs(entries) < timing.tRC;
+    return criticalPathNs(entries) < timing.tRC.value();
 }
 
 } // namespace model

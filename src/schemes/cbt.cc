@@ -39,7 +39,7 @@ void
 Cbt::resetTree()
 {
     _ranges.clear();
-    _ranges.emplace(0, Node{0, _config.rowsPerBank, 0, 0});
+    _ranges.emplace(Row{}, Node{Row{}, _config.rowsPerBank, 0, 0});
     if (!_config.warmStart)
         return;
 
@@ -64,7 +64,7 @@ Cbt::resetTree()
     for (auto &kv : _ranges) {
         // splitmix64 step for a deterministic per-range phase.
         state += 0x9e3779b97f4a7c15ULL;
-        std::uint64_t z = state ^ kv.first;
+        std::uint64_t z = state ^ kv.first.value();
         z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
         z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
         kv.second.count = (z ^ (z >> 31)) % _config.finalThreshold();
@@ -76,11 +76,11 @@ Cbt::findNode(Row row)
 {
     auto it = _ranges.upper_bound(row);
     if (it == _ranges.begin())
-        panic("cbt: row %u not covered", row);
+        panic("cbt: row %u not covered", row.value());
     --it;
     if (row < it->second.start ||
-        row >= it->second.start + it->second.length) {
-        panic("cbt: range bookkeeping broken for row %u", row);
+        row.value() >= it->second.start.value() + it->second.length) {
+        panic("cbt: range bookkeeping broken for row %u", row.value());
     }
     return it;
 }
@@ -96,7 +96,7 @@ Cbt::split(std::map<Row, Node>::iterator it)
     // Children inherit the parent's count: every row's activations
     // stay bounded above by its covering counter.
     Node left{parent.start, half, parent.level + 1, parent.count};
-    Node right{static_cast<Row>(parent.start + half),
+    Node right{Row{static_cast<Row::rep>(parent.start.value() + half)},
                parent.length - half, parent.level + 1, parent.count};
     GRAPHENE_ENSURES(left.length + right.length == parent.length,
                      "split children must exactly cover the parent "
@@ -119,18 +119,20 @@ Cbt::trigger(std::map<Row, Node>::iterator it, RefreshAction &action)
         // within the blast radius — valid only when logically
         // contiguous rows are physically contiguous.
         for (std::uint64_t i = 0; i < node.length; ++i)
-            action.victimRows.push_back(static_cast<Row>(start + i));
+            action.victimRows.push_back(
+                Row{static_cast<Row::rep>(start.value() + i)});
         refreshed = node.length;
         for (unsigned d = 1; d <= _config.blastRadius; ++d) {
-            if (start >= d) {
+            if (start.value() >= d) {
                 action.victimRows.push_back(
-                    static_cast<Row>(start - d));
+                    start - static_cast<Row::difference_type>(d));
                 ++refreshed;
             }
-            const std::uint64_t above = start + node.length - 1 + d;
+            const std::uint64_t above =
+                start.value() + node.length - 1 + d;
             if (above < _config.rowsPerBank) {
                 action.victimRows.push_back(
-                    static_cast<Row>(above));
+                    Row{static_cast<Row::rep>(above)});
                 ++refreshed;
             }
         }
@@ -142,7 +144,7 @@ Cbt::trigger(std::map<Row, Node>::iterator it, RefreshAction &action)
         // "N/2^l x 2, not N/2^l + 2" (Section II-C).
         for (std::uint64_t i = 0; i < node.length; ++i)
             action.nrrAggressors.push_back(
-                static_cast<Row>(start + i));
+                Row{static_cast<Row::rep>(start.value() + i)});
         refreshed = node.length * 2ULL * _config.blastRadius;
     }
 
@@ -177,7 +179,7 @@ Cbt::reclaimColderThan(std::uint64_t hot_count)
         if (l.level != r.level || l.length != r.length ||
             l.level == 0)
             continue;
-        if ((l.start / l.length) % 2 != 0)
+        if ((l.start.value() / l.length) % 2 != 0)
             continue; // not the left child of a common parent
         const std::uint64_t score = std::max(l.count, r.count);
         // The merged parent must not itself demand a split, or the

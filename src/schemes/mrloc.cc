@@ -64,10 +64,10 @@ void
 MrLoc::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
     (void)cycle;
-    if (row >= 1)
+    if (row.value() >= 1)
         touch(row - 1, action);
-    if (row + 1 < _config.rowsPerBank)
-        touch(static_cast<Row>(row + 1), action);
+    if (row.value() + 1 < _config.rowsPerBank)
+        touch(row + 1, action);
 }
 
 TableCost

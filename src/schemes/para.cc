@@ -34,17 +34,18 @@ Para::onActivate(Cycle cycle, Row row, RefreshAction &action)
         // Refresh one of the two rows at distance d, chosen evenly,
         // so each specific victim sees probability p_d / 2.
         const bool up = _rng.bernoulli(0.5);
-        const bool up_ok = row + d < _config.rowsPerBank;
-        const bool down_ok = row >= d;
+        const bool up_ok = row.value() + d < _config.rowsPerBank;
+        const bool down_ok = row.value() >= d;
         if (!up_ok && !down_ok)
             continue;
+        const auto dist = static_cast<Row::difference_type>(d);
         if ((up && up_ok) || !down_ok)
-            action.victimRows.push_back(static_cast<Row>(row + d));
+            action.victimRows.push_back(row + dist);
         else
-            action.victimRows.push_back(static_cast<Row>(row - d));
+            action.victimRows.push_back(row - dist);
         // The edge clamping above must never emit a row outside the
         // bank, or the refresh would alias into a neighbour bank.
-        GRAPHENE_ENSURES(action.victimRows.back() <
+        GRAPHENE_ENSURES(action.victimRows.back().value() <
                              _config.rowsPerBank,
                          "PARA picked a victim outside the bank");
         ++_victimRefreshEvents;

@@ -69,10 +69,10 @@ ProHit::onActivate(Cycle cycle, Row row, RefreshAction &action)
     (void)action;
     if (!_rng.bernoulli(_config.insertionProbability))
         return;
-    if (row >= 1)
+    if (row.value() >= 1)
         present(row - 1);
-    if (row + 1 < _config.rowsPerBank)
-        present(static_cast<Row>(row + 1));
+    if (row.value() + 1 < _config.rowsPerBank)
+        present(row + 1);
 }
 
 void

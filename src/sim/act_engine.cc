@@ -36,11 +36,13 @@ runActStream(const ActEngineConfig &config,
     spec.timing = config.timing;
     auto scheme = schemes::makeScheme(spec);
 
-    const Cycle horizon = static_cast<Cycle>(
-        static_cast<double>(config.timing.cREFW()) * config.windows);
+    const Cycle horizon{static_cast<std::uint64_t>(
+        static_cast<double>(config.timing.cREFW().value()) *
+        config.windows)};
     // Inter-ACT spacing at the requested fraction of the max rate.
     const double spacing =
-        static_cast<double>(config.timing.cRC()) / config.actRate;
+        static_cast<double>(config.timing.cRC().value()) /
+        config.actRate;
 
     dram::Bank &bank = rank.bank(0);
     RefreshAction action;
@@ -58,7 +60,7 @@ runActStream(const ActEngineConfig &config,
             std::vector<Row> rows;
             rows.reserve(action.victimRows.size());
             for (Row r : action.victimRows)
-                if (r < config.rowsPerBank)
+                if (r.value() < config.rowsPerBank)
                     rows.push_back(r);
             rank.refreshVictimRows(cycle, 0, rows);
         }
@@ -80,7 +82,7 @@ runActStream(const ActEngineConfig &config,
 
     double next_act = 0.0;
     while (true) {
-        Cycle cycle = static_cast<Cycle>(next_act);
+        Cycle cycle{static_cast<std::uint64_t>(next_act)};
         if (cycle >= horizon)
             break;
         catch_up_refresh(cycle);
@@ -107,7 +109,7 @@ runActStream(const ActEngineConfig &config,
             apply_action(cycle);
         }
 
-        next_act = static_cast<double>(cycle) + spacing;
+        next_act = static_cast<double>(cycle.value()) + spacing;
     }
 
     result.victimRowsRefreshed = rank.nrrRowCount();

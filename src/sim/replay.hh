@@ -37,7 +37,7 @@ struct ReplayResult
 {
     std::uint64_t requests = 0;
     double meanLatency = 0.0;
-    Cycle maxLatency = 0;
+    Cycle maxLatency{};
     double rowHitRate = 0.0;
     std::uint64_t victimRowsRefreshed = 0;
     std::uint64_t bitFlips = 0;

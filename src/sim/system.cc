@@ -63,8 +63,9 @@ runSystem(const SystemConfig &config,
         cores.emplace_back(workload.coreParams[i], mapper, i,
                            config.seed + i);
 
-    const Cycle horizon = static_cast<Cycle>(
-        static_cast<double>(config.timing.cREFW()) * config.windows);
+    const Cycle horizon{static_cast<std::uint64_t>(
+        static_cast<double>(config.timing.cREFW().value()) *
+        config.windows)};
 
     // Event queue of (next issue cycle, core id); each core keeps up
     // to memoryLevelParallelism requests in flight, each modelled as
@@ -105,7 +106,7 @@ runSystem(const SystemConfig &config,
     for (auto &channel : channels) {
         channel->catchUpRefresh(horizon);
         victim_rows += channel->victimRowsRefreshed();
-        acts += channel->actCount();
+        acts += channel->actCount().value();
         requests += channel->requestCount();
         hit_rate += channel->rowHitRate();
         for (unsigned b = 0; b < config.geometry.banksPerRank; ++b)

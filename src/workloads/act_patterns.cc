@@ -66,13 +66,13 @@ Row
 NoisyPattern::next()
 {
     if (_rng.bernoulli(_noise))
-        return static_cast<Row>(_rng.nextRange(_numRows));
+        return Row{static_cast<Row::rep>(_rng.nextRange(_numRows))};
     return _base->next();
 }
 
 DoubleSidedPattern::DoubleSidedPattern(Row victim) : _victim(victim)
 {
-    if (victim == 0)
+    if (victim.value() == 0)
         fatal("double-sided pattern: victim needs a lower neighbour");
 }
 
@@ -86,8 +86,7 @@ Row
 DoubleSidedPattern::next()
 {
     _upper = !_upper;
-    return _upper ? static_cast<Row>(_victim + 1)
-                  : static_cast<Row>(_victim - 1);
+    return _upper ? _victim + 1 : _victim - 1;
 }
 
 namespace patterns {
@@ -101,7 +100,7 @@ distinctRows(unsigned n, std::uint64_t num_rows, std::uint64_t seed)
     std::unordered_set<Row> seen;
     std::vector<Row> rows;
     while (rows.size() < n) {
-        const Row r = static_cast<Row>(rng.nextRange(num_rows));
+        const Row r{static_cast<Row::rep>(rng.nextRange(num_rows))};
         if (seen.insert(r).second)
             rows.push_back(r);
     }
@@ -132,14 +131,14 @@ std::unique_ptr<ActPattern>
 s3(std::uint64_t num_rows)
 {
     return std::make_unique<SingleRowPattern>(
-        static_cast<Row>(num_rows / 2));
+        Row{static_cast<Row::rep>(num_rows / 2)});
 }
 
 std::unique_ptr<ActPattern>
 s4(std::uint64_t num_rows, std::uint64_t seed)
 {
     auto base = std::make_unique<SingleRowPattern>(
-        static_cast<Row>(num_rows / 2));
+        Row{static_cast<Row::rep>(num_rows / 2)});
     return std::make_unique<NoisyPattern>("S4-single-noisy",
                                           std::move(base), 0.5,
                                           num_rows, seed);
@@ -148,25 +147,22 @@ s4(std::uint64_t num_rows, std::uint64_t seed)
 std::unique_ptr<ActPattern>
 proHitAdversarial(Row x)
 {
-    if (x < 4)
+    if (x.value() < 4)
         fatal("prohit pattern: centre row too close to the edge");
-    const std::vector<Row> seq = {
-        static_cast<Row>(x - 4), static_cast<Row>(x - 2),
-        static_cast<Row>(x - 2), x,
-        x,                       x,
-        static_cast<Row>(x + 2), static_cast<Row>(x + 2),
-        static_cast<Row>(x + 4)};
+    const std::vector<Row> seq = {x - 4, x - 2, x - 2, x, x, x,
+                                  x + 2, x + 2, x + 4};
     return std::make_unique<RoundRobinPattern>("fig7a-prohit", seq);
 }
 
 std::unique_ptr<ActPattern>
 mrLocAdversarial(Row base, Row spacing)
 {
-    if (spacing < 3)
+    if (spacing.value() < 3)
         fatal("mrloc pattern: rows must be mutually non-adjacent");
     std::vector<Row> rows;
     for (unsigned i = 0; i < 8; ++i)
-        rows.push_back(static_cast<Row>(base + i * spacing));
+        rows.push_back(Row{static_cast<Row::rep>(
+            base.value() + i * spacing.value())});
     return std::make_unique<RoundRobinPattern>("fig7b-mrloc",
                                                std::move(rows));
 }

@@ -25,7 +25,8 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticParams &params,
     // Spread the cores' working sets across the row space so that
     // multiprogrammed mixes do not alias (OS page placement).
     const std::uint64_t stride = g.rowsPerBank / 16;
-    _baseRow = static_cast<Row>((core_id * stride) % g.rowsPerBank);
+    _baseRow =
+        Row{static_cast<Row::rep>((core_id * stride) % g.rowsPerBank)};
 }
 
 Addr
@@ -34,13 +35,13 @@ SyntheticGenerator::lineFor(std::uint64_t row_rank,
 {
     const auto &g = _mapper.geometry();
     dram::DecodedAddr d{};
-    const std::uint64_t row =
-        (_baseRow + row_rank) % g.rowsPerBank;
-    d.row = static_cast<Row>(row);
+    const Row row{static_cast<Row::rep>(
+        (_baseRow.value() + row_rank) % g.rowsPerBank)};
+    d.row = row;
     d.column = (line_in_row % _linesPerRow) * 64;
     // Hash the row into channel/bank so per-bank streams decorrelate.
-    const std::uint64_t h =
-        (row * 0x9e3779b97f4a7c15ULL) ^ (_coreId * 0xbf58476d1ce4e5b9ULL);
+    const std::uint64_t h = (row.value() * 0x9e3779b97f4a7c15ULL) ^
+                            (_coreId * 0xbf58476d1ce4e5b9ULL);
     d.channel = static_cast<unsigned>(h % g.channels);
     d.bank = static_cast<unsigned>((h >> 8) % g.banksPerRank);
     d.rank = static_cast<unsigned>((h >> 16) % g.ranksPerChannel);
@@ -58,17 +59,17 @@ SyntheticGenerator::next()
         ++_seqLine;
         if (_seqLine >= _linesPerRow) {
             _seqLine = 0;
-            _seqRow = (_seqRow + 1) % _params.workingSetRows;
+            _seqRowRank = (_seqRowRank + 1) % _params.workingSetRows;
         }
     } else {
-        _seqRow = _zipf.sample(_rng) % _params.workingSetRows;
+        _seqRowRank = _zipf.sample(_rng) % _params.workingSetRows;
         _seqLine = _rng.nextRange(_linesPerRow);
     }
 
-    access.addr = lineFor(_seqRow, _seqLine);
+    access.addr = lineFor(_seqRowRank, _seqLine);
     access.isWrite = _rng.bernoulli(_params.writeFraction);
-    access.gap = static_cast<Cycle>(
-        _rng.exponential(_params.meanGapCycles));
+    access.gap = Cycle{static_cast<std::uint64_t>(
+        _rng.exponential(_params.meanGapCycles))};
     return access;
 }
 

@@ -29,11 +29,11 @@ namespace workloads {
 /** One generated access: a byte address plus the core's think time. */
 struct CoreAccess
 {
-    Addr addr = 0;
+    Addr addr{};
     bool isWrite = false;
     /** Core compute cycles between the previous completion and this
      *  request's issue. */
-    Cycle gap = 0;
+    Cycle gap{};
 };
 
 /** Knobs defining a synthetic application's memory behaviour. */
@@ -88,7 +88,7 @@ class SyntheticGenerator
     ZipfSampler _zipf;
     Row _baseRow;
 
-    std::uint64_t _seqRow = 0;
+    std::uint64_t _seqRowRank = 0;
     std::uint64_t _seqLine = 0;
     std::uint64_t _linesPerRow;
 };

@@ -35,12 +35,16 @@ readTrace(std::istream &is)
         std::istringstream ss(line);
         TraceRecord r;
         std::string rw;
-        if (!(ss >> r.issue >> std::hex >> r.addr >> std::dec >> rw >>
+        std::uint64_t issue = 0;
+        std::uint64_t addr_bits = 0;
+        if (!(ss >> issue >> std::hex >> addr_bits >> std::dec >> rw >>
               r.coreId) ||
             (rw != "R" && rw != "W")) {
             fatal("trace parse error at line %zu: '%s'", line_no,
                   line.c_str());
         }
+        r.issue = Cycle{issue};
+        r.addr = Addr{addr_bits};
         r.isWrite = rw == "W";
         records.push_back(r);
     }
@@ -57,7 +61,7 @@ captureTrace(const WorkloadSpec &workload,
          ++core) {
         SyntheticGenerator gen(workload.coreParams[core], mapper,
                                core, seed + core);
-        Cycle now = 0;
+        Cycle now{};
         while (true) {
             const CoreAccess access = gen.next();
             now += access.gap;
@@ -93,11 +97,11 @@ readActTrace(std::istream &is)
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
-        std::uint64_t row;
-        if (!(ss >> row))
+        std::uint64_t row_bits;
+        if (!(ss >> row_bits))
             fatal("ACT trace parse error at line %zu: '%s'", line_no,
                   line.c_str());
-        rows.push_back(static_cast<Row>(row));
+        rows.push_back(Row{static_cast<Row::rep>(row_bits)});
     }
     return rows;
 }

@@ -33,8 +33,8 @@ namespace workloads {
 /** One memory request in a captured trace. */
 struct TraceRecord
 {
-    Cycle issue = 0;
-    Addr addr = 0;
+    Cycle issue{};
+    Addr addr{};
     bool isWrite = false;
     unsigned coreId = 0;
 

@@ -31,7 +31,7 @@ trialFails(double p, std::uint64_t trh, std::uint64_t n_acts,
     config.seed = seed;
     schemes::Para para(config);
 
-    const Row aggressor = 1000;
+    const Row aggressor{1000};
     std::uint64_t run_low = 0, run_high = 0;
     RefreshAction action;
     for (std::uint64_t i = 0; i < n_acts; ++i) {
@@ -40,7 +40,7 @@ trialFails(double p, std::uint64_t trh, std::uint64_t n_acts,
         if (run_low >= trh || run_high >= trh)
             return true;
         action.clear();
-        para.onActivate(i, aggressor, action);
+        para.onActivate(Cycle{i}, aggressor, action);
         for (Row v : action.victimRows) {
             if (v == aggressor - 1)
                 run_low = 0;

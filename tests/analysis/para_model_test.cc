@@ -73,7 +73,7 @@ TEST(ParaModel, RequiredProbabilityReproducesPaper50K)
     // The paper derives p = 0.00145 for T_RH = 50K on 64 banks.
     const auto t = dram::TimingParams::ddr4_2400();
     const double p =
-        ParaModel::requiredProbability(50000, t.maxActsInWindow(1));
+        ParaModel::requiredProbability(50000, t.maxActsInWindow(1).value());
     EXPECT_NEAR(p, 0.00145, 0.0001);
 }
 
@@ -81,14 +81,14 @@ TEST(ParaModel, RequiredProbabilityReproducesPaper25K)
 {
     const auto t = dram::TimingParams::ddr4_2400();
     const double p =
-        ParaModel::requiredProbability(25000, t.maxActsInWindow(1));
+        ParaModel::requiredProbability(25000, t.maxActsInWindow(1).value());
     EXPECT_NEAR(p, 0.00295, 0.0002);
 }
 
 TEST(ParaModel, RequiredProbabilityScalesInversely)
 {
     const auto t = dram::TimingParams::ddr4_2400();
-    const std::uint64_t w = t.maxActsInWindow(1);
+    const std::uint64_t w = t.maxActsInWindow(1).value();
     double prev = 0.0;
     for (std::uint64_t trh : {50000u, 25000u, 12500u, 6250u}) {
         const double p = ParaModel::requiredProbability(trh, w);
@@ -104,7 +104,7 @@ TEST(ParaModel, RequiredProbabilityScalesInversely)
 TEST(ParaModel, SolvedPMeetsTheTarget)
 {
     const auto t = dram::TimingParams::ddr4_2400();
-    const std::uint64_t w = t.maxActsInWindow(1);
+    const std::uint64_t w = t.maxActsInWindow(1).value();
     const double p = ParaModel::requiredProbability(50000, w);
     const double pw =
         ParaModel::windowFailureProbability(p, 50000, w);

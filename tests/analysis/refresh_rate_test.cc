@@ -16,7 +16,7 @@ TEST(RefreshRate, BaselineMatchesW)
 {
     const auto timing = dram::TimingParams::ddr4_2400();
     const auto r = evaluateRefreshRate(timing, 1, 50000);
-    EXPECT_EQ(r.maxActsBetweenRefreshes, timing.maxActsInWindow(1));
+    EXPECT_EQ(r.maxActsBetweenRefreshes, timing.maxActsInWindow(1).value());
     EXPECT_FALSE(r.protects);
     EXPECT_DOUBLE_EQ(r.energyMultiplier, 1.0);
 }

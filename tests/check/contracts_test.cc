@@ -127,10 +127,10 @@ TEST(Contracts, QueuedControllerRejectsUnsortedRequests)
         config, mem::SchedulerPolicy::Fcfs, 4);
 
     std::vector<mem::MemRequest> requests(2);
-    requests[0].issue = 1000;
-    requests[1].issue = 0; // out of order
+    requests[0].issue = Cycle{1000};
+    requests[1].issue = Cycle{0}; // out of order
     const std::vector<unsigned> banks = {0, 1};
-    const std::vector<Row> rows = {10, 20};
+    const std::vector<Row> rows = {Row{10}, Row{20}};
 
     controller.run(requests, banks, rows);
     EXPECT_GE(g_hits, 1u);

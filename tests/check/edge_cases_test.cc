@@ -32,27 +32,27 @@ testConfig(std::uint64_t trh = 2000, unsigned k = 1)
 TEST(EdgeCases, NrrFiresExactlyAtThresholdNotBefore)
 {
     Graphene g(testConfig());
-    const std::uint64_t t = g.trackingThreshold();
+    const std::uint64_t t = g.trackingThreshold().value();
     RefreshAction action;
 
     for (std::uint64_t i = 1; i < t; ++i) {
         action.clear();
-        g.onActivate(i, 7, action);
+        g.onActivate(Cycle{i}, Row{7}, action);
         ASSERT_TRUE(action.empty())
             << "NRR before the threshold at count " << i;
     }
-    ASSERT_EQ(g.table().estimatedCount(7), t - 1);
+    ASSERT_EQ(g.table().estimatedCount(Row{7}).value(), t - 1);
 
     // The T-th activation lands the count exactly on T: the crossing
     // rule (count reaches a multiple of T) must fire here.
     action.clear();
-    g.onActivate(t, 7, action);
+    g.onActivate(Cycle{t}, Row{7}, action);
     ASSERT_EQ(action.nrrAggressors.size(), 1u);
-    EXPECT_EQ(action.nrrAggressors[0], 7u);
+    EXPECT_EQ(action.nrrAggressors[0], Row{7});
 
     // ...and the very next activation must not fire again.
     action.clear();
-    g.onActivate(t + 1, 7, action);
+    g.onActivate(Cycle{t + 1}, Row{7}, action);
     EXPECT_TRUE(action.empty());
 }
 
@@ -68,21 +68,21 @@ TEST(EdgeCases, ActOnResetBoundaryCountsTowardTheNewWindow)
     RefreshAction action;
 
     // Park a near-threshold count in window 0.
-    const std::uint64_t t = g.trackingThreshold();
+    const std::uint64_t t = g.trackingThreshold().value();
     for (std::uint64_t i = 1; i < t; ++i)
-        g.onActivate(i, 7, action);
+        g.onActivate(Cycle{i}, Row{7}, action);
     ASSERT_EQ(g.resetCount(), 0u);
-    ASSERT_EQ(g.table().estimatedCount(7), t - 1);
+    ASSERT_EQ(g.table().estimatedCount(Row{7}).value(), t - 1);
 
     // Cycle `window` is the first cycle of window 1, not the last of
     // window 0: the table must reset before this ACT is counted, so
     // the near-threshold history cannot combine with it.
     action.clear();
-    g.onActivate(window, 7, action);
+    g.onActivate(window, Row{7}, action);
     EXPECT_EQ(g.resetCount(), 1u);
     EXPECT_TRUE(action.empty());
-    EXPECT_EQ(g.table().estimatedCount(7), 1u);
-    EXPECT_EQ(g.table().streamLength(), 1u);
+    EXPECT_EQ(g.table().estimatedCount(Row{7}).value(), 1u);
+    EXPECT_EQ(g.table().streamLength().value(), 1u);
 }
 
 // ---------------------------------------------------------------
@@ -92,34 +92,34 @@ TEST(EdgeCases, ActOnResetBoundaryCountsTowardTheNewWindow)
 TEST(EdgeCases, FullTablePromotesOnlyWhenMinEqualsSpillover)
 {
     CounterTable table(2);
-    table.processActivation(100);
-    table.processActivation(100);
-    table.processActivation(200);
-    table.processActivation(200); // counts {100:2, 200:2}, spill 0
+    table.processActivation(Row{100});
+    table.processActivation(Row{100});
+    table.processActivation(Row{200});
+    table.processActivation(Row{200}); // counts {100:2, 200:2}, spill 0
 
     // Misses while min count > spillover are absorbed.
-    CounterTable::Result r = table.processActivation(300);
+    CounterTable::Result r = table.processActivation(Row{300});
     EXPECT_TRUE(r.spilled);
-    EXPECT_EQ(r.estimatedCount, 0u);
-    EXPECT_EQ(table.spilloverCount(), 1u);
-    EXPECT_FALSE(table.contains(300));
+    EXPECT_EQ(r.estimatedCount.value(), 0u);
+    EXPECT_EQ(table.spilloverCount().value(), 1u);
+    EXPECT_FALSE(table.contains(Row{300}));
 
-    r = table.processActivation(300);
+    r = table.processActivation(Row{300});
     EXPECT_TRUE(r.spilled);
-    EXPECT_EQ(table.spilloverCount(), 2u);
+    EXPECT_EQ(table.spilloverCount().value(), 2u);
 
     // Now min count == spillover == 2: the next miss must promote,
     // inheriting the spillover count plus its own activation
     // (Lemma 1's carry-over).
-    r = table.processActivation(300);
+    r = table.processActivation(Row{300});
     EXPECT_TRUE(r.inserted);
     EXPECT_FALSE(r.spilled);
-    EXPECT_EQ(r.estimatedCount, 3u);
-    EXPECT_TRUE(table.contains(300));
-    EXPECT_EQ(table.spilloverCount(), 2u);
+    EXPECT_EQ(r.estimatedCount.value(), 3u);
+    EXPECT_TRUE(table.contains(Row{300}));
+    EXPECT_EQ(table.spilloverCount().value(), 2u);
 
     // Exactly one of the old entries was displaced.
-    EXPECT_NE(table.contains(100), table.contains(200));
+    EXPECT_NE(table.contains(Row{100}), table.contains(Row{200}));
     EXPECT_EQ(table.occupied(), 2u);
     table.checkInvariants();
 }
@@ -135,22 +135,22 @@ TEST(EdgeCases, SameRowIdInDifferentBanksIsIndependent)
     // trigger its refresh logic.
     Graphene bank0(testConfig());
     Graphene bank1(testConfig());
-    const std::uint64_t t = bank0.trackingThreshold();
+    const std::uint64_t t = bank0.trackingThreshold().value();
     RefreshAction action;
 
     for (std::uint64_t i = 1; i <= t; ++i)
-        bank0.onActivate(i, 42, action);
+        bank0.onActivate(Cycle{i}, Row{42}, action);
     ASSERT_FALSE(action.empty());
 
-    EXPECT_EQ(bank1.table().estimatedCount(42), 0u);
-    EXPECT_EQ(bank1.table().streamLength(), 0u);
+    EXPECT_EQ(bank1.table().estimatedCount(Row{42}).value(), 0u);
+    EXPECT_EQ(bank1.table().streamLength().value(), 0u);
 
     // One ACT in the other bank starts from a clean count: hammering
     // bank 0 bought the attacker nothing toward bank 1's threshold.
     action.clear();
-    bank1.onActivate(1, 42, action);
+    bank1.onActivate(Cycle{1}, Row{42}, action);
     EXPECT_TRUE(action.empty());
-    EXPECT_EQ(bank1.table().estimatedCount(42), 1u);
+    EXPECT_EQ(bank1.table().estimatedCount(Row{42}).value(), 1u);
 }
 
 } // namespace

@@ -51,15 +51,16 @@ class OffByOneReportTracker : public core::AggressorTracker
 
     std::string name() const override { return "mg-off-by-one"; }
 
-    std::uint64_t
+    ActCount
     processActivation(Row row) override
     {
-        const std::uint64_t after = _inner.processActivation(row);
+        const ActCount after = _inner.processActivation(row);
         // BUG under test: report the pre-update count.
-        return after == 0 ? 0 : after - 1;
+        return after == ActCount{0} ? ActCount{0}
+                                    : ActCount{after.value() - 1};
     }
 
-    std::uint64_t
+    ActCount
     estimatedCount(Row row) const override
     {
         return _inner.estimatedCount(row);
@@ -74,7 +75,7 @@ class OffByOneReportTracker : public core::AggressorTracker
     }
 
     double
-    overestimateBound(std::uint64_t stream_length) const override
+    overestimateBound(ActCount stream_length) const override
     {
         return _inner.overestimateBound(stream_length);
     }

@@ -17,8 +17,8 @@ TEST(GrapheneConfig, TableIIBaseline)
 {
     GrapheneConfig c; // T_RH = 50K, k = 1, +/-1
     c.validate();
-    EXPECT_EQ(c.trackingThreshold(), 12500u);
-    EXPECT_NEAR(static_cast<double>(c.maxActsPerWindow()), 1360000.0,
+    EXPECT_EQ(c.trackingThreshold().value(), 12500u);
+    EXPECT_NEAR(static_cast<double>(c.maxActsPerWindow().value()), 1360000.0,
                 5000.0);
     EXPECT_EQ(c.numEntries(), 108u);
 }
@@ -29,7 +29,7 @@ TEST(GrapheneConfig, EvaluatedKEquals2)
     c.resetWindowDivisor = 2;
     c.validate();
     // Section IV-C: T = 50000 / (2*3) = 8333, Nentry = 81.
-    EXPECT_EQ(c.trackingThreshold(), 8333u);
+    EXPECT_EQ(c.trackingThreshold().value(), 8333u);
     EXPECT_EQ(c.numEntries(), 81u);
 }
 
@@ -43,9 +43,9 @@ TEST(GrapheneConfig, InequalityOneHolds)
             c.rowHammerThreshold = trh;
             c.resetWindowDivisor = k;
             const double w =
-                static_cast<double>(c.maxActsPerWindow());
+                static_cast<double>(c.maxActsPerWindow().value());
             const double t =
-                static_cast<double>(c.trackingThreshold());
+                static_cast<double>(c.trackingThreshold().value());
             EXPECT_GT(static_cast<double>(c.numEntries()),
                       w / t - 1.0)
                 << "k=" << k << " trh=" << trh;
@@ -59,7 +59,7 @@ TEST(GrapheneConfig, InequalityThreeHolds)
     for (unsigned k = 1; k <= 10; ++k) {
         GrapheneConfig c;
         c.resetWindowDivisor = k;
-        const double t = static_cast<double>(c.trackingThreshold());
+        const double t = static_cast<double>(c.trackingThreshold().value());
         EXPECT_LT((k + 1) * (t - 1.0), 50000.0 / 2.0) << "k=" << k;
     }
 }
@@ -119,7 +119,7 @@ TEST(GrapheneConfig, NonAdjacentShrinksTAndGrowsTable)
     GrapheneConfig wide;
     wide.blastRadius = 4;
     wide.mu = GrapheneConfig::inverseSquareMu(4);
-    EXPECT_LT(wide.trackingThreshold(), base.trackingThreshold());
+    EXPECT_LT(wide.trackingThreshold().value(), base.trackingThreshold().value());
     EXPECT_GT(wide.numEntries(), base.numEntries());
     // Growth factor bounded by the mu sum (Section III-D): 1.64x.
     EXPECT_LT(static_cast<double>(wide.numEntries()),
@@ -132,7 +132,7 @@ TEST(GrapheneConfig, UniformMuIsMoreConservative)
     inv.blastRadius = uni.blastRadius = 3;
     inv.mu = GrapheneConfig::inverseSquareMu(3);
     uni.mu = GrapheneConfig::uniformMu(3);
-    EXPECT_LT(uni.trackingThreshold(), inv.trackingThreshold());
+    EXPECT_LT(uni.trackingThreshold().value(), inv.trackingThreshold().value());
     EXPECT_GT(uni.numEntries(), inv.numEntries());
 }
 
@@ -145,7 +145,7 @@ TEST(GrapheneConfig, ScalesToLowThresholds)
         c.rowHammerThreshold = trh;
         c.resetWindowDivisor = 2;
         c.validate();
-        EXPECT_GT(c.trackingThreshold(), 0u);
+        EXPECT_GT(c.trackingThreshold().value(), 0u);
         // Entries scale inversely with the threshold.
         EXPECT_NEAR(static_cast<double>(c.numEntries()),
                     81.0 * 50000.0 / static_cast<double>(trh),

@@ -32,112 +32,112 @@ TEST(CounterTable, Figure2Walkthrough)
     // addresses raise spillover to... a miss with min count == spill
     // replaces instead. Construct directly: first occupy all slots.
     for (int i = 0; i < 5; ++i)
-        t.processActivation(0x1010);
+        t.processActivation(Row{0x1010});
     for (int i = 0; i < 7; ++i)
-        t.processActivation(0x2020);
+        t.processActivation(Row{0x2020});
     for (int i = 0; i < 1; ++i)
-        t.processActivation(0x3030);
+        t.processActivation(Row{0x3030});
     // Now counts are {5, 7, 1}, spillover 0. Misses on new addresses
     // replace the count-0... no entry has count 0 (all valid), the
     // min is 1 == ... spillover is 0, no entry equals 0, so a miss
     // bumps spillover to 1. Another miss then replaces 0x3030-like
     // minimum only when count == spillover. Drive spillover to 2 and
     // 0x3030 to 3 explicitly:
-    t.processActivation(0xAAAA); // miss, no count==0 -> spill=1
-    t.processActivation(0x3030); // hit -> 2
-    t.processActivation(0xBBBB); // miss, no count==1 -> spill=2
-    t.processActivation(0x3030); // hit -> 3
+    t.processActivation(Row{0xAAAA}); // miss, no count==0 -> spill=1
+    t.processActivation(Row{0x3030}); // hit -> 2
+    t.processActivation(Row{0xBBBB}); // miss, no count==1 -> spill=2
+    t.processActivation(Row{0x3030}); // hit -> 3
 
-    ASSERT_EQ(t.estimatedCount(0x1010), 5u);
-    ASSERT_EQ(t.estimatedCount(0x2020), 7u);
-    ASSERT_EQ(t.estimatedCount(0x3030), 3u);
-    ASSERT_EQ(t.spilloverCount(), 2u);
+    ASSERT_EQ(t.estimatedCount(Row{0x1010}).value(), 5u);
+    ASSERT_EQ(t.estimatedCount(Row{0x2020}).value(), 7u);
+    ASSERT_EQ(t.estimatedCount(Row{0x3030}).value(), 3u);
+    ASSERT_EQ(t.spilloverCount().value(), 2u);
 
     // Step 1 (Figure 2): ACT 0x1010 hits; count 5 -> 6.
-    auto r1 = t.processActivation(0x1010);
+    auto r1 = t.processActivation(Row{0x1010});
     EXPECT_TRUE(r1.hit);
-    EXPECT_EQ(r1.estimatedCount, 6u);
+    EXPECT_EQ(r1.estimatedCount.value(), 6u);
 
     // Step 2: ACT 0x4040 misses; no entry equals spillover 2
     // (counts are 6, 7, 3), so spillover -> 3.
-    auto r2 = t.processActivation(0x4040);
+    auto r2 = t.processActivation(Row{0x4040});
     EXPECT_TRUE(r2.spilled);
-    EXPECT_EQ(t.spilloverCount(), 3u);
-    EXPECT_FALSE(t.contains(0x4040));
+    EXPECT_EQ(t.spilloverCount().value(), 3u);
+    EXPECT_FALSE(t.contains(Row{0x4040}));
 
     // Step 3: ACT 0x5050 misses; entry 0x3030 has count 3 ==
     // spillover, so it is replaced and the carried-over count
     // becomes 4 (not 1).
-    auto r3 = t.processActivation(0x5050);
+    auto r3 = t.processActivation(Row{0x5050});
     EXPECT_TRUE(r3.inserted);
-    EXPECT_EQ(r3.estimatedCount, 4u);
-    EXPECT_FALSE(t.contains(0x3030));
-    EXPECT_TRUE(t.contains(0x5050));
-    EXPECT_EQ(t.spilloverCount(), 3u);
+    EXPECT_EQ(r3.estimatedCount.value(), 4u);
+    EXPECT_FALSE(t.contains(Row{0x3030}));
+    EXPECT_TRUE(t.contains(Row{0x5050}));
+    EXPECT_EQ(t.spilloverCount().value(), 3u);
 }
 
 TEST(CounterTable, EmptyTableAbsorbsFirstAddresses)
 {
     CounterTable t(4);
-    for (Row r = 100; r < 104; ++r) {
+    for (Row r{100}; r < Row{104}; ++r) {
         auto result = t.processActivation(r);
         EXPECT_TRUE(result.inserted);
-        EXPECT_EQ(result.estimatedCount, 1u);
+        EXPECT_EQ(result.estimatedCount.value(), 1u);
     }
     EXPECT_EQ(t.occupied(), 4u);
-    EXPECT_EQ(t.spilloverCount(), 0u);
+    EXPECT_EQ(t.spilloverCount().value(), 0u);
 }
 
 TEST(CounterTable, HitIncrementsOnlyThatEntry)
 {
     CounterTable t(4);
-    t.processActivation(1);
-    t.processActivation(2);
-    t.processActivation(1);
-    EXPECT_EQ(t.estimatedCount(1), 2u);
-    EXPECT_EQ(t.estimatedCount(2), 1u);
+    t.processActivation(Row{1});
+    t.processActivation(Row{2});
+    t.processActivation(Row{1});
+    EXPECT_EQ(t.estimatedCount(Row{1}).value(), 2u);
+    EXPECT_EQ(t.estimatedCount(Row{2}).value(), 1u);
 }
 
 TEST(CounterTable, MissWithoutCandidateSpills)
 {
     CounterTable t(2);
-    t.processActivation(1);
-    t.processActivation(1);
-    t.processActivation(2);
-    t.processActivation(2);
+    t.processActivation(Row{1});
+    t.processActivation(Row{1});
+    t.processActivation(Row{2});
+    t.processActivation(Row{2});
     // counts {2, 2}, spillover 0: a miss cannot replace.
-    auto r = t.processActivation(3);
+    auto r = t.processActivation(Row{3});
     EXPECT_TRUE(r.spilled);
-    EXPECT_EQ(t.spilloverCount(), 1u);
+    EXPECT_EQ(t.spilloverCount().value(), 1u);
 }
 
 TEST(CounterTable, ReplacementCarriesCountOver)
 {
     CounterTable t(2);
-    t.processActivation(1); // {1:1}
-    t.processActivation(2); // {1:1, 2:1}
-    t.processActivation(3); // spill -> 1
-    t.processActivation(4); // 1 == count(1): replace, count 2
-    EXPECT_FALSE(t.contains(1) && t.contains(2));
-    EXPECT_EQ(t.estimatedCount(4), 2u);
+    t.processActivation(Row{1}); // {1:1}
+    t.processActivation(Row{2}); // {1:1, 2:1}
+    t.processActivation(Row{3}); // spill -> 1
+    t.processActivation(Row{4}); // 1 == count(1): replace, count 2
+    EXPECT_FALSE(t.contains(Row{1}) && t.contains(Row{2}));
+    EXPECT_EQ(t.estimatedCount(Row{4}).value(), 2u);
 }
 
 TEST(CounterTable, ResetClearsEverything)
 {
     CounterTable t(4);
     for (int i = 0; i < 100; ++i)
-        t.processActivation(static_cast<Row>(i % 7));
+        t.processActivation(Row{static_cast<Row::rep>(i % 7)});
     t.reset();
-    EXPECT_EQ(t.spilloverCount(), 0u);
-    EXPECT_EQ(t.streamLength(), 0u);
+    EXPECT_EQ(t.spilloverCount().value(), 0u);
+    EXPECT_EQ(t.streamLength().value(), 0u);
     EXPECT_EQ(t.occupied(), 0u);
-    EXPECT_EQ(t.minEstimatedCount(), 0u);
+    EXPECT_EQ(t.minEstimatedCount().value(), 0u);
     for (int i = 0; i < 7; ++i)
-        EXPECT_FALSE(t.contains(static_cast<Row>(i)));
+        EXPECT_FALSE(t.contains(Row{static_cast<Row::rep>(i)}));
     // The table is immediately reusable.
-    auto r = t.processActivation(9);
+    auto r = t.processActivation(Row{9});
     EXPECT_TRUE(r.inserted);
-    EXPECT_EQ(r.estimatedCount, 1u);
+    EXPECT_EQ(r.estimatedCount.value(), 1u);
 }
 
 TEST(CounterTable, ConservationOfStreamLength)
@@ -145,10 +145,10 @@ TEST(CounterTable, ConservationOfStreamLength)
     CounterTable t(8);
     Rng rng(99);
     for (int i = 0; i < 5000; ++i)
-        t.processActivation(static_cast<Row>(rng.nextRange(64)));
-    std::uint64_t sum = t.spilloverCount();
+        t.processActivation(Row{static_cast<Row::rep>(rng.nextRange(64))});
+    std::uint64_t sum = t.spilloverCount().value();
     for (const auto &e : t.entries())
-        sum += e.count;
+        sum += e.count.value();
     EXPECT_EQ(sum, 5000u);
 }
 
@@ -166,17 +166,17 @@ class StreamProperty
                 ZipfSampler &zipf)
     {
         if (kind == "uniform")
-            return static_cast<Row>(rng.nextRange(256));
+            return Row{static_cast<Row::rep>(rng.nextRange(256))};
         if (kind == "zipf")
-            return static_cast<Row>(zipf.sample(rng));
+            return Row{static_cast<Row::rep>(zipf.sample(rng))};
         if (kind == "single")
-            return 7;
+            return Row{7};
         if (kind == "round-robin")
-            return static_cast<Row>(i % 13);
+            return Row{static_cast<Row::rep>(i % 13)};
         if (kind == "two-phase") // hot rows, then a flood of misses
-            return i < 2000 ? static_cast<Row>(i % 3)
-                            : static_cast<Row>(rng.nextRange(4096));
-        return static_cast<Row>(rng.nextRange(64));
+            return i < 2000 ? Row{static_cast<Row::rep>(i % 3)}
+                            : Row{static_cast<Row::rep>(rng.nextRange(4096))};
+        return Row{static_cast<Row::rep>(rng.nextRange(64))};
     }
 };
 
@@ -200,12 +200,12 @@ TEST_P(StreamProperty, LemmasHoldThroughoutStream)
         // Lemma 1: estimated >= actual for every tracked row.
         if (i % 97 == 0) {
             for (const auto &e : table.entries()) {
-                if (e.addr == kInvalidRow)
+                if (e.addr == Row::invalid())
                     continue;
                 const auto it = actual.find(e.addr);
                 const std::uint64_t act =
                     it == actual.end() ? 0 : it->second;
-                ASSERT_GE(e.count, act)
+                ASSERT_GE(e.count.value(), act)
                     << kind << " row " << e.addr << " at step " << i;
             }
         }

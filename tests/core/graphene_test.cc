@@ -32,7 +32,7 @@ TEST(Graphene, NameAndThreshold)
 {
     Graphene g(testConfig(50000, 2));
     EXPECT_EQ(g.name(), "Graphene");
-    EXPECT_EQ(g.trackingThreshold(), 8333u);
+    EXPECT_EQ(g.trackingThreshold().value(), 8333u);
 }
 
 TEST(Graphene, CostMatchesTableIV)
@@ -59,16 +59,16 @@ TEST(Graphene, OverflowBitOptimizationSavesSixBits)
 TEST(Graphene, SingleRowTriggersAtEveryMultipleOfT)
 {
     Graphene g(testConfig(2000));
-    const std::uint64_t t = g.trackingThreshold(); // 500
+    const std::uint64_t t = g.trackingThreshold().value(); // 500
     RefreshAction action;
     std::uint64_t triggers = 0;
     for (std::uint64_t i = 1; i <= 4 * t; ++i) {
         action.clear();
-        g.onActivate(i, 1234, action);
+        g.onActivate(Cycle{i}, Row{1234}, action);
         if (!action.empty()) {
             ++triggers;
             ASSERT_EQ(action.nrrAggressors.size(), 1u);
-            EXPECT_EQ(action.nrrAggressors[0], 1234u);
+            EXPECT_EQ(action.nrrAggressors[0], Row{1234});
             EXPECT_EQ(i % t, 0u) << "trigger off-multiple at " << i;
         }
     }
@@ -79,8 +79,8 @@ TEST(Graphene, NoTriggersBelowThreshold)
 {
     Graphene g(testConfig(2000));
     RefreshAction action;
-    for (std::uint64_t i = 1; i < g.trackingThreshold(); ++i) {
-        g.onActivate(i, 42, action);
+    for (std::uint64_t i = 1; i < g.trackingThreshold().value(); ++i) {
+        g.onActivate(Cycle{i}, Row{42}, action);
         EXPECT_TRUE(action.empty());
     }
 }
@@ -91,11 +91,11 @@ TEST(Graphene, TableResetsEveryWindow)
     Graphene g(c);
     const Cycle window = c.resetWindowCycles();
     RefreshAction action;
-    g.onActivate(1, 7, action);
-    EXPECT_EQ(g.table().estimatedCount(7), 1u);
-    g.onActivate(window + 1, 7, action);
+    g.onActivate(Cycle{1}, Row{7}, action);
+    EXPECT_EQ(g.table().estimatedCount(Row{7}).value(), 1u);
+    g.onActivate(window + Cycle{1}, Row{7}, action);
     // First ACT of the new window: the old count is gone.
-    EXPECT_EQ(g.table().estimatedCount(7), 1u);
+    EXPECT_EQ(g.table().estimatedCount(Row{7}).value(), 1u);
     EXPECT_EQ(g.resetCount(), 1u);
 }
 
@@ -106,7 +106,8 @@ TEST(Graphene, SpreadTrafficNeverTriggers)
     Rng rng(5);
     RefreshAction action;
     for (std::uint64_t i = 0; i < 200000; ++i) {
-        g.onActivate(i, static_cast<Row>(rng.nextRange(65536)),
+        g.onActivate(Cycle{i},
+                     Row{static_cast<Row::rep>(rng.nextRange(65536))},
                      action);
     }
     EXPECT_TRUE(action.empty());
@@ -137,7 +138,7 @@ TEST_P(TheoremProperty, ActualCountNeverAdvancesByT)
     const auto [kind, k] = GetParam();
     GrapheneConfig config = testConfig(2000, k);
     Graphene g(config);
-    const std::uint64_t t = g.trackingThreshold();
+    const std::uint64_t t = g.trackingThreshold().value();
     const Cycle window = config.resetWindowCycles();
 
     Rng rng(fnv(kind));
@@ -148,9 +149,9 @@ TEST_P(TheoremProperty, ActualCountNeverAdvancesByT)
 
     // One ACT per tRC-ish step, several windows long.
     const std::uint64_t steps = 300000;
-    const Cycle step = 54;
+    const std::uint64_t step = 54;
     for (std::uint64_t i = 0; i < steps; ++i) {
-        const Cycle cycle = i * step;
+        const Cycle cycle{i * step};
         if (cycle / window != window_idx) {
             window_idx = cycle / window;
             actual.clear();
@@ -159,17 +160,17 @@ TEST_P(TheoremProperty, ActualCountNeverAdvancesByT)
 
         Row row;
         if (kind == "single") {
-            row = 100;
+            row = Row{100};
         } else if (kind == "pair") {
-            row = i % 2 ? 100 : 102;
+            row = i % 2 ? Row{100} : Row{102};
         } else if (kind == "rotate-hot") {
-            row = static_cast<Row>(100 + (i / 1000) % 8);
+            row = Row{static_cast<Row::rep>(100 + (i / 1000) % 8)};
         } else if (kind == "zipf-ish") {
-            row = static_cast<Row>(rng.nextRange(16) == 0
+            row = Row{static_cast<Row::rep>(rng.nextRange(16) == 0
                                        ? 100
-                                       : rng.nextRange(4096));
+                                       : rng.nextRange(4096))};
         } else { // worst-case: exactly W/T rows round-robin
-            row = static_cast<Row>(i % (270000 / t));
+            row = Row{static_cast<Row::rep>(i % (270000 / t))};
         }
 
         ++actual[row];
@@ -207,17 +208,18 @@ TEST(Graphene, WorstCaseTriggersPerWindowBounded)
     // force at most floor(W/T) triggers per reset window.
     GrapheneConfig config = testConfig(50000, 2);
     Graphene g(config);
-    const std::uint64_t w = config.maxActsPerWindow();
-    const std::uint64_t t = g.trackingThreshold();
+    const std::uint64_t w = config.maxActsPerWindow().value();
+    const std::uint64_t t = g.trackingThreshold().value();
     const unsigned rows = static_cast<unsigned>(w / t);
 
     RefreshAction action;
     const Cycle window = config.resetWindowCycles();
     // Full-rate ACTs: one per tRC (54 cycles), one window's worth.
     std::uint64_t triggers = 0;
-    for (std::uint64_t i = 0; i * 54 < window; ++i) {
+    for (std::uint64_t i = 0; i * 54 < window.value(); ++i) {
         action.clear();
-        g.onActivate(i * 54, static_cast<Row>(i % rows), action);
+        g.onActivate(Cycle{i * 54},
+                     Row{static_cast<Row::rep>(i % rows)}, action);
         triggers += action.nrrAggressors.size();
     }
     EXPECT_LE(triggers, w / t);

@@ -103,12 +103,12 @@ TEST_P(DifferentialStream, ObservableStateAlwaysMatches)
     for (int i = 0; i < 30000; ++i) {
         // A mix of hot rows and a long uniform tail.
         const Row row = rng.bernoulli(0.4)
-                            ? static_cast<Row>(rng.nextRange(3))
-                            : static_cast<Row>(rng.nextRange(500));
+                            ? Row{static_cast<Row::rep>(rng.nextRange(3))}
+                            : Row{static_cast<Row::rep>(rng.nextRange(500))};
         table.processActivation(row);
         reference.activate(row);
 
-        ASSERT_EQ(table.spilloverCount(), reference.spillover())
+        ASSERT_EQ(table.spilloverCount().value(), reference.spillover())
             << "step " << i;
 
         if (i % 53 == 0) {
@@ -119,7 +119,7 @@ TEST_P(DifferentialStream, ObservableStateAlwaysMatches)
             // to that choice).
             std::vector<std::uint64_t> counts;
             for (const auto &e : table.entries())
-                counts.push_back(e.count);
+                counts.push_back(e.count.value());
             std::sort(counts.begin(), counts.end());
             ASSERT_EQ(counts, reference.countMultiset())
                 << "step " << i;

@@ -30,23 +30,24 @@ namespace {
 TEST(SpaceSaving, FillsBeforeEvicting)
 {
     SpaceSavingTracker t(3);
-    EXPECT_EQ(t.processActivation(1), 1u);
-    EXPECT_EQ(t.processActivation(2), 1u);
-    EXPECT_EQ(t.processActivation(3), 1u);
-    EXPECT_EQ(t.processActivation(1), 2u);
-    EXPECT_EQ(t.minCount(), 1u);
+    EXPECT_EQ(t.processActivation(Row{1}).value(), 1u);
+    EXPECT_EQ(t.processActivation(Row{2}).value(), 1u);
+    EXPECT_EQ(t.processActivation(Row{3}).value(), 1u);
+    EXPECT_EQ(t.processActivation(Row{1}).value(), 2u);
+    EXPECT_EQ(t.minCount().value(), 1u);
 }
 
 TEST(SpaceSaving, MissReplacesMinimumAndInheritsIt)
 {
     SpaceSavingTracker t(2);
-    t.processActivation(1);
-    t.processActivation(1);
-    t.processActivation(2); // counts {1:2, 2:1}
-    EXPECT_EQ(t.processActivation(9), 2u); // evicts 2, inherits 1+1
-    EXPECT_FALSE(t.estimatedCount(2));
-    EXPECT_EQ(t.estimatedCount(9), 2u);
-    EXPECT_EQ(t.estimatedCount(1), 2u);
+    t.processActivation(Row{1});
+    t.processActivation(Row{1});
+    t.processActivation(Row{2}); // counts {1:2, 2:1}
+    EXPECT_EQ(t.processActivation(Row{9}).value(),
+              2u); // evicts 2, inherits 1+1
+    EXPECT_FALSE(t.estimatedCount(Row{2}).value());
+    EXPECT_EQ(t.estimatedCount(Row{9}).value(), 2u);
+    EXPECT_EQ(t.estimatedCount(Row{1}).value(), 2u);
 }
 
 TEST(SpaceSaving, MinBoundedByStreamOverCapacity)
@@ -54,19 +55,19 @@ TEST(SpaceSaving, MinBoundedByStreamOverCapacity)
     SpaceSavingTracker t(8);
     Rng rng(3);
     for (int i = 0; i < 10000; ++i) {
-        t.processActivation(static_cast<Row>(rng.nextRange(100)));
+        t.processActivation(Row{static_cast<Row::rep>(rng.nextRange(100))});
         t.checkInvariants();
     }
-    EXPECT_LE(t.minCount(), 10000u / 8u);
+    EXPECT_LE(t.minCount().value(), 10000u / 8u);
 }
 
 TEST(SpaceSaving, ResetClears)
 {
     SpaceSavingTracker t(4);
-    t.processActivation(1);
+    t.processActivation(Row{1});
     t.reset();
-    EXPECT_EQ(t.estimatedCount(1), 0u);
-    EXPECT_EQ(t.streamLength(), 0u);
+    EXPECT_EQ(t.estimatedCount(Row{1}).value(), 0u);
+    EXPECT_EQ(t.streamLength().value(), 0u);
 }
 
 // ---------------------------------------------------------------
@@ -76,11 +77,11 @@ TEST(SpaceSaving, ResetClears)
 TEST(LossyCounting, ColdRowsPrunedAtBucketBoundary)
 {
     LossyCountingTracker t(10); // bucket width 10
-    t.processActivation(1);     // f=1, delta=0
+    t.processActivation(Row{1});     // f=1, delta=0
     for (int i = 0; i < 9; ++i)
-        t.processActivation(static_cast<Row>(100 + i));
+        t.processActivation(Row{static_cast<Row::rep>(100 + i)});
     // Boundary passed: rows with f + delta <= 1 are gone.
-    EXPECT_EQ(t.estimatedCount(1), 0u);
+    EXPECT_EQ(t.estimatedCount(Row{1}).value(), 0u);
     EXPECT_EQ(t.currentBucket(), 2u);
 }
 
@@ -89,20 +90,20 @@ TEST(LossyCounting, HotRowsSurvivePruning)
     LossyCountingTracker t(10);
     for (int round = 0; round < 20; ++round) {
         for (int i = 0; i < 5; ++i)
-            t.processActivation(7);
+            t.processActivation(Row{7});
         for (int i = 0; i < 5; ++i)
-            t.processActivation(static_cast<Row>(1000 + round * 5 +
-                                                 i));
+            t.processActivation(Row{static_cast<Row::rep>(1000 + round * 5 +
+                                                 i)});
     }
-    EXPECT_GE(t.estimatedCount(7), 100u);
+    EXPECT_GE(t.estimatedCount(Row{7}).value(), 100u);
 }
 
 TEST(LossyCounting, LateInsertionCarriesDelta)
 {
     LossyCountingTracker t(10);
     for (int i = 0; i < 30; ++i)
-        t.processActivation(static_cast<Row>(i)); // 3 buckets pass
-    const std::uint64_t est = t.processActivation(999);
+        t.processActivation(Row{static_cast<Row::rep>(i)}); // 3 buckets pass
+    const std::uint64_t est = t.processActivation(Row{999}).value();
     // f = 1, delta = currentBucket - 1 = 3.
     EXPECT_EQ(est, 1u + 3u);
 }
@@ -112,7 +113,7 @@ TEST(LossyCounting, OccupancyStaysBounded)
     LossyCountingTracker t(50);
     Rng rng(5);
     for (int i = 0; i < 200000; ++i)
-        t.processActivation(static_cast<Row>(rng.nextRange(65536)));
+        t.processActivation(Row{static_cast<Row::rep>(rng.nextRange(65536))});
     // (1/e) log(eN) with 1/e = 50: a few hundred entries.
     EXPECT_LT(t.peakTrackedRows(), 1000u);
 }
@@ -128,9 +129,9 @@ TEST(CountMin, ExactWithoutCollisions)
     config.conservativeUpdate = false;
     CountMinTracker t(config);
     for (int i = 0; i < 100; ++i)
-        t.processActivation(42);
-    EXPECT_GE(t.estimatedCount(42), 100u);
-    EXPECT_LE(t.estimatedCount(42), 105u); // tiny collision slack
+        t.processActivation(Row{42});
+    EXPECT_GE(t.estimatedCount(Row{42}).value(), 100u);
+    EXPECT_LE(t.estimatedCount(Row{42}).value(), 105u); // tiny collision slack
 }
 
 TEST(CountMin, CollisionsOnlyInflate)
@@ -142,12 +143,12 @@ TEST(CountMin, CollisionsOnlyInflate)
     Rng rng(7);
     std::map<Row, std::uint64_t> actual;
     for (int i = 0; i < 5000; ++i) {
-        const Row row = static_cast<Row>(rng.nextRange(64));
+        const Row row = Row{static_cast<Row::rep>(rng.nextRange(64))};
         ++actual[row];
         t.processActivation(row);
     }
     for (const auto &kv : actual)
-        EXPECT_GE(t.estimatedCount(kv.first), kv.second);
+        EXPECT_GE(t.estimatedCount(kv.first).value(), kv.second);
 }
 
 TEST(CountMin, ConservativeUpdateIsTighterNeverLower)
@@ -162,16 +163,16 @@ TEST(CountMin, ConservativeUpdateIsTighterNeverLower)
     Rng rng(11);
     std::map<Row, std::uint64_t> actual;
     for (int i = 0; i < 20000; ++i) {
-        const Row row = static_cast<Row>(rng.nextRange(256));
+        const Row row = Row{static_cast<Row::rep>(rng.nextRange(256))};
         ++actual[row];
         plain.processActivation(row);
         cu.processActivation(row);
     }
     std::uint64_t plain_total = 0, cu_total = 0;
     for (const auto &kv : actual) {
-        EXPECT_GE(cu.estimatedCount(kv.first), kv.second);
-        plain_total += plain.estimatedCount(kv.first);
-        cu_total += cu.estimatedCount(kv.first);
+        EXPECT_GE(cu.estimatedCount(kv.first).value(), kv.second);
+        plain_total += plain.estimatedCount(kv.first).value();
+        cu_total += cu.estimatedCount(kv.first).value();
     }
     EXPECT_LT(cu_total, plain_total);
 }
@@ -207,13 +208,15 @@ TEST_P(TrackerProperty, NeverUnderestimates)
     std::map<Row, std::uint64_t> actual;
     for (int i = 0; i < 60000; ++i) {
         const Row row = rng.bernoulli(0.3)
-                            ? 50
-                            : static_cast<Row>(rng.nextRange(2048));
+                            ? Row{50}
+                            : Row{static_cast<Row::rep>(
+                                  rng.nextRange(2048))};
         ++actual[row];
         tracker->processActivation(row);
         if (i % 211 == 0) {
             for (const auto &kv : actual) {
-                const auto est = tracker->estimatedCount(kv.first);
+                const auto est =
+                    tracker->estimatedCount(kv.first).value();
                 if (est != 0) {
                     ASSERT_GE(est, kv.second)
                         << tracker->name() << " row " << kv.first
@@ -230,19 +233,20 @@ TEST_P(TrackerProperty, HotRowAlwaysIndividuallyTracked)
     // estimate must not report 0) once it has accumulated T actual
     // activations — otherwise the scheme could never trigger.
     auto tracker = makeTracker(GetParam(), smallGraphene());
-    const std::uint64_t t = smallGraphene().trackingThreshold();
+    const std::uint64_t t = smallGraphene().trackingThreshold().value();
     Rng rng(29);
     std::uint64_t hot_actual = 0;
     for (int i = 0; i < 100000; ++i) {
         if (rng.bernoulli(0.5)) {
             ++hot_actual;
-            tracker->processActivation(50);
+            tracker->processActivation(Row{50});
         } else {
             tracker->processActivation(
-                static_cast<Row>(rng.nextRange(4096)));
+                Row{static_cast<Row::rep>(rng.nextRange(4096))});
         }
         if (hot_actual >= t) {
-            ASSERT_GE(tracker->estimatedCount(50), hot_actual)
+            ASSERT_GE(tracker->estimatedCount(Row{50}).value(),
+                      hot_actual)
                 << tracker->name();
         }
     }
@@ -255,7 +259,7 @@ TEST_P(TrackerProperty, SchemeTheoremHolds)
     // a victim refresh.
     const GrapheneConfig config = smallGraphene();
     TrackerScheme scheme(makeTracker(GetParam(), config), config);
-    const std::uint64_t t = scheme.trackingThreshold();
+    const std::uint64_t t = scheme.trackingThreshold().value();
     const Cycle window = config.resetWindowCycles();
 
     Rng rng(31);
@@ -263,15 +267,15 @@ TEST_P(TrackerProperty, SchemeTheoremHolds)
     std::uint64_t window_idx = 0;
     RefreshAction action;
     for (std::uint64_t i = 0; i < 250000; ++i) {
-        const Cycle cycle = i * 54;
+        const Cycle cycle{i * 54};
         if (cycle / window != window_idx) {
             window_idx = cycle / window;
             actual.clear();
             at_refresh.clear();
         }
         const Row row = rng.bernoulli(0.4)
-                            ? static_cast<Row>(100 + i % 3)
-                            : static_cast<Row>(rng.nextRange(4096));
+                            ? Row{static_cast<Row::rep>(100 + i % 3)}
+                            : Row{static_cast<Row::rep>(rng.nextRange(4096))};
         ++actual[row];
         action.clear();
         scheme.onActivate(cycle, row, action);
@@ -335,12 +339,13 @@ TEST(TrackerScheme, MatchesGrapheneOnMisraGries)
     RefreshAction a1, a2;
     for (std::uint64_t i = 0; i < 100000; ++i) {
         const Row row = rng.bernoulli(0.5)
-                            ? 7
-                            : static_cast<Row>(rng.nextRange(512));
+                            ? Row{7}
+                            : Row{static_cast<Row::rep>(
+                                  rng.nextRange(512))};
         a1.clear();
         a2.clear();
-        generic.onActivate(i * 54, row, a1);
-        dedicated.onActivate(i * 54, row, a2);
+        generic.onActivate(Cycle{i * 54}, row, a1);
+        dedicated.onActivate(Cycle{i * 54}, row, a2);
         ASSERT_EQ(a1.nrrAggressors, a2.nrrAggressors)
             << "step " << i;
     }

@@ -29,12 +29,12 @@ TEST(AddressMapper, DecodeFieldsInRange)
     AddressMapper m(g);
     Rng rng(1);
     for (int i = 0; i < 10000; ++i) {
-        const Addr a = rng.next64() % g.capacityBytes();
+        const Addr a{rng.next64() % g.capacityBytes()};
         const DecodedAddr d = m.decode(a);
         EXPECT_LT(d.channel, g.channels);
         EXPECT_LT(d.rank, g.ranksPerChannel);
         EXPECT_LT(d.bank, g.banksPerRank);
-        EXPECT_LT(d.row, g.rowsPerBank);
+        EXPECT_LT(d.row.value(), g.rowsPerBank);
         EXPECT_LT(d.column, g.bytesPerRow);
     }
 }
@@ -45,7 +45,7 @@ TEST(AddressMapper, EncodeDecodeRoundTrip)
     AddressMapper m(g);
     Rng rng(2);
     for (int i = 0; i < 10000; ++i) {
-        const Addr a = (rng.next64() % g.capacityBytes()) & ~63ULL;
+        const Addr a{(rng.next64() % g.capacityBytes()) & ~63ULL};
         const DecodedAddr d = m.decode(a);
         EXPECT_EQ(m.encode(d), a) << "addr " << a;
     }
@@ -55,8 +55,8 @@ TEST(AddressMapper, ConsecutiveLinesStripeChannels)
 {
     Geometry g;
     AddressMapper m(g);
-    const DecodedAddr d0 = m.decode(0);
-    const DecodedAddr d1 = m.decode(64);
+    const DecodedAddr d0 = m.decode(Addr{0});
+    const DecodedAddr d1 = m.decode(Addr{64});
     EXPECT_NE(d0.channel, d1.channel);
     EXPECT_EQ(d0.row, d1.row);
 }
@@ -69,8 +69,8 @@ TEST(AddressMapper, RowBitsAreHighOrder)
     const std::uint64_t row_stride = g.bytesPerRow * g.channels *
                                      g.banksPerRank *
                                      g.ranksPerChannel;
-    const DecodedAddr a = m.decode(0);
-    const DecodedAddr b = m.decode(row_stride);
+    const DecodedAddr a = m.decode(Addr{0});
+    const DecodedAddr b = m.decode(Addr{row_stride});
     EXPECT_EQ(a.channel, b.channel);
     EXPECT_EQ(a.bank, b.bank);
     EXPECT_EQ(b.row, a.row + 1);
@@ -83,11 +83,11 @@ TEST(DecodedAddr, FlatBankUniqueness)
     for (unsigned c = 0; c < g.channels; ++c) {
         for (unsigned r = 0; r < g.ranksPerChannel; ++r) {
             for (unsigned b = 0; b < g.banksPerRank; ++b) {
-                DecodedAddr d{c, r, b, 0, 0};
+                DecodedAddr d{c, r, b, Row{0}, 0};
                 const BankId id = d.flatBank(g);
-                ASSERT_LT(id, g.totalBanks());
-                EXPECT_FALSE(seen[id]);
-                seen[id] = true;
+                ASSERT_LT(id.value(), g.totalBanks());
+                EXPECT_FALSE(seen[id.value()]);
+                seen[id.value()] = true;
             }
         }
     }
@@ -95,7 +95,7 @@ TEST(DecodedAddr, FlatBankUniqueness)
 
 TEST(DecodedAddr, ToStringMentionsFields)
 {
-    DecodedAddr d{1, 0, 5, 1234, 64};
+    DecodedAddr d{1, 0, 5, Row{1234}, 64};
     const std::string s = d.toString();
     EXPECT_NE(s.find("ch1"), std::string::npos);
     EXPECT_NE(s.find("ba5"), std::string::npos);

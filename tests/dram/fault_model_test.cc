@@ -25,73 +25,73 @@ smallConfig(double threshold = 100.0, unsigned radius = 1)
 TEST(FaultModel, AdjacentDisturbanceAccumulates)
 {
     FaultModel f(smallConfig(), 1000);
-    for (int i = 0; i < 10; ++i)
-        f.onActivate(i, 500);
-    EXPECT_DOUBLE_EQ(f.disturbance(499), 10.0);
-    EXPECT_DOUBLE_EQ(f.disturbance(501), 10.0);
-    EXPECT_DOUBLE_EQ(f.disturbance(502), 0.0);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        f.onActivate(Cycle{i}, Row{500});
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{499}), 10.0);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{501}), 10.0);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{502}), 0.0);
 }
 
 TEST(FaultModel, FlipAtThreshold)
 {
     FaultModel f(smallConfig(100.0), 1000);
-    for (int i = 0; i < 99; ++i)
-        f.onActivate(i, 500);
+    for (std::uint64_t i = 0; i < 99; ++i)
+        f.onActivate(Cycle{i}, Row{500});
     EXPECT_TRUE(f.flips().empty());
-    f.onActivate(99, 500);
+    f.onActivate(Cycle{99}, Row{500});
     ASSERT_EQ(f.flips().size(), 2u); // both neighbours flip
-    EXPECT_EQ(f.flips()[0].victimRow, 499u);
-    EXPECT_EQ(f.flips()[1].victimRow, 501u);
-    EXPECT_EQ(f.flips()[0].cycle, 99u);
+    EXPECT_EQ(f.flips()[0].victimRow, Row{499});
+    EXPECT_EQ(f.flips()[1].victimRow, Row{501});
+    EXPECT_EQ(f.flips()[0].cycle, Cycle{99});
 }
 
 TEST(FaultModel, RefreshResetsDisturbance)
 {
     FaultModel f(smallConfig(100.0), 1000);
-    for (int i = 0; i < 60; ++i)
-        f.onActivate(i, 500);
-    f.onRowRefresh(499);
-    for (int i = 0; i < 60; ++i)
-        f.onActivate(100 + i, 500);
+    for (std::uint64_t i = 0; i < 60; ++i)
+        f.onActivate(Cycle{i}, Row{500});
+    f.onRowRefresh(Row{499});
+    for (std::uint64_t i = 0; i < 60; ++i)
+        f.onActivate(Cycle{100 + i}, Row{500});
     // 499 was refreshed at 60 and saw only 60 more: no flip there.
     // 501 accumulated 120 >= 100: flipped.
     ASSERT_EQ(f.flips().size(), 1u);
-    EXPECT_EQ(f.flips()[0].victimRow, 501u);
+    EXPECT_EQ(f.flips()[0].victimRow, Row{501});
 }
 
 TEST(FaultModel, DoubleSidedHalvesTheBudget)
 {
     FaultModel f(smallConfig(100.0), 1000);
     // Alternating aggressors around row 500: each deposits 1 per ACT.
-    for (int i = 0; i < 50; ++i) {
-        f.onActivate(2 * i, 499);
-        f.onActivate(2 * i + 1, 501);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        f.onActivate(Cycle{2 * i}, Row{499});
+        f.onActivate(Cycle{2 * i + 1}, Row{501});
     }
     // Row 500 received 100 units from 50 ACTs per side.
     bool flipped_500 = false;
     for (const auto &flip : f.flips())
-        flipped_500 |= flip.victimRow == 500;
+        flipped_500 |= flip.victimRow == Row{500};
     EXPECT_TRUE(flipped_500);
 }
 
 TEST(FaultModel, NonAdjacentWeights)
 {
     FaultModel f(smallConfig(100.0, 3), 1000);
-    f.onActivate(0, 500);
-    EXPECT_DOUBLE_EQ(f.disturbance(499), 1.0);
-    EXPECT_DOUBLE_EQ(f.disturbance(498), 0.25);
-    EXPECT_NEAR(f.disturbance(497), 1.0 / 9.0, 1e-12);
-    EXPECT_DOUBLE_EQ(f.disturbance(496), 0.0);
+    f.onActivate(Cycle{0}, Row{500});
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{499}), 1.0);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{498}), 0.25);
+    EXPECT_NEAR(f.disturbance(Row{497}), 1.0 / 9.0, 1e-12);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{496}), 0.0);
 }
 
 TEST(FaultModel, EdgeRowsClip)
 {
     FaultModel f(smallConfig(100.0, 2), 1000);
-    f.onActivate(0, 0);
-    EXPECT_DOUBLE_EQ(f.disturbance(1), 1.0);
-    EXPECT_DOUBLE_EQ(f.disturbance(2), 0.25);
-    f.onActivate(1, 999);
-    EXPECT_DOUBLE_EQ(f.disturbance(998), 1.0);
+    f.onActivate(Cycle{0}, Row{0});
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{1}), 1.0);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{2}), 0.25);
+    f.onActivate(Cycle{1}, Row{999});
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{998}), 1.0);
 }
 
 TEST(FaultModel, RemapPermutationIsABijection)
@@ -100,20 +100,20 @@ TEST(FaultModel, RemapPermutationIsABijection)
     c.remap = true;
     FaultModel f(c, 1024);
     std::vector<bool> seen(1024, false);
-    for (Row r = 0; r < 1024; ++r) {
+    for (Row r{}; r.value() < 1024; ++r) {
         const auto n = f.physicalNeighbors(r, 1);
         for (Row v : n) {
-            ASSERT_LT(v, 1024u);
+            ASSERT_LT(v.value(), 1024u);
             // Every row has at most two distance-1 physical
             // neighbours; collect coverage via left neighbours.
         }
         (void)seen;
     }
     // Disturbance still lands somewhere and nowhere "logical".
-    f.onActivate(0, 500);
+    f.onActivate(Cycle{0}, Row{500});
     double total = 0.0;
     int disturbed = 0;
-    for (Row r = 0; r < 1024; ++r) {
+    for (Row r{}; r.value() < 1024; ++r) {
         total += f.disturbance(r);
         disturbed += f.disturbance(r) > 0;
     }
@@ -128,9 +128,9 @@ TEST(FaultModel, RemapBreaksLogicalAdjacency)
     FaultModel f(c, 65536);
     // With a random permutation over 64K rows, the chance that a
     // logical neighbour is also a physical neighbour is negligible.
-    f.onActivate(0, 500);
-    EXPECT_DOUBLE_EQ(f.disturbance(499), 0.0);
-    EXPECT_DOUBLE_EQ(f.disturbance(501), 0.0);
+    f.onActivate(Cycle{0}, Row{500});
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{499}), 0.0);
+    EXPECT_DOUBLE_EQ(f.disturbance(Row{501}), 0.0);
 }
 
 TEST(FaultModel, PhysicalNeighborsMatchDepositTargets)
@@ -138,9 +138,9 @@ TEST(FaultModel, PhysicalNeighborsMatchDepositTargets)
     FaultConfig c = smallConfig(100.0, 2);
     c.remap = true;
     FaultModel f(c, 4096);
-    const auto victims = f.physicalNeighbors(1000, 2);
+    const auto victims = f.physicalNeighbors(Row{1000}, 2);
     ASSERT_EQ(victims.size(), 4u);
-    f.onActivate(0, 1000);
+    f.onActivate(Cycle{0}, Row{1000});
     for (Row v : victims)
         EXPECT_GT(f.disturbance(v), 0.0) << "victim " << v;
 }
@@ -150,29 +150,30 @@ TEST(FaultModel, RemapIsDeterministicPerSeed)
     FaultConfig c = smallConfig();
     c.remap = true;
     FaultModel a(c, 4096), b(c, 4096);
-    EXPECT_EQ(a.physicalNeighbors(7, 1), b.physicalNeighbors(7, 1));
+    EXPECT_EQ(a.physicalNeighbors(Row{7}, 1), b.physicalNeighbors(Row{7}, 1));
     c.remapSeed = 999;
     FaultModel d(c, 4096);
-    EXPECT_NE(a.physicalNeighbors(7, 1), d.physicalNeighbors(7, 1));
+    EXPECT_NE(a.physicalNeighbors(Row{7}, 1), d.physicalNeighbors(Row{7}, 1));
 }
 
 TEST(FaultModel, IdentityNeighborsWithoutRemap)
 {
     FaultModel f(smallConfig(100.0, 2), 4096);
-    const auto n = f.physicalNeighbors(1000, 2);
-    EXPECT_EQ(n, (std::vector<Row>{999, 1001, 998, 1002}));
+    const auto n = f.physicalNeighbors(Row{1000}, 2);
+    EXPECT_EQ(n, (std::vector<Row>{Row{999}, Row{1001}, Row{998},
+                                   Row{1002}}));
 }
 
 TEST(FaultModel, OneFlipRecordedPerExcursion)
 {
     FaultModel f(smallConfig(10.0), 1000);
-    for (int i = 0; i < 50; ++i)
-        f.onActivate(i, 500);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        f.onActivate(Cycle{i}, Row{500});
     // Crossing once latches; no duplicate flip until refreshed.
     EXPECT_EQ(f.flips().size(), 2u);
-    f.onRowRefresh(499);
-    for (int i = 0; i < 10; ++i)
-        f.onActivate(100 + i, 500);
+    f.onRowRefresh(Row{499});
+    for (std::uint64_t i = 0; i < 10; ++i)
+        f.onActivate(Cycle{100 + i}, Row{500});
     EXPECT_EQ(f.flips().size(), 3u);
 }
 

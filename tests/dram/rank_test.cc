@@ -57,7 +57,7 @@ TEST(Rank, EarlyRefreshPanics)
 {
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 1, 1024, defaultFault());
-    EXPECT_DEATH(rank.issueRefresh(0), "REF");
+    EXPECT_DEATH(rank.issueRefresh(Cycle{0}), "REF");
 }
 
 TEST(Rank, NrrRefreshesVictimsAtDistance)
@@ -68,9 +68,11 @@ TEST(Rank, NrrRefreshesVictimsAtDistance)
     rank.addRefreshListener(
         [&seen](unsigned, Row row) { seen.insert(row); });
 
-    const unsigned count = rank.issueNrr(100, 0, 500, 2);
+    const unsigned count = rank.issueNrr(Cycle{100}, 0, Row{500}, 2);
     EXPECT_EQ(count, 4u);
-    EXPECT_EQ(seen, (std::set<Row>{498, 499, 501, 502}));
+    EXPECT_EQ(seen,
+              (std::set<Row>{Row{498}, Row{499}, Row{501},
+                             Row{502}}));
     EXPECT_EQ(rank.nrrRowCount(), 4u);
 }
 
@@ -78,16 +80,17 @@ TEST(Rank, NrrClipsAtBankEdge)
 {
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 1, 1024, defaultFault());
-    EXPECT_EQ(rank.issueNrr(0, 0, 0, 2), 2u);    // only +1, +2
-    EXPECT_EQ(rank.issueNrr(0, 0, 1023, 1), 1u); // only -1
+    EXPECT_EQ(rank.issueNrr(Cycle{0}, 0, Row{0}, 2), 2u);    // only +1, +2
+    EXPECT_EQ(rank.issueNrr(Cycle{0}, 0, Row{1023}, 1), 1u); // only -1
 }
 
 TEST(Rank, NrrBlocksBankPerRow)
 {
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 1, 1024, defaultFault());
-    rank.issueNrr(1000, 0, 500, 1);
-    EXPECT_GE(rank.bank(0).earliestAct(1000), 1000 + 2 * t.cRC());
+    rank.issueNrr(Cycle{1000}, 0, Row{500}, 1);
+    EXPECT_GE(rank.bank(0).earliestAct(Cycle{1000}),
+              Cycle{1000} + t.cRC() * 2);
 }
 
 TEST(Rank, VictimRowListRefresh)
@@ -97,10 +100,10 @@ TEST(Rank, VictimRowListRefresh)
     std::set<Row> seen;
     rank.addRefreshListener(
         [&seen](unsigned, Row row) { seen.insert(row); });
-    rank.refreshVictimRows(0, 0, {10, 20, 30});
-    EXPECT_EQ(seen, (std::set<Row>{10, 20, 30}));
+    rank.refreshVictimRows(Cycle{0}, 0, {Row{10}, Row{20}, Row{30}});
+    EXPECT_EQ(seen, (std::set<Row>{Row{10}, Row{20}, Row{30}}));
     EXPECT_EQ(rank.nrrRowCount(), 3u);
-    EXPECT_GE(rank.bank(0).earliestAct(0), 3 * t.cRC());
+    EXPECT_GE(rank.bank(0).earliestAct(Cycle{0}), t.cRC() * 3);
 }
 
 TEST(Rank, RefreshClearsFaultDisturbance)
@@ -109,12 +112,12 @@ TEST(Rank, RefreshClearsFaultDisturbance)
     FaultConfig fc;
     fc.rowHammerThreshold = 1000.0;
     Rank rank(t, 1, 1024, fc);
-    for (int i = 0; i < 100; ++i)
-        rank.notifyActivate(i, 0, 500);
-    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(499), 100.0);
-    rank.issueNrr(200, 0, 500, 1);
-    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(499), 0.0);
-    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(501), 0.0);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        rank.notifyActivate(Cycle{i}, 0, Row{500});
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(Row{499}), 100.0);
+    rank.issueNrr(Cycle{200}, 0, Row{500}, 1);
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(Row{499}), 0.0);
+    EXPECT_DOUBLE_EQ(rank.faultModel(0).disturbance(Row{501}), 0.0);
 }
 
 TEST(Rank, FawAllowsFourFastActs)
@@ -122,12 +125,12 @@ TEST(Rank, FawAllowsFourFastActs)
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 8, 1024, defaultFault());
     for (int i = 0; i < 4; ++i) {
-        EXPECT_EQ(rank.earliestFawAct(static_cast<Cycle>(i)),
-                  static_cast<Cycle>(i));
-        rank.recordFawAct(static_cast<Cycle>(i));
+        EXPECT_EQ(rank.earliestFawAct(Cycle{static_cast<std::uint64_t>(i)}),
+                  Cycle{static_cast<std::uint64_t>(i)});
+        rank.recordFawAct(Cycle{static_cast<std::uint64_t>(i)});
     }
     // The fifth ACT waits until the first leaves the window.
-    EXPECT_EQ(rank.earliestFawAct(4), t.cFAW());
+    EXPECT_EQ(rank.earliestFawAct(Cycle{4}), t.cFAW());
 }
 
 TEST(Rank, FawWindowSlides)
@@ -135,24 +138,24 @@ TEST(Rank, FawWindowSlides)
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 8, 1024, defaultFault());
     const Cycle faw = t.cFAW();
-    rank.recordFawAct(0);
-    rank.recordFawAct(10);
-    rank.recordFawAct(20);
-    rank.recordFawAct(30);
-    EXPECT_EQ(rank.earliestFawAct(5), faw);
+    rank.recordFawAct(Cycle{0});
+    rank.recordFawAct(Cycle{10});
+    rank.recordFawAct(Cycle{20});
+    rank.recordFawAct(Cycle{30});
+    EXPECT_EQ(rank.earliestFawAct(Cycle{5}), faw);
     rank.recordFawAct(faw);
     // Now the oldest is the ACT at 10.
-    EXPECT_EQ(rank.earliestFawAct(faw), 10 + faw);
+    EXPECT_EQ(rank.earliestFawAct(faw), Cycle{10} + faw);
 }
 
 TEST(Rank, FawNeverBindsBeforeFourActs)
 {
     TimingParams t = TimingParams::ddr4_2400();
     Rank rank(t, 8, 1024, defaultFault());
-    rank.recordFawAct(100);
-    rank.recordFawAct(100);
-    rank.recordFawAct(100);
-    EXPECT_EQ(rank.earliestFawAct(100), 100u);
+    rank.recordFawAct(Cycle{100});
+    rank.recordFawAct(Cycle{100});
+    rank.recordFawAct(Cycle{100});
+    EXPECT_EQ(rank.earliestFawAct(Cycle{100}), Cycle{100});
 }
 
 TEST(Rank, RowsPerRefreshCoversBank)

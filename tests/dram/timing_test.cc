@@ -15,27 +15,27 @@ namespace {
 TEST(Timing, TableIValues)
 {
     const TimingParams t = TimingParams::ddr4_2400();
-    EXPECT_DOUBLE_EQ(t.tREFI, 7800.0);
-    EXPECT_DOUBLE_EQ(t.tRFC, 350.0);
-    EXPECT_DOUBLE_EQ(t.tRC, 45.0);
-    EXPECT_DOUBLE_EQ(t.tREFW, 64.0e6);
-    EXPECT_NEAR(t.tRCD, 13.3, 1e-9);
+    EXPECT_DOUBLE_EQ(t.tREFI.value(), 7800.0);
+    EXPECT_DOUBLE_EQ(t.tRFC.value(), 350.0);
+    EXPECT_DOUBLE_EQ(t.tRC.value(), 45.0);
+    EXPECT_DOUBLE_EQ(t.tREFW.value(), 64.0e6);
+    EXPECT_NEAR(t.tRCD.value(), 13.3, 1e-9);
 }
 
 TEST(Timing, CycleConversionRoundsUp)
 {
     TimingParams t;
-    t.tCK = 1.0;
-    EXPECT_EQ(t.toCycles(10.0), 10u);
-    EXPECT_EQ(t.toCycles(10.2), 11u);
-    EXPECT_EQ(t.toCycles(0.1), 1u);
+    t.tCK = Nanoseconds{1.0};
+    EXPECT_EQ(t.toCycles(Nanoseconds{10.0}), Cycle{10});
+    EXPECT_EQ(t.toCycles(Nanoseconds{10.2}), Cycle{11});
+    EXPECT_EQ(t.toCycles(Nanoseconds{0.1}), Cycle{1});
 }
 
 TEST(Timing, MaxActsMatchesPaperW)
 {
     // W = tREFW (1 - tRFC/tREFI) / tRC ~ 1360K (Table II).
     const TimingParams t = TimingParams::ddr4_2400();
-    const std::uint64_t w = t.maxActsInWindow(1);
+    const std::uint64_t w = t.maxActsInWindow(1).value();
     EXPECT_NEAR(static_cast<double>(w), 1360000.0, 5000.0);
     EXPECT_EQ(w, 1358404u);
 }
@@ -43,9 +43,9 @@ TEST(Timing, MaxActsMatchesPaperW)
 TEST(Timing, MaxActsScalesWithK)
 {
     const TimingParams t = TimingParams::ddr4_2400();
-    const std::uint64_t w1 = t.maxActsInWindow(1);
+    const std::uint64_t w1 = t.maxActsInWindow(1).value();
     for (unsigned k = 2; k <= 10; ++k) {
-        const std::uint64_t wk = t.maxActsInWindow(k);
+        const std::uint64_t wk = t.maxActsInWindow(k).value();
         EXPECT_NEAR(static_cast<double>(wk),
                     static_cast<double>(w1) / k, 1.0)
             << "k=" << k;

@@ -24,11 +24,12 @@ baseConfig(schemes::SchemeKind kind = schemes::SchemeKind::None)
 TEST(Controller, FirstAccessActivates)
 {
     ChannelController ctrl(baseConfig());
-    const ServiceResult r = ctrl.access(0, 0, 100, false);
+    const ServiceResult r =
+        ctrl.access(Cycle{0}, 0, Row{100}, false);
     EXPECT_TRUE(r.didAct);
     EXPECT_FALSE(r.rowHit);
-    EXPECT_GT(r.completion, 0u);
-    EXPECT_EQ(ctrl.actCount(), 1u);
+    EXPECT_GT(r.completion.value(), 0u);
+    EXPECT_EQ(ctrl.actCount(), ActCount{1});
 }
 
 TEST(Controller, SameRowHitsUntilPageLimit)
@@ -36,45 +37,47 @@ TEST(Controller, SameRowHitsUntilPageLimit)
     ControllerConfig config = baseConfig();
     config.pageHitLimit = 4;
     ChannelController ctrl(config);
-    Cycle t = 0;
-    ServiceResult r = ctrl.access(t, 0, 100, false);
+    Cycle t{};
+    ServiceResult r = ctrl.access(t, 0, Row{100}, false);
     unsigned hits = 0;
     for (int i = 0; i < 4; ++i) {
-        r = ctrl.access(r.completion, 0, 100, false);
+        r = ctrl.access(r.completion, 0, Row{100}, false);
         hits += r.rowHit;
     }
     EXPECT_EQ(hits, 4u);
     // The 5th same-row access exceeds the limit: page closed and
     // re-opened (minimalist-open).
-    r = ctrl.access(r.completion, 0, 100, false);
+    r = ctrl.access(r.completion, 0, Row{100}, false);
     EXPECT_TRUE(r.didAct);
 }
 
 TEST(Controller, DifferentRowConflictReactivates)
 {
     ChannelController ctrl(baseConfig());
-    ServiceResult a = ctrl.access(0, 0, 100, false);
-    ServiceResult b = ctrl.access(a.completion, 0, 200, false);
+    ServiceResult a = ctrl.access(Cycle{0}, 0, Row{100}, false);
+    ServiceResult b =
+        ctrl.access(a.completion, 0, Row{200}, false);
     EXPECT_TRUE(b.didAct);
     EXPECT_FALSE(b.rowHit);
-    EXPECT_EQ(ctrl.actCount(), 2u);
+    EXPECT_EQ(ctrl.actCount(), ActCount{2});
 }
 
 TEST(Controller, BanksAreIndependent)
 {
     ChannelController ctrl(baseConfig());
-    ctrl.access(0, 0, 100, false);
-    const ServiceResult r = ctrl.access(0, 1, 100, false);
+    ctrl.access(Cycle{0}, 0, Row{100}, false);
+    const ServiceResult r =
+        ctrl.access(Cycle{0}, 1, Row{100}, false);
     EXPECT_TRUE(r.didAct);
     // Bank 1's ACT does not wait for bank 0 beyond the shared bus.
-    EXPECT_LT(r.completion, 200u);
+    EXPECT_LT(r.completion.value(), 200u);
 }
 
 TEST(Controller, RefreshCadenceMatchesTrefi)
 {
     ControllerConfig config = baseConfig();
     ChannelController ctrl(config);
-    const Cycle span = config.timing.cREFI() * 10 + 5;
+    const Cycle span = config.timing.cREFI() * 10 + Cycle{5};
     ctrl.catchUpRefresh(span);
     EXPECT_EQ(ctrl.rank().refreshCount(), 10u);
 }
@@ -102,11 +105,11 @@ TEST(Controller, HammeringTriggersVictimRefreshes)
     ControllerConfig config = baseConfig(schemes::SchemeKind::Graphene);
     config.scheme.rowHammerThreshold = 2000; // T = 333 at k=2
     ChannelController ctrl(config);
-    Cycle t = 0;
+    Cycle t{};
     for (int i = 0; i < 2000; ++i) {
         // Alternate rows to defeat the open-page hit path and force
         // an ACT per access.
-        const Row row = i % 2 ? 100 : 200;
+        const Row row{i % 2 ? 100u : 200u};
         const ServiceResult r = ctrl.access(t, 0, row, false);
         t = r.completion;
     }
@@ -119,20 +122,20 @@ TEST(Controller, VictimRefreshDelaysSubsequentAccesses)
     config.scheme.rowHammerThreshold = 2000;
     ChannelController ctrl(config);
 
-    Cycle t = 0;
-    Cycle max_gap = 0;
-    Cycle prev_completion = 0;
+    Cycle t{};
+    Cycle max_gap{};
+    Cycle prev_completion{};
     for (int i = 0; i < 2000; ++i) {
-        const Row row = i % 2 ? 100 : 200;
+        const Row row{i % 2 ? 100u : 200u};
         const ServiceResult r = ctrl.access(t, 0, row, false);
-        if (prev_completion)
+        if (prev_completion != Cycle{})
             max_gap = std::max(max_gap,
                                r.completion - prev_completion);
         prev_completion = r.completion;
         t = r.completion;
     }
     // At least one access was stalled behind a 2-row NRR (2 x tRC).
-    EXPECT_GE(max_gap, 2 * config.timing.cRC());
+    EXPECT_GE(max_gap, config.timing.cRC() * 2);
 }
 
 TEST(Controller, RefreshDebtConservesBusyTime)
@@ -148,9 +151,9 @@ TEST(Controller, RefreshDebtConservesBusyTime)
 
     auto run = [](const ControllerConfig &config) {
         ChannelController ctrl(config);
-        Cycle t = 0;
+        Cycle t{};
         for (int i = 0; i < 4000; ++i) {
-            const Row row = i % 2 ? 100 : 5000;
+            const Row row{i % 2 ? 100u : 5000u};
             const ServiceResult r = ctrl.access(t, 0, row, false);
             t = r.completion;
         }
@@ -163,8 +166,8 @@ TEST(Controller, RefreshDebtConservesBusyTime)
     EXPECT_GT(rows_chunked, 0u);
     EXPECT_EQ(rows_chunked, rows_atomic);
     // Same total work: end times agree within one burst's length.
-    const double ratio = static_cast<double>(end_chunked) /
-                         static_cast<double>(end_atomic);
+    const double ratio = static_cast<double>(end_chunked.value()) /
+                         static_cast<double>(end_atomic.value());
     EXPECT_NEAR(ratio, 1.0, 0.05);
 }
 
@@ -174,13 +177,14 @@ TEST(Controller, DebtDoesNotLeakAcrossBanks)
     config.scheme.rowHammerThreshold = 2000;
     ChannelController ctrl(config);
     // Hammer bank 0 until bursts occur.
-    Cycle t = 0;
+    Cycle t{};
     for (int i = 0; i < 4000; ++i)
-        t = ctrl.access(t, 0, i % 2 ? 100 : 5000, false).completion;
+        t = ctrl.access(t, 0, Row{i % 2 ? 100u : 5000u}, false)
+                .completion;
     ASSERT_GT(ctrl.victimRowsRefreshed(), 0u);
     // Bank 1 is untouched: its first access completes with cold-start
     // latency, not burdened by bank 0's refresh debt.
-    const ServiceResult r = ctrl.access(t, 1, 100, false);
+    const ServiceResult r = ctrl.access(t, 1, Row{100}, false);
     EXPECT_LE(r.completion - t,
               config.timing.cRC() + config.timing.cRCD() +
                   config.timing.cCL() + config.timing.cBL() +
@@ -194,15 +198,17 @@ TEST(Controller, FawCapsMultiBankActRate)
     // the limiter, so 16 ACTs take at least 3 x tFAW.
     ControllerConfig config = baseConfig();
     ChannelController ctrl(config);
-    Cycle last_completion = 0;
+    Cycle last_completion{};
     for (unsigned b = 0; b < 16; ++b) {
-        const ServiceResult r = ctrl.access(0, b, 100, false);
+        const ServiceResult r =
+            ctrl.access(Cycle{0}, b, Row{100}, false);
         last_completion = std::max(last_completion, r.completion);
     }
     const Cycle data_path = config.timing.cRCD() +
                             config.timing.cCL() +
                             config.timing.cBL();
-    EXPECT_GE(last_completion, 3 * config.timing.cFAW() + data_path);
+    EXPECT_GE(last_completion,
+              config.timing.cFAW() * 3 + data_path);
 }
 
 TEST(Controller, RowHitRateTracksAccessPattern)
@@ -210,9 +216,9 @@ TEST(Controller, RowHitRateTracksAccessPattern)
     ControllerConfig config = baseConfig();
     config.pageHitLimit = 1000;
     ChannelController ctrl(config);
-    Cycle t = 0;
+    Cycle t{};
     for (int i = 0; i < 100; ++i) {
-        const ServiceResult r = ctrl.access(t, 0, 100, false);
+        const ServiceResult r = ctrl.access(t, 0, Row{100}, false);
         t = r.completion;
     }
     EXPECT_GT(ctrl.rowHitRate(), 0.9);

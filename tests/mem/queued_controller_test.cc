@@ -28,11 +28,12 @@ struct TraceBuilder
     std::vector<Row> rows;
 
     void
-    add(Cycle issue, unsigned bank, Row row, bool write = false)
+    add(std::uint64_t issue, unsigned bank, std::uint64_t row,
+        bool write = false)
     {
-        requests.push_back({0, write, 0, issue});
+        requests.push_back({Addr{}, write, 0, Cycle{issue}});
         banks.push_back(bank);
-        rows.push_back(row);
+        rows.push_back(Row{static_cast<Row::rep>(row)});
     }
 };
 
@@ -41,7 +42,7 @@ TEST(QueuedController, ServesEverythingOnce)
     QueuedChannelController q(baseConfig(), SchedulerPolicy::FrFcfs);
     TraceBuilder t;
     for (int i = 0; i < 100; ++i)
-        t.add(i * 10, i % 4, static_cast<Row>(i % 7));
+        t.add(i * 10, i % 4, i % 7);
     const auto served = q.run(t.requests, t.banks, t.rows);
     EXPECT_EQ(served.size(), 100u);
     for (const auto &s : served)
@@ -91,7 +92,7 @@ TEST(QueuedController, FrFcfsBeatsFcfsOnInterleavedTrace)
         // deep enough for reordering to matter.
         Rng rng(5);
         for (int burst = 0; burst < 400; ++burst) {
-            const Cycle base = burst * 2000;
+            const std::uint64_t base = burst * 2000ULL;
             const unsigned bank = rng.nextRange(4);
             for (int i = 0; i < 16; ++i)
                 t.add(base + i, bank, i % 2 ? 100 : 200);
@@ -120,7 +121,7 @@ TEST(QueuedController, BatchCapBoundsOvertaking)
     // Find the completion rank of the row-200 request.
     std::size_t rank = 0;
     for (std::size_t i = 0; i < served.size(); ++i)
-        if (t.rows.size() && served[i].request.issue == 1)
+        if (t.rows.size() && served[i].request.issue == Cycle{1})
             rank = i;
     EXPECT_LE(rank, 4u);
 }
@@ -139,7 +140,7 @@ TEST(QueuedController, SchemeStillProtectsUnderReordering)
             t.add(i * 30, 0, i % 2 ? 999 : 1001);
         else
             t.add(i * 30, rng.nextRange(16),
-                  static_cast<Row>(rng.nextRange(65536)));
+                  rng.nextRange(65536));
     }
     const auto served = q.run(t.requests, t.banks, t.rows);
     const ReplayStats stats = q.stats(served);
@@ -158,7 +159,7 @@ TEST(QueuedController, StatsAggregateCorrectly)
     EXPECT_EQ(stats.requests, 2u);
     EXPECT_GT(stats.meanLatency, 0.0);
     EXPECT_GE(stats.maxLatency,
-              static_cast<Cycle>(stats.meanLatency));
+              Cycle{static_cast<std::uint64_t>(stats.meanLatency)});
 }
 
 } // namespace

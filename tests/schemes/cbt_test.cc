@@ -48,8 +48,8 @@ TEST(Cbt, HotRowDeepensTree)
 {
     Cbt cbt(smallConfig());
     RefreshAction action;
-    for (int i = 0; i < 600; ++i)
-        cbt.onActivate(i, 100, action);
+    for (std::uint64_t i = 0; i < 600; ++i)
+        cbt.onActivate(Cycle{i}, Row{100}, action);
     // 600 ACTs pass level-0 (125), level-1 (250), level-2 (500)
     // splits: 3 splits -> 4 counters.
     EXPECT_EQ(cbt.allocatedCounters(), 4u);
@@ -60,9 +60,9 @@ TEST(Cbt, TriggerRefreshesCoveredRangePlusNeighbours)
     Cbt cbt(smallConfig());
     RefreshAction action;
     std::uint64_t trigger_step = 0;
-    for (int i = 0; i < 2000 && trigger_step == 0; ++i) {
+    for (std::uint64_t i = 0; i < 2000 && trigger_step == 0; ++i) {
         action.clear();
-        cbt.onActivate(i, 300, action);
+        cbt.onActivate(Cycle{i}, Row{300}, action);
         if (!action.empty())
             trigger_step = i;
     }
@@ -72,10 +72,10 @@ TEST(Cbt, TriggerRefreshesCoveredRangePlusNeighbours)
     std::set<Row> victims(action.victimRows.begin(),
                           action.victimRows.end());
     EXPECT_EQ(victims.size(), 128u + 2u);
-    EXPECT_TRUE(victims.count(300));
+    EXPECT_TRUE(victims.count(Row{300}));
     // Boundary neighbours of the [256, 384) range.
-    EXPECT_TRUE(victims.count(255));
-    EXPECT_TRUE(victims.count(384));
+    EXPECT_TRUE(victims.count(Row{255}));
+    EXPECT_TRUE(victims.count(Row{384}));
 }
 
 TEST(Cbt, CounterBudgetNeverExceeded)
@@ -85,9 +85,10 @@ TEST(Cbt, CounterBudgetNeverExceeded)
     Cbt cbt(c);
     Rng rng(4);
     RefreshAction action;
-    for (int i = 0; i < 50000; ++i) {
+    for (std::uint64_t i = 0; i < 50000; ++i) {
         action.clear();
-        cbt.onActivate(i, static_cast<Row>(rng.nextRange(1024)),
+        cbt.onActivate(Cycle{i},
+                       Row{static_cast<Row::rep>(rng.nextRange(1024))},
                        action);
         ASSERT_LE(cbt.allocatedCounters(), 5u);
     }
@@ -106,13 +107,14 @@ TEST(Cbt, CountsUpperBoundActualPerRow)
     std::map<Row, std::uint64_t> actual;
     std::map<Row, std::uint64_t> at_refresh;
     RefreshAction action;
-    for (int i = 0; i < 100000; ++i) {
-        const Row row =
-            rng.bernoulli(0.5) ? 77 : static_cast<Row>(
-                                          rng.nextRange(1024));
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+        const Row row = rng.bernoulli(0.5)
+                            ? Row{77}
+                            : Row{static_cast<Row::rep>(
+                                  rng.nextRange(1024))};
         ++actual[row];
         action.clear();
-        cbt.onActivate(i, row, action);
+        cbt.onActivate(Cycle{i}, row, action);
         for (Row v : action.victimRows)
             at_refresh[v] = actual[v];
         const std::uint64_t base =
@@ -131,11 +133,11 @@ TEST(Cbt, CountersPersistAcrossWindows)
     CbtConfig c = smallConfig();
     Cbt cbt(c);
     RefreshAction action;
-    for (int i = 0; i < 600; ++i)
-        cbt.onActivate(i, 100, action);
+    for (std::uint64_t i = 0; i < 600; ++i)
+        cbt.onActivate(Cycle{i}, Row{100}, action);
     const unsigned counters = cbt.allocatedCounters();
     EXPECT_GT(counters, 1u);
-    cbt.onActivate(c.timing.cREFW() + 1, 100, action);
+    cbt.onActivate(c.timing.cREFW() + Cycle{1}, Row{100}, action);
     EXPECT_EQ(cbt.allocatedCounters(), counters);
 }
 
@@ -148,9 +150,10 @@ TEST(Cbt, BenignTrafficEventuallyBursts)
     Rng rng(11);
     RefreshAction action;
     std::uint64_t triggers = 0;
-    for (int i = 0; i < 30000; ++i) {
+    for (std::uint64_t i = 0; i < 30000; ++i) {
         action.clear();
-        cbt.onActivate(i, static_cast<Row>(rng.nextRange(1024)),
+        cbt.onActivate(Cycle{i},
+                       Row{static_cast<Row::rep>(rng.nextRange(1024))},
                        action);
         triggers += !action.empty();
     }
@@ -168,8 +171,8 @@ TEST(Cbt, NonContiguousModeDoublesRefreshCost)
     auto count_rows = [](const CbtConfig &config) {
         Cbt cbt(config);
         RefreshAction action;
-        for (int i = 0; i < 2000; ++i)
-            cbt.onActivate(i, 100, action);
+        for (std::uint64_t i = 0; i < 2000; ++i)
+            cbt.onActivate(Cycle{i}, Row{100}, action);
         return action.victimRows.size() +
                2 * action.nrrAggressors.size();
     };
@@ -187,7 +190,7 @@ TEST(Cbt, WarmStartUsesFullBudgetWithBoundedPhases)
     // Warm phases sit strictly below the trigger, so the very first
     // ACT cannot cause more than one trigger.
     RefreshAction action;
-    cbt.onActivate(0, 100, action);
+    cbt.onActivate(Cycle{0}, Row{100}, action);
     EXPECT_LE(cbt.lastBurstRows(),
               c.rowsPerBank / (1u << 3) + 2);
 }
@@ -203,9 +206,10 @@ TEST(Cbt, WarmStartTriggersUnderSpreadTrafficQuickly)
     Rng rng(5);
     RefreshAction action;
     std::uint64_t victims = 0;
-    for (int i = 0; i < 10000; ++i) {
+    for (std::uint64_t i = 0; i < 10000; ++i) {
         action.clear();
-        cbt.onActivate(i, static_cast<Row>(rng.nextRange(1024)),
+        cbt.onActivate(Cycle{i},
+                       Row{static_cast<Row::rep>(rng.nextRange(1024))},
                        action);
         victims += action.victimRows.size();
     }
@@ -223,9 +227,9 @@ TEST(Cbt, AdaptiveReclaimDeepensHotRegionWhenSaturated)
     Cbt cbt(c);
     RefreshAction action;
     std::uint64_t last_burst = 0;
-    for (int i = 0; i < 5000; ++i) {
+    for (std::uint64_t i = 0; i < 5000; ++i) {
         action.clear();
-        cbt.onActivate(i, 300, action);
+        cbt.onActivate(Cycle{i}, Row{300}, action);
         if (!action.empty())
             last_burst = cbt.lastBurstRows();
     }
@@ -245,9 +249,9 @@ TEST(Cbt, NonAdaptiveSaturatedTreeBurstsWide)
     Cbt cbt(c);
     RefreshAction action;
     std::uint64_t last_burst = 0;
-    for (int i = 0; i < 5000; ++i) {
+    for (std::uint64_t i = 0; i < 5000; ++i) {
         action.clear();
-        cbt.onActivate(i, 300, action);
+        cbt.onActivate(Cycle{i}, Row{300}, action);
         if (!action.empty())
             last_burst = cbt.lastBurstRows();
     }
@@ -269,15 +273,16 @@ TEST(Cbt, MergedParentKeepsUpperBound)
     Rng rng(17);
     std::map<Row, std::uint64_t> actual, at_refresh;
     RefreshAction action;
-    for (int i = 0; i < 200000; ++i) {
+    for (std::uint64_t i = 0; i < 200000; ++i) {
         // Alternate hot regions to force merge/split churn.
-        const Row hot = (i / 20000) % 2 ? 100 : 900;
+        const Row hot{(i / 20000) % 2 ? 100u : 900u};
         const Row row = rng.bernoulli(0.6)
                             ? hot
-                            : static_cast<Row>(rng.nextRange(1024));
+                            : Row{static_cast<Row::rep>(
+                                  rng.nextRange(1024))};
         ++actual[row];
         action.clear();
-        cbt.onActivate(i, row, action);
+        cbt.onActivate(Cycle{i}, row, action);
         for (Row v : action.victimRows)
             at_refresh[v] = actual[v];
         const std::uint64_t base =

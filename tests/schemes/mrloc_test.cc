@@ -21,11 +21,11 @@ TEST(MrLoc, VictimsEnterQueue)
     config.pHot = 0.0;
     MrLoc m(config);
     RefreshAction action;
-    m.onActivate(0, 100, action);
+    m.onActivate(Cycle{0}, Row{100}, action);
     const auto &q = m.queue();
     EXPECT_EQ(q.size(), 2u);
-    EXPECT_NE(std::find(q.begin(), q.end(), 99), q.end());
-    EXPECT_NE(std::find(q.begin(), q.end(), 101), q.end());
+    EXPECT_NE(std::find(q.begin(), q.end(), Row{99}), q.end());
+    EXPECT_NE(std::find(q.begin(), q.end(), Row{101}), q.end());
 }
 
 TEST(MrLoc, QueueEvictsOldest)
@@ -36,13 +36,13 @@ TEST(MrLoc, QueueEvictsOldest)
     config.pHot = 0.0;
     MrLoc m(config);
     RefreshAction action;
-    m.onActivate(0, 100, action);
-    m.onActivate(1, 200, action);
-    m.onActivate(2, 300, action);
+    m.onActivate(Cycle{0}, Row{100}, action);
+    m.onActivate(Cycle{1}, Row{200}, action);
+    m.onActivate(Cycle{2}, Row{300}, action);
     const auto &q = m.queue();
     EXPECT_EQ(q.size(), 4u);
-    EXPECT_EQ(std::find(q.begin(), q.end(), 99), q.end());
-    EXPECT_NE(std::find(q.begin(), q.end(), 301), q.end());
+    EXPECT_EQ(std::find(q.begin(), q.end(), Row{99}), q.end());
+    EXPECT_NE(std::find(q.begin(), q.end(), Row{301}), q.end());
 }
 
 TEST(MrLoc, QueueHitMovesToTail)
@@ -52,11 +52,11 @@ TEST(MrLoc, QueueHitMovesToTail)
     config.pHot = 0.0;
     MrLoc m(config);
     RefreshAction action;
-    m.onActivate(0, 100, action); // queue: 99, 101
-    m.onActivate(1, 200, action); // queue: 99, 101, 199, 201
-    m.onActivate(2, 100, action); // hits move 99, 101 to tail
+    m.onActivate(Cycle{0}, Row{100}, action); // queue: 99, 101
+    m.onActivate(Cycle{1}, Row{200}, action); // queue: 99, 101, 199, 201
+    m.onActivate(Cycle{2}, Row{100}, action); // hits move 99, 101 to tail
     const auto &q = m.queue();
-    EXPECT_EQ(q.back(), 101u);
+    EXPECT_EQ(q.back(), Row{101});
 }
 
 TEST(MrLoc, HotVictimRefreshedMoreOftenThanColdMiss)
@@ -67,17 +67,18 @@ TEST(MrLoc, HotVictimRefreshedMoreOftenThanColdMiss)
     MrLoc m(config);
     RefreshAction action;
     // Hammer one row: its victims stay at the queue tail (hot).
-    for (int i = 0; i < 200000; ++i)
-        m.onActivate(i, 500, action);
+    for (std::uint64_t i = 0; i < 200000; ++i)
+        m.onActivate(Cycle{i}, Row{500}, action);
     const double hot_rate =
         static_cast<double>(action.victimRows.size()) / 200000.0;
 
     MrLoc cold(config);
     RefreshAction cold_action;
     // Touch 16 distinct victims round-robin (always evicted).
-    auto pattern = workloads::patterns::mrLocAdversarial(1000, 10);
-    for (int i = 0; i < 200000; ++i)
-        cold.onActivate(i, pattern->next(), cold_action);
+    auto pattern =
+        workloads::patterns::mrLocAdversarial(Row{1000}, Row{10});
+    for (std::uint64_t i = 0; i < 200000; ++i)
+        cold.onActivate(Cycle{i}, pattern->next(), cold_action);
     const double cold_rate =
         static_cast<double>(cold_action.victimRows.size()) / 200000.0;
 
@@ -94,11 +95,12 @@ TEST(MrLoc, Figure7bDegeneratesToParaBase)
     config.pBase = 0.00145;
     config.pHot = 0.05;
     MrLoc m(config);
-    auto pattern = workloads::patterns::mrLocAdversarial(1000, 10);
+    auto pattern =
+        workloads::patterns::mrLocAdversarial(Row{1000}, Row{10});
     RefreshAction action;
-    const int n = 2000000;
-    for (int i = 0; i < n; ++i)
-        m.onActivate(i, pattern->next(), action);
+    const std::uint64_t n = 2000000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m.onActivate(Cycle{i}, pattern->next(), action);
     const double rate =
         static_cast<double>(action.victimRows.size()) / n;
     EXPECT_NEAR(rate, config.pBase, config.pBase * 0.15);
@@ -114,12 +116,12 @@ TEST(MrLoc, SmallerSpacingKeepsQueueEffective)
     MrLoc m(config);
     std::vector<Row> rows;
     for (unsigned i = 0; i < 7; ++i)
-        rows.push_back(static_cast<Row>(1000 + i * 10));
+        rows.push_back(Row{static_cast<Row::rep>(1000 + i * 10)});
     workloads::RoundRobinPattern pattern("7rows", rows);
     RefreshAction action;
-    const int n = 500000;
-    for (int i = 0; i < n; ++i)
-        m.onActivate(i, pattern.next(), action);
+    const std::uint64_t n = 500000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m.onActivate(Cycle{i}, pattern.next(), action);
     const double rate =
         static_cast<double>(action.victimRows.size()) / n;
     EXPECT_GT(rate, config.pBase * 5);

@@ -21,8 +21,8 @@ TEST(Para, RefreshRateMatchesProbability)
     Para para(config);
     RefreshAction action;
     const int n = 500000;
-    for (int i = 0; i < n; ++i)
-        para.onActivate(i, 1000, action);
+    for (std::uint64_t i = 0; i < n; ++i)
+        para.onActivate(Cycle{i}, Row{1000}, action);
     const double rate =
         static_cast<double>(action.victimRows.size()) / n;
     EXPECT_NEAR(rate, 0.01, 0.001);
@@ -34,13 +34,14 @@ TEST(Para, VictimsAreAdjacent)
     config.probabilities = {0.5};
     Para para(config);
     RefreshAction action;
-    for (int i = 0; i < 1000; ++i)
-        para.onActivate(i, 1000, action);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        para.onActivate(Cycle{i}, Row{1000}, action);
     bool saw_lower = false, saw_upper = false;
     for (Row v : action.victimRows) {
-        ASSERT_TRUE(v == 999 || v == 1001) << "victim " << v;
-        saw_lower |= v == 999;
-        saw_upper |= v == 1001;
+        ASSERT_TRUE(v == Row{999} || v == Row{1001})
+            << "victim " << v;
+        saw_lower |= v == Row{999};
+        saw_upper |= v == Row{1001};
     }
     EXPECT_TRUE(saw_lower);
     EXPECT_TRUE(saw_upper);
@@ -54,11 +55,11 @@ TEST(Para, BothSidesEquallyLikely)
     RefreshAction action;
     int lower = 0;
     const int n = 100000;
-    for (int i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
         action.clear();
-        para.onActivate(i, 1000, action);
+        para.onActivate(Cycle{i}, Row{1000}, action);
         ASSERT_EQ(action.victimRows.size(), 1u);
-        lower += action.victimRows[0] == 999;
+        lower += action.victimRows[0] == Row{999};
     }
     EXPECT_NEAR(lower / static_cast<double>(n), 0.5, 0.01);
 }
@@ -70,15 +71,15 @@ TEST(Para, EdgeRowsRefreshTheOnlyNeighbour)
     config.rowsPerBank = 1024;
     Para para(config);
     RefreshAction action;
-    for (int i = 0; i < 100; ++i)
-        para.onActivate(i, 0, action);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        para.onActivate(Cycle{i}, Row{0}, action);
     for (Row v : action.victimRows)
-        EXPECT_EQ(v, 1u);
+        EXPECT_EQ(v, Row{1});
     action.clear();
-    for (int i = 0; i < 100; ++i)
-        para.onActivate(i, 1023, action);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        para.onActivate(Cycle{i}, Row{1023}, action);
     for (Row v : action.victimRows)
-        EXPECT_EQ(v, 1022u);
+        EXPECT_EQ(v, Row{1022});
 }
 
 TEST(Para, NonAdjacentDistancesCovered)
@@ -87,12 +88,12 @@ TEST(Para, NonAdjacentDistancesCovered)
     config.probabilities = {1.0, 1.0};
     Para para(config);
     RefreshAction action;
-    para.onActivate(0, 1000, action);
+    para.onActivate(Cycle{0}, Row{1000}, action);
     ASSERT_EQ(action.victimRows.size(), 2u);
     const Row d1 = action.victimRows[0];
     const Row d2 = action.victimRows[1];
-    EXPECT_TRUE(d1 == 999 || d1 == 1001);
-    EXPECT_TRUE(d2 == 998 || d2 == 1002);
+    EXPECT_TRUE(d1 == Row{999} || d1 == Row{1001});
+    EXPECT_TRUE(d2 == Row{998} || d2 == Row{1002});
 }
 
 TEST(Para, ZeroTableCost)
@@ -129,9 +130,9 @@ TEST(Para, DeterministicWithSameSeed)
     config.seed = 77;
     Para a(config), b(config);
     RefreshAction ra, rb;
-    for (int i = 0; i < 10000; ++i) {
-        a.onActivate(i, 500, ra);
-        b.onActivate(i, 500, rb);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        a.onActivate(Cycle{i}, Row{500}, ra);
+        b.onActivate(Cycle{i}, Row{500}, rb);
     }
     EXPECT_EQ(ra.victimRows, rb.victimRows);
 }

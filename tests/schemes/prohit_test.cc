@@ -29,22 +29,25 @@ TEST(ProHit, VictimsEnterColdTable)
 {
     ProHit p(alwaysInsert());
     RefreshAction action;
-    p.onActivate(0, 100, action);
+    p.onActivate(Cycle{0}, Row{100}, action);
     const auto &cold = p.coldTable();
     EXPECT_EQ(cold.size(), 2u);
-    EXPECT_NE(std::find(cold.begin(), cold.end(), 99), cold.end());
-    EXPECT_NE(std::find(cold.begin(), cold.end(), 101), cold.end());
+    EXPECT_NE(std::find(cold.begin(), cold.end(), Row{99}),
+              cold.end());
+    EXPECT_NE(std::find(cold.begin(), cold.end(), Row{101}),
+              cold.end());
 }
 
 TEST(ProHit, RepeatedVictimPromotesToHot)
 {
     ProHit p(alwaysInsert());
     RefreshAction action;
-    p.onActivate(0, 100, action);
-    p.onActivate(1, 100, action);
+    p.onActivate(Cycle{0}, Row{100}, action);
+    p.onActivate(Cycle{1}, Row{100}, action);
     const auto &hot = p.hotTable();
     EXPECT_EQ(hot.size(), 2u);
-    EXPECT_NE(std::find(hot.begin(), hot.end(), 99), hot.end());
+    EXPECT_NE(std::find(hot.begin(), hot.end(), Row{99}),
+              hot.end());
 }
 
 TEST(ProHit, ColdTableEvictsOldestWhenFull)
@@ -52,27 +55,28 @@ TEST(ProHit, ColdTableEvictsOldestWhenFull)
     ProHit p(alwaysInsert());
     RefreshAction action;
     // 4 cold entries; present 3 ACTs = 6 distinct victims.
-    p.onActivate(0, 100, action);
-    p.onActivate(1, 200, action);
-    p.onActivate(2, 300, action);
+    p.onActivate(Cycle{0}, Row{100}, action);
+    p.onActivate(Cycle{1}, Row{200}, action);
+    p.onActivate(Cycle{2}, Row{300}, action);
     const auto &cold = p.coldTable();
     EXPECT_EQ(cold.size(), 4u);
     // The first ACT's victims (99, 101) must have been evicted.
-    EXPECT_EQ(std::find(cold.begin(), cold.end(), 99), cold.end());
+    EXPECT_EQ(std::find(cold.begin(), cold.end(), Row{99}),
+              cold.end());
 }
 
 TEST(ProHit, RefreshTakesTopHotEntry)
 {
     ProHit p(alwaysInsert());
     RefreshAction action;
-    p.onActivate(0, 100, action); // victims cold
-    p.onActivate(1, 100, action); // victims hot
+    p.onActivate(Cycle{0}, Row{100}, action); // victims cold
+    p.onActivate(Cycle{1}, Row{100}, action); // victims hot
     EXPECT_TRUE(action.empty());
 
-    p.onRefresh(2, action);
+    p.onRefresh(Cycle{2}, action);
     ASSERT_EQ(action.victimRows.size(), 1u);
     const Row refreshed = action.victimRows[0];
-    EXPECT_TRUE(refreshed == 99 || refreshed == 101);
+    EXPECT_TRUE(refreshed == Row{99} || refreshed == Row{101});
     // The refreshed entry leaves the hot table.
     const auto &hot = p.hotTable();
     EXPECT_EQ(std::find(hot.begin(), hot.end(), refreshed),
@@ -83,7 +87,7 @@ TEST(ProHit, RefreshWithEmptyTablesDoesNothing)
 {
     ProHit p(alwaysInsert());
     RefreshAction action;
-    p.onRefresh(0, action);
+    p.onRefresh(Cycle{0}, action);
     EXPECT_TRUE(action.empty());
 }
 
@@ -95,22 +99,23 @@ TEST(ProHit, Figure7aStarvesOuterVictims)
     ProHitConfig config;
     config.insertionProbability = 0.05;
     ProHit p(config);
-    auto pattern = workloads::patterns::proHitAdversarial(1000);
+    auto pattern = workloads::patterns::proHitAdversarial(Row{1000});
 
     std::map<Row, int> refreshes;
     RefreshAction action;
-    for (int i = 0; i < 300000; ++i) {
+    for (std::uint64_t i = 0; i < 300000; ++i) {
         action.clear();
-        p.onActivate(i, pattern->next(), action);
+        p.onActivate(Cycle{i}, pattern->next(), action);
         if (i % 165 == 0) // REF cadence relative to ACT rate
-            p.onRefresh(i, action);
+            p.onRefresh(Cycle{i}, action);
         for (Row v : action.victimRows)
             ++refreshes[v];
     }
 
-    const int outer = refreshes[995] + refreshes[1005]; // x-5, x+5
+    const int outer =
+        refreshes[Row{995}] + refreshes[Row{1005}]; // x-5, x+5
     int inner = 0;
-    for (Row r : {999u, 1001u, 997u, 1003u})
+    for (Row r : {Row{999}, Row{1001}, Row{997}, Row{1003}})
         inner += refreshes[r];
     EXPECT_GT(inner, 0);
     // The starved rows receive a vanishing share of refreshes even

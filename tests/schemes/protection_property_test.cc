@@ -32,7 +32,7 @@ makePattern(const std::string &kind, std::uint64_t rows)
         return patterns::s3(rows);
     if (kind == "double-sided")
         return std::make_unique<DoubleSidedPattern>(
-            static_cast<Row>(rows / 2));
+            Row{static_cast<Row::rep>(rows / 2)});
     if (kind == "s1")
         return patterns::s1(10, rows, 5);
     if (kind == "s2")
@@ -41,10 +41,10 @@ makePattern(const std::string &kind, std::uint64_t rows)
         return patterns::s4(rows, 7);
     if (kind == "prohit-adv")
         return patterns::proHitAdversarial(
-            static_cast<Row>(rows / 2));
+            Row{static_cast<Row::rep>(rows / 2)});
     if (kind == "mrloc-adv")
         return patterns::mrLocAdversarial(
-            static_cast<Row>(rows / 4), 16);
+            Row{static_cast<Row::rep>(rows / 4)}, Row{16});
     return patterns::counterWorstCase(64, rows, 8);
 }
 

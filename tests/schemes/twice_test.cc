@@ -37,11 +37,11 @@ TEST(TwiCe, AllocatesOnFirstAct)
 {
     TwiCe tw(smallConfig());
     RefreshAction action;
-    tw.onActivate(0, 100, action);
+    tw.onActivate(Cycle{0}, Row{100}, action);
     EXPECT_EQ(tw.validEntries(), 1u);
-    tw.onActivate(1, 200, action);
+    tw.onActivate(Cycle{1}, Row{200}, action);
     EXPECT_EQ(tw.validEntries(), 2u);
-    tw.onActivate(2, 100, action);
+    tw.onActivate(Cycle{2}, Row{100}, action);
     EXPECT_EQ(tw.validEntries(), 2u);
 }
 
@@ -52,19 +52,19 @@ TEST(TwiCe, TriggersAtThresholdAndResets)
     RefreshAction action;
     for (std::uint64_t i = 0; i < c.triggerThreshold() - 1; ++i) {
         action.clear();
-        tw.onActivate(i, 100, action);
+        tw.onActivate(Cycle{i}, Row{100}, action);
         ASSERT_TRUE(action.empty()) << "premature trigger at " << i;
     }
     action.clear();
-    tw.onActivate(9999, 100, action);
+    tw.onActivate(Cycle{9999}, Row{100}, action);
     ASSERT_EQ(action.nrrAggressors.size(), 1u);
-    EXPECT_EQ(action.nrrAggressors[0], 100u);
+    EXPECT_EQ(action.nrrAggressors[0], Row{100});
     EXPECT_EQ(tw.victimRefreshEvents(), 1u);
 
     // Count reset: the next trigger needs another full threshold.
     for (std::uint64_t i = 0; i < c.triggerThreshold() - 1; ++i) {
         action.clear();
-        tw.onActivate(20000 + i, 100, action);
+        tw.onActivate(Cycle{20000 + i}, Row{100}, action);
         ASSERT_TRUE(action.empty());
     }
 }
@@ -73,10 +73,10 @@ TEST(TwiCe, SlowRowsArePruned)
 {
     TwiCe tw(smallConfig());
     RefreshAction action;
-    tw.onActivate(0, 100, action); // count 1
+    tw.onActivate(Cycle{0}, Row{100}, action); // count 1
     // After a few pruning intervals, count 1 < thPI * life: pruned.
-    for (int i = 0; i < 20; ++i)
-        tw.onRefresh(i, action);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        tw.onRefresh(Cycle{i}, action);
     EXPECT_EQ(tw.validEntries(), 0u);
 }
 
@@ -88,10 +88,11 @@ TEST(TwiCe, FastRowsSurvivePruning)
     // Feed well above thPI activations per interval.
     const auto per_interval =
         static_cast<std::uint64_t>(c.pruneThreshold()) + 5;
-    for (int interval = 0; interval < 50; ++interval) {
+    for (std::uint64_t interval = 0; interval < 50; ++interval) {
         for (std::uint64_t i = 0; i < per_interval; ++i)
-            tw.onActivate(interval * 1000 + i, 100, action);
-        tw.onRefresh(interval * 1000 + 999, action);
+            tw.onActivate(Cycle{interval * 1000 + i}, Row{100},
+                          action);
+        tw.onRefresh(Cycle{interval * 1000 + 999}, action);
         ASSERT_EQ(tw.validEntries(), 1u) << "interval " << interval;
     }
 }
@@ -104,12 +105,12 @@ TEST(TwiCe, TriggeredEntryIsPrunedAtNextInterval)
     TwiCeConfig c = smallConfig();
     TwiCe tw(c);
     RefreshAction action;
-    tw.onRefresh(0, action); // age the clock so life > 0 later
+    tw.onRefresh(Cycle{0}, action); // age the clock so life > 0 later
     for (std::uint64_t i = 0; i < c.triggerThreshold(); ++i)
-        tw.onActivate(i, 100, action);
+        tw.onActivate(Cycle{i}, Row{100}, action);
     EXPECT_EQ(tw.victimRefreshEvents(), 1u);
     EXPECT_EQ(tw.validEntries(), 1u);
-    tw.onRefresh(99999, action);
+    tw.onRefresh(Cycle{99999}, action);
     EXPECT_EQ(tw.validEntries(), 0u);
 }
 
@@ -124,10 +125,10 @@ TEST(TwiCe, CannotAccumulateTriggerAcrossPruneEpochs)
     RefreshAction action;
     std::uint64_t total_without_trigger = 0;
     // One ACT per interval: always pruned, never triggered.
-    for (int interval = 0; interval < 100; ++interval) {
-        tw.onActivate(interval * 10, 100, action);
+    for (std::uint64_t interval = 0; interval < 100; ++interval) {
+        tw.onActivate(Cycle{interval * 10}, Row{100}, action);
         ++total_without_trigger;
-        tw.onRefresh(interval * 10 + 5, action);
+        tw.onRefresh(Cycle{interval * 10 + 5}, action);
         ASSERT_TRUE(action.empty());
     }
     EXPECT_LT(total_without_trigger,
@@ -147,10 +148,11 @@ TEST(TwiCe, PeakOccupancyStaysWithinAnalyticBound)
     std::uint64_t cycle = 0;
     for (int interval = 0; interval < 2000; ++interval) {
         for (int i = 0; i < 165; ++i)
-            tw.onActivate(cycle++, static_cast<Row>(
-                                       rng.nextRange(65536)),
+            tw.onActivate(Cycle{cycle++},
+                          Row{static_cast<Row::rep>(
+                              rng.nextRange(65536))},
                           action);
-        tw.onRefresh(cycle++, action);
+        tw.onRefresh(Cycle{cycle++}, action);
     }
     EXPECT_LE(tw.peakEntries(), c.requiredEntries());
     EXPECT_EQ(tw.overflowFallbacks(), 0u);
@@ -176,9 +178,11 @@ TEST(TwiCe, OverflowFallbackStillProtects)
     RefreshAction action;
     // Five simultaneously hot rows against a 4-entry table: the
     // fifth must produce conservative NRRs, not silent dropping.
-    for (int round = 0; round < 100; ++round)
-        for (Row r = 0; r < 5; ++r)
-            tw.onActivate(round * 5 + r, 100 + r * 10, action);
+    for (std::uint64_t round = 0; round < 100; ++round)
+        for (std::uint64_t r = 0; r < 5; ++r)
+            tw.onActivate(Cycle{round * 5 + r},
+                          Row{static_cast<Row::rep>(100 + r * 10)},
+                          action);
     EXPECT_GT(tw.overflowFallbacks(), 0u);
     EXPECT_FALSE(action.nrrAggressors.empty());
 }

@@ -22,17 +22,17 @@ captured(const std::string &app, Cycle horizon)
 
 TEST(Replay, ServesWholeTrace)
 {
-    const auto trace = captured("mcf", 200000);
+    const auto trace = captured("mcf", Cycle{200000});
     ReplayConfig config;
     const ReplayResult r = replayTrace(config, trace);
     EXPECT_EQ(r.requests, trace.size());
     EXPECT_GT(r.meanLatency, 0.0);
-    EXPECT_GE(r.maxLatency, static_cast<Cycle>(r.meanLatency));
+    EXPECT_GE(r.maxLatency, Cycle{static_cast<std::uint64_t>(r.meanLatency)});
 }
 
 TEST(Replay, DeterministicAcrossRuns)
 {
-    const auto trace = captured("lbm", 200000);
+    const auto trace = captured("lbm", Cycle{200000});
     ReplayConfig config;
     config.scheme.kind = schemes::SchemeKind::Graphene;
     const ReplayResult a = replayTrace(config, trace);
@@ -44,7 +44,7 @@ TEST(Replay, DeterministicAcrossRuns)
 
 TEST(Replay, FrFcfsAtLeastMatchesFcfsOnHitRate)
 {
-    const auto trace = captured("lbm", 400000);
+    const auto trace = captured("lbm", Cycle{400000});
     ReplayConfig fcfs;
     fcfs.policy = mem::SchedulerPolicy::Fcfs;
     ReplayConfig frfcfs;
@@ -56,7 +56,7 @@ TEST(Replay, FrFcfsAtLeastMatchesFcfsOnHitRate)
 
 TEST(Replay, GrapheneSilentOnReplayedNormalTrace)
 {
-    const auto trace = captured("MICA", 400000);
+    const auto trace = captured("MICA", Cycle{400000});
     ReplayConfig config;
     config.scheme.kind = schemes::SchemeKind::Graphene;
     const ReplayResult r = replayTrace(config, trace);
@@ -69,11 +69,13 @@ TEST(Replay, HammerTraceTriggersProtection)
     // Hand-build a trace hammering one address from one core.
     dram::Geometry g;
     dram::AddressMapper mapper(g);
-    dram::DecodedAddr d{0, 0, 0, 30000, 0};
+    dram::DecodedAddr d{0, 0, 0, Row{30000}, 0};
     const Addr addr = mapper.encode(d);
     std::vector<workloads::TraceRecord> trace;
     for (int i = 0; i < 400000; ++i)
-        trace.push_back({static_cast<Cycle>(i) * 60, addr, false, 0});
+        trace.push_back(
+            {Cycle{static_cast<std::uint64_t>(i) * 60}, addr, false,
+             0});
 
     ReplayConfig config;
     config.scheme.kind = schemes::SchemeKind::Graphene;

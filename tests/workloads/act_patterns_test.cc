@@ -16,18 +16,18 @@ namespace {
 
 TEST(Patterns, SingleRowIsConstant)
 {
-    SingleRowPattern p(123);
+    SingleRowPattern p(Row{123});
     for (int i = 0; i < 100; ++i)
-        EXPECT_EQ(p.next(), 123u);
+        EXPECT_EQ(p.next(), Row{123});
 }
 
 TEST(Patterns, RoundRobinCycles)
 {
-    RoundRobinPattern p("rr", {1, 2, 3});
-    EXPECT_EQ(p.next(), 1u);
-    EXPECT_EQ(p.next(), 2u);
-    EXPECT_EQ(p.next(), 3u);
-    EXPECT_EQ(p.next(), 1u);
+    RoundRobinPattern p("rr", {Row{1}, Row{2}, Row{3}});
+    EXPECT_EQ(p.next(), Row{1});
+    EXPECT_EQ(p.next(), Row{2});
+    EXPECT_EQ(p.next(), Row{3});
+    EXPECT_EQ(p.next(), Row{1});
 }
 
 TEST(Patterns, S1HasExactlyNDistinctRows)
@@ -60,15 +60,17 @@ TEST(Patterns, S4IsHalfSingleHalfRandom)
     const int n = 100000;
     for (int i = 0; i < n; ++i)
         ++counts[p->next()];
-    EXPECT_NEAR(counts[65536 / 2] / static_cast<double>(n), 0.5,
+    EXPECT_NEAR(counts[Row{65536 / 2}] / static_cast<double>(n),
+                0.5,
                 0.02);
 }
 
 TEST(Patterns, Figure7aSequenceExact)
 {
-    auto p = patterns::proHitAdversarial(1000);
-    const Row expected[9] = {996, 998, 998, 1000, 1000,
-                             1000, 1002, 1002, 1004};
+    auto p = patterns::proHitAdversarial(Row{1000});
+    const Row expected[9] = {Row{996},  Row{998},  Row{998},
+                             Row{1000}, Row{1000}, Row{1000},
+                             Row{1002}, Row{1002}, Row{1004}};
     for (int rep = 0; rep < 3; ++rep)
         for (int i = 0; i < 9; ++i)
             EXPECT_EQ(p->next(), expected[i])
@@ -77,7 +79,7 @@ TEST(Patterns, Figure7aSequenceExact)
 
 TEST(Patterns, Figure7bRowsMutuallyNonAdjacent)
 {
-    auto p = patterns::mrLocAdversarial(500, 10);
+    auto p = patterns::mrLocAdversarial(Row{500}, Row{10});
     std::set<Row> rows;
     for (int i = 0; i < 8; ++i)
         rows.insert(p->next());
@@ -85,21 +87,21 @@ TEST(Patterns, Figure7bRowsMutuallyNonAdjacent)
     for (Row a : rows) {
         for (Row b : rows) {
             if (a != b) {
-                EXPECT_GT(a > b ? a - b : b - a, 2u);
+                EXPECT_GT(a > b ? a - b : b - a, 2);
             }
         }
     }
     // Round-robin order repeats.
-    EXPECT_EQ(p->next(), 500u);
+    EXPECT_EQ(p->next(), Row{500});
 }
 
 TEST(Patterns, DoubleSidedAlternates)
 {
-    DoubleSidedPattern p(100);
+    DoubleSidedPattern p(Row{100});
     std::set<Row> seen;
     seen.insert(p.next());
     seen.insert(p.next());
-    EXPECT_EQ(seen, (std::set<Row>{99, 101}));
+    EXPECT_EQ(seen, (std::set<Row>{Row{99}, Row{101}}));
 }
 
 TEST(Patterns, CounterWorstCaseEvenCoverage)

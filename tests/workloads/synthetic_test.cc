@@ -23,7 +23,7 @@ TEST(Synthetic, AddressesDecodeInRange)
     for (int i = 0; i < 10000; ++i) {
         const CoreAccess a = gen.next();
         const dram::DecodedAddr d = mapper.decode(a.addr);
-        EXPECT_LT(d.row, g.rowsPerBank);
+        EXPECT_LT(d.row.value(), g.rowsPerBank);
         EXPECT_LT(d.channel, g.channels);
     }
 }
@@ -36,7 +36,7 @@ TEST(Synthetic, SequentialFractionControlsRowLocality)
         SyntheticParams p;
         p.sequentialFraction = seq;
         SyntheticGenerator gen(p, mapper, 0, 1);
-        Row prev = kInvalidRow;
+        Row prev = Row::invalid();
         int same = 0;
         for (int i = 0; i < 20000; ++i) {
             const dram::DecodedAddr d = mapper.decode(gen.next().addr);
@@ -58,7 +58,7 @@ TEST(Synthetic, MeanGapControlsIntensity)
     double sum = 0.0;
     const int n = 50000;
     for (int i = 0; i < n; ++i)
-        sum += static_cast<double>(gen.next().gap);
+        sum += static_cast<double>(gen.next().gap.value());
     EXPECT_NEAR(sum / n, 300.0, 10.0);
 }
 

@@ -16,9 +16,9 @@ namespace {
 TEST(TraceIo, RoundTripRequestTrace)
 {
     std::vector<TraceRecord> records = {
-        {100, 0xdeadc0, false, 0},
-        {250, 0x123440, true, 3},
-        {251, 0x0, false, 15},
+        {Cycle{100}, Addr{0xdeadc0}, false, 0},
+        {Cycle{250}, Addr{0x123440}, true, 3},
+        {Cycle{251}, Addr{0x0}, false, 15},
     };
     std::stringstream ss;
     writeTrace(ss, records);
@@ -32,8 +32,8 @@ TEST(TraceIo, CommentsAndBlankLinesIgnored)
         "# header\n\n10 0xff R 1\n# trailing comment\n20 0x40 W 2\n");
     const auto parsed = readTrace(ss);
     ASSERT_EQ(parsed.size(), 2u);
-    EXPECT_EQ(parsed[0].issue, 10u);
-    EXPECT_EQ(parsed[0].addr, 0xffu);
+    EXPECT_EQ(parsed[0].issue, Cycle{10});
+    EXPECT_EQ(parsed[0].addr, Addr{0xff});
     EXPECT_FALSE(parsed[0].isWrite);
     EXPECT_TRUE(parsed[1].isWrite);
 }
@@ -49,8 +49,8 @@ TEST(TraceIo, CaptureIsSortedAndDeterministic)
     dram::Geometry g;
     dram::AddressMapper mapper(g);
     const auto workload = homogeneous("mcf", 4);
-    const auto a = captureTrace(workload, mapper, 100000, 7);
-    const auto b = captureTrace(workload, mapper, 100000, 7);
+    const auto a = captureTrace(workload, mapper, Cycle{100000}, 7);
+    const auto b = captureTrace(workload, mapper, Cycle{100000}, 7);
     EXPECT_EQ(a, b);
     EXPECT_GT(a.size(), 100u);
     for (std::size_t i = 1; i < a.size(); ++i)
@@ -64,14 +64,15 @@ TEST(TraceIo, CaptureChangesWithSeed)
     dram::Geometry g;
     dram::AddressMapper mapper(g);
     const auto workload = homogeneous("mcf", 2);
-    const auto a = captureTrace(workload, mapper, 50000, 7);
-    const auto b = captureTrace(workload, mapper, 50000, 8);
+    const auto a = captureTrace(workload, mapper, Cycle{50000}, 7);
+    const auto b = captureTrace(workload, mapper, Cycle{50000}, 8);
     EXPECT_NE(a, b);
 }
 
 TEST(TraceIo, ActTraceRoundTrip)
 {
-    const std::vector<Row> rows = {1, 5, 5, 65535, 0};
+    const std::vector<Row> rows = {Row{1}, Row{5}, Row{5},
+                                   Row{65535}, Row{0}};
     std::stringstream ss;
     writeActTrace(ss, rows);
     EXPECT_EQ(readActTrace(ss), rows);
@@ -79,11 +80,11 @@ TEST(TraceIo, ActTraceRoundTrip)
 
 TEST(TraceIo, TracePatternLoops)
 {
-    TracePattern p({7, 8, 9});
-    EXPECT_EQ(p.next(), 7u);
-    EXPECT_EQ(p.next(), 8u);
-    EXPECT_EQ(p.next(), 9u);
-    EXPECT_EQ(p.next(), 7u);
+    TracePattern p({Row{7}, Row{8}, Row{9}});
+    EXPECT_EQ(p.next(), Row{7});
+    EXPECT_EQ(p.next(), Row{8});
+    EXPECT_EQ(p.next(), Row{9});
+    EXPECT_EQ(p.next(), Row{7});
     EXPECT_EQ(p.name(), "trace-replay");
 }
 

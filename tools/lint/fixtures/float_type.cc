@@ -1,0 +1,11 @@
+// Known-bad fixture: single-precision float for a physical quantity.
+
+namespace fixture {
+
+float
+energyPerAct(float nanojoules)
+{
+    return nanojoules * 0.5f;
+}
+
+} // namespace fixture

@@ -1,0 +1,668 @@
+/**
+ * @file
+ * graphene_lint: the repo-specific static-analysis pass.
+ *
+ * Token/regex-level (deliberately no libclang dependency) enforcement
+ * of the project rules the C++ type system cannot express:
+ *
+ *   raw-domain-type         Domain quantities (cycles, rows, bank
+ *                           ids, addresses, activation counts) must
+ *                           use the strong types from
+ *                           common/types.hh, not raw
+ *                           uint32_t/uint64_t, anywhere outside
+ *                           types.hh itself.
+ *   nondeterministic-rng    No std::rand/srand, std::random_device,
+ *                           or time-seeded RNG outside
+ *                           common/random — every experiment must be
+ *                           reproducible from an explicit seed.
+ *   unordered-map-iteration Iterating a std::unordered_map in the
+ *                           tracker/scheme hot paths (src/core,
+ *                           src/schemes) risks order-dependent
+ *                           results; every such loop must carry an
+ *                           explicit "lint: order-independent"
+ *                           audit marker.
+ *   float-type              No `float`: all physical quantities are
+ *                           double (or integral strong types);
+ *                           mixing precisions has caused silent
+ *                           tolerance drift in other reproductions.
+ *   contract-macro-include  A header using the GRAPHENE_* contract
+ *                           macros must include check/contracts.hh
+ *                           itself rather than relying on a
+ *                           transitive include.
+ *
+ * Suppressions: a line (or the line directly above it) may carry
+ * `lint: allow(<rule>)` to waive a specific finding, or
+ * `lint: order-independent` to mark an audited unordered_map loop.
+ *
+ * Usage:
+ *   graphene_lint [paths...]            lint files/trees (default: src)
+ *   graphene_lint --self-test <dir>     run the known-bad fixture set
+ *
+ * Exit status: 0 clean, 1 findings or self-test failure, 2 usage.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string file;
+    unsigned line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/**
+ * Remove comments and string/character literal contents while
+ * preserving line structure, so rule regexes never fire on prose.
+ * Raw lines are kept separately for suppression-marker lookup.
+ */
+std::vector<std::string>
+stripLines(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                state = State::String;
+                out += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                out += '\'';
+            } else {
+                out += c;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n') {
+                state = State::Code;
+                out += '\n';
+            }
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+          case State::String:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                out += '"';
+            } else if (c == '\n') {
+                out += '\n'; // unterminated; stay permissive
+            }
+            break;
+          case State::Char:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                out += '\'';
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+        }
+    }
+    std::vector<std::string> lines;
+    std::istringstream ss(out);
+    std::string line;
+    while (std::getline(ss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::vector<std::string>
+rawLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** True when line i or the line above carries the given marker. */
+bool
+suppressed(const std::vector<std::string> &raw, std::size_t i,
+           const std::string &marker)
+{
+    if (i < raw.size() && raw[i].find(marker) != std::string::npos)
+        return true;
+    return i > 0 && raw[i - 1].find(marker) != std::string::npos;
+}
+
+bool
+allowed(const std::vector<std::string> &raw, std::size_t i,
+        const std::string &rule)
+{
+    return suppressed(raw, i, "lint: allow(" + rule + ")");
+}
+
+/** Lowercase and drop underscores: RowId, row_id, rowid all match. */
+std::string
+normalize(const std::string &ident)
+{
+    std::string n;
+    for (char c : ident)
+        if (c != '_')
+            n += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+    return n;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/**
+ * Identifier heuristic for raw-domain-type: names that denote one of
+ * the typed domain quantities. Curated to be precise on this tree:
+ * counts-of-things (rowsPerBank, numRows, maxEntries...) are
+ * legitimately raw integers and must not fire.
+ */
+bool
+isDomainName(const std::string &ident)
+{
+    const std::string n = normalize(ident);
+    static const std::set<std::string> exact = {
+        "cycle",       "curcycle",   "currentcycle", "startcycle",
+        "endcycle",    "row",        "rowid",        "aggressorrow",
+        "victimrow",   "openrow",    "hotrow",       "addr",
+        "address",     "physaddr",   "bankid",       "actcount",
+        "actscount",   "refwindow",  "resetwindow",
+    };
+    if (exact.count(n))
+        return true;
+    // Counts, sizes and within-unit indices stay raw: "rows",
+    // "...perrow", "numrow...", "lineinrow" (an offset, not a row).
+    if (n.find("per") != std::string::npos ||
+        n.find("num") != std::string::npos || endsWith(n, "rows") ||
+        endsWith(n, "cycles") || endsWith(n, "count") ||
+        endsWith(n, "inrow"))
+        return false;
+    return endsWith(n, "cycle") || endsWith(n, "row") ||
+           endsWith(n, "rowid") || endsWith(n, "addr") ||
+           endsWith(n, "bankid");
+}
+
+bool
+pathContains(const fs::path &p, const std::string &needle)
+{
+    return p.generic_string().find(needle) != std::string::npos;
+}
+
+class Linter
+{
+  public:
+    explicit Linter(bool treat_all_as_hot = false)
+        : _allHot(treat_all_as_hot)
+    {
+    }
+
+    std::vector<Finding> lintFile(const fs::path &path) const;
+
+  private:
+    void rawDomainType(const fs::path &path,
+                       const std::vector<std::string> &code,
+                       const std::vector<std::string> &raw,
+                       std::vector<Finding> &findings) const;
+    void nondeterministicRng(const fs::path &path,
+                             const std::vector<std::string> &code,
+                             const std::vector<std::string> &raw,
+                             std::vector<Finding> &findings) const;
+    void unorderedMapIteration(const fs::path &path,
+                               const std::vector<std::string> &code,
+                               const std::vector<std::string> &raw,
+                               std::vector<Finding> &findings) const;
+    void floatType(const fs::path &path,
+                   const std::vector<std::string> &code,
+                   const std::vector<std::string> &raw,
+                   std::vector<Finding> &findings) const;
+    void contractMacroInclude(const fs::path &path,
+                              const std::vector<std::string> &code,
+                              const std::vector<std::string> &raw,
+                              std::vector<Finding> &findings) const;
+
+    bool _allHot;
+};
+
+void
+Linter::rawDomainType(const fs::path &path,
+                      const std::vector<std::string> &code,
+                      const std::vector<std::string> &raw,
+                      std::vector<Finding> &findings) const
+{
+    // types.hh defines the strong types in terms of the raw reps.
+    if (endsWith(path.generic_string(), "common/types.hh"))
+        return;
+    static const std::regex decl(
+        R"((?:\bstd::)?\buint(?:32|64)_t\b\s*(?:const\s+)?[&*]?\s*)"
+        R"(([A-Za-z_]\w*))");
+    static const std::regex more(R"(^\s*,\s*([A-Za-z_]\w*))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        auto begin = std::sregex_iterator(code[i].begin(),
+                                          code[i].end(), decl);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            std::vector<std::string> idents = {(*it)[1].str()};
+            std::string rest = it->suffix().str();
+            std::smatch m;
+            while (std::regex_search(rest, m, more)) {
+                idents.push_back(m[1].str());
+                rest = m.suffix().str();
+            }
+            for (const auto &ident : idents) {
+                if (!isDomainName(ident))
+                    continue;
+                if (allowed(raw, i, "raw-domain-type"))
+                    continue;
+                findings.push_back(
+                    {path.generic_string(),
+                     static_cast<unsigned>(i + 1), "raw-domain-type",
+                     "'" + ident +
+                         "' holds a domain quantity but is declared "
+                         "as a raw integer; use the strong type from "
+                         "common/types.hh (Cycle, Row, BankId, Addr, "
+                         "ActCount, RefWindow)"});
+            }
+        }
+    }
+}
+
+void
+Linter::nondeterministicRng(const fs::path &path,
+                            const std::vector<std::string> &code,
+                            const std::vector<std::string> &raw,
+                            std::vector<Finding> &findings) const
+{
+    // common/random wraps the one sanctioned engine.
+    if (pathContains(path, "common/random"))
+        return;
+    static const std::regex bad(
+        R"(\bstd::rand\b|\bsrand\s*\(|(?:^|[^:\w])rand\s*\(\s*\)|)"
+        R"(\brandom_device\b|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], bad))
+            continue;
+        if (allowed(raw, i, "nondeterministic-rng"))
+            continue;
+        findings.push_back(
+            {path.generic_string(), static_cast<unsigned>(i + 1),
+             "nondeterministic-rng",
+             "std::rand / std::random_device / time-seeded RNG "
+             "breaks reproducibility; use graphene::Rng from "
+             "common/random.hh with an explicit seed"});
+    }
+}
+
+void
+Linter::unorderedMapIteration(const fs::path &path,
+                              const std::vector<std::string> &code,
+                              const std::vector<std::string> &raw,
+                              std::vector<Finding> &findings) const
+{
+    const bool hot = _allHot || pathContains(path, "src/core/") ||
+                     pathContains(path, "src/schemes/");
+    if (!hot)
+        return;
+
+    // Pass 1: names declared as std::unordered_map<...>.
+    std::set<std::string> maps;
+    for (const auto &line : code) {
+        std::size_t pos = line.find("unordered_map");
+        while (pos != std::string::npos) {
+            std::size_t j = pos + sizeof("unordered_map") - 1;
+            while (j < line.size() && std::isspace(
+                       static_cast<unsigned char>(line[j])))
+                ++j;
+            if (j < line.size() && line[j] == '<') {
+                int depth = 0;
+                for (; j < line.size(); ++j) {
+                    if (line[j] == '<')
+                        ++depth;
+                    else if (line[j] == '>' && --depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+                while (j < line.size() &&
+                       (std::isspace(
+                            static_cast<unsigned char>(line[j])) ||
+                        line[j] == '&'))
+                    ++j;
+                std::string ident;
+                while (j < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            line[j])) ||
+                        line[j] == '_'))
+                    ident += line[j++];
+                if (!ident.empty())
+                    maps.insert(ident);
+            }
+            pos = line.find("unordered_map", pos + 1);
+        }
+    }
+    if (maps.empty())
+        return;
+
+    // Pass 2: ranged-for or begin()-iteration over those names.
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        for (const auto &name : maps) {
+            const bool ranged =
+                std::regex_search(
+                    code[i],
+                    std::regex(R"(for\s*\([^;)]*:\s*(?:this->)?)" +
+                               name + R"(\s*\))"));
+            const bool iterated =
+                code[i].find(name + ".begin()") !=
+                    std::string::npos ||
+                code[i].find(name + ".cbegin()") !=
+                    std::string::npos;
+            if (!ranged && !iterated)
+                continue;
+            if (suppressed(raw, i, "lint: order-independent") ||
+                allowed(raw, i, "unordered-map-iteration"))
+                continue;
+            findings.push_back(
+                {path.generic_string(), static_cast<unsigned>(i + 1),
+                 "unordered-map-iteration",
+                 "iteration over std::unordered_map '" + name +
+                     "' in a tracker/scheme hot path can make "
+                     "results order-dependent; audit the loop and "
+                     "mark it '// lint: order-independent' or use an "
+                     "ordered container"});
+        }
+    }
+}
+
+void
+Linter::floatType(const fs::path &path,
+                  const std::vector<std::string> &code,
+                  const std::vector<std::string> &raw,
+                  std::vector<Finding> &findings) const
+{
+    static const std::regex bad(R"(\bfloat\b)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], bad))
+            continue;
+        if (allowed(raw, i, "float-type"))
+            continue;
+        findings.push_back(
+            {path.generic_string(), static_cast<unsigned>(i + 1),
+             "float-type",
+             "'float' is banned: physical quantities are double (or "
+             "integral strong types); single precision drifts past "
+             "the reproduction tolerances"});
+    }
+}
+
+void
+Linter::contractMacroInclude(const fs::path &path,
+                             const std::vector<std::string> &code,
+                             const std::vector<std::string> &raw,
+                             std::vector<Finding> &findings) const
+{
+    const std::string p = path.generic_string();
+    if (!endsWith(p, ".hh") || endsWith(p, "check/contracts.hh"))
+        return;
+    static const std::regex macro(
+        R"(\bGRAPHENE_(?:EXPECTS|ENSURES|INVARIANT|CHECK)\s*\()");
+    bool includes = false;
+    for (const auto &line : code)
+        if (line.find("#include") != std::string::npos &&
+            line.find("check/contracts.hh") != std::string::npos)
+            includes = true;
+    if (includes)
+        return;
+    static const std::regex define(R"(^\s*#\s*define\s+GRAPHENE_)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], macro))
+            continue;
+        // A file *defining* the macro family is its own authority.
+        if (std::regex_search(code[i], define))
+            continue;
+        if (allowed(raw, i, "contract-macro-include"))
+            continue;
+        findings.push_back(
+            {p, static_cast<unsigned>(i + 1),
+             "contract-macro-include",
+             "header uses a GRAPHENE_* contract macro without "
+             "including check/contracts.hh itself; transitive "
+             "includes break under contracts-off builds"});
+    }
+}
+
+std::vector<Finding>
+Linter::lintFile(const fs::path &path) const
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<Finding> findings;
+    if (!in) {
+        findings.push_back({path.generic_string(), 0, "io-error",
+                            "cannot open file"});
+        return findings;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::vector<std::string> code = stripLines(text);
+    const std::vector<std::string> raw = rawLines(text);
+
+    rawDomainType(path, code, raw, findings);
+    nondeterministicRng(path, code, raw, findings);
+    unorderedMapIteration(path, code, raw, findings);
+    floatType(path, code, raw, findings);
+    contractMacroInclude(path, code, raw, findings);
+    return findings;
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+std::vector<fs::path>
+collect(const std::vector<std::string> &args)
+{
+    std::vector<fs::path> files;
+    for (const auto &arg : args) {
+        const fs::path p(arg);
+        if (fs::is_directory(p)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(p))
+                if (e.is_regular_file() &&
+                    lintableExtension(e.path()))
+                    files.push_back(e.path());
+        } else if (fs::is_regular_file(p)) {
+            files.push_back(p);
+        } else {
+            std::cerr << "graphene_lint: no such path: " << arg
+                      << "\n";
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> rules = {
+        "raw-domain-type", "nondeterministic-rng",
+        "unordered-map-iteration", "float-type",
+        "contract-macro-include"};
+    return rules;
+}
+
+/**
+ * Self-test over the known-bad fixture set: each fixture file whose
+ * name starts with a rule id (dashes as underscores) must produce at
+ * least one finding of exactly that rule; files starting with
+ * "clean" must produce none.
+ */
+int
+selfTest(const fs::path &dir)
+{
+    if (!fs::is_directory(dir)) {
+        std::cerr << "graphene_lint: fixture directory not found: "
+                  << dir << "\n";
+        return 2;
+    }
+    const Linter linter(/*treat_all_as_hot=*/true);
+    unsigned checked = 0, failures = 0;
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.is_regular_file() && lintableExtension(e.path()))
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+
+    for (const auto &file : files) {
+        const std::string stem = file.stem().string();
+        std::string expected;
+        for (const auto &rule : allRules()) {
+            std::string prefix = rule;
+            std::replace(prefix.begin(), prefix.end(), '-', '_');
+            if (stem.rfind(prefix, 0) == 0)
+                expected = rule;
+        }
+        const bool expect_clean = stem.rfind("clean", 0) == 0;
+        if (expected.empty() && !expect_clean) {
+            std::cerr << "SELF-TEST SKIP " << file
+                      << ": name matches no rule\n";
+            continue;
+        }
+        ++checked;
+        const auto findings = linter.lintFile(file);
+        if (expect_clean) {
+            if (findings.empty()) {
+                std::cout << "SELF-TEST OK   " << file.filename()
+                          << " (no findings, as expected)\n";
+            } else {
+                ++failures;
+                std::cout << "SELF-TEST FAIL " << file.filename()
+                          << ": expected clean, got "
+                          << findings.size() << " finding(s):\n";
+                for (const auto &f : findings)
+                    std::cout << "  " << f.rule << " at line "
+                              << f.line << "\n";
+            }
+            continue;
+        }
+        const bool hit = std::any_of(
+            findings.begin(), findings.end(),
+            [&](const Finding &f) { return f.rule == expected; });
+        if (hit) {
+            std::cout << "SELF-TEST OK   " << file.filename()
+                      << " flagged by " << expected << "\n";
+        } else {
+            ++failures;
+            std::cout << "SELF-TEST FAIL " << file.filename()
+                      << ": expected a " << expected
+                      << " finding, got " << findings.size()
+                      << " other(s)\n";
+        }
+    }
+    if (checked == 0) {
+        std::cerr << "SELF-TEST FAIL: no fixtures found in " << dir
+                  << "\n";
+        return 1;
+    }
+    std::cout << checked << " fixture(s), " << failures
+              << " failure(s)\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0] == "--self-test") {
+        const fs::path dir =
+            args.size() > 1 ? fs::path(args[1])
+                            : fs::path("tools/lint/fixtures");
+        return selfTest(dir);
+    }
+    for (const auto &a : args) {
+        if (a == "--help" || a == "-h") {
+            std::cout
+                << "usage: graphene_lint [paths...]\n"
+                   "       graphene_lint --self-test [fixture-dir]\n"
+                   "Lints .cc/.hh/.cpp/.hpp/.h files under the "
+                   "given paths (default: src).\n";
+            return 0;
+        }
+        if (a.rfind("--", 0) == 0) {
+            std::cerr << "graphene_lint: unknown option " << a
+                      << "\n";
+            return 2;
+        }
+    }
+    if (args.empty())
+        args.push_back("src");
+
+    const Linter linter;
+    const auto files = collect(args);
+    std::vector<Finding> all;
+    for (const auto &file : files) {
+        const auto findings = linter.lintFile(file);
+        all.insert(all.end(), findings.begin(), findings.end());
+    }
+    for (const auto &f : all)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    if (all.empty()) {
+        std::cout << "graphene_lint: " << files.size()
+                  << " file(s) clean\n";
+        return 0;
+    }
+    std::cout << "graphene_lint: " << all.size()
+              << " finding(s) in " << files.size() << " file(s)\n";
+    return 1;
+}

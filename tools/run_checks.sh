@@ -56,6 +56,12 @@ if ! grep -aq "$probe_string" build-werror/src/core/libgraphene_core.a; then
     failures=$((failures + 1))
 fi
 
+step "graphene_lint: repo-specific static analysis (self-test + src)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target graphene_lint
+./build/tools/lint/graphene_lint --self-test tools/lint/fixtures
+./build/tools/lint/graphene_lint src
+
 step "clang-tidy: bugprone / performance / core-guidelines"
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
