@@ -27,7 +27,7 @@ main()
     for (unsigned k = 1; k <= 10; ++k) {
         core::GrapheneConfig c;
         c.resetWindowDivisor = k;
-        c.validate();
+        unwrapOrFatal(c.validate());
         const std::uint64_t victims = c.worstCaseVictimRowsPerRefw();
         table.row({std::to_string(k),
                    std::to_string(c.trackingThreshold().value()),

@@ -146,7 +146,7 @@ starvationAnalysis()
     auto run = [&](schemes::SchemeKind kind) {
         schemes::SchemeSpec spec;
         spec.kind = kind;
-        auto scheme = schemes::makeScheme(spec);
+        auto scheme = unwrapOrFatal(schemes::makeScheme(spec));
         auto pattern = workloads::patterns::proHitAdversarial(x);
 
         std::uint64_t inner = 0, outer = 0;

@@ -40,7 +40,8 @@ main()
                 schemes::SchemeSpec spec;
                 spec.kind = kind;
                 spec.rowHammerThreshold = trh;
-                auto scheme = schemes::makeScheme(spec);
+                auto scheme =
+                    unwrapOrFatal(schemes::makeScheme(spec));
                 row.push_back(std::to_string(
                     model::AreaModel::bits(scheme->cost(), 16)));
             }

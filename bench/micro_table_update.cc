@@ -61,7 +61,7 @@ BM_SchemeOnActivate(benchmark::State &state)
 {
     schemes::SchemeSpec spec;
     spec.kind = static_cast<schemes::SchemeKind>(state.range(0));
-    auto scheme = schemes::makeScheme(spec);
+    auto scheme = unwrapOrFatal(schemes::makeScheme(spec));
     Rng rng(1);
     RefreshAction action;
     Cycle cycle{};

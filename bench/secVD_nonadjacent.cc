@@ -35,7 +35,7 @@ main()
             c.blastRadius = n;
             c.mu = uniform ? core::GrapheneConfig::uniformMu(n)
                            : core::GrapheneConfig::inverseSquareMu(n);
-            c.validate();
+            unwrapOrFatal(c.validate());
             const auto cost = core::Graphene::costFor(c, 65536, true);
             table.row({std::to_string(n),
                        uniform ? "uniform" : "1/i^2",

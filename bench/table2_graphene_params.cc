@@ -19,7 +19,7 @@ main()
     using graphene::core::GrapheneConfig;
 
     GrapheneConfig base; // k = 1
-    base.validate();
+    unwrapOrFatal(base.validate());
 
     TablePrinter table(
         "Table II: Graphene parameters, +/-1 Row Hammer, T_RH = 50K");
@@ -36,7 +36,7 @@ main()
 
     GrapheneConfig opt; // the evaluated k = 2 configuration
     opt.resetWindowDivisor = 2;
-    opt.validate();
+    unwrapOrFatal(opt.validate());
     const auto cost = Graphene::costFor(opt, 65536, true);
 
     TablePrinter optimized(

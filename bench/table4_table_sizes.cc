@@ -26,7 +26,7 @@ main()
     auto add = [&table](schemes::SchemeKind kind, const char *paper) {
         schemes::SchemeSpec spec;
         spec.kind = kind;
-        auto scheme = schemes::makeScheme(spec);
+        auto scheme = unwrapOrFatal(schemes::makeScheme(spec));
         const TableCost cost = scheme->cost();
         table.row({scheme->name(), std::to_string(cost.entries),
                    std::to_string(cost.camBits),

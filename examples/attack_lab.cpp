@@ -79,7 +79,8 @@ parsePattern(const std::string &name, std::uint64_t rows)
         std::ifstream file(path);
         if (!file)
             fatal("cannot open ACT trace '%s'", path.c_str());
-        return std::make_unique<TracePattern>(readActTrace(file));
+        return std::make_unique<TracePattern>(
+            unwrapOrFatal(readActTrace(file)));
     }
     fatal("unknown pattern '%s'", name.c_str());
 }

@@ -18,6 +18,7 @@
 #include "common/table_printer.hh"
 #include "model/area.hh"
 #include "sim/experiment.hh"
+#include "workloads/profiles.hh"
 
 int
 main(int argc, char **argv)
@@ -30,12 +31,16 @@ main(int argc, char **argv)
     base.windows = 0.25; // 16 ms of DRAM time
 
     workloads::WorkloadSpec workload;
-    if (name == "mix-high")
+    if (name == "mix-high") {
         workload = workloads::mixHigh(base.numCores, 42);
-    else if (name == "mix-blend")
+    } else if (name == "mix-blend") {
         workload = workloads::mixBlend(base.numCores, 43);
-    else
+    } else {
+        // User input: the typed lookup rejects unknown names with a
+        // clean boundary exit instead of tripping an internal check.
+        unwrapOrFatal(workloads::appProfile(name));
         workload = workloads::homogeneous(name, base.numCores);
+    }
 
     std::cout << "Simulating workload '" << workload.name << "' on "
               << base.numCores << " cores / "
@@ -54,7 +59,7 @@ main(int argc, char **argv)
         for (const auto kind : kinds)
             if (schemes::schemeKindName(kind) == r.scheme)
                 spec.kind = kind;
-        auto scheme = schemes::makeScheme(spec);
+        auto scheme = unwrapOrFatal(schemes::makeScheme(spec));
         const bool guaranteed =
             spec.kind != schemes::SchemeKind::Para;
         table.row({r.scheme, std::to_string(r.victimRows),

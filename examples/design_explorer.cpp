@@ -45,7 +45,7 @@ main(int argc, char **argv)
             c.resetWindowDivisor = k;
             c.blastRadius = n;
             c.mu = core::GrapheneConfig::inverseSquareMu(n);
-            c.validate();
+            unwrapOrFatal(c.validate());
             const auto cost = core::Graphene::costFor(c, 65536, true);
             const double energy = model::EnergyModel::refreshOverhead(
                 c.worstCaseVictimRowsPerRefw(), 1, 1.0);

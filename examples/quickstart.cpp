@@ -25,7 +25,7 @@ main()
     core::GrapheneConfig config;
     config.rowHammerThreshold = 50000;
     config.resetWindowDivisor = 2;
-    config.validate();
+    unwrapOrFatal(config.validate());
 
     std::cout << "Derived configuration:\n"
               << "  tracking threshold T = "

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/table_printer.hh"
 #include "sim/replay.hh"
+#include "workloads/profiles.hh"
 
 namespace {
 
@@ -50,6 +51,10 @@ capture(const std::string &app, const std::string &path, double ms)
     const auto horizon = Cycle{
         static_cast<std::uint64_t>(ms * 1e6 / timing.tCK.value())};
 
+    // User input: validate through the typed lookup before the
+    // known-good internal builders take over.
+    if (app != "mix-high" && app != "mix-blend")
+        unwrapOrFatal(workloads::appProfile(app));
     const workloads::WorkloadSpec workload =
         app == "mix-high" ? workloads::mixHigh(16, 42)
         : app == "mix-blend"
@@ -75,7 +80,7 @@ replay(const std::string &path, const std::string &scheme,
     std::ifstream in(path);
     if (!in)
         fatal("cannot read '%s'", path.c_str());
-    const auto trace = workloads::readTrace(in);
+    const auto trace = unwrapOrFatal(workloads::readTrace(in));
 
     sim::ReplayConfig config;
     config.scheme.kind = parseScheme(scheme);

@@ -13,8 +13,8 @@ ParaModel::windowFailureProbability(double p,
                                     std::uint64_t rh_threshold,
                                     std::uint64_t n_acts)
 {
-    if (p < 0.0 || p > 1.0)
-        fatal("para model: probability out of range");
+    GRAPHENE_CHECK(p >= 0.0 && p <= 1.0,
+                   "para model: probability out of range");
     if (n_acts < rh_threshold)
         return 0.0;
 
@@ -46,8 +46,8 @@ double
 ParaModel::yearlyFailureProbability(double per_window, unsigned banks,
                                     double window_seconds)
 {
-    if (window_seconds <= 0.0)
-        fatal("para model: non-positive window");
+    GRAPHENE_CHECK(window_seconds > 0.0,
+                   "para model: non-positive window");
     const double windows_per_year = 365.25 * 24 * 3600 / window_seconds;
     const double trials =
         windows_per_year * static_cast<double>(banks);

@@ -11,8 +11,8 @@ RefreshRateResult
 evaluateRefreshRate(const dram::TimingParams &timing,
                     unsigned multiplier, std::uint64_t rh_threshold)
 {
-    if (multiplier == 0)
-        fatal("refresh-rate analysis: zero multiplier");
+    GRAPHENE_CHECK(multiplier > 0,
+                   "refresh-rate analysis: zero multiplier");
 
     RefreshRateResult result;
     result.multiplier = multiplier;

@@ -388,10 +388,10 @@ ModelCheckReport::summary() const
 ModelChecker::ModelChecker(ModelCheckConfig config)
     : _config(config)
 {
-    if (_config.tableEntries == 0 || _config.threshold == 0 ||
-        _config.numRows < 32 || _config.streamLength == 0) {
-        fatal("model checker: degenerate configuration");
-    }
+    GRAPHENE_CHECK(_config.tableEntries > 0 && _config.threshold > 0 &&
+                       _config.numRows >= 32 &&
+                       _config.streamLength > 0,
+                   "model checker: degenerate configuration");
 }
 
 std::unique_ptr<core::AggressorTracker>
@@ -432,7 +432,7 @@ ModelChecker::makeSizedTracker(core::TrackerKind kind) const
         return std::make_unique<core::CountMinTracker>(cm);
       }
     }
-    fatal("model checker: unknown tracker kind");
+    GRAPHENE_UNREACHABLE("model checker: unknown tracker kind");
 }
 
 ModelCheckReport

@@ -48,6 +48,15 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
             ::graphene::panic("check `" #cond "` failed: " __VA_ARGS__);  \
     } while (0)
 
+/**
+ * Abort at a point the control flow can only reach through a bug
+ * (e.g. an exhaustive switch fell through). Unlike GRAPHENE_CHECK
+ * this expands to a plain noreturn call, so no dummy return statement
+ * is needed after it.
+ */
+#define GRAPHENE_UNREACHABLE(...)                                         \
+    ::graphene::panic("unreachable: " __VA_ARGS__)
+
 } // namespace graphene
 
 #endif // COMMON_LOGGING_HH

@@ -11,9 +11,9 @@ Histogram::Histogram(std::string name, std::size_t num_buckets, double max)
     : _name(std::move(name)), _buckets(num_buckets, 0),
       _bucketWidth(max / static_cast<double>(num_buckets))
 {
-    if (num_buckets == 0 || max <= 0.0)
-        fatal("histogram %s: need positive bucket count and range",
-              _name.c_str());
+    GRAPHENE_CHECK(num_buckets > 0 && max > 0.0,
+                   "histogram %s: need positive bucket count and range",
+                   _name.c_str());
 }
 
 void

@@ -9,8 +9,7 @@ namespace graphene {
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : _n(n)
 {
-    if (n == 0)
-        fatal("zipf: empty population");
+    GRAPHENE_CHECK(n > 0, "zipf: empty population");
     // Cap the explicit CDF at a manageable size; the tail beyond the
     // cap carries its analytically integrated probability mass and is
     // sampled uniformly (the head dominates any skewed distribution).

@@ -16,24 +16,39 @@ GrapheneConfig::muFactor() const
     return f;
 }
 
-void
+Result<void>
 GrapheneConfig::validate() const
 {
+    ErrorCollector errors(ErrorCode::Config, "graphene config");
     if (rowHammerThreshold == 0)
-        fatal("graphene config: zero Row Hammer threshold");
+        errors.add("zero Row Hammer threshold");
     if (resetWindowDivisor == 0)
-        fatal("graphene config: reset-window divisor must be >= 1");
+        errors.add("reset-window divisor must be >= 1");
     if (mu.size() != blastRadius)
-        fatal("graphene config: blast radius %u but %zu coefficients",
-              blastRadius, mu.size());
+        errors.add(strprintf("blast radius %u but %zu coefficients",
+                             blastRadius, mu.size()));
     if (mu.empty() || mu.front() != 1.0)
-        fatal("graphene config: mu_1 must be 1.0");
+        errors.add("mu_1 must be 1.0");
     for (double m : mu)
-        if (m <= 0.0 || m > 1.0)
-            fatal("graphene config: coefficients must lie in (0, 1]");
-    if (trackingThreshold() == ActCount{})
-        fatal("graphene config: derived tracking threshold is zero; "
-              "T_RH too small for this k and blast radius");
+        if (m <= 0.0 || m > 1.0) {
+            errors.add("coefficients must lie in (0, 1]");
+            break;
+        }
+    // Derived quantities divide by k and F; only evaluate them once
+    // their inputs are known to be sane.
+    if (errors.empty()) {
+        if (trackingThreshold() == ActCount{})
+            errors.add("derived tracking threshold is zero; T_RH too "
+                       "small for this k and blast radius");
+        if (resetWindowCycles() == Cycle{})
+            errors.add("empty reset window; divisor k too large for "
+                       "tREFW");
+        else if (trackingThreshold() != ActCount{} &&
+                 numEntries() == 0)
+            errors.add("table needs at least one entry; threshold "
+                       "exceeds the per-window ACT budget");
+    }
+    return errors.finish();
 }
 
 ActCount
@@ -58,8 +73,8 @@ GrapheneConfig::numEntries() const
 {
     const ActCount w = maxActsPerWindow();
     const ActCount t = trackingThreshold();
-    if (t == ActCount{})
-        fatal("graphene config: tracking threshold underflow");
+    GRAPHENE_CHECK(t != ActCount{},
+                   "graphene config: tracking threshold underflow");
     // Smallest integer strictly greater than W/T - 1; equals
     // floor(W/T) both when T divides W and when it does not.
     return static_cast<unsigned>(w / t);
@@ -83,8 +98,7 @@ GrapheneConfig::worstCaseVictimRowsPerRefw() const
 std::vector<double>
 GrapheneConfig::inverseSquareMu(unsigned n)
 {
-    if (n == 0)
-        fatal("blast radius must be >= 1");
+    GRAPHENE_CHECK(n > 0, "blast radius must be >= 1");
     std::vector<double> mu(n);
     for (unsigned i = 1; i <= n; ++i)
         mu[i - 1] = 1.0 / (static_cast<double>(i) * i);
@@ -94,8 +108,7 @@ GrapheneConfig::inverseSquareMu(unsigned n)
 std::vector<double>
 GrapheneConfig::uniformMu(unsigned n)
 {
-    if (n == 0)
-        fatal("blast radius must be >= 1");
+    GRAPHENE_CHECK(n > 0, "blast radius must be >= 1");
     return std::vector<double>(n, 1.0);
 }
 

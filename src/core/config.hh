@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 #include "dram/timing.hh"
 
@@ -64,8 +65,14 @@ struct GrapheneConfig
     /** Reset window length in cycles (tREFW / k). */
     Cycle resetWindowCycles() const;
 
-    /** Panic on internally inconsistent settings. */
-    void validate() const;
+    /**
+     * Check every configuration rule and report *all* violations in
+     * one Config error (one note per broken rule), so a user fixing a
+     * config sees the complete list rather than one failure per run.
+     * Derived-quantity rules (threshold, window, entry count) are only
+     * evaluated once their input rules pass.
+     */
+    Result<void> validate() const;
 
     /**
      * Worst-case victim-row refreshes over one full tREFW: an

@@ -10,8 +10,8 @@ namespace core {
 
 CounterTable::CounterTable(unsigned num_entries)
 {
-    if (num_entries == 0)
-        fatal("counter table: need at least one entry");
+    GRAPHENE_CHECK(num_entries > 0,
+                   "counter table: need at least one entry");
     _entries.resize(num_entries);
     // All slots start at count 0; they live in bucket 0 so the first
     // misses naturally claim them (count 0 == initial spillover 0).
@@ -23,8 +23,8 @@ void
 CounterTable::moveBucket(unsigned slot, ActCount from, ActCount to)
 {
     auto it = _buckets.find(from);
-    if (it == _buckets.end() || it->second.erase(slot) == 0)
-        panic("counter table: bucket bookkeeping broken");
+    GRAPHENE_CHECK(it != _buckets.end() && it->second.erase(slot) != 0,
+                   "counter table: bucket bookkeeping broken");
     if (it->second.empty())
         _buckets.erase(it);
     _buckets[to].insert(slot);
@@ -47,6 +47,7 @@ CounterTable::processActivation(Row addr)
         ++e.count;
         result.hit = true;
         result.estimatedCount = e.count;
+        result.slot = hit->second;
         GRAPHENE_ENSURES(e.count > _spillover,
                          "hit must leave the count above spillover");
         return result;
@@ -58,10 +59,16 @@ CounterTable::processActivation(Row addr)
         // spillover count; the old count carries over (+1).
         const unsigned slot = *bucket->second.begin();
         Entry &e = _entries[slot];
-        if (e.addr.isValid())
-            _index.erase(e.addr);
-        else
+        if (e.addr.isValid()) {
+            // Erase only this slot's own mapping: after an injected
+            // address fault two slots can alias one address, and the
+            // mapping may belong to the other slot.
+            auto old = _index.find(e.addr);
+            if (old != _index.end() && old->second == slot)
+                _index.erase(old);
+        } else {
             ++_occupied;
+        }
         GRAPHENE_EXPECTS(e.count == _spillover,
                          "replacement candidate must sit exactly at "
                          "the spillover count (Figure 1 flow)");
@@ -71,6 +78,7 @@ CounterTable::processActivation(Row addr)
         _index.emplace(addr, slot);
         result.inserted = true;
         result.estimatedCount = e.count;
+        result.slot = slot;
         GRAPHENE_ENSURES(result.estimatedCount ==
                              _spillover + ActCount{1},
                          "inserted count must carry spillover + 1");
@@ -125,6 +133,84 @@ CounterTable::minEstimatedCount() const
     for (const auto &e : _entries)
         min = e.count < min ? e.count : min;
     return min;
+}
+
+bool
+CounterTable::corruptEntryAddress(unsigned slot, unsigned bit)
+{
+    GRAPHENE_CHECK(slot < _entries.size(),
+                   "counter table: fault slot %u out of range", slot);
+    GRAPHENE_CHECK(bit < 32,
+                   "counter table: address fault bit %u out of range",
+                   bit);
+    Entry &e = _entries[slot];
+    if (!e.addr.isValid())
+        return false;
+    const Row old = e.addr;
+    const Row corrupted{old.value() ^ (1u << bit)};
+    auto it = _index.find(old);
+    if (it != _index.end() && it->second == slot)
+        _index.erase(it);
+    e.addr = corrupted;
+    if (corrupted.isValid()) {
+        // No-op when another slot already owns the corrupted address:
+        // that slot keeps matching first and this one is shadowed.
+        _index.emplace(corrupted, slot);
+    } else {
+        // The flip landed on the all-ones sentinel: the slot now
+        // reads as empty.
+        --_occupied;
+    }
+    return true;
+}
+
+void
+CounterTable::corruptEntryCount(unsigned slot, unsigned bit)
+{
+    GRAPHENE_CHECK(slot < _entries.size(),
+                   "counter table: fault slot %u out of range", slot);
+    GRAPHENE_CHECK(bit < 64,
+                   "counter table: count fault bit %u out of range",
+                   bit);
+    Entry &e = _entries[slot];
+    const ActCount old = e.count;
+    const ActCount corrupted{old.value() ^ (1ULL << bit)};
+    moveBucket(slot, old, corrupted);
+    e.count = corrupted;
+}
+
+void
+CounterTable::corruptSpillover(unsigned bit)
+{
+    GRAPHENE_CHECK(bit < 64,
+                   "counter table: spillover fault bit %u out of "
+                   "range", bit);
+    _spillover = ActCount{_spillover.value() ^ (1ULL << bit)};
+}
+
+Row
+CounterTable::scrubResetEntry(unsigned slot)
+{
+    GRAPHENE_CHECK(slot < _entries.size(),
+                   "counter table: scrub slot %u out of range", slot);
+    Entry &e = _entries[slot];
+    const Row old = e.addr;
+    if (old.isValid()) {
+        auto it = _index.find(old);
+        if (it != _index.end() && it->second == slot)
+            _index.erase(it);
+        --_occupied;
+    }
+    moveBucket(slot, e.count, _spillover);
+    e.addr = Row::invalid();
+    e.count = _spillover;
+    return old;
+}
+
+void
+CounterTable::scrubSetSpillover(ActCount value)
+{
+    _spillover = value;
 }
 
 void

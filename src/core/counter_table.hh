@@ -53,6 +53,9 @@ class CounterTable
         ActCount count{};
     };
 
+    /** Sentinel slot index meaning "no table entry was touched". */
+    static constexpr unsigned kNoSlot = static_cast<unsigned>(-1);
+
     /** Outcome of one processActivation() call. */
     struct Result
     {
@@ -61,6 +64,8 @@ class CounterTable
         bool spilled = false;  ///< Spillover count incremented.
         /** Estimated count after the update (0 when spilled). */
         ActCount estimatedCount{};
+        /** Slot updated by a hit or insert; kNoSlot when spilled. */
+        unsigned slot = kNoSlot;
     };
 
     /** @param num_entries table capacity Nentry (must be > 0). */
@@ -99,9 +104,68 @@ class CounterTable
     /**
      * Panic unless the internal invariants hold: every count >= the
      * spillover count, and spillover <= streamLength / (Nentry + 1).
-     * Used by the property tests after every step.
+     * Used by the property tests after every step. Must not be called
+     * on a table that has had faults injected and not yet been
+     * scrubbed/reset: the conservation check is a hard panic, and a
+     * flipped bit legitimately breaks it.
      */
     void checkInvariants() const;
+
+    /**
+     * @name Fault-injection and scrub hooks
+     *
+     * The corrupt*() methods model single-event upsets in the SRAM/CAM
+     * arrays for the inject:: fault-injection harness. They flip one
+     * stored bit while keeping the *bookkeeping* (_index, _buckets)
+     * structurally consistent — like real hardware, where a flipped
+     * cell changes what the CAM matches but never produces an
+     * impossible circuit state — so only the semantic guarantees
+     * (Lemmas 1-2, conservation) break, never the hard-panicking
+     * internal consistency checks.
+     *
+     * The scrub*() methods are the repair actions a parity-protected
+     * table (HardenedCounterTable) takes when a check fails: they
+     * restore the invariants conservatively (over-estimating, never
+     * under-estimating, so Lemma 1 safety is regained going forward).
+     */
+    ///@{
+
+    /**
+     * Flip bit @p bit of the address stored in @p slot. The old
+     * index mapping is dropped and the new address is indexed unless
+     * another slot already owns it (the aliased slot then shadows
+     * this one, as in a CAM with two matching lines).
+     *
+     * @return false (no flip) when the slot holds no valid address.
+     */
+    bool corruptEntryAddress(unsigned slot, unsigned bit);
+
+    /** Flip bit @p bit of the estimated count stored in @p slot. */
+    void corruptEntryCount(unsigned slot, unsigned bit);
+
+    /** Flip bit @p bit of the spillover count register. */
+    void corruptSpillover(unsigned bit);
+
+    /**
+     * Scrub repair: invalidate @p slot and reset its count to the
+     * current spillover count (making it an immediate replacement
+     * candidate, exactly like a fresh table slot).
+     *
+     * @return the address the slot held (possibly corrupted), so the
+     *         caller can issue a conservative victim refresh for it;
+     *         Row::invalid() when the slot was empty.
+     */
+    Row scrubResetEntry(unsigned slot);
+
+    /**
+     * Scrub repair: overwrite the spillover register. Callers pass a
+     * conservative (high) estimate — typically the minimum estimated
+     * count over the trusted entries — since over-estimating the
+     * untracked rows' counts is the protection-safe direction.
+     */
+    void scrubSetSpillover(ActCount value);
+
+    ///@}
 
   private:
     void moveBucket(unsigned slot, ActCount from, ActCount to);

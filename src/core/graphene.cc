@@ -31,9 +31,11 @@ Graphene::Graphene(const GrapheneConfig &config,
       _windowCycles(config.resetWindowCycles()),
       _table(config.numEntries())
 {
-    _config.validate();
-    if (_windowCycles == Cycle{})
-        fatal("graphene: empty reset window");
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(),
+                   "graphene: constructed from an invalid config "
+                   "(validate() before constructing): %s",
+                   valid.error().describe().c_str());
 }
 
 std::string

@@ -1,0 +1,161 @@
+#include "core/hardened_counter_table.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "core/graphene.hh"
+
+namespace graphene {
+namespace core {
+
+namespace {
+
+bool
+parityOf(Row addr, ActCount count)
+{
+    return ((std::popcount(addr.value()) +
+             std::popcount(count.value())) &
+            1) != 0;
+}
+
+} // namespace
+
+HardenedCounterTable::HardenedCounterTable(unsigned num_entries,
+                                           std::uint64_t scrub_every)
+    : _table(num_entries), _parity(num_entries, 0),
+      _scrubEvery(scrub_every)
+{
+    GRAPHENE_CHECK(scrub_every > 0,
+                   "hardened table: scrub period must be positive");
+    for (unsigned i = 0; i < num_entries; ++i)
+        refreshEntryParity(i);
+    _spillParity = spilloverParity() ? 1 : 0;
+}
+
+bool
+HardenedCounterTable::entryParity(unsigned slot) const
+{
+    const CounterTable::Entry &e = _table.entries()[slot];
+    return parityOf(e.addr, e.count);
+}
+
+bool
+HardenedCounterTable::spilloverParity() const
+{
+    return (std::popcount(_table.spilloverCount().value()) & 1) != 0;
+}
+
+void
+HardenedCounterTable::refreshEntryParity(unsigned slot)
+{
+    _parity[slot] = entryParity(slot) ? 1 : 0;
+}
+
+CounterTable::Result
+HardenedCounterTable::processActivation(Row addr)
+{
+    const CounterTable::Result r = _table.processActivation(addr);
+    if (r.slot != CounterTable::kNoSlot)
+        refreshEntryParity(r.slot);
+    if (r.spilled)
+        _spillParity = spilloverParity() ? 1 : 0;
+    ++_actsSinceScrub;
+    return r;
+}
+
+HardenedCounterTable::ScrubReport
+HardenedCounterTable::scrub()
+{
+    ScrubReport report;
+    ++_scrubSweeps;
+    _actsSinceScrub = 0;
+
+    // Phase 1: detect every mismatch before repairing anything, so a
+    // corrupted count cannot leak into the spillover repair value.
+    std::vector<unsigned> bad;
+    for (unsigned i = 0; i < _table.numEntries(); ++i)
+        if (entryParity(i) != (_parity[i] != 0))
+            bad.push_back(i);
+    const bool spill_bad = spilloverParity() != (_spillParity != 0);
+
+    // Phase 2: repair the spillover register first (entry resets
+    // below inherit its value), using only parity-clean entries.
+    if (spill_bad) {
+        ++_parityFailures;
+        ActCount repaired = ActCount{};
+        bool have = false;
+        for (unsigned i = 0; i < _table.numEntries(); ++i) {
+            bool corrupt = false;
+            for (unsigned b : bad)
+                if (b == i)
+                    corrupt = true;
+            if (corrupt)
+                continue;
+            const ActCount c = _table.entries()[i].count;
+            if (!have || c < repaired) {
+                repaired = c;
+                have = true;
+            }
+        }
+        _table.scrubSetSpillover(repaired);
+        _spillParity = spilloverParity() ? 1 : 0;
+        report.spilloverScrubbed = true;
+    }
+
+    // Phase 3: reset corrupted entries, requesting a conservative
+    // victim refresh for whatever address each currently claims.
+    for (unsigned slot : bad) {
+        ++_parityFailures;
+        const Row victim = _table.scrubResetEntry(slot);
+        if (victim.isValid())
+            report.conservativeNrr.push_back(victim);
+        refreshEntryParity(slot);
+        ++report.entriesScrubbed;
+    }
+    return report;
+}
+
+void
+HardenedCounterTable::reset()
+{
+    _table.reset();
+    _actsSinceScrub = 0;
+    for (unsigned i = 0; i < _table.numEntries(); ++i)
+        refreshEntryParity(i);
+    _spillParity = spilloverParity() ? 1 : 0;
+}
+
+bool
+HardenedCounterTable::injectEntryAddressFault(unsigned slot,
+                                              unsigned bit)
+{
+    return _table.corruptEntryAddress(slot, bit);
+}
+
+void
+HardenedCounterTable::injectEntryCountFault(unsigned slot,
+                                            unsigned bit)
+{
+    _table.corruptEntryCount(slot, bit);
+}
+
+void
+HardenedCounterTable::injectSpilloverFault(unsigned bit)
+{
+    _table.corruptSpillover(bit);
+}
+
+TableCost
+HardenedCounterTable::costFor(const GrapheneConfig &config,
+                              std::uint64_t rows_per_bank,
+                              bool optimized)
+{
+    TableCost cost = Graphene::costFor(config, rows_per_bank,
+                                       optimized);
+    cost.sramBits +=
+        paritySramBits(static_cast<unsigned>(cost.entries));
+    return cost;
+}
+
+} // namespace core
+} // namespace graphene

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Parity-protected Misra-Gries counter table with periodic scrub: the
+ * graceful-degradation counterpart of CounterTable.
+ *
+ * Each entry carries one parity bit computed over its stored address
+ * and count bits, and the spillover register carries one more. A
+ * scrub sweep runs every `scrub_every` activations and compares
+ * stored against recomputed parity; any mismatch triggers the
+ * conservative repair:
+ *
+ *  - corrupted entry: issue an immediate victim refresh (NRR) for the
+ *    address the entry currently claims, then invalidate the slot and
+ *    reset its count to the spillover value (a fresh replacement
+ *    candidate). Refreshing first means a count that was corrupted
+ *    *downwards* cannot silently drop a hot aggressor: its victims
+ *    are refreshed before the estimate restarts.
+ *  - corrupted spillover: rewrite the register with the minimum
+ *    estimated count over the parity-clean entries — the largest
+ *    value consistent with the table invariant, i.e. the most
+ *    conservative (over-estimating) repair for untracked rows.
+ *
+ * After a sweep the table's invariants hold again, so protection is
+ * regained within one scrub period — far inside one reset window for
+ * any sensible scrub_every (the inject:: degradation harness measures
+ * exactly this).
+ *
+ * Hardware cost: one SRAM bit per entry plus one for the spillover
+ * register on top of Graphene's CAM arrays (costFor()).
+ */
+
+#ifndef CORE_HARDENED_COUNTER_TABLE_HH
+#define CORE_HARDENED_COUNTER_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/counter_table.hh"
+#include "core/protection_scheme.hh"
+
+namespace graphene {
+namespace core {
+
+/**
+ * CounterTable wrapped with per-entry parity, spillover parity, and a
+ * periodic scrub sweep that repairs detected corruption.
+ */
+class HardenedCounterTable
+{
+  public:
+    /** What one scrub sweep found and repaired. */
+    struct ScrubReport
+    {
+        /**
+         * Addresses of corrupted entries at the moment of detection:
+         * the caller must issue a conservative victim refresh (NRR)
+         * for each before the entry's estimate restarts.
+         */
+        std::vector<Row> conservativeNrr;
+
+        /** Entries invalidated and reset by this sweep. */
+        unsigned entriesScrubbed = 0;
+
+        /** True when the spillover register was repaired. */
+        bool spilloverScrubbed = false;
+
+        bool clean() const
+        {
+            return entriesScrubbed == 0 && !spilloverScrubbed;
+        }
+    };
+
+    /**
+     * @param num_entries table capacity Nentry (must be > 0).
+     * @param scrub_every activations between scrub sweeps (must be
+     *        > 0; choose well below the tracking threshold T so a
+     *        corrupted estimate is repaired before a hot row can
+     *        accumulate T unrefreshed activations).
+     */
+    HardenedCounterTable(unsigned num_entries,
+                         std::uint64_t scrub_every);
+
+    /** Process one activation, keeping the touched parity fresh. */
+    CounterTable::Result processActivation(Row addr);
+
+    /** True when a scrub sweep is due (call scrub() then). */
+    bool scrubDue() const
+    {
+        return _actsSinceScrub >= _scrubEvery;
+    }
+
+    /** Run one scrub sweep: detect, repair, and report. */
+    ScrubReport scrub();
+
+    /** Window reset: clears the table and recomputes all parity. */
+    void reset();
+
+    /**
+     * @name Fault injection
+     * Flip one stored bit *without* refreshing the stored parity —
+     * modelling a real SRAM upset, which the next scrub sweep must
+     * detect. Signatures mirror the CounterTable corrupt*() hooks.
+     */
+    ///@{
+    bool injectEntryAddressFault(unsigned slot, unsigned bit);
+    void injectEntryCountFault(unsigned slot, unsigned bit);
+    void injectSpilloverFault(unsigned bit);
+    ///@}
+
+    const CounterTable &table() const { return _table; }
+
+    std::uint64_t scrubSweeps() const { return _scrubSweeps; }
+    std::uint64_t parityFailures() const { return _parityFailures; }
+    std::uint64_t scrubEvery() const { return _scrubEvery; }
+
+    /**
+     * Per-bank cost: Graphene's table (optionally with the overflow
+     * -bit optimisation) plus the parity bits as plain SRAM.
+     */
+    static TableCost costFor(const GrapheneConfig &config,
+                             std::uint64_t rows_per_bank,
+                             bool optimized = true);
+
+    /** Parity overhead: one SRAM bit per entry + one for spillover. */
+    static std::uint64_t paritySramBits(unsigned entries)
+    {
+        return static_cast<std::uint64_t>(entries) + 1;
+    }
+
+  private:
+    bool entryParity(unsigned slot) const;
+    bool spilloverParity() const;
+    void refreshEntryParity(unsigned slot);
+
+    CounterTable _table;
+    /// Stored parity bit per entry (what the hardware cell holds).
+    std::vector<std::uint8_t> _parity;
+    std::uint8_t _spillParity = 0;
+    std::uint64_t _scrubEvery;
+    std::uint64_t _actsSinceScrub = 0;
+    std::uint64_t _scrubSweeps = 0;
+    std::uint64_t _parityFailures = 0;
+};
+
+} // namespace core
+} // namespace graphene
+
+#endif // CORE_HARDENED_COUNTER_TABLE_HH

@@ -14,8 +14,8 @@ CountMinTracker::CountMinTracker(const CountMinConfig &config)
       _counters(static_cast<std::size_t>(config.depth) * config.width,
                 0)
 {
-    if (config.depth == 0 || config.width == 0)
-        fatal("count-min: degenerate sketch shape");
+    GRAPHENE_CHECK(config.depth > 0 && config.width > 0,
+                   "count-min: degenerate sketch shape");
 }
 
 std::string

@@ -12,8 +12,8 @@ namespace core {
 LossyCountingTracker::LossyCountingTracker(std::uint64_t bucket_width)
     : _bucketWidth(bucket_width)
 {
-    if (bucket_width == 0)
-        fatal("lossy counting: zero bucket width");
+    GRAPHENE_CHECK(bucket_width > 0,
+                   "lossy counting: zero bucket width");
 }
 
 std::string

@@ -73,7 +73,7 @@ makeTracker(TrackerKind kind, const GrapheneConfig &config)
         return std::make_unique<CountMinTracker>(cm);
       }
     }
-    fatal("unknown tracker kind");
+    GRAPHENE_UNREACHABLE("unknown tracker kind");
 }
 
 TrackerScheme::TrackerScheme(
@@ -83,9 +83,10 @@ TrackerScheme::TrackerScheme(
       _threshold(config.trackingThreshold()),
       _windowCycles(config.resetWindowCycles())
 {
-    if (!_tracker)
-        fatal("tracker scheme: null tracker");
-    _config.validate();
+    GRAPHENE_CHECK(_tracker != nullptr, "tracker scheme: null tracker");
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(), "tracker scheme: invalid config: %s",
+                   valid.error().describe().c_str());
 }
 
 std::string

@@ -24,8 +24,8 @@ bitsFor(std::uint64_t n)
 SpaceSavingTracker::SpaceSavingTracker(unsigned entries)
     : _capacity(entries)
 {
-    if (entries == 0)
-        fatal("space saving: need at least one entry");
+    GRAPHENE_CHECK(entries > 0,
+                   "space saving: need at least one entry");
     _entries.reserve(entries);
 }
 
@@ -40,8 +40,8 @@ SpaceSavingTracker::moveBucket(unsigned slot, std::uint64_t from,
                                std::uint64_t to)
 {
     auto it = _buckets.find(from);
-    if (it == _buckets.end() || it->second.erase(slot) == 0)
-        panic("space saving: bucket bookkeeping broken");
+    GRAPHENE_CHECK(it != _buckets.end() && it->second.erase(slot) != 0,
+                   "space saving: bucket bookkeeping broken");
     if (it->second.empty())
         _buckets.erase(it);
     _buckets[to].insert(slot);

@@ -14,8 +14,9 @@ namespace {
 std::uint64_t
 checkedMul(std::uint64_t a, std::uint64_t b, const char *what)
 {
-    if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a)
-        fatal("geometry: %s overflows 64 bits", what);
+    GRAPHENE_CHECK(a == 0 ||
+                       b <= std::numeric_limits<std::uint64_t>::max() / a,
+                   "geometry: %s overflows 64 bits", what);
     return a * b;
 }
 
@@ -71,23 +72,25 @@ AddressMapper::AddressMapper(const Geometry &geometry,
                              MappingPolicy policy)
     : _geometry(geometry), _policy(policy)
 {
-    if (geometry.channels == 0 || geometry.ranksPerChannel == 0 ||
-        geometry.banksPerRank == 0 || geometry.rowsPerBank == 0) {
-        fatal("address mapper: degenerate geometry");
-    }
+    GRAPHENE_CHECK(geometry.channels > 0 &&
+                       geometry.ranksPerChannel > 0 &&
+                       geometry.banksPerRank > 0 &&
+                       geometry.rowsPerBank > 0,
+                   "address mapper: degenerate geometry");
     if (geometry.bytesPerRow < _lineBytes ||
         geometry.bytesPerRow % _lineBytes != 0) {
-        fatal("address mapper: bytesPerRow must be a multiple of the "
-              "%llu-byte line",
-              static_cast<unsigned long long>(_lineBytes));
+        GRAPHENE_CHECK(false,
+                       "address mapper: bytesPerRow must be a multiple "
+                       "of the %llu-byte line",
+                       static_cast<unsigned long long>(_lineBytes));
     }
     // Row is a 32-bit id and all-ones is the invalid() sentinel; a
     // geometry with more rows per bank than that would silently
     // truncate in decode (or mint a "valid" sentinel row).
-    if (geometry.rowsPerBank >
-        static_cast<std::uint64_t>(Row::invalid().value())) {
-        fatal("address mapper: rowsPerBank exceeds the Row id space");
-    }
+    GRAPHENE_CHECK(geometry.rowsPerBank <=
+                       static_cast<std::uint64_t>(Row::invalid().value()),
+                   "address mapper: rowsPerBank exceeds the Row id "
+                   "space");
     // Triggers the overflow audit for pathological geometries.
     (void)geometry.capacityBytes();
 }

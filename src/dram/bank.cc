@@ -26,8 +26,7 @@ commandName(Command cmd)
 Bank::Bank(const TimingParams &timing, std::uint64_t num_rows)
     : _timing(timing), _numRows(num_rows)
 {
-    if (num_rows == 0)
-        fatal("bank: need at least one row");
+    GRAPHENE_CHECK(num_rows > 0, "bank: need at least one row");
 }
 
 Cycle
@@ -51,14 +50,15 @@ Bank::earliestPrecharge(Cycle now) const
 void
 Bank::issueAct(Cycle cycle, Row row)
 {
-    if (isOpen())
-        panic("ACT to open bank (row %u open)", _openRow.value());
-    if (cycle < _actAllowedAt)
-        panic("ACT at %llu before allowed %llu",
-              static_cast<unsigned long long>(cycle.value()),
-              static_cast<unsigned long long>(_actAllowedAt.value()));
-    if (row.value() >= _numRows)
-        panic("ACT to out-of-range row %u", row.value());
+    GRAPHENE_CHECK(!isOpen(), "ACT to open bank (row %u open)",
+                   _openRow.value());
+    GRAPHENE_CHECK(cycle >= _actAllowedAt,
+                   "ACT at %llu before allowed %llu",
+                   static_cast<unsigned long long>(cycle.value()),
+                   static_cast<unsigned long long>(
+                       _actAllowedAt.value()));
+    GRAPHENE_CHECK(row.value() < _numRows,
+                   "ACT to out-of-range row %u", row.value());
 
     _openRow = row;
     _rwAllowedAt = cycle + _timing.cRCD();
@@ -79,10 +79,9 @@ Bank::issueAct(Cycle cycle, Row row)
 Cycle
 Bank::issueReadWrite(Cycle cycle)
 {
-    if (!isOpen())
-        panic("RD/WR with no open row");
-    if (cycle < _rwAllowedAt)
-        panic("RD/WR issued before tRCD elapsed");
+    GRAPHENE_CHECK(isOpen(), "RD/WR with no open row");
+    GRAPHENE_CHECK(cycle >= _rwAllowedAt,
+                   "RD/WR issued before tRCD elapsed");
     // Column accesses pipeline; the next is allowed a burst later.
     _rwAllowedAt = cycle + _timing.cBL();
     _preAllowedAt = std::max(_preAllowedAt, cycle + _timing.cBL());
@@ -95,10 +94,9 @@ Bank::issueReadWrite(Cycle cycle)
 void
 Bank::issuePrecharge(Cycle cycle)
 {
-    if (!isOpen())
-        panic("PRE with no open row");
-    if (cycle < _preAllowedAt)
-        panic("PRE issued before tRAS elapsed");
+    GRAPHENE_CHECK(isOpen(), "PRE with no open row");
+    GRAPHENE_CHECK(cycle >= _preAllowedAt,
+                   "PRE issued before tRAS elapsed");
     _openRow = Row::invalid();
     _actAllowedAt = std::max(_actAllowedAt, cycle + _timing.cRP());
     GRAPHENE_ENSURES(!isOpen() &&
@@ -109,8 +107,8 @@ Bank::issuePrecharge(Cycle cycle)
 void
 Bank::block(Cycle from, Cycle until)
 {
-    if (until < from)
-        panic("bank blocked over a negative interval");
+    GRAPHENE_CHECK(until >= from,
+                   "bank blocked over a negative interval");
     _openRow = Row::invalid();
     _actAllowedAt = std::max(_actAllowedAt, until);
     _rwAllowedAt = std::max(_rwAllowedAt, until);

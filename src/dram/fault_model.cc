@@ -9,10 +9,10 @@ namespace dram {
 FaultModel::FaultModel(const FaultConfig &config, std::uint64_t num_rows)
     : _config(config), _numRows(num_rows), _cells(num_rows)
 {
-    if (_config.mu.empty())
-        fatal("fault model: empty coefficient vector");
-    if (_config.rowHammerThreshold <= 0.0)
-        fatal("fault model: non-positive Row Hammer threshold");
+    GRAPHENE_CHECK(!_config.mu.empty(),
+                   "fault model: empty coefficient vector");
+    GRAPHENE_CHECK(_config.rowHammerThreshold > 0.0,
+                   "fault model: non-positive Row Hammer threshold");
 
     if (_config.remap) {
         // Fisher-Yates shuffle for the logical -> physical map.
@@ -98,8 +98,8 @@ FaultModel::deposit(Cycle cycle, Row victim, double amount)
 void
 FaultModel::onRowRefresh(Row row)
 {
-    if (row.value() >= _numRows)
-        panic("refresh of out-of-range row %u", row.value());
+    GRAPHENE_CHECK(row.value() < _numRows,
+                   "refresh of out-of-range row %u", row.value());
     _cells[row.value()] = CellState{};
 }
 

@@ -10,8 +10,7 @@ Rank::Rank(const TimingParams &timing, unsigned num_banks,
            std::uint64_t rows_per_bank, const FaultConfig &fault_config)
     : _timing(timing), _rowsPerBank(rows_per_bank)
 {
-    if (num_banks == 0)
-        fatal("rank: need at least one bank");
+    GRAPHENE_CHECK(num_banks > 0, "rank: need at least one bank");
 
     _banks.reserve(num_banks);
     _faults.reserve(num_banks);
@@ -22,8 +21,8 @@ Rank::Rank(const TimingParams &timing, unsigned num_banks,
 
     _refreshesPerWindow =
         static_cast<std::uint64_t>(timing.tREFW / timing.tREFI);
-    if (_refreshesPerWindow == 0)
-        fatal("rank: tREFW shorter than tREFI");
+    GRAPHENE_CHECK(_refreshesPerWindow > 0,
+                   "rank: tREFW shorter than tREFI");
     _rowsPerRefresh =
         (rows_per_bank + _refreshesPerWindow - 1) / _refreshesPerWindow;
     _nextRefreshAt = timing.cREFI();
@@ -32,32 +31,32 @@ Rank::Rank(const TimingParams &timing, unsigned num_banks,
 Bank &
 Rank::bank(unsigned idx)
 {
-    if (idx >= _banks.size())
-        panic("bank index %u out of range", idx);
+    GRAPHENE_CHECK(idx < _banks.size(), "bank index %u out of range",
+                   idx);
     return _banks[idx];
 }
 
 const Bank &
 Rank::bank(unsigned idx) const
 {
-    if (idx >= _banks.size())
-        panic("bank index %u out of range", idx);
+    GRAPHENE_CHECK(idx < _banks.size(), "bank index %u out of range",
+                   idx);
     return _banks[idx];
 }
 
 FaultModel &
 Rank::faultModel(unsigned bank_idx)
 {
-    if (bank_idx >= _faults.size())
-        panic("bank index %u out of range", bank_idx);
+    GRAPHENE_CHECK(bank_idx < _faults.size(),
+                   "bank index %u out of range", bank_idx);
     return _faults[bank_idx];
 }
 
 const FaultModel &
 Rank::faultModel(unsigned bank_idx) const
 {
-    if (bank_idx >= _faults.size())
-        panic("bank index %u out of range", bank_idx);
+    GRAPHENE_CHECK(bank_idx < _faults.size(),
+                   "bank index %u out of range", bank_idx);
     return _faults[bank_idx];
 }
 
@@ -78,8 +77,8 @@ Rank::refreshRow(unsigned bank_idx, Row row)
 void
 Rank::issueRefresh(Cycle cycle)
 {
-    if (cycle < _nextRefreshAt)
-        panic("REF issued before tREFI elapsed");
+    GRAPHENE_CHECK(cycle >= _nextRefreshAt,
+                   "REF issued before tREFI elapsed");
 
     const Cycle done = cycle + _timing.cRFC();
     for (auto &b : _banks)
@@ -126,8 +125,8 @@ Rank::recordFawAct(Cycle cycle)
 void
 Rank::notifyActivate(Cycle cycle, unsigned bank_idx, Row row)
 {
-    if (bank_idx >= _faults.size())
-        panic("bank index %u out of range", bank_idx);
+    GRAPHENE_CHECK(bank_idx < _faults.size(),
+                   "bank index %u out of range", bank_idx);
     _faults[bank_idx].onActivate(cycle, row);
 }
 
@@ -135,10 +134,9 @@ unsigned
 Rank::issueNrr(Cycle cycle, unsigned bank_idx, Row aggressor,
                unsigned distance)
 {
-    if (bank_idx >= _banks.size())
-        panic("bank index %u out of range", bank_idx);
-    if (distance == 0)
-        panic("NRR with zero blast radius");
+    GRAPHENE_CHECK(bank_idx < _banks.size(),
+                   "bank index %u out of range", bank_idx);
+    GRAPHENE_CHECK(distance > 0, "NRR with zero blast radius");
 
     // NRR is executed inside the device, which knows its own row
     // remapping: the refreshed rows are the aggressor's *physical*
@@ -172,11 +170,11 @@ Cycle
 Rank::refreshVictimRowsDeferred(unsigned bank_idx,
                                 const std::vector<Row> &rows)
 {
-    if (bank_idx >= _banks.size())
-        panic("bank index %u out of range", bank_idx);
+    GRAPHENE_CHECK(bank_idx < _banks.size(),
+                   "bank index %u out of range", bank_idx);
     for (Row r : rows) {
-        if (r.value() >= _rowsPerBank)
-            panic("victim row %u out of range", r.value());
+        GRAPHENE_CHECK(r.value() < _rowsPerBank,
+                       "victim row %u out of range", r.value());
         refreshRow(bank_idx, r);
     }
     _nrrRowCount += rows.size();

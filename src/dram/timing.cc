@@ -23,8 +23,7 @@ TimingParams::toCycles(Nanoseconds ns) const
 ActCount
 TimingParams::maxActsInWindow(unsigned k) const
 {
-    if (k == 0)
-        fatal("reset-window divisor k must be >= 1");
+    GRAPHENE_CHECK(k > 0, "reset-window divisor k must be >= 1");
     const Nanoseconds available = tREFW * (1.0 - tRFC / tREFI);
     return ActCount{static_cast<std::uint64_t>(
         available / tRC / static_cast<double>(k))};

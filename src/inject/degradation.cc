@@ -1,0 +1,347 @@
+#include "inject/degradation.hh"
+
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+
+#include "check/contracts.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/counter_table.hh"
+#include "core/hardened_counter_table.hh"
+
+namespace graphene {
+namespace inject {
+
+namespace {
+
+std::atomic<std::uint64_t> g_contract_trips{0};
+
+void
+countingHandler(check::ContractKind, const char *)
+{
+    g_contract_trips.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * Installs the counting contract handler for the harness's lifetime
+ * and restores the previous one on exit, so corrupted-table contract
+ * trips are measured instead of aborting the campaign.
+ */
+class ContractCountGuard
+{
+  public:
+    ContractCountGuard()
+        : _previous(check::setContractHandler(&countingHandler))
+    {
+    }
+
+    ~ContractCountGuard() { check::setContractHandler(_previous); }
+
+    ContractCountGuard(const ContractCountGuard &) = delete;
+    ContractCountGuard &operator=(const ContractCountGuard &) = delete;
+
+    static std::uint64_t trips()
+    {
+        return g_contract_trips.load(std::memory_order_relaxed);
+    }
+
+  private:
+    check::ContractHandler _previous;
+};
+
+} // namespace
+
+std::uint64_t
+DegradationReport::totalMissed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : rows)
+        total += row.missedRefreshes;
+    return total;
+}
+
+std::uint64_t
+DegradationReport::totalLateMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : rows)
+        total += row.lateWindowMisses;
+    return total;
+}
+
+std::uint64_t
+DegradationReport::totalFaultsApplied() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : rows)
+        total += row.faultsApplied;
+    return total;
+}
+
+std::uint64_t
+DegradationReport::totalContractViolations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : rows)
+        total += row.contractViolations;
+    return total;
+}
+
+std::string
+DegradationReport::summary() const
+{
+    std::ostringstream out;
+    out << "degradation campaign: " << rows.size() << " run(s)\n";
+    for (const auto &row : rows) {
+        out << strprintf(
+            "  %-24s acts=%llu faults=%llu stream=%llu "
+            "missed=%llu late=%llu refreshes=%llu scrubbed=%llu "
+            "contracts=%llu\n",
+            row.family.c_str(),
+            static_cast<unsigned long long>(row.activations),
+            static_cast<unsigned long long>(row.faultsApplied),
+            static_cast<unsigned long long>(row.streamFaults),
+            static_cast<unsigned long long>(row.missedRefreshes),
+            static_cast<unsigned long long>(row.lateWindowMisses),
+            static_cast<unsigned long long>(row.refreshes),
+            static_cast<unsigned long long>(row.scrubRepairs),
+            static_cast<unsigned long long>(row.contractViolations));
+    }
+    out << strprintf(
+        "  total: faults=%llu missed=%llu late=%llu contracts=%llu\n",
+        static_cast<unsigned long long>(totalFaultsApplied()),
+        static_cast<unsigned long long>(totalMissed()),
+        static_cast<unsigned long long>(totalLateMisses()),
+        static_cast<unsigned long long>(totalContractViolations()));
+    return out.str();
+}
+
+DegradationReport
+runDegradation(const DegradationConfig &config)
+{
+    GRAPHENE_CHECK(config.model.threshold > 0,
+                   "degradation: need a positive tracking threshold");
+    GRAPHENE_CHECK(config.model.streamLength > 0,
+                   "degradation: need a positive stream length");
+
+    const std::uint64_t threshold = config.model.threshold;
+    const std::uint64_t n = config.model.streamLength;
+    const std::uint64_t reset_every = config.model.resetEvery;
+
+    DegradationReport report;
+    const auto families = check::standardFamilies();
+
+    // One installation for the whole campaign; per-row deltas below.
+    ContractCountGuard guard;
+
+    for (std::size_t f = 0; f < families.size(); ++f) {
+        DegradationRow row;
+        row.family = families[f].name;
+        row.activations = n;
+
+        FaultPlan plan = config.plan;
+        plan.streamLength = n;
+        plan.tableEntries = config.model.tableEntries;
+        plan.seed = config.plan.seed * 1000003ULL + f;
+        const FaultInjector injector(plan);
+        const auto &schedule = injector.schedule();
+
+        // The truth: what the DRAM actually executes. The reference
+        // (per-row counts since last refresh) always follows this.
+        auto pattern =
+            families[f].make(config.model, config.model.seed);
+        std::vector<Row> truth(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            truth[i] = pattern->next();
+
+        // The view: what the tracker observes. Stream faults corrupt
+        // it; state faults strike the table directly during the run.
+        std::vector<Row> view = truth;
+        std::vector<std::uint8_t> dropped(n, 0), duplicated(n, 0);
+        for (const FaultEvent &e : schedule) {
+            if (isStateSite(e.site) || e.step >= n)
+                continue;
+            switch (e.site) {
+              case FaultSite::StreamDrop:
+                if (!dropped[e.step]) {
+                    dropped[e.step] = 1;
+                    ++row.streamFaults;
+                }
+                break;
+              case FaultSite::StreamDuplicate:
+                duplicated[e.step] = 1;
+                ++row.streamFaults;
+                break;
+              case FaultSite::StreamSwap:
+                if (e.step + 1 < n) {
+                    std::swap(view[e.step], view[e.step + 1]);
+                    ++row.streamFaults;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+
+        core::CounterTable plain(config.model.tableEntries);
+        core::HardenedCounterTable hardened(
+            config.model.tableEntries, config.scrubEvery);
+        std::unordered_map<Row, std::uint64_t> since_refresh;
+
+        bool any_state_fault = false;
+        std::uint64_t last_fault_step = 0;
+        std::size_t next_event = 0;
+        const std::uint64_t trips_before = ContractCountGuard::trips();
+
+        auto window_of = [reset_every](std::uint64_t step) {
+            return reset_every ? step / reset_every : 0;
+        };
+
+        auto feed = [&](Row r) {
+            const core::CounterTable::Result result =
+                config.harden ? hardened.processActivation(r)
+                              : plain.processActivation(r);
+            if (!result.spilled &&
+                result.estimatedCount.value() % threshold == 0) {
+                ++row.refreshes;
+                since_refresh[r] = 0;
+            }
+            if (config.harden && hardened.scrubDue()) {
+                const auto scrub = hardened.scrub();
+                row.scrubRepairs += scrub.entriesScrubbed +
+                                    (scrub.spilloverScrubbed ? 1 : 0);
+                for (Row victim : scrub.conservativeNrr) {
+                    ++row.refreshes;
+                    since_refresh[victim] = 0;
+                }
+            }
+        };
+
+        for (std::uint64_t i = 0; i < n; ++i) {
+            // State faults scheduled here strike before the ACT.
+            while (next_event < schedule.size() &&
+                   schedule[next_event].step == i) {
+                const FaultEvent &e = schedule[next_event++];
+                if (!isStateSite(e.site))
+                    continue;
+                bool applied = true;
+                switch (e.site) {
+                  case FaultSite::EntryAddress:
+                    applied = config.harden
+                                  ? hardened.injectEntryAddressFault(
+                                        e.slot, e.bit)
+                                  : plain.corruptEntryAddress(e.slot,
+                                                              e.bit);
+                    break;
+                  case FaultSite::EntryCount:
+                    if (config.harden)
+                        hardened.injectEntryCountFault(e.slot, e.bit);
+                    else
+                        plain.corruptEntryCount(e.slot, e.bit);
+                    break;
+                  case FaultSite::Spillover:
+                    if (config.harden)
+                        hardened.injectSpilloverFault(e.bit);
+                    else
+                        plain.corruptSpillover(e.bit);
+                    break;
+                  default:
+                    break;
+                }
+                if (applied) {
+                    ++row.faultsApplied;
+                    any_state_fault = true;
+                    last_fault_step = i;
+                }
+            }
+
+            const Row actual = truth[i];
+            ++since_refresh[actual];
+
+            if (!dropped[i]) {
+                feed(view[i]);
+                if (duplicated[i])
+                    feed(view[i]);
+            }
+
+            // P3, measured: the tracker had its chance this step; if
+            // the true count still reached T unrefreshed, that is a
+            // missed victim refresh.
+            if (since_refresh[actual] >= threshold) {
+                ++row.missedRefreshes;
+                if (any_state_fault &&
+                    window_of(i) > window_of(last_fault_step))
+                    ++row.lateWindowMisses;
+                since_refresh[actual] = 0;
+            }
+
+            if (reset_every && (i + 1) % reset_every == 0) {
+                if (config.harden)
+                    hardened.reset();
+                else
+                    plain.reset();
+                since_refresh.clear();
+            }
+        }
+
+        row.contractViolations =
+            ContractCountGuard::trips() - trips_before;
+        report.rows.push_back(row);
+    }
+    return report;
+}
+
+std::string
+PerturbationReport::summary() const
+{
+    return strprintf("config perturbation: %u trial(s), %u rejected "
+                     "with typed errors, %u accepted",
+                     trials, rejectedTyped, accepted);
+}
+
+PerturbationReport
+perturbSchemeSpecs(const schemes::SchemeSpec &base, unsigned trials,
+                   std::uint64_t seed)
+{
+    PerturbationReport report;
+    report.trials = trials;
+    Rng rng(seed);
+    for (unsigned t = 0; t < trials; ++t) {
+        schemes::SchemeSpec spec = base;
+        switch (rng.nextRange(4)) {
+          case 0:
+            // Single-bit upset in the stored threshold field.
+            spec.rowHammerThreshold ^= 1ULL << rng.nextRange(18);
+            break;
+          case 1:
+            spec.blastRadius =
+                static_cast<unsigned>(rng.nextRange(9));
+            break;
+          case 2:
+            spec.grapheneK =
+                static_cast<unsigned>(rng.nextRange(9));
+            break;
+          default:
+            spec.rowHammerThreshold = rng.nextRange(4096);
+            break;
+        }
+        const Result<void> valid =
+            schemes::validateSchemeSpec(spec);
+        if (valid.ok()) {
+            auto built = schemes::makeScheme(spec);
+            GRAPHENE_CHECK(built.ok(),
+                           "perturbation: spec validated but failed "
+                           "to build: %s",
+                           built.error().describe().c_str());
+            ++report.accepted;
+        } else {
+            ++report.rejectedTyped;
+        }
+    }
+    return report;
+}
+
+} // namespace inject
+} // namespace graphene

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The graceful-degradation harness: measures what fault injection
+ * does to Graphene's protection guarantee, per fault site and per
+ * stream family, for both the plain and the parity-protected counter
+ * table.
+ *
+ * For every model-checker stream family the harness runs the tracker
+ * over the TRUE activation stream (state faults strike the table
+ * directly; stream faults make the tracker observe a corrupted view
+ * while the reference keeps seeing the truth), replays Graphene's
+ * multiple-of-T crossing rule on the estimates, and counts
+ * *missed victim refreshes*: steps at which a row's true activation
+ * count since its last refresh reaches the tracking threshold T with
+ * no refresh issued — exactly the P3 "no false negative" property of
+ * the differential model checker, measured instead of asserted.
+ *
+ * Contract violations (GRAPHENE_EXPECTS / ENSURES / INVARIANT trips
+ * inside the corrupted table) are counted, not fatal: the harness
+ * installs a counting contract handler for the duration of the run
+ * and restores the previous one afterwards.
+ *
+ * Everything is deterministic: the report's summary() is byte-stable
+ * across runs of the same config, which the determinism test
+ * asserts.
+ */
+
+#ifndef INJECT_DEGRADATION_HH
+#define INJECT_DEGRADATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hh"
+#include "inject/fault_injector.hh"
+#include "schemes/factory.hh"
+
+namespace graphene {
+namespace inject {
+
+/** One degradation campaign: faults x families x one table flavour. */
+struct DegradationConfig
+{
+    /**
+     * Stream/table sizing, reused verbatim from the model checker:
+     * tableEntries, threshold (T), numRows, streamLength, resetEvery
+     * (the reset-window length on the ACT axis) and the base seed.
+     */
+    check::ModelCheckConfig model;
+
+    /**
+     * Fault campaign shape. streamLength and tableEntries are
+     * overwritten from `model`; the per-family injector derives its
+     * seed from plan.seed and the family index, so families see
+     * different (but reproducible) schedules.
+     */
+    FaultPlan plan;
+
+    /** Use the parity-protected table with periodic scrub. */
+    bool harden = false;
+
+    /** Scrub period in activations (hardened table only). */
+    std::uint64_t scrubEvery = 32;
+};
+
+/** Outcome of one (family, schedule) run. */
+struct DegradationRow
+{
+    std::string family;
+    std::uint64_t activations = 0;
+
+    /** State-fault flips actually applied (invalid slots skip). */
+    std::uint64_t faultsApplied = 0;
+
+    /** Stream positions dropped / duplicated / swapped. */
+    std::uint64_t streamFaults = 0;
+
+    /** P3 failures: T true activations accumulated, no refresh. */
+    std::uint64_t missedRefreshes = 0;
+
+    /**
+     * Missed refreshes in reset windows strictly *after* the window
+     * containing the last applied state fault — the recovery metric:
+     * zero means the run regained full protection within one window.
+     */
+    std::uint64_t lateWindowMisses = 0;
+
+    /** Crossing-rule refreshes issued (incl. scrub conservative NRR). */
+    std::uint64_t refreshes = 0;
+
+    /** Entries + spillover repairs performed by scrub sweeps. */
+    std::uint64_t scrubRepairs = 0;
+
+    /** Contract-macro trips observed during this run. */
+    std::uint64_t contractViolations = 0;
+};
+
+/** Aggregate outcome of a campaign. */
+struct DegradationReport
+{
+    std::vector<DegradationRow> rows;
+
+    std::uint64_t totalMissed() const;
+    std::uint64_t totalLateMisses() const;
+    std::uint64_t totalFaultsApplied() const;
+    std::uint64_t totalContractViolations() const;
+
+    /** Deterministic multi-line summary (byte-stable per config). */
+    std::string summary() const;
+};
+
+/**
+ * Run the campaign over every model-checker stream family. Never
+ * aborts: contract trips are counted via an installed handler, and
+ * the table's corruption hooks keep its bookkeeping structurally
+ * sound by construction.
+ */
+DegradationReport runDegradation(const DegradationConfig &config);
+
+/** Outcome of the config-field perturbation sweep. */
+struct PerturbationReport
+{
+    unsigned trials = 0;
+
+    /** Perturbed specs rejected with a typed Config/Parse error. */
+    unsigned rejectedTyped = 0;
+
+    /** Perturbed specs that still validated and built a scheme. */
+    unsigned accepted = 0;
+
+    /** Deterministic one-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * Flip random fields of @p base (threshold bits, blast radius, reset
+ * divisor) @p trials times; each perturbed spec must either be
+ * rejected by schemes::validateSchemeSpec() with a typed error or
+ * build a working scheme — never crash. trials == rejectedTyped +
+ * accepted holds on return.
+ */
+PerturbationReport perturbSchemeSpecs(const schemes::SchemeSpec &base,
+                                      unsigned trials,
+                                      std::uint64_t seed);
+
+} // namespace inject
+} // namespace graphene
+
+#endif // INJECT_DEGRADATION_HH

@@ -1,0 +1,135 @@
+#include "inject/fault_injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace graphene {
+namespace inject {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::EntryAddress:    return "entry-address";
+      case FaultSite::EntryCount:      return "entry-count";
+      case FaultSite::Spillover:       return "spillover";
+      case FaultSite::StreamDrop:      return "stream-drop";
+      case FaultSite::StreamDuplicate: return "stream-duplicate";
+      case FaultSite::StreamSwap:      return "stream-swap";
+    }
+    GRAPHENE_UNREACHABLE("unknown fault site");
+}
+
+bool
+isStateSite(FaultSite site)
+{
+    return site == FaultSite::EntryAddress ||
+           site == FaultSite::EntryCount ||
+           site == FaultSite::Spillover;
+}
+
+const std::vector<FaultSite> &
+allFaultSites()
+{
+    static const std::vector<FaultSite> sites = {
+        FaultSite::EntryAddress,    FaultSite::EntryCount,
+        FaultSite::Spillover,       FaultSite::StreamDrop,
+        FaultSite::StreamDuplicate, FaultSite::StreamSwap,
+    };
+    return sites;
+}
+
+const std::vector<FaultSite> &
+stateFaultSites()
+{
+    static const std::vector<FaultSite> sites = {
+        FaultSite::EntryAddress,
+        FaultSite::EntryCount,
+        FaultSite::Spillover,
+    };
+    return sites;
+}
+
+const std::vector<FaultSite> &
+streamFaultSites()
+{
+    static const std::vector<FaultSite> sites = {
+        FaultSite::StreamDrop,
+        FaultSite::StreamDuplicate,
+        FaultSite::StreamSwap,
+    };
+    return sites;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : _plan(plan)
+{
+    GRAPHENE_CHECK(!plan.sites.empty(),
+                   "fault plan: need at least one fault site");
+    GRAPHENE_CHECK(plan.streamLength > 0,
+                   "fault plan: need a positive stream length");
+    GRAPHENE_CHECK(plan.tableEntries > 0,
+                   "fault plan: need at least one table entry");
+
+    Rng rng(plan.seed);
+    _schedule.reserve(plan.faults);
+    for (unsigned i = 0; i < plan.faults; ++i) {
+        FaultEvent event;
+        event.step = rng.nextRange(plan.streamLength);
+        event.site =
+            plan.sites[rng.nextRange(plan.sites.size())];
+        // Draw both fields unconditionally so the schedule shape
+        // stays stable across site mixes with the same seed.
+        const unsigned slot = static_cast<unsigned>(
+            rng.nextRange(plan.tableEntries));
+        const unsigned addr_bit = static_cast<unsigned>(
+            rng.nextRange(plan.maxAddressBit + 1ULL));
+        const unsigned count_bit = static_cast<unsigned>(
+            rng.nextRange(plan.maxCountBit + 1ULL));
+        switch (event.site) {
+          case FaultSite::EntryAddress:
+            event.slot = slot;
+            event.bit = addr_bit;
+            break;
+          case FaultSite::EntryCount:
+            event.slot = slot;
+            event.bit = count_bit;
+            break;
+          case FaultSite::Spillover:
+            event.bit = count_bit;
+            break;
+          case FaultSite::StreamDrop:
+          case FaultSite::StreamDuplicate:
+          case FaultSite::StreamSwap:
+            break;
+        }
+        _schedule.push_back(event);
+    }
+    std::stable_sort(_schedule.begin(), _schedule.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.step < b.step;
+                     });
+}
+
+std::uint64_t
+FaultInjector::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffULL;
+            h *= 0x100000001b3ULL; // FNV prime
+        }
+    };
+    for (const FaultEvent &e : _schedule) {
+        mix(e.step);
+        mix(static_cast<std::uint64_t>(e.site));
+        mix(e.slot);
+        mix(e.bit);
+    }
+    return h;
+}
+
+} // namespace inject
+} // namespace graphene

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic fault-event scheduling for the degradation harness.
+ *
+ * A FaultInjector expands a small declarative FaultPlan (seed, stream
+ * length, fault budget, allowed sites) into a concrete, step-sorted
+ * schedule of FaultEvents — which bit of which SRAM cell flips at
+ * which activation index, or which stream positions are dropped,
+ * duplicated, or swapped. The schedule is a pure function of the
+ * plan: the same plan always yields the byte-identical schedule (and
+ * fingerprint()), so every campaign result is replayable from its
+ * seed alone, exactly like the model checker's streams.
+ *
+ * Fault taxonomy (DESIGN.md §9):
+ *
+ *  - *state* faults (EntryAddress, EntryCount, Spillover) model
+ *    single-event upsets in the tracker's CAM/SRAM arrays; they
+ *    persist until a scrub or window reset repairs them.
+ *  - *stream* faults (StreamDrop, StreamDuplicate, StreamSwap) model
+ *    a command-bus observer missing, double-counting, or reordering
+ *    ACTs; they are transient — one position of the observed stream
+ *    differs from the truth.
+ */
+
+#ifndef INJECT_FAULT_INJECTOR_HH
+#define INJECT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace graphene {
+namespace inject {
+
+/** Where a fault strikes. */
+enum class FaultSite
+{
+    EntryAddress,    ///< One bit of one entry's stored row address.
+    EntryCount,      ///< One bit of one entry's estimated count.
+    Spillover,       ///< One bit of the spillover count register.
+    StreamDrop,      ///< The tracker misses one ACT.
+    StreamDuplicate, ///< The tracker observes one ACT twice.
+    StreamSwap,      ///< Two adjacent ACTs reach the tracker swapped.
+};
+
+/** Short stable name ("entry-address", "stream-drop", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** True for the persistent tracker-state sites. */
+bool isStateSite(FaultSite site);
+
+/** Every site, state sites only, stream sites only. */
+const std::vector<FaultSite> &allFaultSites();
+const std::vector<FaultSite> &stateFaultSites();
+const std::vector<FaultSite> &streamFaultSites();
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    std::uint64_t step = 0; ///< Activation index it fires before.
+    FaultSite site = FaultSite::EntryCount;
+    unsigned slot = 0; ///< Table slot (state entry sites only).
+    unsigned bit = 0;  ///< Bit to flip (state sites only).
+
+    friend bool operator==(const FaultEvent &a, const FaultEvent &b)
+    {
+        return a.step == b.step && a.site == b.site &&
+               a.slot == b.slot && a.bit == b.bit;
+    }
+};
+
+/** Declarative description of one fault campaign. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    /** Activation indices are drawn uniformly from [0, streamLength). */
+    std::uint64_t streamLength = 24000;
+
+    /** Slot indices are drawn uniformly from [0, tableEntries). */
+    unsigned tableEntries = 8;
+
+    /** Number of fault events to schedule. */
+    unsigned faults = 8;
+
+    /** Count/spillover flips use bits [0, maxCountBit]. */
+    unsigned maxCountBit = 7;
+
+    /** Address flips use bits [0, maxAddressBit]. */
+    unsigned maxAddressBit = 11;
+
+    /** Sites the campaign draws from (must be non-empty). */
+    std::vector<FaultSite> sites = allFaultSites();
+};
+
+/**
+ * The deterministic schedule generator.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** The full schedule, sorted by step (stable within a step). */
+    const std::vector<FaultEvent> &schedule() const
+    {
+        return _schedule;
+    }
+
+    /**
+     * FNV-1a hash over every field of every event, in order: two
+     * runs of the same plan produce the same fingerprint, and the
+     * determinism test asserts exactly that.
+     */
+    std::uint64_t fingerprint() const;
+
+  private:
+    FaultPlan _plan;
+    std::vector<FaultEvent> _schedule;
+};
+
+} // namespace inject
+} // namespace graphene
+
+#endif // INJECT_FAULT_INJECTOR_HH

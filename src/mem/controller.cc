@@ -21,15 +21,19 @@ ChannelController::ChannelController(const ControllerConfig &config)
     for (unsigned b = 0; b < config.banksPerRank; ++b) {
         schemes::SchemeSpec bank_spec = spec;
         bank_spec.seed = spec.seed * 1000003ULL + b;
-        _schemes.push_back(schemes::makeScheme(bank_spec));
+        auto built = schemes::makeScheme(bank_spec);
+        GRAPHENE_CHECK(built.ok(),
+                       "controller: invalid scheme spec: %s",
+                       built.error().describe().c_str());
+        _schemes.push_back(std::move(built).value());
     }
 }
 
 ProtectionScheme *
 ChannelController::scheme(unsigned bank)
 {
-    if (bank >= _schemes.size())
-        panic("bank index %u out of range", bank);
+    GRAPHENE_CHECK(bank < _schemes.size(),
+                   "bank index %u out of range", bank);
     return _schemes[bank].get();
 }
 
@@ -119,8 +123,8 @@ ChannelController::access(Cycle issue, unsigned bank, Row row,
         // configurations.
         unsigned attempts = 0;
         while (!b.isOpen()) {
-            if (++attempts > 16)
-                panic("livelock re-activating row %u", row.value());
+            GRAPHENE_CHECK(++attempts <= 16,
+                           "livelock re-activating row %u", row.value());
             Cycle act_at = b.earliestAct(issue);
             catchUpRefresh(act_at);
             act_at = b.earliestAct(act_at);

@@ -45,9 +45,9 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
                              const std::vector<unsigned> &banks,
                              const std::vector<Row> &rows)
 {
-    if (requests.size() != banks.size() ||
-        requests.size() != rows.size())
-        fatal("queued controller: mismatched request metadata");
+    GRAPHENE_CHECK(requests.size() == banks.size() &&
+                       requests.size() == rows.size(),
+                   "queued controller: mismatched request metadata");
 
     // The admission loop assumes requests arrive sorted by issue
     // cycle; checking it is O(n), so it only runs in checked builds.

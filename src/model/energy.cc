@@ -9,8 +9,8 @@ double
 EnergyModel::refreshOverhead(std::uint64_t victim_rows, unsigned banks,
                              double windows)
 {
-    if (banks == 0 || windows <= 0.0)
-        fatal("energy model: degenerate normalisation");
+    GRAPHENE_CHECK(banks > 0 && windows > 0.0,
+                   "energy model: degenerate normalisation");
     const double extra = static_cast<double>(victim_rows) * kActPreNj;
     const double base =
         static_cast<double>(banks) * windows * kRefreshPerBankPerRefwNj;

@@ -18,14 +18,24 @@ CbtConfig::splitThreshold(unsigned level) const
     return th == 0 ? 1 : th;
 }
 
+Result<void>
+CbtConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "cbt config");
+    if (numCounters == 0)
+        errors.add("need at least one counter");
+    if (rowsPerBank == 0)
+        errors.add("need rows");
+    if (finalThreshold() == 0)
+        errors.add("Row Hammer threshold too small");
+    return errors.finish();
+}
+
 Cbt::Cbt(const CbtConfig &config) : _config(config)
 {
-    if (config.numCounters == 0)
-        fatal("cbt: need at least one counter");
-    if (config.rowsPerBank == 0)
-        fatal("cbt: need rows");
-    if (config.finalThreshold() == 0)
-        fatal("cbt: Row Hammer threshold too small");
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(), "cbt: invalid config: %s",
+                   valid.error().describe().c_str());
     resetTree();
 }
 
@@ -75,13 +85,14 @@ std::map<Row, Cbt::Node>::iterator
 Cbt::findNode(Row row)
 {
     auto it = _ranges.upper_bound(row);
-    if (it == _ranges.begin())
-        panic("cbt: row %u not covered", row.value());
+    GRAPHENE_CHECK(it != _ranges.begin(), "cbt: row %u not covered",
+                   row.value());
     --it;
-    if (row < it->second.start ||
-        row.value() >= it->second.start.value() + it->second.length) {
-        panic("cbt: range bookkeeping broken for row %u", row.value());
-    }
+    GRAPHENE_CHECK(row >= it->second.start &&
+                       row.value() <
+                           it->second.start.value() + it->second.length,
+                   "cbt: range bookkeeping broken for row %u",
+                   row.value());
     return it;
 }
 

@@ -40,6 +40,7 @@
 #include <map>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/protection_scheme.hh"
 #include "dram/timing.hh"
 
@@ -88,6 +89,9 @@ struct CbtConfig
 
     /** Split threshold of level @p level. */
     std::uint64_t splitThreshold(unsigned level) const;
+
+    /** All configuration rules, collected into one Config error. */
+    Result<void> validate() const;
 };
 
 /** Counter-based tree protection. */

@@ -59,12 +59,45 @@ cbtLevelsFor(std::uint64_t rh_threshold)
     return levels;
 }
 
-std::unique_ptr<ProtectionScheme>
+namespace {
+
+/**
+ * Validate a derived per-scheme config and construct the scheme only
+ * when every rule passes, so invalid grid cells surface as errors
+ * rather than constructor panics.
+ */
+template <typename Scheme, typename Config>
+Result<std::unique_ptr<ProtectionScheme>>
+makeValidated(const Config &config)
+{
+    const Result<void> valid = config.validate();
+    if (!valid.ok())
+        return valid.error();
+    return std::unique_ptr<ProtectionScheme>(
+        std::make_unique<Scheme>(config));
+}
+
+} // namespace
+
+Result<std::unique_ptr<ProtectionScheme>>
 makeScheme(const SchemeSpec &spec)
 {
+    if (spec.blastRadius == 0)
+        return Error(ErrorCode::Config,
+                     strprintf("%s spec: blast radius must be >= 1",
+                               schemeKindName(spec.kind).c_str()));
+    // Guard before any per-scheme derivation: the CBT scaling rules
+    // (cbtLevelsFor) and PARA's probability derivation both divide by
+    // the threshold.
+    if (spec.kind != SchemeKind::None && spec.rowHammerThreshold == 0)
+        return Error(ErrorCode::Config,
+                     strprintf("%s spec: Row Hammer threshold must be "
+                               ">= 1",
+                               schemeKindName(spec.kind).c_str()));
+
     switch (spec.kind) {
       case SchemeKind::None:
-        return nullptr;
+        return std::unique_ptr<ProtectionScheme>(nullptr);
 
       case SchemeKind::Graphene: {
         core::GrapheneConfig config;
@@ -74,8 +107,12 @@ makeScheme(const SchemeSpec &spec)
         config.mu = core::GrapheneConfig::inverseSquareMu(
             spec.blastRadius);
         config.timing = spec.timing;
-        return std::make_unique<core::Graphene>(config,
-                                                spec.rowsPerBank);
+        const Result<void> valid = config.validate();
+        if (!valid.ok())
+            return valid.error();
+        return std::unique_ptr<ProtectionScheme>(
+            std::make_unique<core::Graphene>(config,
+                                             spec.rowsPerBank));
       }
 
       case SchemeKind::Para: {
@@ -90,14 +127,14 @@ makeScheme(const SchemeSpec &spec)
         for (unsigned d = 2; d <= spec.blastRadius; ++d)
             config.probabilities.push_back(
                 p1 / (static_cast<double>(d) * d));
-        return std::make_unique<Para>(config);
+        return makeValidated<Para>(config);
       }
 
       case SchemeKind::ProHit: {
         ProHitConfig config;
         config.rowsPerBank = spec.rowsPerBank;
         config.seed = spec.seed;
-        return std::make_unique<ProHit>(config);
+        return makeValidated<ProHit>(config);
       }
 
       case SchemeKind::MrLoc: {
@@ -106,7 +143,7 @@ makeScheme(const SchemeSpec &spec)
         config.seed = spec.seed;
         config.pBase =
             Para::requiredProbability(spec.rowHammerThreshold);
-        return std::make_unique<MrLoc>(config);
+        return makeValidated<MrLoc>(config);
       }
 
       case SchemeKind::Cbt: {
@@ -121,7 +158,7 @@ makeScheme(const SchemeSpec &spec)
         // Experiments sample a long-running system, not a cold boot.
         config.warmStart = true;
         config.warmStartSeed = spec.seed;
-        return std::make_unique<Cbt>(config);
+        return makeValidated<Cbt>(config);
       }
 
       case SchemeKind::TwiCe: {
@@ -130,10 +167,19 @@ makeScheme(const SchemeSpec &spec)
         config.rowsPerBank = spec.rowsPerBank;
         config.blastRadius = spec.blastRadius;
         config.timing = spec.timing;
-        return std::make_unique<TwiCe>(config);
+        return makeValidated<TwiCe>(config);
       }
     }
-    fatal("unknown scheme kind");
+    return Error(ErrorCode::InvalidArgument, "unknown scheme kind");
+}
+
+Result<void>
+validateSchemeSpec(const SchemeSpec &spec)
+{
+    Result<std::unique_ptr<ProtectionScheme>> built = makeScheme(spec);
+    if (!built.ok())
+        return built.error();
+    return Result<void>::success();
 }
 
 } // namespace schemes

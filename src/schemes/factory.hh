@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/protection_scheme.hh"
 #include "dram/timing.hh"
 
@@ -56,9 +57,20 @@ std::string schemeKindName(SchemeKind kind);
 std::vector<SchemeKind> evaluatedSchemes();
 
 /**
- * Build one per-bank instance. @return nullptr for SchemeKind::None.
+ * Build one per-bank instance. Success holds nullptr for
+ * SchemeKind::None; a spec whose derived per-scheme configuration
+ * breaks any rule yields a Config error (all violated rules listed as
+ * notes) instead of constructing.
  */
-std::unique_ptr<ProtectionScheme> makeScheme(const SchemeSpec &spec);
+Result<std::unique_ptr<ProtectionScheme>>
+makeScheme(const SchemeSpec &spec);
+
+/**
+ * Check @p spec without constructing a scheme: the same rules
+ * makeScheme() applies. Lets grid drivers pre-flight each cell and
+ * skip (rather than abort on) the invalid ones.
+ */
+Result<void> validateSchemeSpec(const SchemeSpec &spec);
 
 /** CBT counter budget at @p rh_threshold (doubles per halving). */
 unsigned cbtCountersFor(std::uint64_t rh_threshold);

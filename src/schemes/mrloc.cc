@@ -8,15 +8,25 @@
 namespace graphene {
 namespace schemes {
 
+Result<void>
+MrLocConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "mrloc config");
+    if (queueEntries == 0)
+        errors.add("queue must have at least one entry");
+    if (pBase < 0 || pBase > 1 || pHot < 0 || pHot > 1)
+        errors.add("probability out of range");
+    if (rowsPerBank == 0)
+        errors.add("need rows");
+    return errors.finish();
+}
+
 MrLoc::MrLoc(const MrLocConfig &config)
     : _config(config), _rng(config.seed)
 {
-    if (config.queueEntries == 0)
-        fatal("mrloc: queue must have at least one entry");
-    if (config.pBase < 0 || config.pBase > 1 || config.pHot < 0 ||
-        config.pHot > 1) {
-        fatal("mrloc: probability out of range");
-    }
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(), "mrloc: invalid config: %s",
+                   valid.error().describe().c_str());
 }
 
 std::string

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/error.hh"
 #include "common/random.hh"
 #include "core/protection_scheme.hh"
 
@@ -45,6 +46,9 @@ struct MrLocConfig
 
     std::uint64_t seed = 3;
     std::uint64_t rowsPerBank = 65536;
+
+    /** All configuration rules, collected into one Config error. */
+    Result<void> validate() const;
 };
 
 /** Locality-aware probabilistic victim refresh. */

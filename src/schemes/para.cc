@@ -8,14 +8,28 @@
 namespace graphene {
 namespace schemes {
 
+Result<void>
+ParaConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "para config");
+    if (probabilities.empty())
+        errors.add("need at least one refresh probability");
+    for (double p : probabilities)
+        if (p < 0.0 || p > 1.0) {
+            errors.add("probability out of range");
+            break;
+        }
+    if (rowsPerBank == 0)
+        errors.add("need rows");
+    return errors.finish();
+}
+
 Para::Para(const ParaConfig &config)
     : _config(config), _rng(config.seed)
 {
-    if (_config.probabilities.empty())
-        fatal("para: need at least one refresh probability");
-    for (double p : _config.probabilities)
-        if (p < 0.0 || p > 1.0)
-            fatal("para: probability out of range");
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(), "para: invalid config: %s",
+                   valid.error().describe().c_str());
 }
 
 std::string

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/random.hh"
 #include "core/protection_scheme.hh"
 
@@ -38,6 +39,9 @@ struct ParaConfig
 
     /** Rows per bank, for clipping victims at the bank edges. */
     std::uint64_t rowsPerBank = 65536;
+
+    /** All configuration rules, collected into one Config error. */
+    Result<void> validate() const;
 };
 
 /** Probabilistic neighbour refresh on every ACT. */

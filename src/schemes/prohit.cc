@@ -8,11 +8,26 @@
 namespace graphene {
 namespace schemes {
 
+Result<void>
+ProHitConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "prohit config");
+    if (hotEntries == 0 || coldEntries == 0)
+        errors.add("tables must have at least one entry each");
+    if (insertionProbability < 0.0 || insertionProbability > 1.0 ||
+        refreshProbability < 0.0 || refreshProbability > 1.0)
+        errors.add("probability out of range");
+    if (rowsPerBank == 0)
+        errors.add("need rows");
+    return errors.finish();
+}
+
 ProHit::ProHit(const ProHitConfig &config)
     : _config(config), _rng(config.seed)
 {
-    if (config.hotEntries == 0 || config.coldEntries == 0)
-        fatal("prohit: tables must have at least one entry each");
+    const Result<void> valid = _config.validate();
+    GRAPHENE_CHECK(valid.ok(), "prohit: invalid config: %s",
+                   valid.error().describe().c_str());
 }
 
 std::string

@@ -33,6 +33,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/random.hh"
 #include "core/protection_scheme.hh"
 
@@ -60,6 +61,9 @@ struct ProHitConfig
 
     std::uint64_t seed = 2;
     std::uint64_t rowsPerBank = 65536;
+
+    /** All configuration rules, collected into one Config error. */
+    Result<void> validate() const;
 };
 
 /** Probabilistic history-table scheme refreshing on REF commands. */

@@ -40,6 +40,19 @@ TwiCeConfig::requiredEntries() const
     return static_cast<unsigned>(std::ceil(bound));
 }
 
+Result<void>
+TwiCeConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "twice config");
+    if (triggerThreshold() == 0)
+        errors.add("Row Hammer threshold too small");
+    if (rowsPerBank == 0)
+        errors.add("need rows");
+    if (intervalsPerWindow() == 0)
+        errors.add("no pruning intervals; tREFI exceeds tREFW");
+    return errors.finish();
+}
+
 TwiCe::TwiCe(const TwiCeConfig &config)
     : _config(config),
       _capacity(config.maxEntries ? config.maxEntries
@@ -48,8 +61,9 @@ TwiCe::TwiCe(const TwiCeConfig &config)
       _thPi(config.pruneThreshold()),
       _intervals(config.intervalsPerWindow())
 {
-    if (_trigger == 0)
-        fatal("twice: Row Hammer threshold too small");
+    const Result<void> valid = config.validate();
+    GRAPHENE_CHECK(valid.ok(), "twice: invalid config: %s",
+                   valid.error().describe().c_str());
     _entries.reserve(_capacity);
 }
 

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/error.hh"
 #include "core/protection_scheme.hh"
 #include "dram/timing.hh"
 
@@ -58,6 +59,9 @@ struct TwiCeConfig
 
     /** Analytic upper bound on simultaneously valid entries. */
     unsigned requiredEntries() const;
+
+    /** All configuration rules, collected into one Config error. */
+    Result<void> validate() const;
 };
 
 /** Precise per-row time-window counting with lifetime pruning. */

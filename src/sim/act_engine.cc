@@ -8,14 +8,38 @@
 namespace graphene {
 namespace sim {
 
+Result<void>
+ActEngineConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "act engine config");
+    if (!(actRate > 0.0 && actRate <= 1.0))
+        errors.add("act engine: rate must lie in (0, 1]");
+    if (!(windows > 0.0))
+        errors.add("act engine: need a positive duration");
+    if (rowsPerBank == 0)
+        errors.add("act engine: need at least one row per bank");
+
+    schemes::SchemeSpec spec = scheme;
+    spec.rowsPerBank = rowsPerBank;
+    spec.timing = timing;
+    const Result<void> spec_valid =
+        schemes::validateSchemeSpec(spec);
+    if (!spec_valid.ok()) {
+        errors.add("scheme spec: " + spec_valid.error().message());
+        for (const auto &note : spec_valid.error().notes())
+            errors.add("scheme spec: " + note);
+    }
+    return errors.finish();
+}
+
 ActEngineResult
 runActStream(const ActEngineConfig &config,
              workloads::ActPattern &pattern)
 {
-    if (config.actRate <= 0.0 || config.actRate > 1.0)
-        fatal("act engine: rate must lie in (0, 1]");
-    if (config.windows <= 0.0)
-        fatal("act engine: need a positive duration");
+    const Result<void> valid = config.validate();
+    GRAPHENE_CHECK(valid.ok(),
+                   "act engine: invalid config (validate() before "
+                   "running): %s", valid.error().describe().c_str());
 
     dram::FaultConfig fault;
     fault.rowHammerThreshold = static_cast<double>(
@@ -34,7 +58,11 @@ runActStream(const ActEngineConfig &config,
     schemes::SchemeSpec spec = config.scheme;
     spec.rowsPerBank = config.rowsPerBank;
     spec.timing = config.timing;
-    auto scheme = schemes::makeScheme(spec);
+    auto built = schemes::makeScheme(spec);
+    GRAPHENE_CHECK(built.ok(),
+                   "act engine: invalid scheme spec: %s",
+                   built.error().describe().c_str());
+    auto scheme = std::move(built).value();
 
     const Cycle horizon{static_cast<std::uint64_t>(
         static_cast<double>(config.timing.cREFW().value()) *

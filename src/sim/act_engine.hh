@@ -52,6 +52,13 @@ struct ActEngineConfig
 
     /** Seed of the remap permutation. */
     std::uint64_t remapSeed = 0xdecafbadULL;
+
+    /**
+     * Check every configuration rule — rate, span, rows, and the
+     * derived per-bank scheme spec — and report all violations in one
+     * Config error (one note per broken rule).
+     */
+    Result<void> validate() const;
 };
 
 /** Aggregate outcome of one ACT-stream run. */

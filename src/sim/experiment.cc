@@ -5,6 +5,32 @@
 namespace graphene {
 namespace sim {
 
+namespace {
+
+/** The per-bank spec a system run would hand the controllers. */
+schemes::SchemeSpec
+cellSpec(const SystemConfig &config, schemes::SchemeKind kind)
+{
+    schemes::SchemeSpec spec = config.scheme;
+    spec.kind = kind;
+    spec.rowsPerBank = config.geometry.rowsPerBank;
+    spec.timing = config.timing;
+    return spec;
+}
+
+/** The per-bank spec an ACT-stream run would build. */
+schemes::SchemeSpec
+cellSpec(const ActEngineConfig &config, schemes::SchemeKind kind)
+{
+    schemes::SchemeSpec spec = config.scheme;
+    spec.kind = kind;
+    spec.rowsPerBank = config.rowsPerBank;
+    spec.timing = config.timing;
+    return spec;
+}
+
+} // namespace
+
 std::vector<OverheadRow>
 runOverheadGrid(const SystemConfig &base,
                 const std::vector<workloads::WorkloadSpec> &suite,
@@ -12,18 +38,44 @@ runOverheadGrid(const SystemConfig &base,
 {
     std::vector<OverheadRow> rows;
     for (const auto &workload : suite) {
+        // Pre-flight the baseline: if even the unprotected spec is
+        // broken (e.g. blast radius 0), every cell of this workload
+        // is reported as skipped rather than aborting the grid.
+        const Result<void> base_valid = schemes::validateSchemeSpec(
+            cellSpec(base, schemes::SchemeKind::None));
+        if (!base_valid.ok()) {
+            for (const auto kind : kinds) {
+                OverheadRow row;
+                row.workload = workload.name;
+                row.scheme = schemes::schemeKindName(kind);
+                row.error = "baseline: " +
+                            base_valid.error().describe();
+                rows.push_back(row);
+            }
+            continue;
+        }
+
         SystemConfig none = base;
         none.scheme.kind = schemes::SchemeKind::None;
         const SystemResult baseline = runSystem(none, workload);
 
         for (const auto kind : kinds) {
+            OverheadRow row;
+            row.workload = workload.name;
+            row.scheme = schemes::schemeKindName(kind);
+
+            const Result<void> valid =
+                schemes::validateSchemeSpec(cellSpec(base, kind));
+            if (!valid.ok()) {
+                row.error = valid.error().describe();
+                rows.push_back(row);
+                continue;
+            }
+
             SystemConfig config = base;
             config.scheme.kind = kind;
             const SystemResult r = runSystem(config, workload);
 
-            OverheadRow row;
-            row.workload = workload.name;
-            row.scheme = schemes::schemeKindName(kind);
             row.victimRows = r.victimRowsRefreshed;
             row.bitFlips = r.bitFlips;
             row.energyOverhead = r.refreshEnergyOverhead;
@@ -43,6 +95,21 @@ runAdversarialGrid(const ActEngineConfig &base,
     for (const auto kind : kinds) {
         auto suite = workloads::patterns::adversarialSuite(
             base.rowsPerBank, seed);
+
+        const Result<void> valid =
+            schemes::validateSchemeSpec(cellSpec(base, kind));
+        if (!valid.ok()) {
+            // Keep the grid shape: one skipped row per pattern.
+            for (auto &pattern : suite) {
+                OverheadRow row;
+                row.workload = pattern->name();
+                row.scheme = schemes::schemeKindName(kind);
+                row.error = valid.error().describe();
+                rows.push_back(row);
+            }
+            continue;
+        }
+
         for (auto &pattern : suite) {
             ActEngineConfig config = base;
             config.scheme.kind = kind;

@@ -26,11 +26,24 @@ struct OverheadRow
     std::uint64_t bitFlips = 0;
     double energyOverhead = 0.0;
     double perfLoss = 0.0;
+
+    /**
+     * Empty on success. When the cell's derived scheme configuration
+     * fails validation, the full typed-error report lands here and
+     * the cell is skipped instead of aborting the whole grid — one
+     * bad (threshold, scheme) combination cannot take down an
+     * overnight sweep.
+     */
+    std::string error;
+
+    bool skipped() const { return !error.empty(); }
 };
 
 /**
  * Run every workload under every scheme (plus an unprotected
- * baseline per workload for the performance metric).
+ * baseline per workload for the performance metric). Cells whose
+ * scheme spec fails validation are reported via OverheadRow::error
+ * rather than run.
  */
 std::vector<OverheadRow>
 runOverheadGrid(const SystemConfig &base,
@@ -39,7 +52,8 @@ runOverheadGrid(const SystemConfig &base,
 
 /**
  * Run every adversarial ACT pattern under every scheme via the
- * ACT-stream engine (Figure 8(b)).
+ * ACT-stream engine (Figure 8(b)). Invalid cells are skipped and
+ * reported via OverheadRow::error, like runOverheadGrid().
  */
 std::vector<OverheadRow>
 runAdversarialGrid(const ActEngineConfig &base,

@@ -13,12 +13,12 @@ namespace sim {
 double
 SystemResult::speedupLossVs(const SystemResult &baseline) const
 {
-    if (coreRequests.size() != baseline.coreRequests.size())
-        fatal("speedup comparison across different core counts");
+    GRAPHENE_CHECK(coreRequests.size() == baseline.coreRequests.size(),
+                   "speedup comparison across different core counts");
     double ws = 0.0;
     for (std::size_t i = 0; i < coreRequests.size(); ++i) {
-        if (baseline.coreRequests[i] == 0)
-            fatal("baseline core %zu made no progress", i);
+        GRAPHENE_CHECK(baseline.coreRequests[i] != 0,
+                       "baseline core %zu made no progress", i);
         ws += static_cast<double>(coreRequests[i]) /
               static_cast<double>(baseline.coreRequests[i]);
     }
@@ -27,14 +27,47 @@ SystemResult::speedupLossVs(const SystemResult &baseline) const
     return loss;
 }
 
+Result<void>
+SystemConfig::validate() const
+{
+    ErrorCollector errors(ErrorCode::Config, "system config");
+    if (numCores == 0)
+        errors.add("need at least one core");
+    if (!(windows > 0.0))
+        errors.add("simulated span must be a positive number of "
+                   "refresh windows");
+    if (geometry.channels == 0)
+        errors.add("need at least one channel");
+    if (geometry.banksPerRank == 0)
+        errors.add("need at least one bank per rank");
+    if (geometry.rowsPerBank == 0)
+        errors.add("need at least one row per bank");
+
+    schemes::SchemeSpec spec = scheme;
+    spec.rowsPerBank = geometry.rowsPerBank;
+    spec.timing = timing;
+    const Result<void> spec_valid =
+        schemes::validateSchemeSpec(spec);
+    if (!spec_valid.ok()) {
+        errors.add("scheme spec: " + spec_valid.error().message());
+        for (const auto &note : spec_valid.error().notes())
+            errors.add("scheme spec: " + note);
+    }
+    return errors.finish();
+}
+
 SystemResult
 runSystem(const SystemConfig &config,
           const workloads::WorkloadSpec &workload)
 {
-    if (workload.coreParams.size() < config.numCores)
-        fatal("workload %s supplies %zu cores, need %u",
-              workload.name.c_str(), workload.coreParams.size(),
-              config.numCores);
+    const Result<void> valid = config.validate();
+    GRAPHENE_CHECK(valid.ok(),
+                   "system: invalid config (validate() before "
+                   "running): %s", valid.error().describe().c_str());
+    GRAPHENE_CHECK(workload.coreParams.size() >= config.numCores,
+                   "workload %s supplies %zu cores, need %u",
+                   workload.name.c_str(), workload.coreParams.size(),
+                   config.numCores);
 
     dram::AddressMapper mapper(config.geometry);
 

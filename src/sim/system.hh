@@ -53,6 +53,13 @@ struct SystemConfig
 
     /** Physical fault-model threshold; 0 = scheme's threshold. */
     std::uint64_t physicalThreshold = 0;
+
+    /**
+     * Check every configuration rule — core count, simulated span,
+     * geometry, and the derived per-bank scheme spec — and report all
+     * violations in one Config error (one note per broken rule).
+     */
+    Result<void> validate() const;
 };
 
 /** Outcome of one full-system run. */

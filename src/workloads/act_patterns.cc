@@ -27,8 +27,7 @@ RoundRobinPattern::RoundRobinPattern(std::string name,
                                      std::vector<Row> rows)
     : _name(std::move(name)), _rows(std::move(rows))
 {
-    if (_rows.empty())
-        fatal("round-robin pattern: need rows");
+    GRAPHENE_CHECK(!_rows.empty(), "round-robin pattern: need rows");
 }
 
 std::string
@@ -52,8 +51,7 @@ NoisyPattern::NoisyPattern(std::string name,
     : _name(std::move(name)), _base(std::move(base)),
       _noise(noise_fraction), _numRows(num_rows), _rng(seed)
 {
-    if (!_base)
-        fatal("noisy pattern: need a base pattern");
+    GRAPHENE_CHECK(_base != nullptr, "noisy pattern: need a base pattern");
 }
 
 std::string
@@ -72,8 +70,8 @@ NoisyPattern::next()
 
 DoubleSidedPattern::DoubleSidedPattern(Row victim) : _victim(victim)
 {
-    if (victim.value() == 0)
-        fatal("double-sided pattern: victim needs a lower neighbour");
+    GRAPHENE_CHECK(victim.value() > 0,
+                   "double-sided pattern: victim needs a lower neighbour");
 }
 
 std::string
@@ -147,8 +145,8 @@ s4(std::uint64_t num_rows, std::uint64_t seed)
 std::unique_ptr<ActPattern>
 proHitAdversarial(Row x)
 {
-    if (x.value() < 4)
-        fatal("prohit pattern: centre row too close to the edge");
+    GRAPHENE_CHECK(x.value() >= 4,
+                   "prohit pattern: centre row too close to the edge");
     const std::vector<Row> seq = {x - 4, x - 2, x - 2, x, x, x,
                                   x + 2, x + 2, x + 4};
     return std::make_unique<RoundRobinPattern>("fig7a-prohit", seq);
@@ -157,8 +155,8 @@ proHitAdversarial(Row x)
 std::unique_ptr<ActPattern>
 mrLocAdversarial(Row base, Row spacing)
 {
-    if (spacing.value() < 3)
-        fatal("mrloc pattern: rows must be mutually non-adjacent");
+    GRAPHENE_CHECK(spacing.value() >= 3,
+                   "mrloc pattern: rows must be mutually non-adjacent");
     std::vector<Row> rows;
     for (unsigned i = 0; i < 8; ++i)
         rows.push_back(Row{static_cast<Row::rep>(

@@ -83,15 +83,32 @@ profileMap()
     return profiles;
 }
 
+/**
+ * Lookup of a name the caller derived from a known-good list (the
+ * suite builders below): a miss is a bug, not bad input.
+ */
+SyntheticParams
+mustProfile(const std::string &name)
+{
+    const auto &profiles = profileMap();
+    auto it = profiles.find(name);
+    GRAPHENE_CHECK(it != profiles.end(),
+                   "unknown application profile: %s", name.c_str());
+    return it->second;
+}
+
 } // namespace
 
-SyntheticParams
+Result<SyntheticParams>
 appProfile(const std::string &name)
 {
     const auto &profiles = profileMap();
     auto it = profiles.find(name);
     if (it == profiles.end())
-        fatal("unknown application profile: %s", name.c_str());
+        return Error(ErrorCode::NotFound,
+                     strprintf("unknown application profile: %s "
+                               "(%zu profiles available)",
+                               name.c_str(), profiles.size()));
     return it->second;
 }
 
@@ -113,7 +130,7 @@ homogeneous(const std::string &app, unsigned copies)
 {
     WorkloadSpec spec;
     spec.name = app;
-    spec.coreParams.assign(copies, appProfile(app));
+    spec.coreParams.assign(copies, mustProfile(app));
     return spec;
 }
 
@@ -126,7 +143,7 @@ mixHigh(unsigned cores, std::uint64_t seed)
     const auto apps = specHighApps();
     for (unsigned c = 0; c < cores; ++c)
         spec.coreParams.push_back(
-            appProfile(apps[rng.nextRange(apps.size())]));
+            mustProfile(apps[rng.nextRange(apps.size())]));
     return spec;
 }
 
@@ -148,7 +165,7 @@ mixBlend(unsigned cores, std::uint64_t seed)
     }
     for (unsigned c = 0; c < cores; ++c)
         spec.coreParams.push_back(
-            appProfile(all[rng.nextRange(all.size())]));
+            mustProfile(all[rng.nextRange(all.size())]));
     return spec;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "workloads/synthetic.hh"
 
 namespace graphene {
@@ -32,8 +33,12 @@ struct WorkloadSpec
     std::vector<SyntheticParams> coreParams;
 };
 
-/** Profile for one named application; fatal on unknown names. */
-SyntheticParams appProfile(const std::string &name);
+/**
+ * Profile for one named application; unknown names yield a NotFound
+ * error listing the valid profile count (external input — profile
+ * names typically arrive from a CLI).
+ */
+Result<SyntheticParams> appProfile(const std::string &name);
 
 /** The nine SPEC-high applications (Section V-B). */
 std::vector<std::string> specHighApps();

@@ -17,10 +17,10 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticParams &params,
             params.zipfTheta > 0.0 ? params.zipfTheta : 1e-9)
 {
     const auto &g = mapper.geometry();
-    if (params.workingSetRows == 0)
-        fatal("synthetic workload: empty working set");
-    if (params.workingSetRows > g.rowsPerBank)
-        fatal("synthetic workload: working set exceeds bank rows");
+    GRAPHENE_CHECK(params.workingSetRows > 0,
+                   "synthetic workload: empty working set");
+    GRAPHENE_CHECK(params.workingSetRows <= g.rowsPerBank,
+                   "synthetic workload: working set exceeds bank rows");
     _linesPerRow = g.bytesPerRow / 64;
     // Spread the cores' working sets across the row space so that
     // multiprogrammed mixes do not alias (OS page placement).

@@ -22,7 +22,39 @@ writeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
     }
 }
 
-std::vector<TraceRecord>
+namespace {
+
+/** True when @p ss has anything but whitespace left to consume. */
+bool
+hasTrailingGarbage(std::istringstream &ss)
+{
+    ss >> std::ws;
+    return ss.peek() != std::istringstream::traits_type::eof();
+}
+
+Error
+parseError(const char *what, std::size_t line_no,
+           const std::string &line)
+{
+    return Error(ErrorCode::Parse,
+                 strprintf("%s at line %zu: '%s'", what, line_no,
+                           line.c_str()));
+}
+
+/**
+ * istream extraction into an unsigned type silently wraps negative
+ * input ("-5" becomes 2^64-5), so every unsigned field must also
+ * reject an explicit minus sign.
+ */
+bool
+hasMinusSign(const std::string &line)
+{
+    return line.find('-') != std::string::npos;
+}
+
+} // namespace
+
+Result<std::vector<TraceRecord>>
 readTrace(std::istream &is)
 {
     std::vector<TraceRecord> records;
@@ -30,6 +62,13 @@ readTrace(std::istream &is)
     std::size_t line_no = 0;
     while (std::getline(is, line)) {
         ++line_no;
+        // getline hitting EOF on a non-empty buffer means the final
+        // record lost its newline — it may have been cut mid-field,
+        // so reject it rather than guess.
+        if (is.eof() && !line.empty())
+            return parseError("trace truncated (final record has no "
+                              "newline)",
+                              line_no, line);
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
@@ -39,15 +78,21 @@ readTrace(std::istream &is)
         std::uint64_t addr_bits = 0;
         if (!(ss >> issue >> std::hex >> addr_bits >> std::dec >> rw >>
               r.coreId) ||
-            (rw != "R" && rw != "W")) {
-            fatal("trace parse error at line %zu: '%s'", line_no,
-                  line.c_str());
+            (rw != "R" && rw != "W") || hasMinusSign(line)) {
+            return parseError("trace parse error", line_no, line);
         }
+        if (hasTrailingGarbage(ss))
+            return parseError("trace parse error (trailing garbage)",
+                              line_no, line);
         r.issue = Cycle{issue};
         r.addr = Addr{addr_bits};
         r.isWrite = rw == "W";
         records.push_back(r);
     }
+    if (records.empty())
+        return Error(ErrorCode::Parse,
+                     "trace contains no records (empty or "
+                     "comment-only input)");
     return records;
 }
 
@@ -86,7 +131,7 @@ writeActTrace(std::ostream &os, const std::vector<Row> &rows)
         os << r << "\n";
 }
 
-std::vector<Row>
+Result<std::vector<Row>>
 readActTrace(std::istream &is)
 {
     std::vector<Row> rows;
@@ -94,23 +139,37 @@ readActTrace(std::istream &is)
     std::size_t line_no = 0;
     while (std::getline(is, line)) {
         ++line_no;
+        if (is.eof() && !line.empty())
+            return parseError("ACT trace truncated (final record has "
+                              "no newline)",
+                              line_no, line);
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
         std::uint64_t row_bits;
-        if (!(ss >> row_bits))
-            fatal("ACT trace parse error at line %zu: '%s'", line_no,
-                  line.c_str());
+        if (!(ss >> row_bits) || hasMinusSign(line))
+            return parseError("ACT trace parse error", line_no, line);
+        if (hasTrailingGarbage(ss))
+            return parseError("ACT trace parse error (trailing "
+                              "garbage)",
+                              line_no, line);
+        // The all-ones sentinel is not a real row either.
+        if (row_bits >= Row::invalid().value())
+            return parseError("ACT trace row out of range", line_no,
+                              line);
         rows.push_back(Row{static_cast<Row::rep>(row_bits)});
     }
+    if (rows.empty())
+        return Error(ErrorCode::Parse,
+                     "ACT trace contains no records (empty or "
+                     "comment-only input)");
     return rows;
 }
 
 TracePattern::TracePattern(std::vector<Row> rows)
     : _rows(std::move(rows))
 {
-    if (_rows.empty())
-        fatal("trace pattern: empty row stream");
+    GRAPHENE_CHECK(!_rows.empty(), "trace pattern: empty row stream");
 }
 
 std::string

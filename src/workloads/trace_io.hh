@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 #include "workloads/act_patterns.hh"
 #include "workloads/profiles.hh"
@@ -46,10 +47,16 @@ void writeTrace(std::ostream &os,
                 const std::vector<TraceRecord> &records);
 
 /**
- * Parse a request trace. Fatal on malformed lines (with the line
- * number in the message).
+ * Parse a request trace.
+ *
+ * Returns a Parse error — carrying the line number and the offending
+ * text — on a malformed line, on trailing garbage after a record, on
+ * a truncated final record (the stream ends without a newline, so the
+ * last record may have been cut mid-field), and on a trace with no
+ * records at all (an empty input is indistinguishable from a failed
+ * capture and must not silently replay as "no traffic").
  */
-std::vector<TraceRecord> readTrace(std::istream &is);
+Result<std::vector<TraceRecord>> readTrace(std::istream &is);
 
 /**
  * Generate a request trace from a workload's synthetic generators:
@@ -65,13 +72,18 @@ captureTrace(const WorkloadSpec &workload,
 /** Serialise an ACT-level trace (one row per line). */
 void writeActTrace(std::ostream &os, const std::vector<Row> &rows);
 
-/** Parse an ACT-level trace. */
-std::vector<Row> readActTrace(std::istream &is);
+/**
+ * Parse an ACT-level trace. Same error contract as readTrace():
+ * malformed lines, truncated final records, and empty traces are
+ * typed Parse errors, never aborts.
+ */
+Result<std::vector<Row>> readActTrace(std::istream &is);
 
 /** Replays a recorded row stream as an ActPattern (looping). */
 class TracePattern : public ActPattern
 {
   public:
+    /** @param rows must be non-empty (checked contract). */
     explicit TracePattern(std::vector<Row> rows);
 
     std::string name() const override;

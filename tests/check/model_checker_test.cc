@@ -153,7 +153,9 @@ TEST(ModelChecker, MaterializedStreamsRoundTripAsActTraces)
 
     std::stringstream buffer;
     workloads::writeActTrace(buffer, rows);
-    EXPECT_EQ(workloads::readActTrace(buffer), rows);
+    const auto parsed = workloads::readActTrace(buffer);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), rows);
 }
 
 TEST(ModelChecker, KindPropertiesMatchTheoreticalGuarantees)

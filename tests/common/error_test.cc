@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the typed-error primitives behind the library-wide
+ * error-handling policy (DESIGN.md §9): Result<T>/Result<void>,
+ * Error with notes, ErrorCollector's collect-all reporting, and
+ * strprintf.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hh"
+
+namespace graphene {
+namespace {
+
+Result<int>
+parsePositive(int raw)
+{
+    if (raw <= 0)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("%d is not positive", raw));
+    return raw;
+}
+
+TEST(Error, CarriesCodeMessageAndLocation)
+{
+    const Error e(ErrorCode::Parse, "bad line");
+    EXPECT_EQ(e.code(), ErrorCode::Parse);
+    EXPECT_EQ(e.message(), "bad line");
+    EXPECT_NE(e.file(), nullptr);
+    EXPECT_GT(e.line(), 0u);
+    EXPECT_NE(e.describe().find("bad line"), std::string::npos);
+}
+
+TEST(Error, NotesAppearInDescribe)
+{
+    Error e(ErrorCode::Config, "config rejected");
+    e.addNote("first rule").addNote("second rule");
+    ASSERT_EQ(e.notes().size(), 2u);
+    const std::string report = e.describe();
+    EXPECT_NE(report.find("first rule"), std::string::npos);
+    EXPECT_NE(report.find("second rule"), std::string::npos);
+}
+
+TEST(Error, CodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Parse), "parse");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Config), "config");
+}
+
+TEST(Result, ValueAndErrorAlternatives)
+{
+    const Result<int> ok = parsePositive(7);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.value(), 7);
+    EXPECT_EQ(ok.valueOr(-1), 7);
+
+    const Result<int> bad = parsePositive(-3);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOutOfValue)
+{
+    Result<std::string> r = std::string("payload");
+    const std::string moved = std::move(r).value();
+    EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, VoidSuccessAndFailure)
+{
+    const Result<void> ok = Result<void>::success();
+    EXPECT_TRUE(ok.ok());
+
+    const Result<void> bad = Error(ErrorCode::Io, "stream died");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().message(), "stream died");
+}
+
+TEST(Result, WrongAlternativePanics)
+{
+    const Result<int> bad = parsePositive(0);
+    EXPECT_DEATH(static_cast<void>(bad.value()), "Result::value");
+    const Result<int> ok = parsePositive(1);
+    EXPECT_DEATH(static_cast<void>(ok.error()), "Result::error");
+}
+
+TEST(ErrorCollector, EmptyFinishesOk)
+{
+    ErrorCollector errors(ErrorCode::Config, "test config");
+    EXPECT_TRUE(errors.empty());
+    EXPECT_TRUE(errors.finish().ok());
+}
+
+TEST(ErrorCollector, CollectsEveryViolation)
+{
+    ErrorCollector errors(ErrorCode::Config, "test config");
+    errors.add("rule one broken");
+    errors.add("rule two broken");
+    EXPECT_EQ(errors.count(), 2u);
+
+    const Result<void> result = errors.finish();
+    ASSERT_FALSE(result.ok());
+    const Error &e = result.error();
+    EXPECT_EQ(e.code(), ErrorCode::Config);
+    EXPECT_NE(e.message().find("test config"), std::string::npos);
+    EXPECT_NE(e.message().find("2 rule(s)"), std::string::npos);
+    ASSERT_EQ(e.notes().size(), 2u);
+    EXPECT_EQ(e.notes()[0], "rule one broken");
+    EXPECT_EQ(e.notes()[1], "rule two broken");
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%s=%d", "x", 42), "x=42");
+    EXPECT_EQ(strprintf("%zu", static_cast<std::size_t>(9)), "9");
+    // Long output must not be truncated by any fixed buffer.
+    const std::string big(500, 'a');
+    EXPECT_EQ(strprintf("%s", big.c_str()), big);
+}
+
+} // namespace
+} // namespace graphene

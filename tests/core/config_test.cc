@@ -16,7 +16,7 @@ namespace {
 TEST(GrapheneConfig, TableIIBaseline)
 {
     GrapheneConfig c; // T_RH = 50K, k = 1, +/-1
-    c.validate();
+    EXPECT_TRUE(c.validate().ok());
     EXPECT_EQ(c.trackingThreshold().value(), 12500u);
     EXPECT_NEAR(static_cast<double>(c.maxActsPerWindow().value()), 1360000.0,
                 5000.0);
@@ -27,7 +27,7 @@ TEST(GrapheneConfig, EvaluatedKEquals2)
 {
     GrapheneConfig c;
     c.resetWindowDivisor = 2;
-    c.validate();
+    EXPECT_TRUE(c.validate().ok());
     // Section IV-C: T = 50000 / (2*3) = 8333, Nentry = 81.
     EXPECT_EQ(c.trackingThreshold().value(), 8333u);
     EXPECT_EQ(c.numEntries(), 81u);
@@ -144,7 +144,7 @@ TEST(GrapheneConfig, ScalesToLowThresholds)
         GrapheneConfig c;
         c.rowHammerThreshold = trh;
         c.resetWindowDivisor = 2;
-        c.validate();
+        EXPECT_TRUE(c.validate().ok());
         EXPECT_GT(c.trackingThreshold().value(), 0u);
         // Entries scale inversely with the threshold.
         EXPECT_NEAR(static_cast<double>(c.numEntries()),
@@ -153,19 +153,84 @@ TEST(GrapheneConfig, ScalesToLowThresholds)
     }
 }
 
-TEST(GrapheneConfig, ValidateRejectsBadSettings)
+namespace {
+
+/** True when some note of @p result's error contains @p text. */
+bool
+hasNote(const Result<void> &result, const std::string &text)
+{
+    if (result.ok())
+        return false;
+    for (const auto &note : result.error().notes())
+        if (note.find(text) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+// One test per validation rule: each broken setting must surface as
+// a note of a Config error rather than aborting the process.
+TEST(GrapheneConfig, ValidateRejectsZeroThreshold)
+{
+    GrapheneConfig c;
+    c.rowHammerThreshold = 0;
+    EXPECT_TRUE(hasNote(c.validate(), "Row Hammer threshold"));
+}
+
+TEST(GrapheneConfig, ValidateRejectsZeroDivisor)
+{
+    GrapheneConfig c;
+    c.resetWindowDivisor = 0;
+    EXPECT_TRUE(hasNote(c.validate(), "divisor"));
+}
+
+TEST(GrapheneConfig, ValidateRejectsRadiusMismatch)
 {
     GrapheneConfig c;
     c.mu = {1.0, 0.5}; // radius mismatch
-    EXPECT_DEATH(c.validate(), "blast radius");
+    EXPECT_TRUE(hasNote(c.validate(), "blast radius"));
+}
 
-    GrapheneConfig c2;
-    c2.mu = {0.5};
-    EXPECT_DEATH(c2.validate(), "mu_1");
+TEST(GrapheneConfig, ValidateRejectsBadLeadingMu)
+{
+    GrapheneConfig c;
+    c.mu = {0.5};
+    EXPECT_TRUE(hasNote(c.validate(), "mu_1"));
+}
 
-    GrapheneConfig c3;
-    c3.resetWindowDivisor = 0;
-    EXPECT_DEATH(c3.validate(), "divisor");
+TEST(GrapheneConfig, ValidateRejectsOutOfRangeMu)
+{
+    GrapheneConfig c;
+    c.blastRadius = 2;
+    c.mu = {1.0, 1.5};
+    EXPECT_TRUE(hasNote(c.validate(), "(0, 1]"));
+}
+
+TEST(GrapheneConfig, ValidateRejectsDegenerateThreshold)
+{
+    GrapheneConfig c;
+    c.rowHammerThreshold = 1; // floor(1 / 4) = 0
+    EXPECT_TRUE(hasNote(c.validate(), "tracking threshold is zero"));
+}
+
+TEST(GrapheneConfig, ValidateCollectsEveryViolation)
+{
+    GrapheneConfig c;
+    c.rowHammerThreshold = 0;
+    c.resetWindowDivisor = 0;
+    c.blastRadius = 2;
+    c.mu = {0.5, 2.0, 0.25}; // mismatch + bad mu_1 + out of range
+    const Result<void> result = c.validate();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), ErrorCode::Config);
+    // Every independent rule appears in one report.
+    EXPECT_EQ(result.error().notes().size(), 5u);
+    EXPECT_TRUE(hasNote(result, "Row Hammer threshold"));
+    EXPECT_TRUE(hasNote(result, "divisor"));
+    EXPECT_TRUE(hasNote(result, "blast radius"));
+    EXPECT_TRUE(hasNote(result, "mu_1"));
+    EXPECT_TRUE(hasNote(result, "(0, 1]"));
 }
 
 } // namespace

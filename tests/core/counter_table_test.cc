@@ -225,6 +225,103 @@ TEST_P(StreamProperty, LemmasHoldThroughoutStream)
     }
 }
 
+TEST(CounterTable, ResultReportsTheTouchedSlot)
+{
+    CounterTable t(2);
+    const auto ins = t.processActivation(Row{10});
+    EXPECT_TRUE(ins.inserted);
+    ASSERT_NE(ins.slot, CounterTable::kNoSlot);
+    EXPECT_EQ(t.entries()[ins.slot].addr, Row{10});
+
+    const auto hit = t.processActivation(Row{10});
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.slot, ins.slot);
+
+    // Fill the second slot, then force a pure spill: no slot touched.
+    t.processActivation(Row{11});
+    const auto spill = t.processActivation(Row{12});
+    ASSERT_TRUE(spill.spilled);
+    EXPECT_EQ(spill.slot, CounterTable::kNoSlot);
+}
+
+TEST(CounterTable, CorruptCountKeepsTableUsable)
+{
+    // The corruption hooks must keep the bookkeeping structurally
+    // consistent: activations after a flip never hard-panic, only the
+    // semantic guarantees (Lemma 1) break. Note checkInvariants() is
+    // deliberately NOT called here — a faulted table legitimately
+    // violates conservation until scrubbed or reset.
+    CounterTable t(2);
+    for (int i = 0; i < 9; ++i)
+        t.processActivation(Row{5});
+    const unsigned slot = t.processActivation(Row{5}).slot;
+    ASSERT_NE(slot, CounterTable::kNoSlot);
+
+    t.corruptEntryCount(slot, 3); // 10 -> 2
+    EXPECT_EQ(t.estimatedCount(Row{5}).value(), 2u);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        t.processActivation(Row{i % 7});
+    t.reset();
+    t.checkInvariants(); // reset restores a clean state
+}
+
+TEST(CounterTable, CorruptAddressRetargetsTheEntry)
+{
+    CounterTable t(2);
+    for (int i = 0; i < 4; ++i)
+        t.processActivation(Row{8});
+    const unsigned slot = t.processActivation(Row{8}).slot;
+    ASSERT_NE(slot, CounterTable::kNoSlot);
+
+    // Flip bit 1: the entry now answers for row 10 with row 8's count.
+    ASSERT_TRUE(t.corruptEntryAddress(slot, 1));
+    EXPECT_FALSE(t.contains(Row{8}));
+    EXPECT_TRUE(t.contains(Row{10}));
+    EXPECT_EQ(t.estimatedCount(Row{10}).value(), 5u);
+
+    // An empty slot holds no address bits to flip.
+    CounterTable empty(2);
+    EXPECT_FALSE(empty.corruptEntryAddress(0, 0));
+}
+
+TEST(CounterTable, CorruptAddressOntoAliasKeepsBothSlots)
+{
+    // Flipping slot A's address onto slot B's produces a CAM with two
+    // matching lines; the earlier-indexed mapping shadows the other,
+    // and subsequent activations must not panic.
+    CounterTable t(2);
+    t.processActivation(Row{4});
+    const unsigned slot_a = t.processActivation(Row{4}).slot;
+    t.processActivation(Row{6});
+    ASSERT_NE(slot_a, CounterTable::kNoSlot);
+
+    t.corruptEntryAddress(slot_a, 1); // 4 -> 6, aliasing the other
+    EXPECT_TRUE(t.contains(Row{6}));
+    for (int i = 0; i < 20; ++i)
+        t.processActivation(Row{6});
+    EXPECT_TRUE(t.contains(Row{6}));
+}
+
+TEST(CounterTable, ScrubHooksRestoreConservativeState)
+{
+    CounterTable t(2);
+    for (int i = 0; i < 6; ++i)
+        t.processActivation(Row{3});
+    t.processActivation(Row{9});
+    t.processActivation(Row{2}); // miss -> spillover 1
+    const unsigned slot = t.processActivation(Row{3}).slot;
+
+    const Row victim = t.scrubResetEntry(slot);
+    EXPECT_EQ(victim, Row{3});
+    EXPECT_FALSE(t.contains(Row{3}));
+    // The slot rejoined the replacement pool at the spillover count.
+    EXPECT_EQ(t.entries()[slot].count, t.spilloverCount());
+
+    t.scrubSetSpillover(ActCount{0});
+    EXPECT_EQ(t.spilloverCount().value(), 0u);
+    EXPECT_EQ(t.scrubResetEntry(slot), Row::invalid());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Streams, StreamProperty,
     ::testing::Combine(

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Determinism and shape tests for the fault-event scheduler: the
+ * schedule must be a pure function of the plan (satellite (d) of the
+ * robustness PR), sorted by step, and confined to the declared sites,
+ * slots, and bit ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "inject/fault_injector.hh"
+
+namespace graphene {
+namespace inject {
+namespace {
+
+TEST(FaultInjector, SamePlanSameSchedule)
+{
+    FaultPlan plan;
+    plan.seed = 0xfeedULL;
+    plan.faults = 64;
+
+    const FaultInjector a(plan);
+    const FaultInjector b(plan);
+
+    ASSERT_EQ(a.schedule().size(), plan.faults);
+    ASSERT_EQ(a.schedule().size(), b.schedule().size());
+    for (std::size_t i = 0; i < a.schedule().size(); ++i)
+        EXPECT_TRUE(a.schedule()[i] == b.schedule()[i])
+            << "event " << i << " diverged";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultInjector, DifferentSeedDifferentFingerprint)
+{
+    FaultPlan plan;
+    plan.faults = 64;
+    plan.seed = 1;
+    const FaultInjector a(plan);
+    plan.seed = 2;
+    const FaultInjector b(plan);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultInjector, ScheduleSortedAndInRange)
+{
+    FaultPlan plan;
+    plan.seed = 0x5eedULL;
+    plan.faults = 256;
+    plan.streamLength = 1000;
+    plan.tableEntries = 4;
+    plan.maxCountBit = 7;
+    plan.maxAddressBit = 11;
+
+    const FaultInjector injector(plan);
+    const auto &schedule = injector.schedule();
+    ASSERT_EQ(schedule.size(), plan.faults);
+    EXPECT_TRUE(std::is_sorted(
+        schedule.begin(), schedule.end(),
+        [](const FaultEvent &a, const FaultEvent &b) {
+            return a.step < b.step;
+        }));
+    for (const FaultEvent &e : schedule) {
+        EXPECT_LT(e.step, plan.streamLength);
+        if (!isStateSite(e.site))
+            continue;
+        if (e.site != FaultSite::Spillover) {
+            EXPECT_LT(e.slot, plan.tableEntries);
+        }
+        if (e.site == FaultSite::EntryAddress) {
+            EXPECT_LE(e.bit, plan.maxAddressBit);
+        } else {
+            EXPECT_LE(e.bit, plan.maxCountBit);
+        }
+    }
+}
+
+TEST(FaultInjector, RestrictedSitesAreHonoured)
+{
+    FaultPlan plan;
+    plan.faults = 128;
+    plan.sites = streamFaultSites();
+    const FaultInjector injector(plan);
+    for (const FaultEvent &e : injector.schedule())
+        EXPECT_FALSE(isStateSite(e.site))
+            << faultSiteName(e.site) << " in a stream-only campaign";
+}
+
+TEST(FaultInjector, SiteHelpersPartitionTheTaxonomy)
+{
+    const auto &all = allFaultSites();
+    const auto &state = stateFaultSites();
+    const auto &stream = streamFaultSites();
+    EXPECT_EQ(all.size(), state.size() + stream.size());
+    for (FaultSite s : state)
+        EXPECT_TRUE(isStateSite(s)) << faultSiteName(s);
+    for (FaultSite s : stream)
+        EXPECT_FALSE(isStateSite(s)) << faultSiteName(s);
+    for (FaultSite s : all)
+        EXPECT_NE(faultSiteName(s), nullptr);
+}
+
+} // namespace
+} // namespace inject
+} // namespace graphene

@@ -50,11 +50,11 @@ TEST(Area, TableIVOrdering)
     // Graphene < CBT-128 < TWiCe in per-bank table bits.
     schemes::SchemeSpec spec;
     spec.kind = schemes::SchemeKind::Graphene;
-    auto graphene = schemes::makeScheme(spec);
+    auto graphene = schemes::makeScheme(spec).value();
     spec.kind = schemes::SchemeKind::Cbt;
-    auto cbt = schemes::makeScheme(spec);
+    auto cbt = schemes::makeScheme(spec).value();
     spec.kind = schemes::SchemeKind::TwiCe;
-    auto twice = schemes::makeScheme(spec);
+    auto twice = schemes::makeScheme(spec).value();
 
     const auto g = graphene->cost().totalBits();
     const auto c = cbt->cost().totalBits();
@@ -138,11 +138,14 @@ TEST(Area, Figure9aScalingAcrossThresholds)
         schemes::SchemeSpec spec;
         spec.rowHammerThreshold = trh;
         spec.kind = schemes::SchemeKind::Graphene;
-        const auto g = schemes::makeScheme(spec)->cost().totalBits();
+        const auto g =
+            schemes::makeScheme(spec).value()->cost().totalBits();
         spec.kind = schemes::SchemeKind::TwiCe;
-        const auto t = schemes::makeScheme(spec)->cost().totalBits();
+        const auto t =
+            schemes::makeScheme(spec).value()->cost().totalBits();
         spec.kind = schemes::SchemeKind::Cbt;
-        const auto c = schemes::makeScheme(spec)->cost().totalBits();
+        const auto c =
+            schemes::makeScheme(spec).value()->cost().totalBits();
         EXPECT_GT(g, prev_g);
         EXPECT_GT(t, prev_t);
         EXPECT_GT(c, prev_c);

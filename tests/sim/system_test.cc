@@ -140,6 +140,85 @@ TEST(Experiment, AdversarialGridShape)
     }
 }
 
+TEST(System, ValidateCollectsEveryViolation)
+{
+    SystemConfig config;
+    config.numCores = 0;
+    config.windows = 0.0;
+    config.scheme.blastRadius = 0;
+
+    const Result<void> result = config.validate();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), ErrorCode::Config);
+    // One pass reports all three broken rules, not just the first.
+    ASSERT_GE(result.error().notes().size(), 3u);
+    const std::string report = result.error().describe();
+    EXPECT_NE(report.find("core"), std::string::npos);
+    EXPECT_NE(report.find("refresh windows"), std::string::npos);
+    EXPECT_NE(report.find("scheme spec"), std::string::npos);
+}
+
+TEST(System, DefaultConfigValidates)
+{
+    EXPECT_TRUE(SystemConfig().validate().ok());
+    EXPECT_TRUE(ActEngineConfig().validate().ok());
+}
+
+TEST(ActEngine, ValidateCollectsEveryViolation)
+{
+    ActEngineConfig config;
+    config.actRate = 0.0;
+    config.windows = -1.0;
+    config.rowsPerBank = 0;
+    const Result<void> result = config.validate();
+    ASSERT_FALSE(result.ok());
+    EXPECT_GE(result.error().notes().size(), 3u);
+}
+
+TEST(Experiment, InvalidBaselineSkipsCellsInsteadOfAborting)
+{
+    SystemConfig base = smallSystem(schemes::SchemeKind::None);
+    base.scheme.blastRadius = 0; // poisons every derived cell spec
+    const std::vector<workloads::WorkloadSpec> suite = {
+        smallWorkload("lbm"), smallWorkload("mcf")};
+    const std::vector<schemes::SchemeKind> kinds = {
+        schemes::SchemeKind::Graphene, schemes::SchemeKind::Para};
+
+    const auto rows = runOverheadGrid(base, suite, kinds);
+    ASSERT_EQ(rows.size(), 4u); // the grid keeps its shape
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.skipped());
+        EXPECT_NE(row.error.find("blast radius"), std::string::npos);
+        EXPECT_EQ(row.victimRows, 0u);
+    }
+}
+
+TEST(Experiment, ValidGridRowsCarryNoError)
+{
+    const auto rows = runOverheadGrid(
+        smallSystem(schemes::SchemeKind::None),
+        {smallWorkload("lbm")}, {schemes::SchemeKind::Graphene});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].skipped());
+    EXPECT_TRUE(rows[0].error.empty());
+}
+
+TEST(Experiment, AdversarialGridSkipsInvalidKind)
+{
+    ActEngineConfig base;
+    base.rowsPerBank = 8192;
+    base.scheme.rowsPerBank = 8192;
+    base.scheme.rowHammerThreshold = 0; // invalid for any scheme
+    base.windows = 0.05;
+    const auto rows = runAdversarialGrid(
+        base, {schemes::SchemeKind::Graphene}, 3);
+    ASSERT_EQ(rows.size(), 6u); // same shape as the valid grid
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.skipped());
+        EXPECT_NE(row.error.find("threshold"), std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace sim
 } // namespace graphene

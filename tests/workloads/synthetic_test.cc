@@ -100,22 +100,31 @@ TEST(Synthetic, CoresUseDistinctWorkingSets)
 TEST(Profiles, AllNamedAppsResolve)
 {
     for (const auto &app : specHighApps())
-        EXPECT_EQ(appProfile(app).name, app);
+        EXPECT_EQ(appProfile(app).value().name, app);
     for (const auto &app : multiThreadedApps())
-        EXPECT_EQ(appProfile(app).name, app);
+        EXPECT_EQ(appProfile(app).value().name, app);
 }
 
-TEST(Profiles, UnknownAppIsFatal)
+TEST(Profiles, UnknownAppIsTypedError)
 {
-    EXPECT_DEATH(appProfile("notanapp"), "unknown application");
+    const auto result = appProfile("notanapp");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), ErrorCode::NotFound);
+    EXPECT_NE(result.error().message().find("unknown application"),
+              std::string::npos)
+        << result.error().message();
+    EXPECT_NE(result.error().message().find("notanapp"),
+              std::string::npos)
+        << result.error().message();
 }
 
 TEST(Profiles, StreamingAppsAreSequentialAndIntense)
 {
-    const SyntheticParams lbm = appProfile("lbm");
-    const SyntheticParams mcf = appProfile("mcf");
+    const SyntheticParams lbm = appProfile("lbm").value();
+    const SyntheticParams mcf = appProfile("mcf").value();
     EXPECT_GT(lbm.sequentialFraction, mcf.sequentialFraction);
-    EXPECT_LT(lbm.meanGapCycles, appProfile("povray").meanGapCycles);
+    EXPECT_LT(lbm.meanGapCycles,
+              appProfile("povray").value().meanGapCycles);
 }
 
 TEST(Profiles, HomogeneousReplicates)

@@ -23,14 +23,17 @@ TEST(TraceIo, RoundTripRequestTrace)
     std::stringstream ss;
     writeTrace(ss, records);
     const auto parsed = readTrace(ss);
-    EXPECT_EQ(parsed, records);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), records);
 }
 
 TEST(TraceIo, CommentsAndBlankLinesIgnored)
 {
     std::stringstream ss(
         "# header\n\n10 0xff R 1\n# trailing comment\n20 0x40 W 2\n");
-    const auto parsed = readTrace(ss);
+    const auto result = readTrace(ss);
+    ASSERT_TRUE(result.ok());
+    const auto &parsed = result.value();
     ASSERT_EQ(parsed.size(), 2u);
     EXPECT_EQ(parsed[0].issue, Cycle{10});
     EXPECT_EQ(parsed[0].addr, Addr{0xff});
@@ -38,10 +41,53 @@ TEST(TraceIo, CommentsAndBlankLinesIgnored)
     EXPECT_TRUE(parsed[1].isWrite);
 }
 
-TEST(TraceIo, MalformedLineIsFatal)
+TEST(TraceIo, MalformedLineIsTypedError)
 {
-    std::stringstream ss("10 0xff X 1\n");
-    EXPECT_DEATH(readTrace(ss), "parse error");
+    std::stringstream ss("10 0xff R 1\n10 0xff X 1\n");
+    const auto result = readTrace(ss);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), ErrorCode::Parse);
+    // Line number and offending text both appear in the message.
+    EXPECT_NE(result.error().message().find("line 2"),
+              std::string::npos)
+        << result.error().message();
+    EXPECT_NE(result.error().message().find("10 0xff X 1"),
+              std::string::npos)
+        << result.error().message();
+}
+
+TEST(TraceIo, TrailingGarbageIsTypedError)
+{
+    std::stringstream ss("10 0xff R 1 junk\n");
+    const auto result = readTrace(ss);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), ErrorCode::Parse);
+}
+
+TEST(TraceIo, TruncatedFinalRecordIsTypedError)
+{
+    // No trailing newline: the last record may have been cut.
+    std::stringstream ss("10 0xff R 1\n20 0x40 W");
+    const auto result = readTrace(ss);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message().find("truncated"),
+              std::string::npos)
+        << result.error().message();
+}
+
+TEST(TraceIo, EmptyTraceIsTypedError)
+{
+    std::stringstream empty("");
+    const auto none = readTrace(empty);
+    ASSERT_FALSE(none.ok());
+    EXPECT_EQ(none.error().code(), ErrorCode::Parse);
+
+    std::stringstream comments("# just\n# comments\n");
+    const auto only_comments = readTrace(comments);
+    ASSERT_FALSE(only_comments.ok());
+    EXPECT_NE(only_comments.error().message().find("no records"),
+              std::string::npos)
+        << only_comments.error().message();
 }
 
 TEST(TraceIo, CaptureIsSortedAndDeterministic)
@@ -75,7 +121,33 @@ TEST(TraceIo, ActTraceRoundTrip)
                                    Row{65535}, Row{0}};
     std::stringstream ss;
     writeActTrace(ss, rows);
-    EXPECT_EQ(readActTrace(ss), rows);
+    const auto parsed = readActTrace(ss);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(TraceIo, ActTraceErrorsAreTyped)
+{
+    std::stringstream bad("12\nnotarow\n");
+    const auto malformed = readActTrace(bad);
+    ASSERT_FALSE(malformed.ok());
+    EXPECT_EQ(malformed.error().code(), ErrorCode::Parse);
+    EXPECT_NE(malformed.error().message().find("line 2"),
+              std::string::npos)
+        << malformed.error().message();
+    EXPECT_NE(malformed.error().message().find("notarow"),
+              std::string::npos)
+        << malformed.error().message();
+
+    std::stringstream truncated("12\n34");
+    const auto cut = readActTrace(truncated);
+    ASSERT_FALSE(cut.ok());
+    EXPECT_NE(cut.error().message().find("truncated"),
+              std::string::npos)
+        << cut.error().message();
+
+    std::stringstream empty("# nothing\n");
+    EXPECT_FALSE(readActTrace(empty).ok());
 }
 
 TEST(TraceIo, TracePatternLoops)

@@ -29,6 +29,14 @@
  *                           macros must include check/contracts.hh
  *                           itself rather than relying on a
  *                           transitive include.
+ *   boundary-fatal          fatal()/panic() calls are reserved for
+ *                           CLI/bench main() boundaries and the
+ *                           logging/error/contract machinery itself;
+ *                           library code must return a typed
+ *                           Result/Error (external input) or use
+ *                           GRAPHENE_CHECK (internal invariants)
+ *                           instead, so one bad input cannot kill a
+ *                           whole experiment grid (DESIGN.md §9).
  *
  * Suppressions: a line (or the line directly above it) may carry
  * `lint: allow(<rule>)` to waive a specific finding, or
@@ -265,6 +273,10 @@ class Linter
                               const std::vector<std::string> &code,
                               const std::vector<std::string> &raw,
                               std::vector<Finding> &findings) const;
+    void boundaryFatal(const fs::path &path,
+                       const std::vector<std::string> &code,
+                       const std::vector<std::string> &raw,
+                       std::vector<Finding> &findings) const;
 
     bool _allHot;
 };
@@ -474,6 +486,42 @@ Linter::contractMacroInclude(const fs::path &path,
     }
 }
 
+void
+Linter::boundaryFatal(const fs::path &path,
+                      const std::vector<std::string> &code,
+                      const std::vector<std::string> &raw,
+                      std::vector<Finding> &findings) const
+{
+    // main()-boundary trees may exit on bad input, and the
+    // logging/error/contract machinery implements the calls.
+    if (pathContains(path, "bench/") ||
+        pathContains(path, "examples/") ||
+        pathContains(path, "tests/") ||
+        pathContains(path, "common/logging") ||
+        pathContains(path, "common/error") ||
+        pathContains(path, "check/contracts"))
+        return;
+    // A call site: fatal( / panic(, optionally ::graphene::
+    // qualified, not a longer identifier (unwrapOrFatal) and not a
+    // member access.
+    static const std::regex bad(
+        R"((?:^|[^:\w.])(?:::graphene::\s*)?(?:fatal|panic)\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], bad))
+            continue;
+        if (allowed(raw, i, "boundary-fatal"))
+            continue;
+        findings.push_back(
+            {path.generic_string(), static_cast<unsigned>(i + 1),
+             "boundary-fatal",
+             "fatal()/panic() in library code: return a typed "
+             "Result/Error for bad external input, or use "
+             "GRAPHENE_CHECK for internal invariants; process exits "
+             "belong only in CLI/bench main() boundaries "
+             "(DESIGN.md §9)"});
+    }
+}
+
 std::vector<Finding>
 Linter::lintFile(const fs::path &path) const
 {
@@ -495,6 +543,7 @@ Linter::lintFile(const fs::path &path) const
     unorderedMapIteration(path, code, raw, findings);
     floatType(path, code, raw, findings);
     contractMacroInclude(path, code, raw, findings);
+    boundaryFatal(path, code, raw, findings);
     return findings;
 }
 
@@ -535,7 +584,7 @@ allRules()
     static const std::vector<std::string> rules = {
         "raw-domain-type", "nondeterministic-rng",
         "unordered-map-iteration", "float-type",
-        "contract-macro-include"};
+        "contract-macro-include", "boundary-fatal"};
     return rules;
 }
 
