@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "analysis/para_model.hh"
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "sim/act_engine.hh"
 
@@ -27,7 +28,7 @@ namespace {
 using namespace graphene;
 
 void
-paraDerivation()
+paraDerivation(bench::JsonSink &sink)
 {
     using analysis::ParaModel;
     TablePrinter table(
@@ -53,6 +54,7 @@ paraDerivation()
                        3)});
     }
     table.print(std::cout);
+    sink.add(table);
 }
 
 sim::ActEngineResult
@@ -67,7 +69,7 @@ attack(schemes::SchemeKind kind,
 }
 
 void
-figure7()
+figure7(bench::JsonSink &sink)
 {
     TablePrinter table(
         "Figure 7: adversarial patterns vs table-based probabilistic "
@@ -113,6 +115,7 @@ figure7()
         "Fig7(b)", windows);
 
     table.print(std::cout);
+    sink.add(table);
     std::cout
         << "Expected shape (paper): PRoHIT and MRLoc spend the same\n"
            "refresh budget as PARA-0.00145 (their table tricks are\n"
@@ -131,7 +134,7 @@ figure7()
  * PARA spreads its (identical) budget by aggressor frequency alone.
  */
 void
-starvationAnalysis()
+starvationAnalysis(bench::JsonSink &sink)
 {
     const Row x{32768};
     const std::uint64_t acts = 4 * 1358404ULL; // 4 windows of ACTs
@@ -187,6 +190,7 @@ starvationAnalysis()
     run(schemes::SchemeKind::ProHit);
     run(schemes::SchemeKind::Para);
     table.print(std::cout);
+    sink.add(table);
     std::cout
         << "Expected shape: PRoHIT refreshes x+/-5 many times less\n"
            "often than the inner victims and its worst-case\n"
@@ -198,10 +202,12 @@ starvationAnalysis()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    paraDerivation();
-    figure7();
-    starvationAnalysis();
+    const auto options = graphene::bench::parseBenchArgs(argc, argv);
+    graphene::bench::JsonSink sink(options.run.jsonlPath);
+    paraDerivation(sink);
+    figure7(sink);
+    starvationAnalysis(sink);
     return 0;
 }

@@ -8,23 +8,32 @@
  * The normal workloads run on the trace-driven 16-core / 4-channel
  * system (Table III); the adversarial patterns run on the full-rate
  * single-bank ACT engine — exactly the two methodologies the paper
- * uses.
+ * uses. Both grids execute on the shared exp::Runner: --jobs picks
+ * the worker count, --cache reuses unchanged cells, --json records
+ * the per-cell JSONL artifact (byte-identical for every jobs count).
  */
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace graphene;
     using graphene::TablePrinter;
 
+    const bench::BenchOptions options =
+        bench::parseBenchArgs(argc, argv);
+    exp::Runner runner(options.run);
+
     // Table III configuration (printed for reference).
     sim::SystemConfig base;
-    base.windows = 0.25; // 16 ms of simulated DRAM time
+    base.windows = options.windows != 0.0
+                       ? options.windows
+                       : 0.25; // 16 ms of simulated DRAM time
     TablePrinter config("Table III: simulated system");
     config.header({"Parameter", "Value"});
     config.row({"Cores", std::to_string(base.numCores)});
@@ -43,7 +52,8 @@ main()
 
     // (a) + (c): normal workloads.
     const auto suite = workloads::normalWorkloads(base.numCores);
-    const auto rows = sim::runOverheadGrid(base, suite, kinds);
+    const auto rows =
+        sim::runOverheadGrid(base, suite, kinds, runner, "fig8/normal");
 
     TablePrinter normal(
         "Figure 8(a)+(c): normal workloads — refresh-energy increase "
@@ -83,8 +93,10 @@ main()
 
     // (b): adversarial patterns at the full ACT rate.
     sim::ActEngineConfig adv;
-    adv.windows = 1.0;
-    const auto adv_rows = sim::runAdversarialGrid(adv, kinds, 7);
+    adv.windows =
+        options.windows != 0.0 ? options.windows * 4.0 : 1.0;
+    const auto adv_rows = sim::runAdversarialGrid(
+        adv, kinds, 7, runner, "fig8/adversarial");
 
     TablePrinter adversarial(
         "Figure 8(b): adversarial patterns — refresh-energy increase "
@@ -106,5 +118,6 @@ main()
            "(<=0.64% energy, <=0.52% perf); CBT-128 bursts (up to\n"
            "7.6% / 5.1%). Under attack, Graphene stays <=0.34% while\n"
            "PARA holds ~2.1% and CBT bursts; no scheme ever flips.\n";
+    std::cerr << runner.summary().describe() << "\n";
     return 0;
 }

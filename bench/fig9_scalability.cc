@@ -13,15 +13,20 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "model/area.hh"
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace graphene;
     using graphene::TablePrinter;
+
+    const bench::BenchOptions options =
+        bench::parseBenchArgs(argc, argv);
+    exp::Runner runner(options.run);
 
     const std::vector<std::uint64_t> thresholds = {
         50000, 25000, 12500, 6250, 3125, 1562};
@@ -54,7 +59,9 @@ main()
     // of the Figure 8 suite (one streaming, one irregular, one
     // skewed, one mix).
     sim::SystemConfig base;
-    base.windows = 0.125; // 8 ms per run keeps the sweep tractable
+    base.windows = options.windows != 0.0
+                       ? options.windows
+                       : 0.125; // 8 ms per run keeps the sweep tractable
     std::vector<workloads::WorkloadSpec> subset = {
         workloads::homogeneous("lbm", base.numCores),
         workloads::homogeneous("mcf", base.numCores),
@@ -76,8 +83,9 @@ main()
         sim::SystemConfig config = base;
         config.scheme.rowHammerThreshold = trh;
         config.physicalThreshold = trh;
-        const auto rows =
-            sim::runOverheadGrid(config, subset, kinds);
+        const auto rows = sim::runOverheadGrid(
+            config, subset, kinds, runner,
+            "fig9/normal/trh-" + std::to_string(trh));
         std::vector<std::string> erow = {std::to_string(trh)};
         std::vector<std::string> prow = {std::to_string(trh)};
         for (const auto kind : kinds) {
@@ -106,9 +114,12 @@ main()
     adv.header(header);
     for (const auto trh : thresholds) {
         sim::ActEngineConfig config;
-        config.windows = 0.5;
+        config.windows =
+            options.windows != 0.0 ? options.windows * 4.0 : 0.5;
         config.scheme.rowHammerThreshold = trh;
-        const auto rows = sim::runAdversarialGrid(config, kinds, 7);
+        const auto rows = sim::runAdversarialGrid(
+            config, kinds, 7, runner,
+            "fig9/adversarial/trh-" + std::to_string(trh));
         std::vector<std::string> row = {std::to_string(trh)};
         for (const auto kind : kinds) {
             const std::string name = schemes::schemeKindName(kind);
@@ -135,5 +146,6 @@ main()
            "workloads at every threshold and scale linearly under\n"
            "attack; CBT stays notable but sub-linear (more counters\n"
            "=> smaller bursts), improving its perf loss at low T_RH.\n";
+    std::cerr << runner.summary().describe() << "\n";
     return 0;
 }

@@ -7,16 +7,20 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "core/config.hh"
 #include "core/graphene.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using graphene::TablePrinter;
     using graphene::core::Graphene;
     using graphene::core::GrapheneConfig;
+
+    const auto options = graphene::bench::parseBenchArgs(argc, argv);
+    graphene::bench::JsonSink sink(options.run.jsonlPath);
 
     GrapheneConfig base; // k = 1
     unwrapOrFatal(base.validate());
@@ -33,6 +37,7 @@ main()
     table.row({"Nentry", "Number of table entries",
                std::to_string(base.numEntries()), "108"});
     table.print(std::cout);
+    sink.add(table);
 
     GrapheneConfig opt; // the evaluated k = 2 configuration
     opt.resetWindowDivisor = 2;
@@ -53,5 +58,6 @@ main()
     optimized.row({"Table bits per bank",
                    std::to_string(cost.camBits), "2,511"});
     optimized.print(std::cout);
+    sink.add(optimized);
     return 0;
 }

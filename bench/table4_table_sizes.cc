@@ -7,16 +7,20 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "core/graphene.hh"
 #include "model/area.hh"
 #include "schemes/factory.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace graphene;
     using graphene::TablePrinter;
+
+    const auto options = bench::parseBenchArgs(argc, argv);
+    bench::JsonSink sink(options.run.jsonlPath);
 
     TablePrinter table(
         "Table IV: tracking-table size per bank (T_RH = 50K)");
@@ -40,6 +44,7 @@ main()
     add(schemes::SchemeKind::TwiCe, "20,484 CAM + 15,932 SRAM");
     add(schemes::SchemeKind::Graphene, "2,511 (CAM)");
     table.print(std::cout);
+    sink.add(table);
 
     // The Section IV-B ablation: raw vs overflow-bit-optimized count
     // width.
@@ -57,6 +62,7 @@ main()
                   std::to_string(opt.camBits / opt.entries),
                   std::to_string(opt.camBits)});
     ablation.print(std::cout);
+    sink.add(ablation);
 
     std::cout
         << "Expected shape (paper): Graphene smallest; CBT-128 within\n"

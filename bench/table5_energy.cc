@@ -7,17 +7,21 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "common/table_printer.hh"
 #include "core/config.hh"
 #include "dram/timing.hh"
 #include "model/energy.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace graphene;
     using graphene::TablePrinter;
     using model::EnergyModel;
+
+    const auto options = bench::parseBenchArgs(argc, argv);
+    bench::JsonSink sink(options.run.jsonlPath);
 
     TablePrinter table("Table V: energy consumption (nJ)");
     table.header({"Component", "Value", "Paper"});
@@ -36,6 +40,7 @@ main()
                    EnergyModel::kRefreshPerBankPerRefwNj, 3),
                "1.08e6"});
     table.print(std::cout);
+    sink.add(table);
 
     const auto timing = dram::TimingParams::ddr4_2400();
     const std::uint64_t w = timing.maxActsInWindow(1).value();
@@ -60,5 +65,6 @@ main()
              gc.worstCaseVictimRowsPerRefw(), 1, 1.0)),
          "0.34%"});
     derived.print(std::cout);
+    sink.add(derived);
     return 0;
 }

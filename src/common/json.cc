@@ -1,0 +1,216 @@
+#include "common/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace graphene {
+namespace json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quote(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+number(double v)
+{
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << v;
+    return ss.str();
+}
+
+std::string
+array(const std::vector<std::uint64_t> &values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::optional<std::string>
+raw(const std::string &line, const std::string &key)
+{
+    // The writer never emits whitespace around separators, and keys
+    // never contain escapes, so `"key":` locates the field exactly.
+    const std::string needle = "\"" + key + "\":";
+    std::size_t pos = 0;
+    while (true) {
+        pos = line.find(needle, pos);
+        if (pos == std::string::npos)
+            return std::nullopt;
+        // Must start the object or follow a field separator —
+        // otherwise we matched inside a string value.
+        if (pos > 0 && line[pos - 1] != '{' && line[pos - 1] != ',') {
+            pos += needle.size();
+            continue;
+        }
+        break;
+    }
+    std::size_t start = pos + needle.size();
+    if (start >= line.size())
+        return std::nullopt;
+    std::size_t end = start;
+    if (line[start] == '"') {
+        ++end;
+        while (end < line.size() && line[end] != '"') {
+            if (line[end] == '\\')
+                ++end;
+            ++end;
+        }
+        if (end >= line.size())
+            return std::nullopt;
+        ++end; // include the closing quote
+    } else if (line[start] == '[') {
+        end = line.find(']', start);
+        if (end == std::string::npos)
+            return std::nullopt;
+        ++end;
+    } else {
+        while (end < line.size() && line[end] != ',' &&
+               line[end] != '}')
+            ++end;
+    }
+    return line.substr(start, end - start);
+}
+
+std::optional<std::string>
+getString(const std::string &line, const std::string &key)
+{
+    const auto token = raw(line, key);
+    if (!token || token->size() < 2 || (*token)[0] != '"')
+        return std::nullopt;
+    const std::string body = token->substr(1, token->size() - 2);
+    std::string out;
+    out.reserve(body.size());
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        if (body[i] != '\\') {
+            out += body[i];
+            continue;
+        }
+        if (++i >= body.size())
+            return std::nullopt;
+        switch (body[i]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (i + 4 >= body.size())
+                return std::nullopt;
+            const std::string hex = body.substr(i + 1, 4);
+            out += static_cast<char>(
+                std::strtoul(hex.c_str(), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+getU64(const std::string &line, const std::string &key)
+{
+    const auto token = raw(line, key);
+    if (!token || token->empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(token->c_str(), &end, 10);
+    if (end == token->c_str())
+        return std::nullopt;
+    return v;
+}
+
+std::optional<double>
+getDouble(const std::string &line, const std::string &key)
+{
+    const auto token = raw(line, key);
+    if (!token || token->empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const double v = std::strtod(token->c_str(), &end);
+    if (end == token->c_str())
+        return std::nullopt;
+    return v;
+}
+
+std::optional<std::vector<std::uint64_t>>
+getU64Array(const std::string &line, const std::string &key)
+{
+    const auto token = raw(line, key);
+    if (!token || token->size() < 2 || (*token)[0] != '[')
+        return std::nullopt;
+    std::vector<std::uint64_t> values;
+    const char *p = token->c_str() + 1;
+    while (*p && *p != ']') {
+        char *end = nullptr;
+        values.push_back(std::strtoull(p, &end, 10));
+        if (end == p)
+            return std::nullopt;
+        p = end;
+        if (*p == ',')
+            ++p;
+    }
+    return values;
+}
+
+} // namespace json
+} // namespace graphene

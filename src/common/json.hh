@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON emission and flat-record extraction.
+ *
+ * The experiment runner archives every cell as one flat JSON object
+ * per line (JSONL), and the result cache parses those lines back.
+ * The records are machine-written and machine-read — always flat
+ * (no nesting beyond one array of integers), always produced by
+ * writeJson* below — so the "parser" here is a field extractor over
+ * that controlled grammar, not a general JSON implementation. Doubles
+ * are printed with 17 significant digits so a serialize/parse round
+ * trip reproduces the exact bit pattern (and therefore the exact
+ * serialized string: cache hits are bit-for-bit).
+ */
+
+#ifndef COMMON_JSON_HH
+#define COMMON_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace graphene {
+namespace json {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string escape(const std::string &s);
+
+/** Quote and escape: `"..."`. */
+std::string quote(const std::string &s);
+
+/** Round-trip-exact double formatting (17 significant digits). */
+std::string number(double v);
+
+/** Serialise an array of unsigned integers: `[1,2,3]`. */
+std::string array(const std::vector<std::uint64_t> &values);
+
+/**
+ * Extract the raw value token of @p key from a flat JSON object
+ * line: for `{"a":1,"b":"x"}`, raw("b") is `"x"` (still quoted and
+ * escaped). Returns nullopt when the key is absent. Only the
+ * writer's own output grammar is supported.
+ */
+std::optional<std::string> raw(const std::string &line,
+                               const std::string &key);
+
+/** Extract and unescape a string field. */
+std::optional<std::string> getString(const std::string &line,
+                                     const std::string &key);
+
+/** Extract an unsigned-integer field. */
+std::optional<std::uint64_t> getU64(const std::string &line,
+                                    const std::string &key);
+
+/** Extract a double field. */
+std::optional<double> getDouble(const std::string &line,
+                                const std::string &key);
+
+/** Extract an array-of-unsigned field. */
+std::optional<std::vector<std::uint64_t>>
+getU64Array(const std::string &line, const std::string &key);
+
+} // namespace json
+} // namespace graphene
+
+#endif // COMMON_JSON_HH

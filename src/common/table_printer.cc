@@ -1,8 +1,11 @@
 #include "common/table_printer.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace graphene {
 
@@ -67,6 +70,37 @@ TablePrinter::printCsv(std::ostream &os) const
         emit(_header);
     for (const auto &r : _rows)
         emit(r);
+}
+
+void
+TablePrinter::printJsonl(std::ostream &os) const
+{
+    for (const auto &r : _rows) {
+        os << "{\"table\":" << json::quote(_title);
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            const std::string key = i < _header.size()
+                                        ? jsonKey(_header[i])
+                                        : "c" + std::to_string(i);
+            os << "," << json::quote(key) << ":" << json::quote(r[i]);
+        }
+        os << "}\n";
+    }
+}
+
+std::string
+TablePrinter::jsonKey(const std::string &header_cell)
+{
+    std::string key;
+    for (const char c : header_cell) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            key.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        else if (!key.empty() && key.back() != '_')
+            key.push_back('_');
+    }
+    while (!key.empty() && key.back() == '_')
+        key.pop_back();
+    return key.empty() ? "col" : key;
 }
 
 std::string

@@ -35,6 +35,17 @@ class TablePrinter
     /** Print as CSV (header first). */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Print as JSONL: one object per data row, keyed by the header
+     * cells (slugged to snake_case), plus a "table" field carrying
+     * the title. Cell values stay the formatted strings the text
+     * table shows, so the two renderings never disagree.
+     */
+    void printJsonl(std::ostream &os) const;
+
+    /** Header cell -> JSON key: "Refresh energy +" -> "refresh_energy". */
+    static std::string jsonKey(const std::string &header_cell);
+
     /** Format a double with @p precision significant decimals. */
     static std::string num(double v, int precision = 4);
 

@@ -1,0 +1,84 @@
+#include "exp/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "exp/fingerprint.hh"
+
+namespace graphene {
+namespace exp {
+
+namespace fs = std::filesystem;
+
+Cache::Cache(std::string dir, std::string version_tag)
+    : _dir(std::move(dir)), _versionTag(std::move(version_tag))
+{
+}
+
+std::uint64_t
+Cache::addressOf(const CellKey &key) const
+{
+    Fingerprint fp;
+    fp.field("version", _versionTag);
+    fp.field("cell", key.fingerprint);
+    return fp.digest();
+}
+
+std::string
+Cache::entryPath(const CellKey &key) const
+{
+    return (fs::path(_dir) /
+            (Fingerprint::hex(addressOf(key)) + ".json"))
+        .string();
+}
+
+std::optional<CellResult>
+Cache::load(const CellKey &key) const
+{
+    std::ifstream in(entryPath(key));
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line))
+        return std::nullopt;
+
+    CellKey stored_key;
+    CellResult result;
+    if (!parseCellRecordLine(line, stored_key, result))
+        return std::nullopt; // corrupt entry: treat as a miss
+    if (stored_key.fingerprint != key.fingerprint)
+        return std::nullopt; // renamed / foreign entry
+    return result;
+}
+
+void
+Cache::store(const CellKey &key, const CellResult &result) const
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    if (ec)
+        return; // caching is best-effort; the run still has results
+
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp" + Fingerprint::hex(key.fingerprint);
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << cellRecordLine(key, result) << "\n";
+        if (!out) {
+            out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+} // namespace exp
+} // namespace graphene

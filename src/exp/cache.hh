@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * A cell's cache entry lives at `<dir>/<key>.json` where
+ * `key = hex(mix(cell fingerprint, version tag))`: the fingerprint
+ * covers every field of the cell spec, and the version tag names the
+ * simulator code generation (kCodeVersion) — changing either
+ * re-addresses the entry, so any spec or code change is a miss and
+ * warm entries are never silently stale.
+ *
+ * The stored payload is the cell's deterministic JSONL record
+ * itself: a hit parses the stored line, and re-serialising the
+ * parsed result reproduces the stored bytes exactly (doubles are
+ * written round-trip-exact — see common/json.hh), which the cache
+ * tests assert bit-for-bit. Unreadable or corrupt entries degrade to
+ * a miss, never an error.
+ */
+
+#ifndef EXP_CACHE_HH
+#define EXP_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "exp/cell.hh"
+
+namespace graphene {
+namespace exp {
+
+/**
+ * The simulator code generation the cache trusts. Bump whenever a
+ * change alters what any cell computes without changing its spec
+ * (scheme logic, harness accounting, stat definitions): every
+ * existing cache entry becomes unreachable and the next run
+ * recomputes from scratch.
+ */
+inline constexpr const char *kCodeVersion = "graphene-exp-v1";
+
+/** Conventional cache directory (bench drivers' default). */
+inline constexpr const char *kDefaultCacheDir = ".expcache";
+
+class Cache
+{
+  public:
+    /**
+     * @param dir cache directory (created on first store).
+     * @param version_tag code-generation tag folded into every key.
+     */
+    explicit Cache(std::string dir,
+                   std::string version_tag = kCodeVersion);
+
+    /**
+     * Look up @p key. A hit also verifies the stored record's own
+     * fingerprint field against @p key (defence against renamed or
+     * hand-edited files).
+     */
+    std::optional<CellResult> load(const CellKey &key) const;
+
+    /** Store @p result under @p key (atomic tmp-file + rename). */
+    void store(const CellKey &key, const CellResult &result) const;
+
+    /** On-disk path of @p key's entry. */
+    std::string entryPath(const CellKey &key) const;
+
+    const std::string &dir() const { return _dir; }
+
+  private:
+    std::uint64_t addressOf(const CellKey &key) const;
+
+    std::string _dir;
+    std::string _versionTag;
+};
+
+} // namespace exp
+} // namespace graphene
+
+#endif // EXP_CACHE_HH

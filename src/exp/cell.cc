@@ -1,0 +1,89 @@
+#include "exp/cell.hh"
+
+#include "common/json.hh"
+#include "exp/fingerprint.hh"
+
+namespace graphene {
+namespace exp {
+
+std::string
+cellRecordLine(const CellKey &key, const CellResult &result)
+{
+    const CellStats &s = result.stats;
+    std::string line = "{";
+    line += "\"experiment\":" + json::quote(key.experiment);
+    line += ",\"workload\":" + json::quote(key.workload);
+    line += ",\"scheme\":" + json::quote(key.scheme);
+    line += ",\"fingerprint\":\"" + Fingerprint::hex(key.fingerprint) +
+            "\"";
+    line += ",\"error\":" + json::quote(result.error);
+    line += ",\"acts\":" + std::to_string(s.acts);
+    line += ",\"requests\":" + std::to_string(s.requests);
+    line += ",\"victim_rows\":" + std::to_string(s.victimRowsRefreshed);
+    line += ",\"bit_flips\":" + std::to_string(s.bitFlips);
+    line += ",\"energy_overhead\":" + json::number(s.energyOverhead);
+    line += ",\"perf_loss\":" + json::number(s.perfLoss);
+    line += ",\"row_hit_rate\":" + json::number(s.rowHitRate);
+    line += ",\"mean_latency\":" + json::number(s.meanLatency);
+    line += ",\"windows\":" + json::number(s.windows);
+    line += ",\"core_requests\":" + json::array(s.coreRequests);
+    line += "}";
+    return line;
+}
+
+bool
+parseCellRecordLine(const std::string &line, CellKey &key,
+                    CellResult &result)
+{
+    const auto experiment = json::getString(line, "experiment");
+    const auto workload = json::getString(line, "workload");
+    const auto scheme = json::getString(line, "scheme");
+    const auto fingerprint = json::getString(line, "fingerprint");
+    const auto error = json::getString(line, "error");
+    const auto acts = json::getU64(line, "acts");
+    const auto requests = json::getU64(line, "requests");
+    const auto victims = json::getU64(line, "victim_rows");
+    const auto flips = json::getU64(line, "bit_flips");
+    const auto energy = json::getDouble(line, "energy_overhead");
+    const auto perf = json::getDouble(line, "perf_loss");
+    const auto hit_rate = json::getDouble(line, "row_hit_rate");
+    const auto latency = json::getDouble(line, "mean_latency");
+    const auto windows = json::getDouble(line, "windows");
+    const auto cores = json::getU64Array(line, "core_requests");
+    if (!experiment || !workload || !scheme || !fingerprint ||
+        fingerprint->size() != 16 || !error || !acts || !requests ||
+        !victims || !flips || !energy || !perf || !hit_rate ||
+        !latency || !windows || !cores)
+        return false;
+
+    std::uint64_t digest = 0;
+    for (const char c : *fingerprint) {
+        digest <<= 4;
+        if (c >= '0' && c <= '9')
+            digest |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digest |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+
+    key.experiment = *experiment;
+    key.workload = *workload;
+    key.scheme = *scheme;
+    key.fingerprint = digest;
+    result.error = *error;
+    result.stats.acts = *acts;
+    result.stats.requests = *requests;
+    result.stats.victimRowsRefreshed = *victims;
+    result.stats.bitFlips = *flips;
+    result.stats.energyOverhead = *energy;
+    result.stats.perfLoss = *perf;
+    result.stats.rowHitRate = *hit_rate;
+    result.stats.meanLatency = *latency;
+    result.stats.windows = *windows;
+    result.stats.coreRequests = *cores;
+    return true;
+}
+
+} // namespace exp
+} // namespace graphene

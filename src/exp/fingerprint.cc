@@ -1,0 +1,101 @@
+#include "exp/fingerprint.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace graphene {
+namespace exp {
+
+namespace {
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+} // namespace
+
+void
+Fingerprint::bytes(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        _state ^= p[i];
+        _state *= kPrime;
+    }
+}
+
+void
+Fingerprint::marker(char type_code)
+{
+    bytes(&type_code, 1);
+}
+
+Fingerprint &
+Fingerprint::tag(const char *name)
+{
+    marker('#');
+    bytes(name, std::strlen(name));
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::add(std::uint64_t v)
+{
+    marker('u');
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(buf, sizeof(buf));
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::add(double v)
+{
+    marker('d');
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(bits >> (8 * i));
+    bytes(buf, sizeof(buf));
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::add(bool v)
+{
+    marker('b');
+    const unsigned char byte = v ? 1 : 0;
+    bytes(&byte, 1);
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::add(const std::string &v)
+{
+    marker('s');
+    add(static_cast<std::uint64_t>(v.size()));
+    bytes(v.data(), v.size());
+    return *this;
+}
+
+std::string
+Fingerprint::hex(std::uint64_t digest)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[digest & 0xf];
+        digest >>= 4;
+    }
+    return out;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t digest)
+{
+    // One splitmix64 step.
+    std::uint64_t z = digest + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace exp
+} // namespace graphene

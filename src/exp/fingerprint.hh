@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stable content fingerprints for experiment cells.
+ *
+ * A Fingerprint is a 64-bit FNV-1a digest accumulated over *tagged,
+ * typed* fields: every field contributes its name, a type marker,
+ * and its canonical byte encoding, so renaming, reordering, or
+ * retyping any spec field changes the digest. Two uses:
+ *
+ *  - the cache key of a cell (combined with the code-version tag in
+ *    exp::Cache), so any spec change re-runs the cell;
+ *  - per-cell RNG seed derivation (deriveSeed), so a cell's
+ *    stochastic inputs are a pure function of its spec and never of
+ *    the thread that happens to execute it.
+ */
+
+#ifndef EXP_FINGERPRINT_HH
+#define EXP_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace graphene {
+namespace exp {
+
+/** Incremental FNV-1a digest over tagged, typed fields. */
+class Fingerprint
+{
+  public:
+    /** Start a new field: feeds the field name itself. */
+    Fingerprint &tag(const char *name);
+
+    Fingerprint &add(std::uint64_t v);
+    Fingerprint &add(double v); ///< Hashes the exact bit pattern.
+    Fingerprint &add(bool v);
+    Fingerprint &add(const std::string &v);
+
+    /** Tag-and-add shorthands. */
+    Fingerprint &field(const char *name, std::uint64_t v)
+    {
+        return tag(name).add(v);
+    }
+    Fingerprint &field(const char *name, double v)
+    {
+        return tag(name).add(v);
+    }
+    Fingerprint &field(const char *name, bool v)
+    {
+        return tag(name).add(v);
+    }
+    Fingerprint &field(const char *name, const std::string &v)
+    {
+        return tag(name).add(v);
+    }
+
+    std::uint64_t digest() const { return _state; }
+
+    /** 16-hex-digit rendering of @p digest (cache file names). */
+    static std::string hex(std::uint64_t digest);
+
+  private:
+    void bytes(const void *data, std::size_t size);
+    void marker(char type_code);
+
+    static constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+    std::uint64_t _state = kOffset;
+};
+
+/**
+ * Derive an RNG seed from a fingerprint digest (one splitmix64
+ * step): decorrelates the seed stream from the raw digest while
+ * staying a pure function of it.
+ */
+std::uint64_t deriveSeed(std::uint64_t digest);
+
+} // namespace exp
+} // namespace graphene
+
+#endif // EXP_FINGERPRINT_HH

@@ -1,0 +1,118 @@
+#include "exp/pool.hh"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace graphene {
+namespace exp {
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/** One worker's deque: owner pops newest, thieves steal oldest. */
+class WorkDeque
+{
+  public:
+    void push(std::size_t index)
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _items.push_back(index);
+    }
+
+    std::optional<std::size_t> popOwn()
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        if (_items.empty())
+            return std::nullopt;
+        const std::size_t index = _items.back();
+        _items.pop_back();
+        return index;
+    }
+
+    std::optional<std::size_t> steal()
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        if (_items.empty())
+            return std::nullopt;
+        const std::size_t index = _items.front();
+        _items.pop_front();
+        return index;
+    }
+
+  private:
+    std::mutex _mutex;
+    std::deque<std::size_t> _items;
+};
+
+} // namespace
+
+Pool::Pool(unsigned jobs) : _jobs(jobs == 0 ? defaultJobs() : jobs) {}
+
+void
+Pool::parallelFor(std::size_t n,
+                  const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(_jobs, n));
+    if (workers <= 1) {
+        // The reference schedule: inline, in index order, no threads.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::vector<WorkDeque> queues(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % workers].push(i);
+
+    // `remaining` lets workers stop scanning for steals as soon as
+    // every index has been claimed, without a shared run queue.
+    std::atomic<std::size_t> remaining{n};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker = [&](unsigned self) {
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            std::optional<std::size_t> index = queues[self].popOwn();
+            for (unsigned v = 1; !index && v < workers; ++v)
+                index = queues[(self + v) % workers].steal();
+            if (!index)
+                continue; // all queues drained; others still running
+            remaining.fetch_sub(1, std::memory_order_release);
+            try {
+                body(*index);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back(worker, w);
+    worker(0);
+    for (auto &thread : threads)
+        thread.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace exp
+} // namespace graphene

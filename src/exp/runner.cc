@@ -1,0 +1,208 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "exp/fingerprint.hh"
+
+namespace graphene {
+namespace exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Serialised progress-line printer (workers report completions). */
+class ProgressLine
+{
+  public:
+    ProgressLine(std::ostream &os, std::string label,
+                 std::size_t total)
+        : _os(os), _label(std::move(label)), _total(total),
+          _start(Clock::now())
+    {
+    }
+
+    void completed(std::size_t done, std::size_t hits)
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        // Throttle to ~5 updates/s; always print the final state.
+        const double elapsed = msSince(_start);
+        if (done != _total && elapsed - _lastPrintMs < 200.0)
+            return;
+        _lastPrintMs = elapsed;
+        const std::size_t run = done - hits;
+        double eta = 0.0;
+        if (run > 0 && done < _total)
+            eta = elapsed / static_cast<double>(done) *
+                  static_cast<double>(_total - done) / 1000.0;
+        _os << "\r[" << _label << "] " << done << "/" << _total
+            << " cells, " << hits << " cached ("
+            << static_cast<int>(
+                   done == 0 ? 0.0
+                             : 100.0 * static_cast<double>(hits) /
+                                   static_cast<double>(done))
+            << "% hit)";
+        if (done < _total)
+            _os << ", eta " << static_cast<int>(eta + 0.5) << "s ";
+        else
+            _os << ", done in "
+                << static_cast<int>(elapsed / 1000.0 + 0.5) << "s \n";
+        _os.flush();
+    }
+
+  private:
+    std::ostream &_os;
+    std::string _label;
+    std::size_t _total;
+    Clock::time_point _start;
+    double _lastPrintMs = -1e9;
+    std::mutex _mutex;
+};
+
+} // namespace
+
+std::string
+RunSummary::describe() const
+{
+    return strprintf(
+        "%zu cell(s): %zu executed, %zu cached (%.0f%% hit), "
+        "%zu error(s), %.1f s wall",
+        total, executed, cacheHits, 100.0 * cacheHitRate(), errors,
+        wallMs / 1000.0);
+}
+
+Runner::Runner(RunOptions options)
+    : _options(std::move(options)), _pool(_options.jobs)
+{
+}
+
+Runner::~Runner() = default;
+
+void
+Runner::openArtifacts()
+{
+    if (_artifactsOpen || _options.jsonlPath.empty())
+        return;
+    _artifactsOpen = true;
+    _jsonl.open(_options.jsonlPath, std::ios::trunc);
+    _meta.open(_options.jsonlPath + ".meta", std::ios::trunc);
+    // An unwritable artifact path is an operator-level error: the
+    // sweep's results would silently vanish.
+    if (!_jsonl)
+        // lint: allow(boundary-fatal)
+        fatal("cannot open JSONL artifact '%s'",
+              _options.jsonlPath.c_str());
+}
+
+std::vector<CellResult>
+Runner::run(const ExperimentSpec &spec)
+{
+    const std::size_t n = spec.cells.size();
+    std::vector<CellResult> results(n);
+    std::vector<char> hit(n, 0);
+    std::vector<double> wall_ms(n, 0.0);
+
+    std::optional<Cache> cache;
+    if (!_options.cacheDir.empty())
+        cache.emplace(_options.cacheDir, _options.versionTag);
+
+    std::ostream *progress_os =
+        _options.progressStream ? _options.progressStream
+                                : &std::cerr;
+    std::optional<ProgressLine> progress;
+    if (_options.progress)
+        progress.emplace(*progress_os, spec.name, n);
+
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> hits{0};
+
+    const auto start = Clock::now();
+    _pool.parallelFor(n, [&](std::size_t i) {
+        const Cell &cell = spec.cells[i];
+        const auto cell_start = Clock::now();
+        if (cache) {
+            if (auto cached = cache->load(cell.key)) {
+                results[i] = std::move(*cached);
+                hit[i] = 1;
+                hits.fetch_add(1, std::memory_order_relaxed);
+                wall_ms[i] = msSince(cell_start);
+                if (progress)
+                    progress->completed(done.fetch_add(1) + 1,
+                                        hits.load());
+                return;
+            }
+        }
+        results[i] = cell.body();
+        if (cache)
+            cache->store(cell.key, results[i]);
+        wall_ms[i] = msSince(cell_start);
+        if (progress)
+            progress->completed(done.fetch_add(1) + 1, hits.load());
+    });
+    const double stage_ms = msSince(start);
+
+    // Commit order is spec order, whatever the schedule was: the
+    // JSONL artifact is byte-identical across jobs counts.
+    openArtifacts();
+    if (_artifactsOpen) {
+        for (std::size_t i = 0; i < n; ++i)
+            _jsonl << cellRecordLine(spec.cells[i].key, results[i])
+                   << "\n";
+        _jsonl.flush();
+        for (std::size_t i = 0; i < n; ++i) {
+            const CellKey &key = spec.cells[i].key;
+            _meta << "{\"experiment\":" << json::quote(key.experiment)
+                  << ",\"workload\":" << json::quote(key.workload)
+                  << ",\"scheme\":" << json::quote(key.scheme)
+                  << ",\"fingerprint\":\""
+                  << Fingerprint::hex(key.fingerprint) << "\""
+                  << ",\"cache\":\"" << (hit[i] ? "hit" : "miss")
+                  << "\",\"wall_ms\":" << json::number(wall_ms[i])
+                  << "}\n";
+        }
+        std::size_t stage_errors = 0;
+        for (const auto &r : results)
+            if (r.skipped())
+                ++stage_errors;
+        _meta << "{\"stage\":" << json::quote(spec.name)
+              << ",\"cells\":" << n << ",\"cache_hits\":"
+              << hits.load() << ",\"errors\":" << stage_errors
+              << ",\"jobs\":" << _pool.jobs()
+              << ",\"wall_ms\":" << json::number(stage_ms) << "}\n";
+        _meta.flush();
+    }
+
+    _summary.total += n;
+    _summary.cacheHits += hits.load();
+    _summary.executed += n - hits.load();
+    for (const auto &r : results)
+        if (r.skipped())
+            ++_summary.errors;
+    _summary.wallMs += stage_ms;
+    return results;
+}
+
+std::vector<CellResult>
+runExperiment(const ExperimentSpec &spec, const RunOptions &options)
+{
+    Runner runner(options);
+    return runner.run(spec);
+}
+
+} // namespace exp
+} // namespace graphene

@@ -305,6 +305,15 @@ PerturbationReport
 perturbSchemeSpecs(const schemes::SchemeSpec &base, unsigned trials,
                    std::uint64_t seed)
 {
+    return perturbSchemeSpecs(base, trials, seed, nullptr);
+}
+
+PerturbationReport
+perturbSchemeSpecs(
+    const schemes::SchemeSpec &base, unsigned trials,
+    std::uint64_t seed,
+    const std::function<void(const schemes::SchemeSpec &)> &observe)
+{
     PerturbationReport report;
     report.trials = trials;
     Rng rng(seed);
@@ -327,6 +336,8 @@ perturbSchemeSpecs(const schemes::SchemeSpec &base, unsigned trials,
             spec.rowHammerThreshold = rng.nextRange(4096);
             break;
         }
+        if (observe)
+            observe(spec);
         const Result<void> valid =
             schemes::validateSchemeSpec(spec);
         if (valid.ok()) {

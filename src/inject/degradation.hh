@@ -29,6 +29,7 @@
 #define INJECT_DEGRADATION_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,18 @@ struct PerturbationReport
 PerturbationReport perturbSchemeSpecs(const schemes::SchemeSpec &base,
                                       unsigned trials,
                                       std::uint64_t seed);
+
+/**
+ * As above, but hands every perturbed spec to @p observe before
+ * validation — lets other subsystems reuse the perturbation corpus
+ * (e.g. the exp:: fingerprint tests assert every perturbed spec
+ * hashes differently from the base). A null observer is allowed.
+ */
+PerturbationReport
+perturbSchemeSpecs(const schemes::SchemeSpec &base, unsigned trials,
+                   std::uint64_t seed,
+                   const std::function<void(const schemes::SchemeSpec &)>
+                       &observe);
 
 } // namespace inject
 } // namespace graphene

@@ -1,8 +1,23 @@
 /**
  * @file
  * Experiment orchestration: the workload x scheme comparison grids
- * behind Figures 8 and 9, with baseline (unprotected) runs for the
- * weighted-speedup metric.
+ * behind Figures 8 and 9, expressed as exp:: cell batches and
+ * executed on the deterministic work-stealing runner.
+ *
+ * Grid structure (a two-layer DAG):
+ *
+ *   stage "<label>/baseline": one unprotected run per workload —
+ *     feeds the weighted-speedup metric;
+ *   stage "<label>": one cell per (workload, scheme), each capturing
+ *     its workload's baseline result.
+ *
+ * Every cell derives its RNG seed from a *traffic fingerprint* of
+ * its spec that excludes the scheme axis, so the baseline and every
+ * protected run of a workload see byte-identical traffic (the
+ * paper's paired-run methodology), while different workloads,
+ * configs, or base seeds decorrelate. Results are committed in spec
+ * order: `--jobs 1` and `--jobs N` produce identical grids and
+ * byte-identical JSONL artifacts.
  */
 
 #ifndef SIM_EXPERIMENT_HH
@@ -11,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/runner.hh"
 #include "sim/act_engine.hh"
 #include "sim/system.hh"
 
@@ -41,9 +57,21 @@ struct OverheadRow
 
 /**
  * Run every workload under every scheme (plus an unprotected
- * baseline per workload for the performance metric). Cells whose
- * scheme spec fails validation are reported via OverheadRow::error
- * rather than run.
+ * baseline per workload for the performance metric) on @p runner.
+ * Cells whose scheme spec fails validation are reported via
+ * OverheadRow::error rather than run; @p label names the stage in
+ * artifacts and progress output.
+ */
+std::vector<OverheadRow>
+runOverheadGrid(const SystemConfig &base,
+                const std::vector<workloads::WorkloadSpec> &suite,
+                const std::vector<schemes::SchemeKind> &kinds,
+                exp::Runner &runner,
+                const std::string &label = "overhead-grid");
+
+/**
+ * Convenience overload: a default runner (one worker per hardware
+ * thread, no cache, no artifacts).
  */
 std::vector<OverheadRow>
 runOverheadGrid(const SystemConfig &base,
@@ -52,13 +80,30 @@ runOverheadGrid(const SystemConfig &base,
 
 /**
  * Run every adversarial ACT pattern under every scheme via the
- * ACT-stream engine (Figure 8(b)). Invalid cells are skipped and
+ * ACT-stream engine (Figure 8(b)) on @p runner. Pattern streams are
+ * seeded from scheme-independent fingerprints, so every scheme faces
+ * the identical attack stream. Invalid cells are skipped and
  * reported via OverheadRow::error, like runOverheadGrid().
  */
 std::vector<OverheadRow>
 runAdversarialGrid(const ActEngineConfig &base,
                    const std::vector<schemes::SchemeKind> &kinds,
+                   std::uint64_t seed, exp::Runner &runner,
+                   const std::string &label = "adversarial-grid");
+
+/** Convenience overload with a default runner. */
+std::vector<OverheadRow>
+runAdversarialGrid(const ActEngineConfig &base,
+                   const std::vector<schemes::SchemeKind> &kinds,
                    std::uint64_t seed);
+
+/**
+ * Content fingerprint of a scheme spec — the scheme-axis
+ * contribution to every cell fingerprint (and hence cache key).
+ * Exposed so the fault-injection perturbation corpus can assert
+ * fingerprint sensitivity: any field change must change the digest.
+ */
+std::uint64_t schemeSpecDigest(const schemes::SchemeSpec &spec);
 
 } // namespace sim
 } // namespace graphene

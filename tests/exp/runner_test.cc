@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Runner determinism and caching, end to end on a small Figure-8
+ * shaped grid:
+ *
+ *  - `--jobs 1`, `--jobs 4`, and `--jobs 16` produce byte-identical
+ *    JSONL artifacts and identical grids (the determinism
+ *    regression satellite — also the TSan CI workload);
+ *  - a warm rerun over the same cache serves 100% hits and still
+ *    reproduces the cold artifact byte-for-byte;
+ *  - invalid cells surface as per-cell errors without disturbing
+ *    the grid shape, cold or cached.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace graphene;
+
+std::string
+freshDir(const char *name)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+sim::SystemConfig
+smallSystem()
+{
+    sim::SystemConfig c;
+    c.windows = 0.02; // ~1.3 ms simulated
+    c.numCores = 4;
+    return c;
+}
+
+std::vector<workloads::WorkloadSpec>
+smallSuite()
+{
+    return {workloads::homogeneous("lbm", 4),
+            workloads::homogeneous("mcf", 4)};
+}
+
+const std::vector<schemes::SchemeKind> kKinds = {
+    schemes::SchemeKind::Graphene, schemes::SchemeKind::Para};
+
+struct GridRun
+{
+    std::vector<sim::OverheadRow> rows;
+    std::string jsonl;
+    exp::RunSummary summary;
+};
+
+GridRun
+runGrid(unsigned jobs, const std::string &dir,
+        const std::string &cache_dir = "")
+{
+    exp::RunOptions options;
+    options.jobs = jobs;
+    options.jsonlPath =
+        (std::filesystem::path(dir) /
+         ("grid-j" + std::to_string(jobs) + ".jsonl"))
+            .string();
+    options.cacheDir = cache_dir;
+    exp::Runner runner(options);
+    GridRun run;
+    run.rows = sim::runOverheadGrid(smallSystem(), smallSuite(),
+                                    kKinds, runner, "grid");
+    run.summary = runner.summary();
+    run.jsonl = slurp(options.jsonlPath);
+    return run;
+}
+
+bool
+sameGrid(const std::vector<sim::OverheadRow> &a,
+         const std::vector<sim::OverheadRow> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].workload != b[i].workload ||
+            a[i].scheme != b[i].scheme ||
+            a[i].victimRows != b[i].victimRows ||
+            a[i].bitFlips != b[i].bitFlips ||
+            a[i].energyOverhead != b[i].energyOverhead ||
+            a[i].perfLoss != b[i].perfLoss ||
+            a[i].error != b[i].error)
+            return false;
+    }
+    return true;
+}
+
+TEST(ExpDeterminism, JobsCountNeverChangesTheArtifact)
+{
+    const auto dir = freshDir("exp-runner-determinism");
+    const auto j1 = runGrid(1, dir);
+    const auto j4 = runGrid(4, dir);
+    const auto j16 = runGrid(16, dir);
+
+    ASSERT_FALSE(j1.jsonl.empty());
+    EXPECT_EQ(j1.jsonl, j4.jsonl) << "--jobs 4 diverged";
+    EXPECT_EQ(j1.jsonl, j16.jsonl) << "--jobs 16 diverged";
+    EXPECT_TRUE(sameGrid(j1.rows, j4.rows));
+    EXPECT_TRUE(sameGrid(j1.rows, j16.rows));
+
+    // Shape sanity: suite-major, scheme-minor, no skipped cells.
+    ASSERT_EQ(j1.rows.size(), 4u);
+    EXPECT_EQ(j1.rows[0].workload, "lbm");
+    EXPECT_EQ(j1.rows[0].scheme, "Graphene");
+    EXPECT_EQ(j1.rows[3].workload, "mcf");
+    EXPECT_EQ(j1.rows[3].scheme, "PARA");
+    for (const auto &row : j1.rows)
+        EXPECT_FALSE(row.skipped()) << row.error;
+}
+
+TEST(ExpDeterminism, WarmCacheServesEveryCellAndSameBytes)
+{
+    const auto dir = freshDir("exp-runner-cache");
+    const auto cache = dir + "/cache";
+
+    const auto cold = runGrid(4, dir, cache);
+    EXPECT_EQ(cold.summary.cacheHits, 0u);
+    EXPECT_EQ(cold.summary.executed, cold.summary.total);
+
+    const auto warm = runGrid(1, dir, cache);
+    EXPECT_EQ(warm.summary.cacheHits, warm.summary.total)
+        << "expected a 100% warm hit rate";
+    EXPECT_EQ(warm.summary.executed, 0u);
+    EXPECT_DOUBLE_EQ(warm.summary.cacheHitRate(), 1.0);
+
+    EXPECT_EQ(cold.jsonl, warm.jsonl)
+        << "cache state leaked into the artifact";
+    EXPECT_TRUE(sameGrid(cold.rows, warm.rows));
+}
+
+TEST(ExpDeterminism, ArtifactRecordsParseBack)
+{
+    const auto dir = freshDir("exp-runner-parse");
+    const auto run = runGrid(2, dir);
+
+    std::istringstream lines(run.jsonl);
+    std::string line;
+    std::size_t records = 0;
+    while (std::getline(lines, line)) {
+        exp::CellKey key;
+        exp::CellResult result;
+        ASSERT_TRUE(exp::parseCellRecordLine(line, key, result))
+            << line;
+        EXPECT_EQ(exp::cellRecordLine(key, result), line);
+        ++records;
+    }
+    // 2 baselines + 4 grid cells.
+    EXPECT_EQ(records, 6u);
+}
+
+TEST(ExpRunner, InvalidCellsKeepTheGridShape)
+{
+    const auto dir = freshDir("exp-runner-errors");
+    auto base = smallSystem();
+    base.scheme.blastRadius = 0; // poisons every derived cell spec
+
+    exp::RunOptions options;
+    options.jobs = 4;
+    exp::Runner runner(options);
+    const auto rows = sim::runOverheadGrid(base, smallSuite(),
+                                           kKinds, runner, "bad");
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.skipped());
+        EXPECT_NE(row.error.find("blast radius"), std::string::npos);
+    }
+    // The 2 baseline cells fail validation too: 2 + 4 grid cells.
+    EXPECT_EQ(runner.summary().errors, 6u);
+}
+
+TEST(ExpRunner, ErrorCellsRoundTripThroughTheCache)
+{
+    const auto dir = freshDir("exp-runner-error-cache");
+    auto base = smallSystem();
+    base.scheme.blastRadius = 0;
+
+    auto run = [&](unsigned jobs) {
+        exp::RunOptions options;
+        options.jobs = jobs;
+        options.cacheDir = dir + "/cache";
+        exp::Runner runner(options);
+        auto rows = sim::runOverheadGrid(base, smallSuite(), kKinds,
+                                         runner, "bad");
+        return std::make_pair(std::move(rows), runner.summary());
+    };
+
+    const auto cold = run(4);
+    const auto warm = run(1);
+    EXPECT_EQ(warm.second.cacheHits, warm.second.total);
+    EXPECT_TRUE(sameGrid(cold.first, warm.first));
+    for (const auto &row : warm.first)
+        EXPECT_NE(row.error.find("blast radius"), std::string::npos);
+}
+
+TEST(ExpRunner, SummaryAccumulatesAcrossStages)
+{
+    exp::Runner runner;
+    const auto rows = sim::runOverheadGrid(
+        smallSystem(), smallSuite(), kKinds, runner, "grid");
+    ASSERT_EQ(rows.size(), 4u);
+    // 2 baseline cells + 4 grid cells across the two stages.
+    EXPECT_EQ(runner.summary().total, 6u);
+    EXPECT_EQ(runner.summary().executed, 6u);
+    EXPECT_FALSE(runner.summary().describe().empty());
+}
+
+} // namespace

@@ -277,6 +277,10 @@ class Linter
                        const std::vector<std::string> &code,
                        const std::vector<std::string> &raw,
                        std::vector<Finding> &findings) const;
+    void rawThread(const fs::path &path,
+                   const std::vector<std::string> &code,
+                   const std::vector<std::string> &raw,
+                   std::vector<Finding> &findings) const;
 
     bool _allHot;
 };
@@ -522,6 +526,33 @@ Linter::boundaryFatal(const fs::path &path,
     }
 }
 
+void
+Linter::rawThread(const fs::path &path,
+                  const std::vector<std::string> &code,
+                  const std::vector<std::string> &raw,
+                  std::vector<Finding> &findings) const
+{
+    // The exp:: work-stealing pool is the one sanctioned thread
+    // owner: all parallelism must flow through it so every parallel
+    // code path inherits the determinism contract (DESIGN.md §10).
+    if (pathContains(path, "src/exp/"))
+        return;
+    static const std::regex bad(
+        R"(\bstd::(?:thread|jthread|async)\b)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], bad))
+            continue;
+        if (allowed(raw, i, "raw-thread"))
+            continue;
+        findings.push_back(
+            {path.generic_string(), static_cast<unsigned>(i + 1),
+             "raw-thread",
+             "direct std::thread/jthread/async outside src/exp/: "
+             "route parallelism through exp::Pool so results stay "
+             "deterministic for every jobs count (DESIGN.md §10)"});
+    }
+}
+
 std::vector<Finding>
 Linter::lintFile(const fs::path &path) const
 {
@@ -544,6 +575,7 @@ Linter::lintFile(const fs::path &path) const
     floatType(path, code, raw, findings);
     contractMacroInclude(path, code, raw, findings);
     boundaryFatal(path, code, raw, findings);
+    rawThread(path, code, raw, findings);
     return findings;
 }
 
@@ -584,7 +616,7 @@ allRules()
     static const std::vector<std::string> rules = {
         "raw-domain-type", "nondeterministic-rng",
         "unordered-map-iteration", "float-type",
-        "contract-macro-include", "boundary-fatal"};
+        "contract-macro-include", "boundary-fatal", "raw-thread"};
     return rules;
 }
 
