@@ -8,6 +8,8 @@
  *   --jobs N        worker threads (0 = one per hardware thread)
  *   --json PATH     write machine-readable JSONL next to the tables
  *   --cache DIR     content-addressed result cache (off by default)
+ *   --obs DIR       per-cell event traces + windowed metrics (grid
+ *                   drivers; no-op under GRAPHENE_OBS_OFF)
  *   --windows W     shrink/grow the simulated span (grid drivers)
  *   --no-progress   suppress the live progress line on stderr
  *   --help          usage
@@ -48,6 +50,7 @@ printUsage(const char *prog, std::ostream &os)
        << "  --jobs N        worker threads (default: hardware)\n"
        << "  --json PATH     write JSONL artifacts to PATH\n"
        << "  --cache DIR     cache cell results under DIR\n"
+       << "  --obs DIR       write per-cell traces + metrics to DIR\n"
        << "  --windows W     override the simulated span (tREFW units)\n"
        << "  --no-progress   no live progress line on stderr\n"
        << "  --help          this message\n";
@@ -82,6 +85,12 @@ parseBenchArgs(int argc, char **argv)
             options.run.jsonlPath = value(i);
         } else if (arg == "--cache") {
             options.run.cacheDir = value(i);
+        } else if (arg == "--obs") {
+            options.run.obsDir = value(i);
+            if (!obs::kEnabled)
+                std::cerr << argv[0]
+                          << ": --obs ignored (built with "
+                             "GRAPHENE_OBS_OFF)\n";
         } else if (arg == "--windows") {
             options.windows = std::stod(value(i));
         } else if (arg == "--no-progress") {

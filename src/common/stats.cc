@@ -36,6 +36,16 @@ Histogram::mean() const
 }
 
 void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _count = 0;
+    _overflow = 0;
+    _sum = 0.0;
+    _maxSeen = 0.0;
+}
+
+void
 Histogram::print(std::ostream &os) const
 {
     os << _name << ": n=" << _count << " mean=" << mean()
@@ -57,6 +67,18 @@ StatGroup::scalar(const std::string &name)
     return it->second;
 }
 
+Histogram &
+StatGroup::histogram(const std::string &name, std::size_t num_buckets,
+                     double max)
+{
+    auto it = _histograms.find(name);
+    if (it == _histograms.end())
+        it = _histograms
+                 .emplace(name, Histogram(name, num_buckets, max))
+                 .first;
+    return it->second;
+}
+
 double
 StatGroup::get(const std::string &name) const
 {
@@ -64,10 +86,19 @@ StatGroup::get(const std::string &name) const
     return it == _scalars.end() ? 0.0 : it->second.value();
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = _histograms.find(name);
+    return it == _histograms.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::reset()
 {
     for (auto &kv : _scalars)
+        kv.second.reset();
+    for (auto &kv : _histograms)
         kv.second.reset();
 }
 
@@ -77,6 +108,8 @@ StatGroup::print(std::ostream &os) const
     for (const auto &kv : _scalars)
         os << std::left << std::setw(44) << kv.first
            << kv.second.value() << "\n";
+    for (const auto &kv : _histograms)
+        kv.second.print(os);
 }
 
 } // namespace graphene

@@ -52,6 +52,15 @@ class Histogram
     void sample(double v);
 
     std::uint64_t count() const { return _count; }
+
+    /**
+     * Total samples recorded, including those that overflowed the
+     * bucketed range. Windowed snapshots (obs::MetricsRegistry) diff
+     * this across window boundaries and assert conservation: the sum
+     * of window deltas equals this end-of-run total.
+     */
+    std::uint64_t samples() const { return _count; }
+
     double mean() const;
     double max() const { return _maxSeen; }
 
@@ -59,6 +68,17 @@ class Histogram
     std::uint64_t overflow() const { return _overflow; }
 
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /**
+     * Clear every piece of bookkeeping — buckets, count, sum, max,
+     * *and* the overflow/drop counters. (Scalar::reset() always
+     * cleared its whole state; the histogram previously had no reset
+     * at all, so group resets silently carried overflow counts across
+     * runs.)
+     */
+    void reset();
+
+    const std::string &name() const { return _name; }
 
     void print(std::ostream &os) const;
 
@@ -73,9 +93,9 @@ class Histogram
 };
 
 /**
- * A flat registry of scalar statistics addressed by name; the
- * simulator components create stats on first use and the experiment
- * runner dumps them all at the end of a run.
+ * A flat registry of scalar and histogram statistics addressed by
+ * name; the simulator components create stats on first use and the
+ * experiment runner dumps them all at the end of a run.
  */
 class StatGroup
 {
@@ -83,14 +103,34 @@ class StatGroup
     /** Get or create the named scalar. */
     Scalar &scalar(const std::string &name);
 
+    /** Get or create the named histogram; the first call fixes the
+     *  bucket shape, later calls ignore the shape arguments. */
+    Histogram &histogram(const std::string &name,
+                         std::size_t num_buckets, double max);
+
     /** @return the value of @p name, or 0 if never created. */
     double get(const std::string &name) const;
 
+    /** @return the named histogram, or nullptr if never created. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return _scalars;
+    }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return _histograms;
+    }
+
+    /** Reset every statistic, histograms included. */
     void reset();
     void print(std::ostream &os) const;
 
   private:
     std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Histogram> _histograms;
 };
 
 } // namespace graphene

@@ -55,6 +55,9 @@ Graphene::maybeReset(Cycle cycle)
         _table.reset();
         _windowIdx = idx;
         ++_resetCount;
+        _probe.emit(cycle, obs::EventKind::TrackerReset, Row::invalid(),
+                    static_cast<std::uint32_t>(idx.value()));
+        _probe.count(cycle, "graphene.tracker_resets");
     }
 }
 
@@ -64,8 +67,17 @@ Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
     maybeReset(cycle);
 
     const CounterTable::Result r = _table.processActivation(row);
-    if (r.spilled)
+    if (r.spilled) {
+        _probe.emit(cycle, obs::EventKind::TrackerSpill, row);
+        _probe.count(cycle, "graphene.spills");
         return;
+    }
+    if (r.inserted) {
+        _probe.emit(cycle, obs::EventKind::TrackerInsert, row, r.slot);
+        _probe.count(cycle, "graphene.inserts");
+    } else {
+        _probe.count(cycle, "graphene.hits");
+    }
 
     // The multiple-of-T trigger is only exact if an insert lands
     // below T: guaranteed by the table sizing (Nentry > W/T - 1
@@ -80,7 +92,11 @@ Graphene::onActivate(Cycle cycle, Row row, RefreshAction &action)
     // reached.
     if (r.estimatedCount % _threshold == ActCount{}) {
         action.nrrAggressors.push_back(row);
-        ++_victimRefreshEvents;
+        _probe.emit(cycle, obs::EventKind::ThresholdCross, row,
+                    static_cast<std::uint32_t>(
+                        r.estimatedCount.value()));
+        _probe.count(cycle, "graphene.threshold_crossings");
+        noteVictimRefresh(cycle, row);
         GRAPHENE_ENSURES(action.nrrAggressors.back() == row,
                          "NRR must target the crossing aggressor");
     }

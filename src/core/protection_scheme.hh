@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/probe.hh"
 
 namespace graphene {
 
@@ -88,8 +89,33 @@ class ProtectionScheme
         return _victimRefreshEvents;
     }
 
+    /**
+     * Attach the observability probe this scheme reports through
+     * (controllers attach one per bank). Detached by default; under
+     * GRAPHENE_OBS_OFF the probe is empty and occupies no storage.
+     */
+    void attachProbe(const obs::Probe &probe) { _probe = probe; }
+
   protected:
+    /**
+     * Record one victim-refresh decision: bumps the event counter,
+     * emits a VictimRefresh trace event, and counts the named
+     * metrics. @p target is the aggressor (NRR) or first victim row;
+     * @p rows the explicit victim rows requested (0 for NRR, whose
+     * +/-blast-radius expansion happens in the DRAM device).
+     */
+    void noteVictimRefresh(Cycle cycle, Row target, unsigned rows = 0)
+    {
+        ++_victimRefreshEvents;
+        _probe.emit(cycle, obs::EventKind::VictimRefresh, target,
+                    rows);
+        _probe.count(cycle, "scheme.victim_refresh_events");
+        if (rows)
+            _probe.count(cycle, "scheme.victim_rows", rows);
+    }
+
     std::uint64_t _victimRefreshEvents = 0;
+    [[no_unique_address]] obs::Probe _probe;
 };
 
 } // namespace graphene

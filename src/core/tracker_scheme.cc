@@ -103,6 +103,10 @@ TrackerScheme::maybeReset(Cycle cycle)
         _tracker->reset();
         _levels.clear();
         _windowIdx = idx;
+        _probe.emit(cycle, obs::EventKind::TrackerReset,
+                    Row::invalid(),
+                    static_cast<std::uint32_t>(idx.value()));
+        _probe.count(cycle, "tracker.resets");
     }
 }
 
@@ -126,7 +130,9 @@ TrackerScheme::onActivate(Cycle cycle, Row row, RefreshAction &action)
     if (level_after > level_last) {
         _levels[row] = level_after;
         action.nrrAggressors.push_back(row);
-        ++_victimRefreshEvents;
+        _probe.emit(cycle, obs::EventKind::ThresholdCross, row,
+                    static_cast<std::uint32_t>(after.value()));
+        noteVictimRefresh(cycle, row);
     }
 }
 

@@ -32,6 +32,11 @@
 #include <vector>
 
 namespace graphene {
+
+namespace obs {
+struct Sink;
+} // namespace obs
+
 namespace exp {
 
 /** Identity of one cell. */
@@ -100,6 +105,16 @@ struct Cell
     /** The work: must be a pure function of the cell spec (any
      *  randomness seeded via deriveSeed over a spec fingerprint). */
     std::function<CellResult()> body;
+
+    /**
+     * Optional instrumented variant of the same work: identical
+     * result, but reporting events and windowed metrics into the
+     * given sink. The runner calls this instead of `body` when
+     * tracing is requested (RunOptions::obsDir) — and because the
+     * sink never feeds back into the computation, both variants must
+     * return byte-identical results (CI compares the artifacts).
+     */
+    std::function<CellResult(obs::Sink *)> obsBody;
 };
 
 /** One batch of independent cells (one DAG layer). */

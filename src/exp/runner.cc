@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,7 @@
 #include "common/error.hh"
 #include "common/json.hh"
 #include "exp/fingerprint.hh"
+#include "obs/obs.hh"
 
 namespace graphene {
 namespace exp {
@@ -74,6 +76,60 @@ class ProgressLine
     std::mutex _mutex;
 };
 
+/** File-name-safe rendering of a cell-key axis label. */
+std::string
+sanitizeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const bool ok =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Volatile per-cell tracing profile, destined for the .meta
+ *  sidecar (never the primary artifact). */
+struct ObsProfile
+{
+    bool traced = false;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
+    std::size_t peakRing = 0;
+};
+
+/** Write one traced cell's sidecar files (events JSONL, Chrome
+ *  trace, windowed metrics) and fill its profile. */
+void
+writeCellTrace(const std::string &dir, const CellKey &key,
+               const obs::Sink &sink, ObsProfile &profile)
+{
+    profile.traced = true;
+    profile.traceEvents = sink.tracer.totalRetained();
+    profile.traceDropped = sink.tracer.totalDropped();
+    profile.peakRing = sink.tracer.peakOccupancy();
+    const std::string base =
+        dir + "/" + sanitizeToken(key.experiment) + "_" +
+        sanitizeToken(key.workload) + "_" +
+        sanitizeToken(key.scheme) + "_" +
+        Fingerprint::hex(key.fingerprint);
+    {
+        std::ofstream os(base + ".events.jsonl", std::ios::trunc);
+        sink.tracer.writeEventsJsonl(os, sink.metrics.windowCycles());
+    }
+    {
+        std::ofstream os(base + ".trace.json", std::ios::trunc);
+        sink.tracer.writeChromeTrace(os);
+    }
+    {
+        std::ofstream os(base + ".metrics.jsonl", std::ios::trunc);
+        sink.metrics.writeJsonl(os);
+    }
+}
+
 } // namespace
 
 std::string
@@ -116,6 +172,11 @@ Runner::run(const ExperimentSpec &spec)
     std::vector<CellResult> results(n);
     std::vector<char> hit(n, 0);
     std::vector<double> wall_ms(n, 0.0);
+    std::vector<ObsProfile> profiles(n);
+
+    const bool use_obs = obs::kEnabled && !_options.obsDir.empty();
+    if (use_obs)
+        std::filesystem::create_directories(_options.obsDir);
 
     std::optional<Cache> cache;
     if (!_options.cacheDir.empty())
@@ -147,7 +208,14 @@ Runner::run(const ExperimentSpec &spec)
                 return;
             }
         }
-        results[i] = cell.body();
+        if (use_obs && cell.obsBody) {
+            obs::Sink sink(_options.obsRingCapacity);
+            results[i] = cell.obsBody(&sink);
+            writeCellTrace(_options.obsDir, cell.key, sink,
+                           profiles[i]);
+        } else {
+            results[i] = cell.body();
+        }
         if (cache)
             cache->store(cell.key, results[i]);
         wall_ms[i] = msSince(cell_start);
@@ -173,7 +241,20 @@ Runner::run(const ExperimentSpec &spec)
                   << Fingerprint::hex(key.fingerprint) << "\""
                   << ",\"cache\":\"" << (hit[i] ? "hit" : "miss")
                   << "\",\"wall_ms\":" << json::number(wall_ms[i])
-                  << "}\n";
+                  << ",\"acts_per_ms\":"
+                  << json::number(
+                         wall_ms[i] > 0.0
+                             ? static_cast<double>(
+                                   results[i].stats.acts) /
+                                   wall_ms[i]
+                             : 0.0);
+            if (profiles[i].traced)
+                _meta << ",\"trace_events\":"
+                      << profiles[i].traceEvents
+                      << ",\"trace_dropped\":"
+                      << profiles[i].traceDropped
+                      << ",\"peak_ring\":" << profiles[i].peakRing;
+            _meta << "}\n";
         }
         std::size_t stage_errors = 0;
         for (const auto &r : results)

@@ -30,6 +30,7 @@
 #include "exp/cache.hh"
 #include "exp/cell.hh"
 #include "exp/pool.hh"
+#include "obs/ring.hh"
 
 namespace graphene {
 namespace exp {
@@ -47,6 +48,19 @@ struct RunOptions
 
     /** Primary JSONL artifact path; empty = no artifacts. */
     std::string jsonlPath;
+
+    /**
+     * Observability output directory; empty = tracing off. Each
+     * executed cell with an obsBody writes
+     * `<obsDir>/<experiment>_<workload>_<scheme>_<fp>.events.jsonl`
+     * (+ `.trace.json`, `.metrics.jsonl`). Cache hits never execute,
+     * so they produce no trace — run with a cold cache (or none) to
+     * trace every cell. No effect under GRAPHENE_OBS_OFF.
+     */
+    std::string obsDir;
+
+    /** Per-bank event-ring capacity of traced cells. */
+    std::size_t obsRingCapacity = obs::kDefaultRingCapacity;
 
     /** Emit a live progress line to @p progressStream. */
     bool progress = false;

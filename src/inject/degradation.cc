@@ -10,6 +10,7 @@
 #include "common/random.hh"
 #include "core/counter_table.hh"
 #include "core/hardened_counter_table.hh"
+#include "obs/obs.hh"
 
 namespace graphene {
 namespace inject {
@@ -136,7 +137,13 @@ runDegradation(const DegradationConfig &config)
     // One installation for the whole campaign; per-row deltas below.
     ContractCountGuard guard;
 
+    // The obs "clock" is the ACT ordinal; windows are reset windows.
+    if (config.obs)
+        config.obs->metrics.beginWindows(Cycle{reset_every});
+
     for (std::size_t f = 0; f < families.size(); ++f) {
+        const obs::Probe probe =
+            obs::probeFor(config.obs, static_cast<unsigned>(f));
         DegradationRow row;
         row.family = families[f].name;
         row.activations = n;
@@ -178,6 +185,13 @@ runDegradation(const DegradationConfig &config)
                 if (e.step + 1 < n) {
                     std::swap(view[e.step], view[e.step + 1]);
                     ++row.streamFaults;
+                    // Swaps leave no per-step flag behind, so their
+                    // trace event is emitted here; the merge order is
+                    // stable by (cycle, bank) either way.
+                    probe.emit(Cycle{e.step},
+                               obs::EventKind::FaultInject,
+                               Row::invalid(),
+                               static_cast<std::uint32_t>(e.site));
                 }
                 break;
               default:
@@ -199,7 +213,7 @@ runDegradation(const DegradationConfig &config)
             return reset_every ? step / reset_every : 0;
         };
 
-        auto feed = [&](Row r) {
+        auto feed = [&](Row r, std::uint64_t step) {
             const core::CounterTable::Result result =
                 config.harden ? hardened.processActivation(r)
                               : plain.processActivation(r);
@@ -207,14 +221,27 @@ runDegradation(const DegradationConfig &config)
                 result.estimatedCount.value() % threshold == 0) {
                 ++row.refreshes;
                 since_refresh[r] = 0;
+                probe.emit(Cycle{step},
+                           obs::EventKind::VictimRefresh, r);
+                probe.count(Cycle{step}, "inject.refreshes");
             }
             if (config.harden && hardened.scrubDue()) {
                 const auto scrub = hardened.scrub();
-                row.scrubRepairs += scrub.entriesScrubbed +
-                                    (scrub.spilloverScrubbed ? 1 : 0);
+                const std::uint64_t repairs =
+                    scrub.entriesScrubbed +
+                    (scrub.spilloverScrubbed ? 1 : 0);
+                row.scrubRepairs += repairs;
+                probe.emit(Cycle{step}, obs::EventKind::Scrub,
+                           Row::invalid(),
+                           static_cast<std::uint32_t>(repairs));
+                probe.count(Cycle{step}, "inject.scrub_repairs",
+                            static_cast<double>(repairs));
                 for (Row victim : scrub.conservativeNrr) {
                     ++row.refreshes;
                     since_refresh[victim] = 0;
+                    probe.emit(Cycle{step},
+                               obs::EventKind::VictimRefresh, victim);
+                    probe.count(Cycle{step}, "inject.refreshes");
                 }
             }
         };
@@ -254,16 +281,32 @@ runDegradation(const DegradationConfig &config)
                     ++row.faultsApplied;
                     any_state_fault = true;
                     last_fault_step = i;
+                    probe.emit(Cycle{i}, obs::EventKind::FaultInject,
+                               Row::invalid(),
+                               static_cast<std::uint32_t>(e.site));
+                    probe.count(Cycle{i}, "inject.faults");
                 }
             }
 
             const Row actual = truth[i];
             ++since_refresh[actual];
 
-            if (!dropped[i]) {
-                feed(view[i]);
-                if (duplicated[i])
-                    feed(view[i]);
+            if (dropped[i]) {
+                probe.emit(Cycle{i}, obs::EventKind::FaultInject,
+                           view[i],
+                           static_cast<std::uint32_t>(
+                               FaultSite::StreamDrop));
+                probe.count(Cycle{i}, "inject.stream_faults");
+            } else {
+                feed(view[i], i);
+                if (duplicated[i]) {
+                    probe.emit(Cycle{i}, obs::EventKind::FaultInject,
+                               view[i],
+                               static_cast<std::uint32_t>(
+                                   FaultSite::StreamDuplicate));
+                    probe.count(Cycle{i}, "inject.stream_faults");
+                    feed(view[i], i);
+                }
             }
 
             // P3, measured: the tracker had its chance this step; if
@@ -275,6 +318,7 @@ runDegradation(const DegradationConfig &config)
                     window_of(i) > window_of(last_fault_step))
                     ++row.lateWindowMisses;
                 since_refresh[actual] = 0;
+                probe.count(Cycle{i}, "inject.missed_refreshes");
             }
 
             if (reset_every && (i + 1) % reset_every == 0) {
@@ -283,6 +327,10 @@ runDegradation(const DegradationConfig &config)
                 else
                     plain.reset();
                 since_refresh.clear();
+                probe.emit(Cycle{i}, obs::EventKind::TrackerReset,
+                           Row::invalid(),
+                           static_cast<std::uint32_t>(window_of(i)));
+                probe.count(Cycle{i}, "inject.tracker_resets");
             }
         }
 
@@ -290,6 +338,8 @@ runDegradation(const DegradationConfig &config)
             ContractCountGuard::trips() - trips_before;
         report.rows.push_back(row);
     }
+    if (config.obs)
+        config.obs->metrics.finish();
     return report;
 }
 

@@ -38,6 +38,11 @@
 #include "schemes/factory.hh"
 
 namespace graphene {
+
+namespace obs {
+struct Sink;
+} // namespace obs
+
 namespace inject {
 
 /** One degradation campaign: faults x families x one table flavour. */
@@ -63,6 +68,14 @@ struct DegradationConfig
 
     /** Scrub period in activations (hardened table only). */
     std::uint64_t scrubEvery = 32;
+
+    /**
+     * Optional observability sink: fault injections, scrubs, crossing
+     * refreshes, and tracker resets land on one timeline track per
+     * stream family (bank id == family index; "cycles" are ACT
+     * ordinals). Never part of the deterministic summary.
+     */
+    obs::Sink *obs = nullptr;
 };
 
 /** Outcome of one (family, schedule) run. */

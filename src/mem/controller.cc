@@ -18,6 +18,7 @@ ChannelController::ChannelController(const ControllerConfig &config)
     spec.rowsPerBank = config.rowsPerBank;
     spec.timing = config.timing;
     _schemes.reserve(config.banksPerRank);
+    _probes.reserve(config.banksPerRank);
     for (unsigned b = 0; b < config.banksPerRank; ++b) {
         schemes::SchemeSpec bank_spec = spec;
         bank_spec.seed = spec.seed * 1000003ULL + b;
@@ -26,6 +27,10 @@ ChannelController::ChannelController(const ControllerConfig &config)
                        "controller: invalid scheme spec: %s",
                        built.error().describe().c_str());
         _schemes.push_back(std::move(built).value());
+        _probes.push_back(
+            obs::probeFor(config.obs, config.obsBankBase + b));
+        if (_schemes.back())
+            _schemes.back()->attachProbe(_probes.back());
     }
 }
 
@@ -43,6 +48,8 @@ ChannelController::catchUpRefresh(Cycle cycle)
     while (_rank.nextRefreshDue() <= cycle) {
         const Cycle due = _rank.nextRefreshDue();
         _rank.issueRefresh(due);
+        _probes[0].emit(due, obs::EventKind::PeriodicRef);
+        _probes[0].count(due, "mem.refs");
         // Schemes that act on REF cadence (PRoHIT's victim refresh,
         // TWiCe's pruning interval) observe the command here.
         for (unsigned b = 0; b < _schemes.size(); ++b) {
@@ -65,12 +72,19 @@ ChannelController::applyAction(Cycle cycle, unsigned bank,
         _rank.issueNrr(cycle, bank, aggressor,
                        _config.scheme.blastRadius);
     }
+    if (!action.nrrAggressors.empty())
+        _probes[bank].count(
+            cycle, "mem.nrr_events",
+            static_cast<double>(action.nrrAggressors.size()));
     if (!action.victimRows.empty()) {
         std::vector<Row> rows;
         rows.reserve(action.victimRows.size());
         for (Row r : action.victimRows)
             if (r.value() < _config.rowsPerBank)
                 rows.push_back(r);
+        if (!rows.empty())
+            _probes[bank].count(cycle, "mem.victim_rows",
+                                static_cast<double>(rows.size()));
         const unsigned chunk = _config.refreshChunkRows;
         if (chunk == 0 || rows.size() <= chunk) {
             _rank.refreshVictimRows(cycle, bank, rows);
@@ -100,16 +114,23 @@ ChannelController::access(Cycle issue, unsigned bank, Row row,
         const Cycle start = b.earliestAct(issue);
         b.block(start, start + pay);
         _refreshDebt[bank] -= pay;
+        _probes[bank].emit(start, obs::EventKind::QueueStall,
+                           Row::invalid(),
+                           static_cast<std::uint32_t>(pay.value()));
+        _probes[bank].count(start, "mem.stall_cycles",
+                            static_cast<double>(pay.value()));
     }
 
     ServiceResult result;
     ++_requests;
+    _probes[bank].count(issue, "mem.requests");
 
     const bool hit = b.isOpen() && b.openRow() == row;
     if (hit && _consecutiveHits[bank] < _config.pageHitLimit) {
         ++_consecutiveHits[bank];
         ++_rowHits;
         result.rowHit = true;
+        _probes[bank].count(issue, "mem.row_hits");
     } else {
         if (b.isOpen())
             b.issuePrecharge(b.earliestPrecharge(issue));
@@ -135,6 +156,8 @@ ChannelController::access(Cycle issue, unsigned bank, Row row,
             _rank.recordFawAct(act_at);
             ++_acts;
             result.didAct = true;
+            _probes[bank].emit(act_at, obs::EventKind::Act, row);
+            _probes[bank].count(act_at, "mem.acts");
 
             _rank.notifyActivate(act_at, bank, row);
             if (_schemes[bank]) {

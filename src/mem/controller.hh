@@ -34,6 +34,7 @@
 #include "dram/address.hh"
 #include "dram/rank.hh"
 #include "mem/request.hh"
+#include "obs/obs.hh"
 #include "schemes/factory.hh"
 
 namespace graphene {
@@ -66,6 +67,18 @@ struct ControllerConfig
      * stay atomic. Zero disables chunking (fully atomic bursts).
      */
     unsigned refreshChunkRows = 1;
+
+    /**
+     * Observability sink the controller reports into (null: none).
+     * Deliberately excluded from every configuration fingerprint —
+     * tracing a run must not change its cache key or its results
+     * (DESIGN.md §11).
+     */
+    obs::Sink *obs = nullptr;
+
+    /** Flat bank id of this channel's bank 0 in the sink (channels
+     *  own disjoint bank ranges of one shared sink). */
+    unsigned obsBankBase = 0;
 };
 
 /** Outcome of servicing one request. */
@@ -102,6 +115,9 @@ class ChannelController
     /** Protection scheme guarding @p bank (nullptr when none). */
     ProtectionScheme *scheme(unsigned bank);
 
+    /** Observability probe of @p bank (detached when unconfigured). */
+    obs::Probe probe(unsigned bank) const { return _probes[bank]; }
+
     /** Victim rows refreshed across the channel so far. */
     std::uint64_t victimRowsRefreshed() const
     {
@@ -126,6 +142,8 @@ class ChannelController
     ControllerConfig _config;
     dram::Rank _rank;
     std::vector<std::unique_ptr<ProtectionScheme>> _schemes;
+    /// One probe per bank (all empty under GRAPHENE_OBS_OFF).
+    std::vector<obs::Probe> _probes;
     std::vector<unsigned> _consecutiveHits;
     /// Outstanding victim-refresh busy cycles owed per bank.
     std::vector<Cycle> _refreshDebt;

@@ -111,6 +111,16 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
         }
 
         Pending p = queues[best_bank][best_idx];
+        // The starvation bound firing is a queue stall worth seeing:
+        // the head was forced past younger row hits.
+        if (_policy == SchedulerPolicy::FrFcfs && best_idx == 0 &&
+            queues[best_bank].size() > 1 &&
+            bypasses[best_bank] >= _batchCap) {
+            const obs::Probe probe = _inner.probe(best_bank);
+            probe.emit(best_time, obs::EventKind::QueueStall, p.row,
+                       bypasses[best_bank]);
+            probe.count(best_time, "queue.forced_heads");
+        }
         queues[best_bank].erase(queues[best_bank].begin() +
                                 static_cast<long>(best_idx));
         bypasses[best_bank] =
@@ -130,6 +140,11 @@ QueuedChannelController::run(const std::vector<MemRequest> &requests,
         // picks for this bank wait behind it, which is what lets the
         // queue build up and reordering take effect.
         bank_free[p.bank] = std::max(bank_free[p.bank], r.completion);
+        _inner.probe(p.bank).sample(
+            r.completion, "queue.latency",
+            static_cast<double>(
+                (r.completion - p.request.issue).value()),
+            64, 65536.0);
         served.push_back({p.request, r.completion, r.rowHit});
     }
     return served;

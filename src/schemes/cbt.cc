@@ -119,7 +119,8 @@ Cbt::split(std::map<Row, Node>::iterator it)
 }
 
 void
-Cbt::trigger(std::map<Row, Node>::iterator it, RefreshAction &action)
+Cbt::trigger(Cycle cycle, std::map<Row, Node>::iterator it,
+             RefreshAction &action)
 {
     Node &node = it->second;
     const Row start = node.start;
@@ -162,7 +163,8 @@ Cbt::trigger(std::map<Row, Node>::iterator it, RefreshAction &action)
     node.count = 0;
     _lastBurstRows = refreshed;
     _mergeCacheValid = false;
-    ++_victimRefreshEvents;
+    noteVictimRefresh(cycle, start,
+                      static_cast<unsigned>(refreshed));
     GRAPHENE_ENSURES(refreshed > 0 && !action.empty(),
                      "a trigger must refresh at least one victim");
 }
@@ -251,7 +253,7 @@ Cbt::onActivate(Cycle cycle, Row row, RefreshAction &action)
                        "counter tree outgrew its hardware budget");
 
     if (it->second.count >= _config.finalThreshold())
-        trigger(it, action);
+        trigger(cycle, it, action);
 
     GRAPHENE_ENSURES(it->second.count < _config.finalThreshold(),
                      "a counter at the final threshold must have "

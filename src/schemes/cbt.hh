@@ -126,7 +126,7 @@ class Cbt : public ProtectionScheme
     std::map<Row, Node>::iterator findNode(Row row);
     void split(std::map<Row, Node>::iterator it);
     bool reclaimColderThan(std::uint64_t hot_count);
-    void trigger(std::map<Row, Node>::iterator it,
+    void trigger(Cycle cycle, std::map<Row, Node>::iterator it,
                  RefreshAction &action);
 
     CbtConfig _config;

@@ -36,7 +36,7 @@ MrLoc::name() const
 }
 
 void
-MrLoc::touch(Row victim, RefreshAction &action)
+MrLoc::touch(Cycle cycle, Row victim, RefreshAction &action)
 {
     auto it = std::find(_queue.begin(), _queue.end(), victim);
     if (it != _queue.end()) {
@@ -49,7 +49,7 @@ MrLoc::touch(Row victim, RefreshAction &action)
                          (_config.pHot - _config.pBase / 2.0) * recency;
         if (_rng.bernoulli(p)) {
             action.victimRows.push_back(victim);
-            ++_victimRefreshEvents;
+            noteVictimRefresh(cycle, victim, 1);
         }
         _queue.erase(it);
         _queue.push_back(victim);
@@ -58,7 +58,7 @@ MrLoc::touch(Row victim, RefreshAction &action)
 
     if (_rng.bernoulli(_config.pBase / 2.0)) {
         action.victimRows.push_back(victim);
-        ++_victimRefreshEvents;
+        noteVictimRefresh(cycle, victim, 1);
     }
     _queue.push_back(victim);
     if (_queue.size() > _config.queueEntries)
@@ -73,11 +73,10 @@ MrLoc::touch(Row victim, RefreshAction &action)
 void
 MrLoc::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
-    (void)cycle;
     if (row.value() >= 1)
-        touch(row - 1, action);
+        touch(cycle, row - 1, action);
     if (row.value() + 1 < _config.rowsPerBank)
-        touch(row + 1, action);
+        touch(cycle, row + 1, action);
 }
 
 TableCost

@@ -64,7 +64,7 @@ class MrLoc : public ProtectionScheme
     const std::deque<Row> &queue() const { return _queue; }
 
   private:
-    void touch(Row victim, RefreshAction &action);
+    void touch(Cycle cycle, Row victim, RefreshAction &action);
 
     MrLocConfig _config;
     Rng _rng;

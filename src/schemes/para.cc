@@ -41,7 +41,6 @@ Para::name() const
 void
 Para::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
-    (void)cycle;
     for (unsigned d = 1; d <= _config.probabilities.size(); ++d) {
         if (!_rng.bernoulli(_config.probabilities[d - 1]))
             continue;
@@ -62,7 +61,7 @@ Para::onActivate(Cycle cycle, Row row, RefreshAction &action)
         GRAPHENE_ENSURES(action.victimRows.back().value() <
                              _config.rowsPerBank,
                          "PARA picked a victim outside the bank");
-        ++_victimRefreshEvents;
+        noteVictimRefresh(cycle, action.victimRows.back(), 1);
     }
 }
 

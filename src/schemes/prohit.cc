@@ -93,12 +93,12 @@ ProHit::onActivate(Cycle cycle, Row row, RefreshAction &action)
 void
 ProHit::onRefresh(Cycle cycle, RefreshAction &action)
 {
-    (void)cycle;
     if (_hot.empty() || !_rng.bernoulli(_config.refreshProbability))
         return;
-    action.victimRows.push_back(_hot.front());
+    const Row victim = _hot.front();
+    action.victimRows.push_back(victim);
     _hot.erase(_hot.begin());
-    ++_victimRefreshEvents;
+    noteVictimRefresh(cycle, victim, 1);
 }
 
 TableCost

@@ -76,7 +76,6 @@ TwiCe::name() const
 void
 TwiCe::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
-    (void)cycle;
     auto it = _entries.find(row);
     if (it == _entries.end()) {
         if (_entries.size() >= _capacity) {
@@ -85,7 +84,7 @@ TwiCe::onActivate(Cycle cycle, Row row, RefreshAction &action)
                 // Conservative fallback: protect the victims now
                 // rather than lose track of the aggressor.
                 action.nrrAggressors.push_back(row);
-                ++_victimRefreshEvents;
+                noteVictimRefresh(cycle, row);
                 ++_overflowFallbacks;
                 return;
             }
@@ -99,7 +98,7 @@ TwiCe::onActivate(Cycle cycle, Row row, RefreshAction &action)
     ++e.count;
     if (e.count >= _trigger) {
         action.nrrAggressors.push_back(row);
-        ++_victimRefreshEvents;
+        noteVictimRefresh(cycle, row);
         e.count = 0;
     }
     // The no-false-negative argument needs every tracked count to

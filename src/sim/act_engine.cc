@@ -64,6 +64,12 @@ runActStream(const ActEngineConfig &config,
                    built.error().describe().c_str());
     auto scheme = std::move(built).value();
 
+    const obs::Probe probe = obs::probeFor(config.obs, 0);
+    if (config.obs)
+        config.obs->metrics.beginWindows(config.timing.cREFW());
+    if (scheme)
+        scheme->attachProbe(probe);
+
     const Cycle horizon{static_cast<std::uint64_t>(
         static_cast<double>(config.timing.cREFW().value()) *
         config.windows)};
@@ -91,6 +97,9 @@ runActStream(const ActEngineConfig &config,
                 if (r.value() < config.rowsPerBank)
                     rows.push_back(r);
             rank.refreshVictimRows(cycle, 0, rows);
+            if (!rows.empty())
+                probe.count(cycle, "engine.victim_rows",
+                            static_cast<double>(rows.size()));
         }
         action.clear();
     };
@@ -100,6 +109,8 @@ runActStream(const ActEngineConfig &config,
             const Cycle due = rank.nextRefreshDue();
             rank.issueRefresh(due);
             ++result.refreshCommands;
+            probe.emit(due, obs::EventKind::PeriodicRef);
+            probe.count(due, "engine.refs");
             if (scheme) {
                 action.clear();
                 scheme->onRefresh(due, action);
@@ -129,6 +140,8 @@ runActStream(const ActEngineConfig &config,
         bank.issueAct(cycle, row);
         bank.issuePrecharge(bank.earliestPrecharge(cycle));
         ++result.acts;
+        probe.emit(cycle, obs::EventKind::Act, row);
+        probe.count(cycle, "engine.acts");
         rank.notifyActivate(cycle, 0, row);
 
         if (scheme) {
@@ -139,6 +152,9 @@ runActStream(const ActEngineConfig &config,
 
         next_act = static_cast<double>(cycle.value()) + spacing;
     }
+
+    if (config.obs)
+        config.obs->metrics.finish();
 
     result.victimRowsRefreshed = rank.nrrRowCount();
     result.bitFlips = rank.faultModel(0).flips().size();

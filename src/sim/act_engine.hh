@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "dram/rank.hh"
+#include "obs/obs.hh"
 #include "schemes/factory.hh"
 #include "workloads/act_patterns.hh"
 
@@ -52,6 +53,13 @@ struct ActEngineConfig
 
     /** Seed of the remap permutation. */
     std::uint64_t remapSeed = 0xdecafbadULL;
+
+    /**
+     * Observability sink (null: no tracing); the single bank traces
+     * as flat bank 0. Never fingerprinted — tracing cannot change
+     * results or cache keys.
+     */
+    obs::Sink *obs = nullptr;
 
     /**
      * Check every configuration rule — rate, span, rows, and the

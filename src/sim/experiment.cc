@@ -281,15 +281,22 @@ runOverheadGrid(const SystemConfig &base,
                         schemes::SchemeKind::None),
                     systemCellDigest(base, workload,
                                      schemes::SchemeKind::None)};
-        cell.body = [none, workload, traffic_seed]() {
+        // One closure serves both entry points: `body` is the
+        // untraced call, `obsBody` the traced one. The sink never
+        // feeds back into the run, so both yield identical results.
+        const auto run_cell = [none, workload,
+                               traffic_seed](obs::Sink *sink) {
             const Result<void> valid = schemes::validateSchemeSpec(
                 cellSpec(none, schemes::SchemeKind::None));
             if (!valid.ok())
                 return skippedCell(valid.error().describe());
             SystemConfig config = none;
             config.seed = traffic_seed;
+            config.obs = sink;
             return toCellResult(runSystem(config, workload));
         };
+        cell.body = [run_cell]() { return run_cell(nullptr); };
+        cell.obsBody = run_cell;
         baselines.cells.push_back(std::move(cell));
     }
     const std::vector<exp::CellResult> baseline_results =
@@ -313,8 +320,9 @@ runOverheadGrid(const SystemConfig &base,
             cell.key = {label, workload.name,
                         schemes::schemeKindName(kind),
                         systemCellDigest(base, workload, kind)};
-            cell.body = [protected_config, workload, traffic_seed,
-                         baseline, kind]() {
+            const auto run_cell = [protected_config, workload,
+                                   traffic_seed, baseline,
+                                   kind](obs::Sink *sink) {
                 if (baseline.skipped())
                     return skippedCell("baseline: " +
                                        baseline.error);
@@ -326,6 +334,7 @@ runOverheadGrid(const SystemConfig &base,
 
                 SystemConfig config = protected_config;
                 config.seed = traffic_seed;
+                config.obs = sink;
                 const SystemResult r = runSystem(config, workload);
 
                 SystemResult baseline_result;
@@ -336,6 +345,8 @@ runOverheadGrid(const SystemConfig &base,
                     r.speedupLossVs(baseline_result);
                 return out;
             };
+            cell.body = [run_cell]() { return run_cell(nullptr); };
+            cell.obsBody = run_cell;
             grid.cells.push_back(std::move(cell));
         }
     }
@@ -386,7 +397,8 @@ runAdversarialGrid(const ActEngineConfig &base,
                         schemes::schemeKindName(kind),
                         actCellDigest(base, pi, pattern_names[pi],
                                       seed, kind)};
-            cell.body = [base, kind, pi, pattern_seed]() {
+            const auto run_cell = [base, kind, pi,
+                                   pattern_seed](obs::Sink *sink) {
                 const Result<void> valid =
                     schemes::validateSchemeSpec(
                         cellSpec(base, kind));
@@ -397,9 +409,12 @@ runAdversarialGrid(const ActEngineConfig &base,
                     base.rowsPerBank, pattern_seed);
                 ActEngineConfig config = base;
                 config.scheme.kind = kind;
+                config.obs = sink;
                 return toCellResult(
                     runActStream(config, *suite[pi]));
             };
+            cell.body = [run_cell]() { return run_cell(nullptr); };
+            cell.obsBody = run_cell;
             grid.cells.push_back(std::move(cell));
         }
     }

@@ -81,11 +81,16 @@ runSystem(const SystemConfig &config,
         config.physicalThreshold ? config.physicalThreshold
                                  : config.scheme.rowHammerThreshold);
     ctrl_config.fault.mu = {1.0};
+    ctrl_config.obs = config.obs;
+
+    if (config.obs)
+        config.obs->metrics.beginWindows(config.timing.cREFW());
 
     std::vector<std::unique_ptr<mem::ChannelController>> channels;
     for (unsigned c = 0; c < config.geometry.channels; ++c) {
         mem::ControllerConfig per_channel = ctrl_config;
         per_channel.scheme.seed = config.seed + 17 * c;
+        per_channel.obsBankBase = c * config.geometry.banksPerRank;
         channels.push_back(
             std::make_unique<mem::ChannelController>(per_channel));
     }
@@ -145,6 +150,9 @@ runSystem(const SystemConfig &config,
         for (unsigned b = 0; b < config.geometry.banksPerRank; ++b)
             flips += channel->rank().faultModel(b).flips().size();
     }
+
+    if (config.obs)
+        config.obs->metrics.finish();
 
     result.requests = requests;
     result.acts = acts;

@@ -55,6 +55,14 @@ struct SystemConfig
     std::uint64_t physicalThreshold = 0;
 
     /**
+     * Observability sink shared by every channel (null: no tracing).
+     * Channels own disjoint flat-bank ranges (channel c's bank b is
+     * flat bank c * banksPerRank + b). Never fingerprinted: tracing
+     * cannot change results or cache keys.
+     */
+    obs::Sink *obs = nullptr;
+
+    /**
      * Check every configuration rule — core count, simulated span,
      * geometry, and the derived per-bank scheme spec — and report all
      * violations in one Config error (one note per broken rule).

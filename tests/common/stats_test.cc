@@ -45,6 +45,42 @@ TEST(Histogram, NegativeSamplesCountAsOverflow)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Histogram, SamplesCountsEverythingIncludingOverflow)
+{
+    Histogram h("lat", 4, 8.0);
+    h.sample(1.0);
+    h.sample(100.0); // overflow
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.samples(), h.count());
+}
+
+TEST(Histogram, ResetClearsAllBookkeeping)
+{
+    // Regression: reset() must clear the overflow/drop counters too,
+    // not just the buckets — stale overflow counts used to leak
+    // across group resets.
+    Histogram h("lat", 4, 8.0);
+    h.sample(2.0);
+    h.sample(50.0); // overflow
+    h.sample(-1.0); // overflow
+    ASSERT_EQ(h.samples(), 3u);
+    ASSERT_EQ(h.overflow(), 2u);
+
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (const auto bucket : h.buckets())
+        EXPECT_EQ(bucket, 0u);
+
+    // The histogram is fully reusable after the wipe.
+    h.sample(3.0);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
 TEST(Histogram, PrintMentionsNameAndCount)
 {
     Histogram h("lat", 4, 8.0);
@@ -72,6 +108,32 @@ TEST(StatGroup, ResetClearsAll)
     g.reset();
     EXPECT_EQ(g.get("a"), 0.0);
     EXPECT_EQ(g.get("b"), 0.0);
+}
+
+TEST(StatGroup, HistogramGetOrCreateKeepsFirstShape)
+{
+    StatGroup g;
+    Histogram &h = g.histogram("lat", 4, 8.0);
+    h.sample(1.0);
+    // Later calls ignore the shape arguments and return the same
+    // object.
+    Histogram &again = g.histogram("lat", 64, 1000.0);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.buckets().size(), 4u);
+    EXPECT_EQ(g.findHistogram("lat")->samples(), 1u);
+    EXPECT_EQ(g.findHistogram("nope"), nullptr);
+}
+
+TEST(StatGroup, ResetClearsHistogramsToo)
+{
+    StatGroup g;
+    g.histogram("lat", 4, 8.0).sample(99.0); // overflow
+    g.scalar("acts") += 3;
+    g.reset();
+    EXPECT_EQ(g.get("acts"), 0.0);
+    ASSERT_NE(g.findHistogram("lat"), nullptr);
+    EXPECT_EQ(g.findHistogram("lat")->samples(), 0u);
+    EXPECT_EQ(g.findHistogram("lat")->overflow(), 0u);
 }
 
 TEST(StatGroup, PrintListsEveryStat)

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fault-injection events on the observability timeline: the
+ * degradation harness's corruptions, scrub repairs, and crossing
+ * refreshes must share one event stream, so a post-mortem can see an
+ * injected bit-flip land between the corruption and the scrub that
+ * repaired it. Under GRAPHENE_OBS_OFF the harness must run untraced
+ * with identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "inject/degradation.hh"
+#include "obs/obs.hh"
+
+namespace graphene {
+namespace inject {
+namespace {
+
+DegradationConfig
+hardenedCampaign()
+{
+    DegradationConfig config;
+    config.model.tableEntries = 8;
+    config.model.threshold = 64;
+    config.model.numRows = 512;
+    config.model.streamLength = 6000;
+    config.model.resetEvery = 3000;
+    config.harden = true;
+    config.scrubEvery = 32;
+    config.plan.faults = 6;
+    config.plan.sites = {FaultSite::EntryCount};
+    config.plan.seed = 5;
+    return config;
+}
+
+TEST(FaultTrace, DegradationRunsUnchangedWithASinkAttached)
+{
+    DegradationConfig untraced = hardenedCampaign();
+    const std::string baseline =
+        runDegradation(untraced).summary();
+
+    obs::Sink sink;
+    DegradationConfig traced = hardenedCampaign();
+    traced.obs = &sink;
+    const std::string observed = runDegradation(traced).summary();
+
+    // The sink never feeds back: the deterministic summary is
+    // byte-identical with and without tracing.
+    EXPECT_EQ(baseline, observed);
+}
+
+#ifndef GRAPHENE_OBS_OFF
+
+TEST(FaultTrace, InjectedFlipAppearsBeforeTheScrubThatFollows)
+{
+    obs::Sink sink;
+    DegradationConfig config = hardenedCampaign();
+    config.obs = &sink;
+    const DegradationReport report = runDegradation(config);
+    ASSERT_GT(report.totalFaultsApplied(), 0u);
+
+    const auto events = sink.tracer.merged();
+    ASSERT_FALSE(events.empty());
+
+    // Restrict to the first stream family's track (bank 0).
+    std::vector<obs::Event> track;
+    for (const auto &e : events)
+        if (e.bank == 0)
+            track.push_back(e);
+
+    const auto fault = std::find_if(
+        track.begin(), track.end(), [](const obs::Event &e) {
+            return e.kind == obs::EventKind::FaultInject;
+        });
+    ASSERT_NE(fault, track.end())
+        << "state-fault application must emit a fault-inject event";
+    EXPECT_EQ(fault->arg,
+              static_cast<std::uint32_t>(FaultSite::EntryCount));
+
+    // The hardened table scrubs every scrubEvery ACTs, so a scrub
+    // event follows the injected flip on the same timeline.
+    const auto scrub = std::find_if(
+        fault, track.end(), [](const obs::Event &e) {
+            return e.kind == obs::EventKind::Scrub;
+        });
+    ASSERT_NE(scrub, track.end())
+        << "a scrub pass must appear after the injected bit-flip";
+    EXPECT_GE(scrub->cycle.value(), fault->cycle.value());
+}
+
+TEST(FaultTrace, EventTotalsMatchTheReport)
+{
+    obs::Sink sink;
+    DegradationConfig config = hardenedCampaign();
+    config.obs = &sink;
+    const DegradationReport report = runDegradation(config);
+
+    std::uint64_t fault_events = 0, reset_events = 0;
+    for (const auto &e : sink.tracer.merged()) {
+        if (e.kind == obs::EventKind::FaultInject)
+            ++fault_events;
+        else if (e.kind == obs::EventKind::TrackerReset)
+            ++reset_events;
+    }
+    // State-only sites: every applied fault emits exactly one event.
+    EXPECT_EQ(fault_events, report.totalFaultsApplied());
+    // Each family wipes its table at every reset_every boundary.
+    const std::uint64_t boundaries = config.model.streamLength /
+                                     config.model.resetEvery;
+    EXPECT_EQ(reset_events, boundaries * report.rows.size());
+
+    // Metrics share the sink: the scalar totals agree with the
+    // per-row report fields.
+    EXPECT_DOUBLE_EQ(
+        sink.metrics.totals().get("inject.faults"),
+        static_cast<double>(report.totalFaultsApplied()));
+    std::uint64_t missed = 0;
+    for (const auto &row : report.rows)
+        missed += row.missedRefreshes;
+    EXPECT_DOUBLE_EQ(
+        sink.metrics.totals().get("inject.missed_refreshes"),
+        static_cast<double>(missed));
+}
+
+TEST(FaultTrace, TraceIsDeterministicAcrossRuns)
+{
+    std::string exports[2];
+    for (int r = 0; r < 2; ++r) {
+        obs::Sink sink;
+        DegradationConfig config = hardenedCampaign();
+        config.obs = &sink;
+        runDegradation(config);
+        std::ostringstream os;
+        sink.tracer.writeEventsJsonl(
+            os, Cycle{config.model.resetEvery});
+        exports[r] = os.str();
+    }
+    EXPECT_FALSE(exports[0].empty());
+    EXPECT_EQ(exports[0], exports[1]);
+}
+
+#endif // GRAPHENE_OBS_OFF
+
+} // namespace
+} // namespace inject
+} // namespace graphene

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the windowed metrics registry: per-window delta series,
+ * the conservation invariant (sum of window deltas == end-of-run
+ * total, for scalars and histogram sample counts), max-monotonic
+ * window attribution, and the JSONL exporter. Under GRAPHENE_OBS_OFF
+ * only the compile-out contract is asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
+
+namespace graphene {
+namespace obs {
+namespace {
+
+#ifdef GRAPHENE_OBS_OFF
+
+TEST(ObsCompileOut, AllStatefulTypesAreEmpty)
+{
+    static_assert(std::is_empty_v<Tracer>,
+                  "OBS_OFF tracer must be zero-size");
+    static_assert(std::is_empty_v<MetricsRegistry>,
+                  "OBS_OFF metrics registry must be zero-size");
+    static_assert(std::is_empty_v<Probe>,
+                  "OBS_OFF probe must be zero-size");
+    EXPECT_FALSE(kEnabled);
+
+    // The no-op API stays callable so probe sites need no guards.
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    m.add(Cycle{1}, "x");
+    m.finish();
+    EXPECT_TRUE(m.windows().empty());
+    EXPECT_EQ(m.windowSum("x"), 0.0);
+}
+
+#else // tracing compiled in
+
+TEST(MetricsRegistry, ClosesWindowsAtBoundaries)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    m.add(Cycle{10}, "acts");
+    m.add(Cycle{50}, "acts");
+    m.add(Cycle{150}, "acts"); // closes window 0
+    m.add(Cycle{320}, "acts"); // closes windows 1 and 2
+    m.finish();
+
+    ASSERT_EQ(m.windows().size(), 4u);
+    EXPECT_EQ(m.windows()[0].window, 0u);
+    EXPECT_DOUBLE_EQ(m.windows()[0].deltas.at("acts"), 2.0);
+    EXPECT_DOUBLE_EQ(m.windows()[1].deltas.at("acts"), 1.0);
+    // Window 2 saw nothing; its delta is an explicit zero (known
+    // statistics are reported in every window once created).
+    EXPECT_DOUBLE_EQ(m.windows()[2].deltas.at("acts"), 0.0);
+    EXPECT_DOUBLE_EQ(m.windows()[3].deltas.at("acts"), 1.0);
+}
+
+TEST(MetricsRegistry, ScalarConservation)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{64});
+    double expected = 0.0;
+    for (std::uint64_t c = 0; c < 1000; c += 7) {
+        const double v = 1.0 + static_cast<double>(c % 3);
+        m.add(Cycle{c}, "work", v);
+        expected += v;
+    }
+    m.finish();
+
+    EXPECT_DOUBLE_EQ(m.totals().get("work"), expected);
+    // The regression the windowed series exists to guard: deltas must
+    // add back up to the end-of-run total.
+    EXPECT_DOUBLE_EQ(m.windowSum("work"), expected);
+}
+
+TEST(MetricsRegistry, HistogramSampleConservation)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{50});
+    std::uint64_t samples = 0;
+    for (std::uint64_t c = 0; c < 400; c += 3) {
+        m.sample(Cycle{c}, "lat", static_cast<double>(c % 90), 16,
+                 64.0);
+        ++samples;
+    }
+    m.finish();
+
+    const Histogram *h = m.totals().findHistogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->samples(), samples);
+    // Histogram windows are tracked as "<name>.samples" deltas; the
+    // overflowed samples (>= 64.0 here) must be conserved too.
+    EXPECT_GT(h->overflow(), 0u);
+    EXPECT_DOUBLE_EQ(m.windowSum("lat.samples"),
+                     static_cast<double>(samples));
+}
+
+TEST(MetricsRegistry, WindowAttributionIsMaxMonotonic)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    m.add(Cycle{250}, "x"); // opens window 2, closing 0 and 1
+    m.add(Cycle{10}, "x");  // late update: stays in window 2
+    m.finish();
+
+    ASSERT_EQ(m.windows().size(), 3u);
+    EXPECT_EQ(m.windows()[0].deltas.count("x"), 0u);
+    EXPECT_EQ(m.windows()[1].deltas.count("x"), 0u);
+    EXPECT_DOUBLE_EQ(m.windows()[2].deltas.at("x"), 2.0);
+    EXPECT_DOUBLE_EQ(m.windowSum("x"), 2.0);
+}
+
+TEST(MetricsRegistry, ZeroWindowLengthKeepsOneWindow)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{});
+    m.add(Cycle{5}, "x");
+    m.add(Cycle{100000}, "x");
+    m.finish();
+    ASSERT_EQ(m.windows().size(), 1u);
+    EXPECT_DOUBLE_EQ(m.windows()[0].deltas.at("x"), 2.0);
+}
+
+TEST(MetricsRegistry, FinishIsIdempotent)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{10});
+    m.add(Cycle{3}, "x");
+    m.finish();
+    m.finish();
+    EXPECT_EQ(m.windows().size(), 1u);
+}
+
+TEST(MetricsRegistry, WriteJsonlHasHeaderWindowsAndTotals)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    m.add(Cycle{10}, "acts", 3.0);
+    m.add(Cycle{150}, "acts", 2.0);
+    m.finish();
+
+    std::ostringstream os;
+    m.writeJsonl(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("graphene-obs-metrics-v1"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"acts\":3"), std::string::npos);
+    EXPECT_NE(text.find("\"totals\":true"), std::string::npos);
+
+    // Byte-determinism: exporting twice yields identical bytes.
+    std::ostringstream again;
+    m.writeJsonl(again);
+    EXPECT_EQ(text, again.str());
+}
+
+TEST(Probe, DetachedProbeIsSafe)
+{
+    const Probe probe;
+    probe.emit(Cycle{1}, EventKind::Act, Row{3});
+    probe.count(Cycle{1}, "x");
+    probe.sample(Cycle{1}, "h", 1.0, 4, 8.0);
+    SUCCEED();
+}
+
+TEST(Probe, RoutesToTracerAndMetrics)
+{
+    Tracer tracer(16);
+    MetricsRegistry metrics;
+    metrics.beginWindows(Cycle{100});
+    const Probe probe(&tracer, &metrics, 3);
+
+    probe.emit(Cycle{7}, EventKind::VictimRefresh, Row{9}, 2);
+    probe.count(Cycle{7}, "scheme.victim_refresh_events");
+    metrics.finish();
+
+    ASSERT_EQ(tracer.banks(), 4u); // banks 0..3 allocated
+    ASSERT_EQ(tracer.ring(3).size(), 1u);
+    const Event &e = tracer.ring(3).events()[0];
+    EXPECT_EQ(e.kind, EventKind::VictimRefresh);
+    EXPECT_EQ(e.row, Row{9});
+    EXPECT_EQ(e.arg, 2u);
+    EXPECT_EQ(e.bank, 3u);
+    EXPECT_DOUBLE_EQ(
+        metrics.totals().get("scheme.victim_refresh_events"), 1.0);
+}
+
+#endif // GRAPHENE_OBS_OFF
+
+} // namespace
+} // namespace obs
+} // namespace graphene

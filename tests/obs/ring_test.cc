@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the bounded event ring: drop-newest overflow policy,
+ * deterministic drop accounting, peak occupancy. The ring itself is
+ * compiled in both build modes (the Tracer stub just never uses it),
+ * so these tests run unguarded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/ring.hh"
+
+namespace graphene {
+namespace obs {
+namespace {
+
+Event
+actAt(std::uint64_t cycle, std::uint32_t row)
+{
+    Event e;
+    e.cycle = Cycle{cycle};
+    e.row = Row{row};
+    e.kind = EventKind::Act;
+    return e;
+}
+
+TEST(EventRing, FillsToCapacityThenDropsNewest)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.push(actAt(i, i));
+
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    // Drop-newest keeps the earliest events: the retained trace is a
+    // complete prefix of the run.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.events()[i].cycle.value(), i);
+}
+
+TEST(EventRing, PushReportsAcceptance)
+{
+    EventRing ring(2);
+    EXPECT_TRUE(ring.push(actAt(0, 0)));
+    EXPECT_TRUE(ring.push(actAt(1, 1)));
+    EXPECT_FALSE(ring.push(actAt(2, 2)));
+    EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(EventRing, PeakOccupancyEqualsSizeUnderDropNewest)
+{
+    EventRing ring(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.push(actAt(i, i));
+    EXPECT_EQ(ring.peakOccupancy(), 5u);
+    EXPECT_EQ(ring.peakOccupancy(), ring.size());
+}
+
+TEST(EventRing, DropCountIsAPureFunctionOfTheStream)
+{
+    // Same stream twice -> identical retained events and drop count;
+    // this is the property that keeps trace files byte-identical
+    // across --jobs counts.
+    EventRing a(3), b(3);
+    for (std::uint64_t i = 0; i < 7; ++i) {
+        a.push(actAt(i, i * 2));
+        b.push(actAt(i, i * 2));
+    }
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.dropped(), b.dropped());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].cycle.value(),
+                  b.events()[i].cycle.value());
+        EXPECT_EQ(a.events()[i].row, b.events()[i].row);
+    }
+}
+
+TEST(EventRing, ZeroCapacityClampsToOne)
+{
+    EventRing ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    EXPECT_TRUE(ring.push(actAt(0, 0)));
+    EXPECT_FALSE(ring.push(actAt(1, 1)));
+}
+
+} // namespace
+} // namespace obs
+} // namespace graphene

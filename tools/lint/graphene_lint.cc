@@ -37,6 +37,13 @@
  *                           GRAPHENE_CHECK (internal invariants)
  *                           instead, so one bad input cannot kill a
  *                           whole experiment grid (DESIGN.md §9).
+ *   direct-logging          std::cout / printf-family calls outside
+ *                           bench/, tools/, examples/, tests/ and
+ *                           common/logging: library code reports
+ *                           through obs:: probes or common/logging,
+ *                           never by writing to stdout itself
+ *                           (std::cerr stays allowed for
+ *                           progress/warning chatter).
  *
  * Suppressions: a line (or the line directly above it) may carry
  * `lint: allow(<rule>)` to waive a specific finding, or
@@ -281,6 +288,10 @@ class Linter
                    const std::vector<std::string> &code,
                    const std::vector<std::string> &raw,
                    std::vector<Finding> &findings) const;
+    void directLogging(const fs::path &path,
+                       const std::vector<std::string> &code,
+                       const std::vector<std::string> &raw,
+                       std::vector<Finding> &findings) const;
 
     bool _allHot;
 };
@@ -553,6 +564,40 @@ Linter::rawThread(const fs::path &path,
     }
 }
 
+void
+Linter::directLogging(const fs::path &path,
+                      const std::vector<std::string> &code,
+                      const std::vector<std::string> &raw,
+                      std::vector<Finding> &findings) const
+{
+    // CLI/bench mains own their stdout, and common/logging is the
+    // sanctioned implementation. (_allHot: fixtures live under
+    // tools/, which would otherwise exempt them.)
+    if (!_allHot && (pathContains(path, "bench/") ||
+                     pathContains(path, "tools/") ||
+                     pathContains(path, "examples/") ||
+                     pathContains(path, "tests/") ||
+                     pathContains(path, "common/logging")))
+        return;
+    // Word boundaries keep snprintf/strprintf/vsnprintf out; cerr is
+    // deliberately allowed (progress lines, warnings).
+    static const std::regex bad(
+        R"(\bstd::cout\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], bad))
+            continue;
+        if (allowed(raw, i, "direct-logging"))
+            continue;
+        findings.push_back(
+            {path.generic_string(), static_cast<unsigned>(i + 1),
+             "direct-logging",
+             "library code writes to stdout (std::cout / printf "
+             "family): report through an obs:: probe or "
+             "common/logging and let the CLI/bench boundary own the "
+             "output stream"});
+    }
+}
+
 std::vector<Finding>
 Linter::lintFile(const fs::path &path) const
 {
@@ -576,6 +621,7 @@ Linter::lintFile(const fs::path &path) const
     contractMacroInclude(path, code, raw, findings);
     boundaryFatal(path, code, raw, findings);
     rawThread(path, code, raw, findings);
+    directLogging(path, code, raw, findings);
     return findings;
 }
 
@@ -616,7 +662,8 @@ allRules()
     static const std::vector<std::string> rules = {
         "raw-domain-type", "nondeterministic-rng",
         "unordered-map-iteration", "float-type",
-        "contract-macro-include", "boundary-fatal", "raw-thread"};
+        "contract-macro-include", "boundary-fatal", "raw-thread",
+        "direct-logging"};
     return rules;
 }
 

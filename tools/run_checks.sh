@@ -56,6 +56,26 @@ if ! grep -aq "$probe_string" build-werror/src/core/libgraphene_core.a; then
     failures=$((failures + 1))
 fi
 
+step "obsoff: observability compiled out, suite still green"
+build_and_test obsoff
+
+# Zero-size probe: the obs-off build's fig8 artifact must be
+# byte-identical to the instrumented build's — tracing can never
+# perturb results, and compiling it out can never change them.
+step "obsoff: fig8 artifact parity against the instrumented build"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target fig8_overhead
+./build-obsoff/bench/fig8_overhead --windows 0.02 --jobs "$jobs" \
+    --no-progress --json build-obsoff/fig8-parity.jsonl >/dev/null
+./build/bench/fig8_overhead --windows 0.02 --jobs "$jobs" \
+    --no-progress --json build/fig8-parity.jsonl >/dev/null
+if cmp -s build-obsoff/fig8-parity.jsonl build/fig8-parity.jsonl; then
+    echo "OK: obs-off and instrumented fig8 JSONL are byte-identical"
+else
+    echo "FAIL: obs-off fig8 JSONL diverges from the instrumented build"
+    failures=$((failures + 1))
+fi
+
 step "graphene_lint: repo-specific static analysis (self-test + src)"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target graphene_lint
