@@ -45,13 +45,16 @@ struct CellKey
     /** Which sweep the cell belongs to (JSONL label only; not part
      *  of the fingerprint, so identical specs share cache entries
      *  across experiments). */
-    std::string experiment;
+    std::string experiment; // analyze: fp-exempt(experiment)
 
-    /** Workload / pattern axis label. */
-    std::string workload;
+    /** Workload / pattern axis label. The digest hashes the
+     *  workload's full parameter set instead (addWorkloadFields), so
+     *  renaming a workload cannot split or alias cache entries. */
+    std::string workload; // analyze: fp-exempt(workload)
 
-    /** Scheme axis label. */
-    std::string scheme;
+    /** Scheme axis label; the digest hashes the full derived
+     *  SchemeSpec instead (addSchemeFields). */
+    std::string scheme; // analyze: fp-exempt(scheme)
 
     /** Content fingerprint of the full cell spec. */
     std::uint64_t fingerprint = 0;

@@ -73,6 +73,11 @@ MrLoc::touch(Cycle cycle, Row victim, RefreshAction &action)
 void
 MrLoc::onActivate(Cycle cycle, Row row, RefreshAction &action)
 {
+    // The neighbour guards below assume an in-bank activation; an
+    // out-of-range row would silently treat row-1/row+1 as victims
+    // of a different bank's aggressor.
+    GRAPHENE_EXPECTS(row.value() < _config.rowsPerBank,
+                     "activated row lies outside the bank");
     if (row.value() >= 1)
         touch(cycle, row - 1, action);
     if (row.value() + 1 < _config.rowsPerBank)

@@ -88,6 +88,13 @@ ProHit::onActivate(Cycle cycle, Row row, RefreshAction &action)
         present(row - 1);
     if (row.value() + 1 < _config.rowsPerBank)
         present(row + 1);
+    // Entry-point restatement of present()'s table-budget
+    // invariant: whatever combination of promotions and insertions
+    // the two neighbours triggered, the SRAM tables are unchanged
+    // in capacity.
+    GRAPHENE_ENSURES(_hot.size() <= _config.hotEntries &&
+                         _cold.size() <= _config.coldEntries,
+                     "an ACT left a history table over budget");
 }
 
 void

@@ -1,5 +1,6 @@
 #include "schemes/twice.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -136,6 +137,15 @@ TwiCe::onRefresh(Cycle cycle, RefreshAction &action)
     for (auto &kv : _entries)
         ++kv.second.life;
     prune();
+    // The pruning pass must leave no entry at or past the interval
+    // bound, or lifetimes (and the thPI pruning ratio) silently
+    // saturate.
+    GRAPHENE_INVARIANT(
+        std::all_of(_entries.begin(), _entries.end(),
+                    [&](const auto &kv) {
+                        return kv.second.life < _intervals;
+                    }),
+        "an entry outlived the pruning interval");
 }
 
 TableCost

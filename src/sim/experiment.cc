@@ -104,6 +104,12 @@ void
 addSystemTrafficFields(exp::Fingerprint &fp,
                        const SystemConfig &config)
 {
+    // analyze: fp-exempt(scheme) — deliberately excluded: the
+    // traffic digest must be identical across schemes so baseline
+    // and protected runs derive the same request stream; the scheme
+    // axis enters the *cell* digest via addSchemeFields.
+    // analyze: fp-exempt(obs) — the tracing sink never influences
+    // results (obsBody contract), so it must not split cache keys.
     fp.field("numCores",
              static_cast<std::uint64_t>(config.numCores))
         .field("windows", config.windows)
@@ -152,6 +158,10 @@ void
 addActTrafficFields(exp::Fingerprint &fp,
                     const ActEngineConfig &config)
 {
+    // analyze: fp-exempt(scheme) — same split as the system grid:
+    // every scheme must face the identical attack stream, so the
+    // scheme axis only enters the cell digest (addSchemeFields).
+    // analyze: fp-exempt(obs) — tracing sink; never fingerprinted.
     fp.field("rowsPerBank", config.rowsPerBank)
         .field("actRate", config.actRate)
         .field("windows", config.windows)

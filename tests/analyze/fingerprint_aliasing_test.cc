@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Executable demonstration of the cache-aliasing failure mode the
+ * fingerprint-completeness pass exists to prevent — the same bug the
+ * `fp_missing` fixture encodes statically (a SweepSpec whose adder
+ * forgets `blastRadius`), run for real against exp::Cache.
+ *
+ * With the buggy adder, two sweeps that differ only in the forgotten
+ * field hash to the same digest, so they share a cache address: the
+ * second sweep *loads the first sweep's results* and reports them as
+ * its own. No error, no warning — silently wrong science. The
+ * complete adder re-addresses the entry and the second sweep
+ * correctly misses.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/cache.hh"
+#include "exp/cell.hh"
+#include "exp/fingerprint.hh"
+
+namespace {
+
+using namespace graphene;
+using exp::Cache;
+using exp::CellKey;
+using exp::CellResult;
+using exp::Fingerprint;
+
+/** The fp_missing fixture's spec, as a live struct. */
+struct SweepSpec
+{
+    std::uint64_t threshold = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t blastRadius = 1;
+};
+
+/** The buggy adder: forgets blastRadius — exactly what the
+ *  fingerprint-completeness pass flags as an error. */
+void
+addSweepFieldsBuggy(Fingerprint &fp, const SweepSpec &spec)
+{
+    fp.field("threshold", spec.threshold);
+    fp.field("seed", spec.seed);
+}
+
+/** The complete adder: every field feeds the digest. */
+void
+addSweepFieldsFixed(Fingerprint &fp, const SweepSpec &spec)
+{
+    fp.field("threshold", spec.threshold);
+    fp.field("seed", spec.seed);
+    fp.field("blastRadius", spec.blastRadius);
+}
+
+template <typename Adder>
+CellKey
+keyOf(const SweepSpec &spec, Adder add, const char *label)
+{
+    Fingerprint fp;
+    add(fp, spec);
+    CellKey key;
+    key.experiment = "aliasing-demo";
+    key.workload = label;
+    key.scheme = "Graphene";
+    key.fingerprint = fp.digest();
+    return key;
+}
+
+std::string
+freshDir(const char *name)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+TEST(FingerprintAliasing, UnhashedFieldServesStaleResults)
+{
+    SweepSpec near;
+    near.threshold = 50000;
+    near.seed = 7;
+    near.blastRadius = 1;
+
+    SweepSpec wide = near;
+    wide.blastRadius = 4; // a *different* experiment
+
+    const Cache cache(freshDir("fp_aliasing_buggy"));
+
+    // Run the blast-radius-1 sweep; cache its (fabricated) result.
+    CellResult r1;
+    r1.stats.acts = 111111;
+    r1.stats.bitFlips = 0;
+    const CellKey k1 = keyOf(near, addSweepFieldsBuggy, "br1");
+    cache.store(k1, r1);
+
+    // The blast-radius-4 sweep differs only in the forgotten field:
+    // same digest, same cache address.
+    const CellKey k4 = keyOf(wide, addSweepFieldsBuggy, "br4");
+    ASSERT_EQ(k1.fingerprint, k4.fingerprint);
+
+    // ...so the lookup HITS and hands back the br=1 results as if
+    // they were the br=4 results. This is the silent-staleness bug.
+    const std::optional<CellResult> stale = cache.load(k4);
+    ASSERT_TRUE(stale.has_value());
+    EXPECT_EQ(stale->stats.acts, r1.stats.acts);
+}
+
+TEST(FingerprintAliasing, CompleteAdderReAddressesTheEntry)
+{
+    SweepSpec near;
+    near.threshold = 50000;
+    near.seed = 7;
+    near.blastRadius = 1;
+
+    SweepSpec wide = near;
+    wide.blastRadius = 4;
+
+    const Cache cache(freshDir("fp_aliasing_fixed"));
+
+    CellResult r1;
+    r1.stats.acts = 111111;
+    cache.store(keyOf(near, addSweepFieldsFixed, "br1"), r1);
+
+    // With every field hashed the two sweeps have distinct digests
+    // and distinct cache addresses: the second sweep misses and is
+    // recomputed instead of inheriting stale numbers.
+    const CellKey k4 = keyOf(wide, addSweepFieldsFixed, "br4");
+    EXPECT_NE(keyOf(near, addSweepFieldsFixed, "br1").fingerprint,
+              k4.fingerprint);
+    EXPECT_FALSE(cache.load(k4).has_value());
+}
+
+} // namespace

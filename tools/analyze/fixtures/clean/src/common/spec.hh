@@ -1,0 +1,16 @@
+#ifndef CLEAN_SPEC_HH
+#define CLEAN_SPEC_HH
+namespace exp {
+class Fingerprint
+{
+  public:
+    Fingerprint &field(const char *, unsigned long);
+};
+} // namespace exp
+
+struct SweepSpec
+{
+    unsigned long threshold = 50000;
+    unsigned long label = 0; // analyze: fp-exempt(label) — display only
+};
+#endif

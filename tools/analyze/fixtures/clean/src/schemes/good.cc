@@ -1,0 +1,27 @@
+#include "common/spec.hh"
+
+void
+addSweepFields(exp::Fingerprint &fp, const SweepSpec &spec)
+{
+    fp.field("threshold", spec.threshold);
+}
+
+struct Cycle { unsigned long v; };
+struct Row { unsigned long v; };
+struct RefreshAction { int n; };
+
+struct Good
+{
+    unsigned long acts = 0;
+    void onActivate(Cycle cycle, Row row, RefreshAction &action);
+};
+
+void
+Good::onActivate(Cycle cycle, Row row, RefreshAction &action)
+{
+    (void)cycle;
+    (void)row;
+    (void)action;
+    GRAPHENE_EXPECTS(acts + 1 != 0, "counter overflow");
+    ++acts;
+}

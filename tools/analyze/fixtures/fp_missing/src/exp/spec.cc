@@ -1,0 +1,8 @@
+#include "exp/spec.hh"
+
+void
+addSweepFields(exp::Fingerprint &fp, const SweepSpec &spec)
+{
+    fp.field("threshold", spec.threshold)
+        .field("seed", spec.seed);
+}

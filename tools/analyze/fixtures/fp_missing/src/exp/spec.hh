@@ -1,0 +1,17 @@
+#ifndef SPEC_HH
+#define SPEC_HH
+namespace exp {
+class Fingerprint
+{
+  public:
+    Fingerprint &field(const char *, unsigned long);
+};
+} // namespace exp
+
+struct SweepSpec
+{
+    unsigned long threshold = 50000;
+    unsigned long seed = 7;
+    unsigned long blastRadius = 1; // never hashed: the bug
+};
+#endif

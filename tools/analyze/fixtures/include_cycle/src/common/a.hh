@@ -1,0 +1,5 @@
+#ifndef A_HH
+#define A_HH
+#include "common/b.hh"
+struct A { B b; };
+#endif

@@ -1,0 +1,5 @@
+#ifndef B_HH
+#define B_HH
+#include "common/a.hh"
+struct B { int x = 0; };
+#endif

@@ -1,0 +1,5 @@
+#ifndef UTIL_HH
+#define UTIL_HH
+#include "sim/sim.hh"
+inline int utilUsesSim() { return simEntry(); }
+#endif

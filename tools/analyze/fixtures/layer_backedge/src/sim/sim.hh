@@ -1,0 +1,4 @@
+#ifndef SIM_HH
+#define SIM_HH
+int simEntry();
+#endif

@@ -1,0 +1,9 @@
+#include "common/io.hh"
+
+void
+loadAll(const char *text)
+{
+    parseConfig(text);
+    (void)parseConfig(text);
+    unwrapOrFatal(parseConfig(text));
+}

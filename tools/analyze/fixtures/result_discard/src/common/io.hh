@@ -1,0 +1,5 @@
+#ifndef IO_HH
+#define IO_HH
+#include "common/error.hh"
+Result<int> parseConfig(const char *text);
+#endif

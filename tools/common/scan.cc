@@ -1,0 +1,278 @@
+#include "scan.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace graphene {
+namespace toolscan {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+stripLines(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                state = State::String;
+                out += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                out += '\'';
+            } else {
+                out += c;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n') {
+                state = State::Code;
+                out += '\n';
+            }
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+          case State::String:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                out += '"';
+            } else if (c == '\n') {
+                out += '\n'; // unterminated; stay permissive
+            }
+            break;
+          case State::Char:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                out += '\'';
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+        }
+    }
+    std::vector<std::string> lines;
+    std::istringstream ss(out);
+    std::string line;
+    while (std::getline(ss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::vector<std::string>
+rawLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+bool
+readFile(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+bool
+suppressed(const std::vector<std::string> &raw, std::size_t i,
+           const std::string &marker)
+{
+    if (i < raw.size() && raw[i].find(marker) != std::string::npos)
+        return true;
+    return i > 0 && raw[i - 1].find(marker) != std::string::npos;
+}
+
+bool
+allowMarker(const std::vector<std::string> &raw, std::size_t i,
+            const std::string &tool, const std::string &rule)
+{
+    return suppressed(raw, i, tool + ": allow(" + rule + ")");
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+pathContains(const fs::path &p, const std::string &needle)
+{
+    return p.generic_string().find(needle) != std::string::npos;
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+namespace {
+
+bool
+insideFixtures(const fs::path &p)
+{
+    for (const auto &part : p)
+        if (part == "fixtures")
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<fs::path>
+collectFiles(const std::vector<std::string> &args,
+             const std::string &tool_name)
+{
+    std::vector<fs::path> files;
+    for (const auto &arg : args) {
+        const fs::path p(arg);
+        if (fs::is_directory(p)) {
+            // Fixture corpora under a walked tree are known-bad by
+            // construction; an explicit argument inside one still
+            // scans (the self-tests rely on that).
+            const bool arg_in_fixtures = insideFixtures(p);
+            for (const auto &e :
+                 fs::recursive_directory_iterator(p)) {
+                if (!e.is_regular_file() ||
+                    !lintableExtension(e.path()))
+                    continue;
+                if (!arg_in_fixtures && insideFixtures(e.path()))
+                    continue;
+                files.push_back(e.path());
+            }
+        } else if (fs::is_regular_file(p)) {
+            files.push_back(p);
+        } else {
+            std::cerr << tool_name << ": no such path: " << arg
+                      << "\n";
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeFindingsJson(std::ostream &os, const std::string &tool,
+                  const std::vector<Finding> &findings)
+{
+    std::size_t errors = 0, warnings = 0;
+    for (const auto &f : findings)
+        (f.severity == "warning" ? warnings : errors) += 1;
+    os << "{\"tool\":" << jsonQuote(tool) << ",\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            os << ",";
+        os << "{\"file\":" << jsonQuote(f.file)
+           << ",\"line\":" << f.line
+           << ",\"rule\":" << jsonQuote(f.rule)
+           << ",\"severity\":" << jsonQuote(f.severity)
+           << ",\"message\":" << jsonQuote(f.message) << "}";
+    }
+    os << "],\"errors\":" << errors << ",\"warnings\":" << warnings
+       << "}\n";
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    std::string out = f.file + ":" + std::to_string(f.line) + ": ";
+    if (f.severity == "warning")
+        out += "warning: ";
+    out += "[" + f.rule + "] " + f.message;
+    return out;
+}
+
+std::size_t
+errorCount(const std::vector<Finding> &findings)
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        if (f.severity != "warning")
+            ++n;
+    return n;
+}
+
+} // namespace toolscan
+} // namespace graphene

@@ -50,10 +50,14 @@
  * `lint: order-independent` to mark an audited unordered_map loop.
  *
  * Usage:
- *   graphene_lint [paths...]            lint files/trees (default: src)
- *   graphene_lint --self-test <dir>     run the known-bad fixture set
+ *   graphene_lint [--json PATH] [paths...]   lint trees (default: src)
+ *   graphene_lint --self-test <dir>          run the known-bad fixtures
  *
  * Exit status: 0 clean, 1 findings or self-test failure, 2 usage.
+ *
+ * The scanning substrate (comment/string stripping, suppression
+ * markers, file walking, the machine-readable findings shape) lives
+ * in tools/common/scan.hh, shared with graphene_analyze.
  */
 
 #include <algorithm>
@@ -68,128 +72,22 @@
 #include <string>
 #include <vector>
 
+#include "common/scan.hh"
+
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding
-{
-    std::string file;
-    unsigned line = 0;
-    std::string rule;
-    std::string message;
-};
-
-/**
- * Remove comments and string/character literal contents while
- * preserving line structure, so rule regexes never fire on prose.
- * Raw lines are kept separately for suppression-marker lookup.
- */
-std::vector<std::string>
-stripLines(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    enum class State
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-    };
-    State state = State::Code;
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (state) {
-          case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                ++i;
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                ++i;
-            } else if (c == '"') {
-                state = State::String;
-                out += '"';
-            } else if (c == '\'') {
-                state = State::Char;
-                out += '\'';
-            } else {
-                out += c;
-            }
-            break;
-          case State::LineComment:
-            if (c == '\n') {
-                state = State::Code;
-                out += '\n';
-            }
-            break;
-          case State::BlockComment:
-            if (c == '*' && next == '/') {
-                state = State::Code;
-                ++i;
-            } else if (c == '\n') {
-                out += '\n';
-            }
-            break;
-          case State::String:
-            if (c == '\\') {
-                ++i;
-            } else if (c == '"') {
-                state = State::Code;
-                out += '"';
-            } else if (c == '\n') {
-                out += '\n'; // unterminated; stay permissive
-            }
-            break;
-          case State::Char:
-            if (c == '\\') {
-                ++i;
-            } else if (c == '\'') {
-                state = State::Code;
-                out += '\'';
-            } else if (c == '\n') {
-                out += '\n';
-            }
-            break;
-        }
-    }
-    std::vector<std::string> lines;
-    std::istringstream ss(out);
-    std::string line;
-    while (std::getline(ss, line))
-        lines.push_back(line);
-    return lines;
-}
-
-std::vector<std::string>
-rawLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::istringstream ss(text);
-    std::string line;
-    while (std::getline(ss, line))
-        lines.push_back(line);
-    return lines;
-}
-
-/** True when line i or the line above carries the given marker. */
-bool
-suppressed(const std::vector<std::string> &raw, std::size_t i,
-           const std::string &marker)
-{
-    if (i < raw.size() && raw[i].find(marker) != std::string::npos)
-        return true;
-    return i > 0 && raw[i - 1].find(marker) != std::string::npos;
-}
+using graphene::toolscan::Finding;
+using graphene::toolscan::rawLines;
+using graphene::toolscan::stripLines;
+using graphene::toolscan::suppressed;
 
 bool
 allowed(const std::vector<std::string> &raw, std::size_t i,
         const std::string &rule)
 {
-    return suppressed(raw, i, "lint: allow(" + rule + ")");
+    return graphene::toolscan::allowMarker(raw, i, "lint", rule);
 }
 
 /** Lowercase and drop underscores: RowId, row_id, rowid all match. */
@@ -204,13 +102,7 @@ normalize(const std::string &ident)
     return n;
 }
 
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
+using graphene::toolscan::endsWith;
 
 /**
  * Identifier heuristic for raw-domain-type: names that denote one of
@@ -243,11 +135,7 @@ isDomainName(const std::string &ident)
            endsWith(n, "bankid");
 }
 
-bool
-pathContains(const fs::path &p, const std::string &needle)
-{
-    return p.generic_string().find(needle) != std::string::npos;
-}
+using graphene::toolscan::pathContains;
 
 class Linter
 {
@@ -601,16 +489,13 @@ Linter::directLogging(const fs::path &path,
 std::vector<Finding>
 Linter::lintFile(const fs::path &path) const
 {
-    std::ifstream in(path, std::ios::binary);
     std::vector<Finding> findings;
-    if (!in) {
+    std::string text;
+    if (!graphene::toolscan::readFile(path, text)) {
         findings.push_back({path.generic_string(), 0, "io-error",
-                            "cannot open file"});
+                            "cannot open file", "error"});
         return findings;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
     const std::vector<std::string> code = stripLines(text);
     const std::vector<std::string> raw = rawLines(text);
 
@@ -625,36 +510,7 @@ Linter::lintFile(const fs::path &path) const
     return findings;
 }
 
-bool
-lintableExtension(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp" || ext == ".h";
-}
-
-std::vector<fs::path>
-collect(const std::vector<std::string> &args)
-{
-    std::vector<fs::path> files;
-    for (const auto &arg : args) {
-        const fs::path p(arg);
-        if (fs::is_directory(p)) {
-            for (const auto &e :
-                 fs::recursive_directory_iterator(p))
-                if (e.is_regular_file() &&
-                    lintableExtension(e.path()))
-                    files.push_back(e.path());
-        } else if (fs::is_regular_file(p)) {
-            files.push_back(p);
-        } else {
-            std::cerr << "graphene_lint: no such path: " << arg
-                      << "\n";
-        }
-    }
-    std::sort(files.begin(), files.end());
-    return files;
-}
+using graphene::toolscan::lintableExtension;
 
 const std::vector<std::string> &
 allRules()
@@ -750,41 +606,65 @@ selfTest(const fs::path &dir)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    if (!args.empty() && args[0] == "--self-test") {
+    std::vector<std::string> raw_args(argv + 1, argv + argc);
+    if (!raw_args.empty() && raw_args[0] == "--self-test") {
         const fs::path dir =
-            args.size() > 1 ? fs::path(args[1])
-                            : fs::path("tools/lint/fixtures");
+            raw_args.size() > 1 ? fs::path(raw_args[1])
+                                : fs::path("tools/lint/fixtures");
         return selfTest(dir);
     }
-    for (const auto &a : args) {
+    std::vector<std::string> args;
+    std::string json_path;
+    for (std::size_t i = 0; i < raw_args.size(); ++i) {
+        const std::string &a = raw_args[i];
         if (a == "--help" || a == "-h") {
             std::cout
-                << "usage: graphene_lint [paths...]\n"
+                << "usage: graphene_lint [--json PATH] [paths...]\n"
                    "       graphene_lint --self-test [fixture-dir]\n"
                    "Lints .cc/.hh/.cpp/.hpp/.h files under the "
-                   "given paths (default: src).\n";
+                   "given paths (default: src).\n"
+                   "--json PATH additionally writes the findings in "
+                   "the shared machine-readable shape.\n";
             return 0;
+        }
+        if (a == "--json") {
+            if (i + 1 >= raw_args.size()) {
+                std::cerr << "graphene_lint: --json needs a path\n";
+                return 2;
+            }
+            json_path = raw_args[++i];
+            continue;
         }
         if (a.rfind("--", 0) == 0) {
             std::cerr << "graphene_lint: unknown option " << a
                       << "\n";
             return 2;
         }
+        args.push_back(a);
     }
     if (args.empty())
         args.push_back("src");
 
     const Linter linter;
-    const auto files = collect(args);
+    const auto files =
+        graphene::toolscan::collectFiles(args, "graphene_lint");
     std::vector<Finding> all;
     for (const auto &file : files) {
         const auto findings = linter.lintFile(file);
         all.insert(all.end(), findings.begin(), findings.end());
     }
     for (const auto &f : all)
-        std::cout << f.file << ":" << f.line << ": [" << f.rule
-                  << "] " << f.message << "\n";
+        std::cout << graphene::toolscan::formatFinding(f) << "\n";
+    if (!json_path.empty()) {
+        std::ofstream os(json_path, std::ios::trunc);
+        if (!os) {
+            std::cerr << "graphene_lint: cannot write " << json_path
+                      << "\n";
+            return 2;
+        }
+        graphene::toolscan::writeFindingsJson(os, "graphene_lint",
+                                              all);
+    }
     if (all.empty()) {
         std::cout << "graphene_lint: " << files.size()
                   << " file(s) clean\n";

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+#
+# Seed / refresh the committed perf trajectory (bench/BENCH_graphene.json)
+# from the fig8 `.meta` profiling sidecar: per-scheme throughput of the
+# simulator hot path (acts_per_ms over cache-MISS cells only — hits
+# never execute, so their wall time measures the cache, not the
+# simulator).
+#
+# Usage:
+#   tools/perf_baseline.sh                 # run fig8 fresh, then aggregate
+#   tools/perf_baseline.sh path/to.jsonl.meta   # aggregate an existing sidecar
+#
+# The output is a snapshot, not a benchmark suite: numbers are
+# machine-dependent, so the committed file records the generating
+# command and grid size next to the per-scheme aggregates, and the
+# ROADMAP perf work gates on *relative* movement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=bench/BENCH_graphene.json
+windows=0.02
+meta=${1:-}
+
+if [[ -z "$meta" ]]; then
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$(nproc)" --target fig8_overhead \
+        >/dev/null
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    ./build/bench/fig8_overhead --windows "$windows" --jobs 1 \
+        --no-progress --json "$tmp/fig8.jsonl" >/dev/null
+    meta="$tmp/fig8.jsonl.meta"
+fi
+
+if [[ ! -s "$meta" ]]; then
+    echo "perf_baseline: no sidecar at $meta" >&2
+    exit 1
+fi
+
+awk -v windows="$windows" '
+function jstr(line, key,    re, m) {
+    re = "\"" key "\":\"[^\"]*\""
+    if (match(line, re) == 0) return ""
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\":\"", "", m); sub("\"$", "", m)
+    return m
+}
+function jnum(line, key,    re, m) {
+    re = "\"" key "\":[-0-9.eE+]+"
+    if (match(line, re) == 0) return ""
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\":", "", m)
+    return m + 0
+}
+{
+    scheme = jstr($0, "scheme")
+    if (scheme == "" || jstr($0, "cache") != "miss") next
+    apm = jnum($0, "acts_per_ms")
+    n[scheme]++
+    sum[scheme] += apm
+    if (!(scheme in lo) || apm < lo[scheme]) lo[scheme] = apm
+    if (apm > hi[scheme]) hi[scheme] = apm
+}
+END {
+    if (length(n) == 0) {
+        print "perf_baseline: sidecar has no cache-miss cells" \
+            > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"bench\": \"fig8_overhead\",\n"
+    printf "  \"metric\": \"acts_per_ms\",\n"
+    printf "  \"windows\": %s,\n", windows
+    printf "  \"note\": \"cache-miss cells only; regenerate with tools/perf_baseline.sh\",\n"
+    printf "  \"schemes\": {\n"
+    # Sort scheme names ourselves (asorti is gawk-only; mawk lacks it).
+    m = 0
+    for (s in n) order[++m] = s
+    for (i = 2; i <= m; i++)
+        for (j = i; j > 1 && order[j] < order[j - 1]; j--) {
+            t = order[j]; order[j] = order[j - 1]; order[j - 1] = t
+        }
+    for (i = 1; i <= m; i++) {
+        s = order[i]
+        printf "    \"%s\": {\"cells\": %d, \"mean\": %.1f, \"min\": %.1f, \"max\": %.1f}%s\n", \
+            s, n[s], sum[s] / n[s], lo[s], hi[s], i < m ? "," : ""
+    }
+    printf "  }\n}\n"
+}' "$meta" > "$out"
+
+echo "perf_baseline: wrote $out"
+cat "$out"

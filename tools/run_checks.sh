@@ -82,6 +82,12 @@ cmake --build --preset default -j "$jobs" --target graphene_lint
 ./build/tools/lint/graphene_lint --self-test tools/lint/fixtures
 ./build/tools/lint/graphene_lint src
 
+step "graphene_analyze: structural analysis (self-test + whole tree)"
+cmake --build --preset default -j "$jobs" --target graphene_analyze
+./build/tools/analyze/graphene_analyze --self-test tools/analyze/fixtures
+./build/tools/analyze/graphene_analyze --root . \
+    --json build/analyze-findings.json
+
 step "clang-tidy: bugprone / performance / core-guidelines"
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
