@@ -151,6 +151,7 @@ class ThresholdStraddlePattern : public ActPattern
     }
 
   private:
+    // analyze: perf-exempt(group setup, runs once per T activations)
     void
     newGroup()
     {

@@ -59,6 +59,7 @@ namespace check {
 class ExactCounter
 {
   public:
+    // analyze: perf-exempt(differential reference, not simulated)
     void
     processActivation(Row row)
     {
@@ -66,6 +67,7 @@ class ExactCounter
         ++_streamLength;
     }
 
+    // analyze: perf-exempt(differential reference, not simulated)
     std::uint64_t
     count(Row row) const
     {
@@ -73,6 +75,7 @@ class ExactCounter
         return it == _counts.end() ? 0 : it->second;
     }
 
+    // analyze: perf-exempt(differential reference, not simulated)
     void
     reset()
     {

@@ -22,6 +22,7 @@ errorCodeName(ErrorCode code)
     return "?";
 }
 
+// analyze: perf-exempt(error formatting, runs only on failure)
 std::string
 strprintf(const char *fmt, ...)
 {
@@ -43,6 +44,7 @@ strprintf(const char *fmt, ...)
     return out;
 }
 
+// analyze: perf-exempt(error formatting, runs only on failure)
 std::string
 Error::describe() const
 {

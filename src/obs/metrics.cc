@@ -7,6 +7,7 @@
 namespace graphene {
 namespace obs {
 
+// analyze: perf-exempt(sweep setup, runs once per experiment)
 void
 MetricsRegistry::beginWindows(Cycle window_cycles)
 {
@@ -52,6 +53,7 @@ MetricsRegistry::sample(Cycle cycle, const std::string &name, double v,
     _group.histogram(name, num_buckets, max).sample(v);
 }
 
+// analyze: perf-exempt(window boundary, not per-activation)
 void
 MetricsRegistry::closeWindow()
 {

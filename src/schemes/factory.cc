@@ -79,6 +79,7 @@ makeValidated(const Config &config)
 
 } // namespace
 
+// analyze: perf-exempt(scheme construction, runs once per cell)
 Result<std::unique_ptr<ProtectionScheme>>
 makeScheme(const SchemeSpec &spec)
 {

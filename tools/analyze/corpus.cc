@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <iostream>
 #include <regex>
 
@@ -63,10 +64,24 @@ Corpus
 buildCorpus(const fs::path &root, const fs::path &layers_file,
             const fs::path &baseline_file)
 {
+    const fs::path dir = layers_file.parent_path();
+    return buildCorpus(root, layers_file, baseline_file,
+                       dir / "hotpaths.toml",
+                       dir / "perf_baseline.txt");
+}
+
+Corpus
+buildCorpus(const fs::path &root, const fs::path &layers_file,
+            const fs::path &baseline_file,
+            const fs::path &hotpaths_file,
+            const fs::path &perf_baseline_file)
+{
     Corpus corpus;
     corpus.root = root;
     corpus.layersFile = layers_file;
     corpus.baselineFile = baseline_file;
+    corpus.hotpathsFile = hotpaths_file;
+    corpus.perfBaselineFile = perf_baseline_file;
 
     std::vector<fs::path> files;
     for (const char *top :
@@ -84,7 +99,7 @@ buildCorpus(const fs::path &root, const fs::path &layers_file,
             bool in_fixtures = false;
             for (const auto &part :
                  fs::path(relativeTo(root, e.path())))
-                if (part == "fixtures")
+                if (part.generic_string().rfind("fixtures", 0) == 0)
                     in_fixtures = true;
             if (in_fixtures)
                 continue;
@@ -97,56 +112,21 @@ buildCorpus(const fs::path &root, const fs::path &layers_file,
     return corpus;
 }
 
-std::size_t
-matchBrace(const std::string &text, std::size_t open_brace)
-{
-    int depth = 0;
-    for (std::size_t i = open_brace; i < text.size(); ++i) {
-        if (text[i] == '{')
-            ++depth;
-        else if (text[i] == '}' && --depth == 0)
-            return i;
-    }
-    return std::string::npos;
-}
-
 std::vector<FunctionDef>
 findFunctions(const SourceFile &file)
 {
-    // name(params) [const] [noexcept] [-> x] {   — token level; the
-    // params must not contain ';', braces, or nested parens (none of
-    // the audited adders do).
-    static const std::regex head(
-        R"(([A-Za-z_~][\w:]*)\s*\(([^;{}()]*)\)\s*)"
-        R"((?:const\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&\s]+)?\{)");
-    static const std::set<std::string> keywords = {
-        "if", "for", "while", "switch", "catch", "return"};
-
+    // The token-level function scan lives in tools/common (shared
+    // with the call-edge extraction); this shim keeps the pass-facing
+    // FunctionDef shape.
     std::vector<FunctionDef> out;
-    const std::string &text = file.joined;
-    auto begin = std::sregex_iterator(text.begin(), text.end(), head);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const std::smatch &m = *it;
-        const std::string name = m[1].str();
-        std::string base = name;
-        const std::size_t colons = base.rfind("::");
-        if (colons != std::string::npos)
-            base = base.substr(colons + 2);
-        if (keywords.count(base))
-            continue;
-        const std::size_t name_off =
-            static_cast<std::size_t>(m.position(0));
-        const std::size_t open =
-            name_off + static_cast<std::size_t>(m.length(0)) - 1;
-        const std::size_t close = matchBrace(text, open);
-        if (close == std::string::npos)
-            continue;
+    for (const toolscan::ScannedFunction &f :
+         toolscan::scanFunctions(file.joined)) {
         FunctionDef def;
-        def.name = name;
-        def.params = m[2].str();
-        def.bodyBegin = open + 1;
-        def.bodyEnd = close;
-        def.nameOffset = name_off;
+        def.name = f.name;
+        def.params = f.params;
+        def.bodyBegin = f.bodyBegin;
+        def.bodyEnd = f.bodyEnd;
+        def.nameOffset = f.nameOffset;
         out.push_back(std::move(def));
     }
     return out;
@@ -303,12 +283,33 @@ buildStructRegistry(const Corpus &corpus)
     return registry;
 }
 
+std::set<std::string>
+loadBaselineFile(const fs::path &file)
+{
+    std::set<std::string> entries;
+    std::ifstream in(file);
+    if (!in)
+        return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        entries.insert(line.substr(first, last - first + 1));
+    }
+    return entries;
+}
+
 const std::vector<std::string> &
 allPasses()
 {
     static const std::vector<std::string> passes = {
         "layer-dag", "fingerprint-completeness", "result-discard",
-        "coverage-audit"};
+        "coverage-audit", "perf-debt"};
     return passes;
 }
 
@@ -327,6 +328,8 @@ runPasses(const Corpus &corpus, const std::set<std::string> &passes)
         runResultPass(corpus, findings);
     if (want("coverage-audit"))
         runCoveragePass(corpus, findings);
+    if (want("perf-debt"))
+        runPerfPass(corpus, findings);
     return findings;
 }
 

@@ -33,28 +33,6 @@ baseName(const std::string &qualified)
                : qualified.substr(colons + 2);
 }
 
-/** Load `file:function` lines; '#' starts a comment. */
-std::set<std::string>
-loadBaseline(const std::filesystem::path &file)
-{
-    std::set<std::string> entries;
-    std::ifstream in(file);
-    if (!in)
-        return entries;
-    std::string line;
-    while (std::getline(in, line)) {
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line = line.substr(0, hash);
-        const std::size_t first = line.find_first_not_of(" \t\r");
-        if (first == std::string::npos)
-            continue;
-        const std::size_t last = line.find_last_not_of(" \t\r");
-        entries.insert(line.substr(first, last - first + 1));
-    }
-    return entries;
-}
-
 } // namespace
 
 void
@@ -65,7 +43,7 @@ runCoveragePass(const Corpus &corpus, std::vector<Finding> &findings)
         R"(\b_?probe\s*(?:\.|->)|\bnoteVictimRefresh\s*\(|\bobs\s*::)");
 
     const std::set<std::string> baseline =
-        loadBaseline(corpus.baselineFile);
+        loadBaselineFile(corpus.baselineFile);
     std::set<std::string> gaps;
 
     for (const SourceFile &file : corpus.files) {
@@ -110,16 +88,17 @@ runCoveragePass(const Corpus &corpus, std::vector<Finding> &findings)
 
     // Stale baseline entries rot the audit: once an entry point is
     // instrumented (or removed) its waiver must go too, or the
-    // baseline quietly stops meaning anything.
+    // baseline quietly stops meaning anything. Burned-down debt must
+    // be pruned, so this is an error.
     for (const auto &entry : baseline)
         if (!gaps.count(entry))
             findings.push_back(
                 {corpus.baselineFile.generic_string(), 0,
-                 "coverage-audit",
+                 "stale-baseline",
                  "stale baseline entry '" + entry +
                      "': no matching coverage gap exists any more; "
                      "delete the line",
-                 "warning"});
+                 "error"});
 }
 
 } // namespace analyze

@@ -1,0 +1,30 @@
+// Known-bad: heap allocation inside the hot region.
+#include <memory>
+#include <vector>
+
+namespace fx {
+
+struct Event
+{
+    int id = 0;
+};
+
+std::vector<int> g_log;
+
+void
+record(int id)
+{
+    // push_back with no reserve() in this function: perf-alloc.
+    g_log.push_back(id);
+}
+
+void
+tick(int id)
+{
+    // Direct heap allocation on the per-tick path: perf-alloc.
+    auto ev = std::make_unique<Event>();
+    ev->id = id;
+    record(id);
+}
+
+} // namespace fx

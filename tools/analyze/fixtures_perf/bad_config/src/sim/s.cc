@@ -1,0 +1,4 @@
+// Minimal file so the corpus is non-empty.
+namespace fx {
+int tick(int id) { return id; }
+} // namespace fx

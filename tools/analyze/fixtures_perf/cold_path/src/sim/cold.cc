@@ -1,0 +1,22 @@
+// Debt OUTSIDE the hot region must not fire: setup() allocates but
+// is never called from tick(), so the corpus is clean.
+#include <vector>
+
+namespace fx {
+
+std::vector<int> g_rows;
+
+void
+setup(int n)
+{
+    for (int i = 0; i < n; ++i)
+        g_rows.push_back(i); // cold: not reachable from tick()
+}
+
+int
+tick(int id)
+{
+    return id + 1;
+}
+
+} // namespace fx

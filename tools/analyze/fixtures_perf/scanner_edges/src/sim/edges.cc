@@ -1,0 +1,44 @@
+// Scanner edge cases: debt-shaped text in comments, raw string
+// literals, and preprocessor-disabled regions must NOT produce
+// findings; the one real allocation must.
+#include <string>
+
+namespace fx {
+
+/*
+ * Block comment decoy: auto p = new int(7); _counts[row]++;
+ */
+struct Engine
+{
+    int tick(int id);
+    const char *banner() const;
+};
+
+const char *
+Engine::banner() const
+{
+    // Raw string decoy: the text mentions new and push_back but
+    // allocates nothing at runtime here.
+    return R"doc(usage: new push_back _counts[row] -> ignored)doc";
+}
+
+#if 0
+int
+Engine::tick(int id)
+{
+    return *(new int(id)); // disabled translation: must not fire
+}
+#endif
+
+// Out-of-line member definition: the root name "tick" must reach
+// Engine::tick through the qualified definition.
+int
+Engine::tick(int id)
+{
+    int *p = new int(id); // the one real perf-alloc
+    const int v = *p;
+    delete p;
+    return v;
+}
+
+} // namespace fx

@@ -1,0 +1,16 @@
+// The live entry below is baselined (reports as a warning); the
+// second baseline line names a function that no longer exists and
+// must surface as a stale-baseline error.
+
+namespace fx {
+
+int
+tick(int id)
+{
+    int *p = new int(id); // baselined perf-alloc
+    const int v = *p;
+    delete p;
+    return v;
+}
+
+} // namespace fx

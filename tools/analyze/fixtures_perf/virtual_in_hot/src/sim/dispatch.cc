@@ -1,0 +1,19 @@
+// Known-bad: virtual dispatch through an interface pointer inside
+// the hot region.
+
+namespace fx {
+
+struct Hook
+{
+    virtual void onTick(int id) = 0;
+    virtual ~Hook() = default;
+};
+
+void
+tick(Hook *hook, int id)
+{
+    // Indirect call per tick: perf-virtual-call.
+    hook->onTick(id);
+}
+
+} // namespace fx

@@ -1,0 +1,32 @@
+// Inline waivers: a site-level perf-exempt on the finding line and a
+// function-level one above a signature both silence the pass, so
+// this corpus is clean.
+#include <memory>
+
+namespace fx {
+
+struct Event
+{
+    int id = 0;
+};
+
+int
+tick(int id)
+{
+    // analyze: perf-exempt(one-time warmup allocation, measured cold)
+    auto ev = std::make_unique<Event>();
+    ev->id = id;
+    return flush(id);
+}
+
+// analyze: perf-exempt(flush runs once per drain, not per tick)
+int
+flush(int id)
+{
+    int *p = new int(id);
+    const int v = *p;
+    delete p;
+    return v;
+}
+
+} // namespace fx

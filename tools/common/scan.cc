@@ -1,8 +1,11 @@
 #include "scan.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iostream>
+#include <regex>
+#include <set>
 #include <sstream>
 
 namespace graphene {
@@ -35,6 +38,36 @@ stripLines(const std::string &text)
             } else if (c == '/' && next == '*') {
                 state = State::BlockComment;
                 ++i;
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 ||
+                        (!std::isalnum(static_cast<unsigned char>(
+                             text[i - 1])) &&
+                         text[i - 1] != '_'))) {
+                // Raw string literal R"delim( ... )delim": contents
+                // may hold quotes, comment markers, and code-shaped
+                // text; skip to the closing sequence, preserving
+                // newlines.
+                std::size_t k = i + 2;
+                std::string delim;
+                while (k < text.size() && text[k] != '(' &&
+                       text[k] != '"' && delim.size() < 16)
+                    delim += text[k++];
+                if (k >= text.size() || text[k] != '(') {
+                    out += c; // not a raw literal after all
+                    break;
+                }
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t close =
+                    text.find(closer, k + 1);
+                out += "\"\"";
+                const std::size_t stop =
+                    close == std::string::npos
+                        ? text.size()
+                        : close + closer.size();
+                for (std::size_t j = i; j < stop; ++j)
+                    if (text[j] == '\n')
+                        out += '\n';
+                i = stop - 1;
             } else if (c == '"') {
                 state = State::String;
                 out += '"';
@@ -86,6 +119,38 @@ stripLines(const std::string &text)
     std::string line;
     while (std::getline(ss, line))
         lines.push_back(line);
+
+    // Preprocessor-disabled regions: blank everything from `#if 0`
+    // to its matching `#else`/`#elif`/`#endif` (the #else branch IS
+    // compiled, so scanning resumes there). Nested conditionals
+    // inside the dead region are tracked only to find the match.
+    static const std::regex if0(R"(^\s*#\s*if\s+0\b)");
+    static const std::regex anyIf(
+        R"(^\s*#\s*if(?:def|ndef)?\b)");
+    static const std::regex elseOrElif(
+        R"(^\s*#\s*el(?:se|if)\b)");
+    static const std::regex endif(R"(^\s*#\s*endif\b)");
+    int dead_depth = 0;
+    for (auto &l : lines) {
+        if (dead_depth == 0) {
+            if (std::regex_search(l, if0)) {
+                dead_depth = 1;
+                l.clear();
+            }
+            continue;
+        }
+        const bool opens = std::regex_search(l, anyIf);
+        const bool closes = std::regex_search(l, endif);
+        const bool flips =
+            dead_depth == 1 && std::regex_search(l, elseOrElif);
+        l.clear();
+        if (opens)
+            ++dead_depth;
+        else if (closes)
+            --dead_depth;
+        else if (flips)
+            dead_depth = 0;
+    }
     return lines;
 }
 
@@ -155,8 +220,10 @@ namespace {
 bool
 insideFixtures(const fs::path &p)
 {
+    // Prefix match: fixtures/, fixtures_perf/, ... are all known-bad
+    // corpora.
     for (const auto &part : p)
-        if (part == "fixtures")
+        if (part.generic_string().rfind("fixtures", 0) == 0)
             return true;
     return false;
 }
@@ -252,6 +319,128 @@ writeFindingsJson(std::ostream &os, const std::string &tool,
     }
     os << "],\"errors\":" << errors << ",\"warnings\":" << warnings
        << "}\n";
+}
+
+std::string
+unqualifiedName(const std::string &name)
+{
+    const std::size_t colons = name.rfind("::");
+    return colons == std::string::npos ? name
+                                       : name.substr(colons + 2);
+}
+
+std::size_t
+matchBrace(const std::string &text, std::size_t open_brace)
+{
+    int depth = 0;
+    for (std::size_t i = open_brace; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+std::vector<ScannedFunction>
+scanFunctions(const std::string &text)
+{
+    // name(params) [const] [noexcept] [-> x] [override/final] {   —
+    // token level; the params must not contain ';', braces, or
+    // nested parens.
+    static const std::regex head(
+        R"(([A-Za-z_~][\w:]*)\s*\(([^;{}()]*)\)\s*)"
+        R"((?:const\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&\s]+)?)"
+        R"((?:override\b\s*)?(?:final\b\s*)?\{)");
+    static const std::set<std::string> keywords = {
+        "if", "for", "while", "switch", "catch", "return"};
+
+    std::vector<ScannedFunction> out;
+    auto begin = std::sregex_iterator(text.begin(), text.end(), head);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::smatch &m = *it;
+        const std::string name = m[1].str();
+        if (keywords.count(unqualifiedName(name)))
+            continue;
+        const std::size_t name_off =
+            static_cast<std::size_t>(m.position(0));
+        const std::size_t open =
+            name_off + static_cast<std::size_t>(m.length(0)) - 1;
+        const std::size_t close = matchBrace(text, open);
+        if (close == std::string::npos)
+            continue;
+        ScannedFunction def;
+        def.name = name;
+        def.params = m[2].str();
+        def.bodyBegin = open + 1;
+        def.bodyEnd = close;
+        def.nameOffset = name_off;
+        out.push_back(std::move(def));
+    }
+    return out;
+}
+
+std::vector<CallSite>
+scanCalls(const std::string &text, std::size_t begin,
+          std::size_t end)
+{
+    // An identifier (possibly qualified) directly followed by '('.
+    static const std::regex call(R"(([A-Za-z_][\w:]*)\s*\()");
+    static const std::set<std::string> keywords = {
+        "if",      "for",      "while",   "switch",   "catch",
+        "return",  "sizeof",   "alignof", "decltype", "throw",
+        "new",     "delete",   "assert",  "defined",  "co_await",
+        "co_return", "static_assert", "noexcept", "alignas"};
+
+    std::vector<CallSite> out;
+    if (end > text.size())
+        end = text.size();
+    if (begin >= end)
+        return out;
+    auto first = std::sregex_iterator(text.begin() + begin,
+                                      text.begin() + end, call);
+    for (auto it = first; it != std::sregex_iterator(); ++it) {
+        const std::smatch &m = *it;
+        const std::string name = m[1].str();
+        if (keywords.count(name) ||
+            keywords.count(unqualifiedName(name)))
+            continue;
+        const std::size_t off =
+            begin + static_cast<std::size_t>(m.position(1));
+        CallSite site;
+        site.name = name;
+        site.offset = off;
+
+        // Receiver: walk left past whitespace to `.` or `->`, then
+        // take the identifier before it.
+        std::size_t k = off;
+        while (k > begin && std::isspace(static_cast<unsigned char>(
+                                text[k - 1])))
+            --k;
+        std::size_t recv_end = 0;
+        if (k > begin && text[k - 1] == '.') {
+            site.dot = true;
+            recv_end = k - 1;
+        } else if (k > begin + 1 && text[k - 1] == '>' &&
+                   text[k - 2] == '-') {
+            site.arrow = true;
+            recv_end = k - 2;
+        }
+        if (site.dot || site.arrow) {
+            std::size_t r = recv_end;
+            while (r > begin) {
+                const char c = text[r - 1];
+                if (std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_')
+                    --r;
+                else
+                    break;
+            }
+            site.receiver = text.substr(r, recv_end - r);
+        }
+        out.push_back(std::move(site));
+    }
+    return out;
 }
 
 std::string

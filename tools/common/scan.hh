@@ -39,7 +39,10 @@ struct Finding
 /**
  * Remove comments and string/character literal contents while
  * preserving line structure, so rule regexes never fire on prose.
- * Raw lines are kept separately (rawLines) for marker lookup.
+ * Raw string literals (R"delim(...)delim") and preprocessor-disabled
+ * `#if 0` regions are stripped too — both can hold arbitrary
+ * code-shaped text that must never reach a rule. Raw lines are kept
+ * separately (rawLines) for marker lookup.
  */
 std::vector<std::string> stripLines(const std::string &text);
 
@@ -96,6 +99,75 @@ void writeFindingsJson(std::ostream &os, const std::string &tool,
 
 /** Render one finding as the human-readable single-line report. */
 std::string formatFinding(const Finding &f);
+
+// ---- function-definition and call-edge extraction ------------------
+//
+// Token-level (deliberately not a C++ parser): good enough to compute
+// "which functions exist and who calls whom by name", which is what
+// the call-graph-aware passes (hot-region perf debt) need. Operates
+// on comment/string-stripped text joined with '\n' so literals and
+// disabled regions never fabricate edges.
+
+/** One function definition found in stripped text. */
+struct ScannedFunction
+{
+    /** Name as written, possibly qualified ("Cache::addressOf"). */
+    std::string name;
+
+    /** Parameter-list text between the parens. */
+    std::string params;
+
+    std::size_t nameOffset = 0; ///< Offset of the name in the text.
+    std::size_t bodyBegin = 0;  ///< Offset just past the '{'.
+    std::size_t bodyEnd = 0;    ///< Offset of the matching '}'.
+};
+
+/** Unqualified tail of @p name ("Cache::addressOf" -> "addressOf"). */
+std::string unqualifiedName(const std::string &name);
+
+/**
+ * Offset of the '}' matching the '{' at @p open_brace;
+ * std::string::npos when unbalanced.
+ */
+std::size_t matchBrace(const std::string &text,
+                       std::size_t open_brace);
+
+/**
+ * Scan stripped text for function definitions: free functions,
+ * out-of-line member definitions, and in-class bodies. Control
+ * keywords (if/for/while/switch/catch) are skipped. Not a parser —
+ * heavily-templated signatures or parens inside parameter defaults
+ * may be missed, which the repo's conventions avoid.
+ */
+std::vector<ScannedFunction> scanFunctions(const std::string &text);
+
+/** One call site found inside a function body. */
+struct CallSite
+{
+    /** Callee name as written (possibly qualified). */
+    std::string name;
+
+    std::size_t offset = 0; ///< Offset of the name in the text.
+
+    /** Dispatched through `->` (pointer receiver). */
+    bool arrow = false;
+
+    /** Dispatched through `.` (object/reference receiver). */
+    bool dot = false;
+
+    /** Receiver token when arrow/dot ("this", "_tracker", ...). */
+    std::string receiver;
+};
+
+/**
+ * Extract call-shaped sites (`name(` preceded by neither a type
+ * keyword nor a definition context) from text[begin, end). Keyword
+ * heads (if/for/while/...), casts, and declarations with bodies are
+ * excluded; `obj.f(` / `ptr->f(` record the receiver so callers can
+ * reason about dispatch.
+ */
+std::vector<CallSite> scanCalls(const std::string &text,
+                                std::size_t begin, std::size_t end);
 
 /** Count of findings with severity "error". */
 std::size_t errorCount(const std::vector<Finding> &findings);

@@ -21,22 +21,26 @@ out=bench/BENCH_graphene.json
 windows=0.02
 meta=${1:-}
 
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
 if [[ -z "$meta" ]]; then
     cmake --preset default >/dev/null
     cmake --build --preset default -j "$(nproc)" --target fig8_overhead \
         >/dev/null
-    tmp=$(mktemp -d)
-    trap 'rm -rf "$tmp"' EXIT
     ./build/bench/fig8_overhead --windows "$windows" --jobs 1 \
         --no-progress --json "$tmp/fig8.jsonl" >/dev/null
     meta="$tmp/fig8.jsonl.meta"
 fi
 
 if [[ ! -s "$meta" ]]; then
-    echo "perf_baseline: no sidecar at $meta" >&2
+    echo "perf_baseline: no sidecar at $meta (fig8 run without" \
+         "profiling support, or wrong path?); $out left untouched" >&2
     exit 1
 fi
 
+# Aggregate into a temp file first: a failure part-way through must
+# never truncate or corrupt the committed baseline.
 awk -v windows="$windows" '
 function jstr(line, key,    re, m) {
     re = "\"" key "\":\"[^\"]*\""
@@ -56,12 +60,20 @@ function jnum(line, key,    re, m) {
     scheme = jstr($0, "scheme")
     if (scheme == "" || jstr($0, "cache") != "miss") next
     apm = jnum($0, "acts_per_ms")
+    if (apm == "" || apm + 0 <= 0) {
+        printf "perf_baseline: line %d of the sidecar has a missing" \
+            " or non-numeric acts_per_ms: %s\n", NR, $0 \
+            > "/dev/stderr"
+        fatal = 1
+        exit 1
+    }
     n[scheme]++
     sum[scheme] += apm
     if (!(scheme in lo) || apm < lo[scheme]) lo[scheme] = apm
     if (apm > hi[scheme]) hi[scheme] = apm
 }
 END {
+    if (fatal) exit 1
     if (length(n) == 0) {
         print "perf_baseline: sidecar has no cache-miss cells" \
             > "/dev/stderr"
@@ -86,7 +98,17 @@ END {
             s, n[s], sum[s] / n[s], lo[s], hi[s], i < m ? "," : ""
     }
     printf "  }\n}\n"
-}' "$meta" > "$out"
+}' "$meta" > "$tmp/baseline.json" || {
+    echo "perf_baseline: aggregation failed; $out left untouched" >&2
+    exit 1
+}
 
+if [[ ! -s "$tmp/baseline.json" ]]; then
+    echo "perf_baseline: aggregation produced no output;" \
+         "$out left untouched" >&2
+    exit 1
+fi
+
+mv "$tmp/baseline.json" "$out"
 echo "perf_baseline: wrote $out"
 cat "$out"

@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+#
+# CI perf-regression gate: run the fig8 overhead bench in release
+# mode and compare per-scheme hot-path throughput (acts_per_ms over
+# cache-MISS cells) against the committed trajectory in
+# bench/BENCH_graphene.json. See EXPERIMENTS.md ("Perf-debt report
+# and the regression gate") for how to read the delta report.
+#
+# The committed numbers are machine-dependent, so by default each
+# scheme's mean is NORMALIZED to the "none" scheme measured in the
+# same run: the gate compares scheme/none ratios, which cancels the
+# host's absolute speed and isolates per-scheme regressions (a
+# uniformly slower CI box moves every scheme AND the "none" divisor).
+#
+# Usage:
+#   tools/perf_gate.sh                  # build + run fig8, then gate
+#   tools/perf_gate.sh path/to.jsonl.meta   # gate an existing sidecar
+#
+# Environment:
+#   PERF_GATE_TOL     allowed fractional drop (default 0.15)
+#   PERF_GATE_ABS     1 = compare absolute means, no normalization
+#                     (only meaningful on the machine that produced
+#                     the committed baseline)
+#   PERF_GATE_REPORT  delta report path (default
+#                     build/perf_gate_report.txt), uploaded as a CI
+#                     artifact
+#
+# Exit status: 0 within tolerance, 1 regression or missing data,
+# 2 usage/configuration error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=bench/BENCH_graphene.json
+windows=0.02
+tol=${PERF_GATE_TOL:-0.15}
+abs=${PERF_GATE_ABS:-0}
+report=${PERF_GATE_REPORT:-build/perf_gate_report.txt}
+meta=${1:-}
+
+if [[ ! -s "$baseline" ]]; then
+    echo "perf_gate: no committed baseline at $baseline" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+if [[ -z "$meta" ]]; then
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$(nproc)" --target fig8_overhead \
+        >/dev/null
+    ./build/bench/fig8_overhead --windows "$windows" --jobs 1 \
+        --no-progress --json "$tmp/fig8.jsonl" >/dev/null
+    meta="$tmp/fig8.jsonl.meta"
+fi
+
+if [[ ! -s "$meta" ]]; then
+    echo "perf_gate: no profiling sidecar at $meta" >&2
+    exit 1
+fi
+
+mkdir -p "$(dirname "$report")"
+
+# Pass 1: current per-scheme means from the sidecar.
+# Pass 2: committed means from the baseline JSON.
+# Then compare, ratio-normalized to "none" unless PERF_GATE_ABS=1.
+awk -v tol="$tol" -v abs="$abs" -v report="$report" \
+    -v meta_file="$meta" -v base_file="$baseline" '
+function jstr(line, key,    re, m) {
+    re = "\"" key "\"[ \t]*:[ \t]*\"[^\"]*\""
+    if (match(line, re) == 0) return ""
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\"[ \t]*:[ \t]*\"", "", m); sub("\"$", "", m)
+    return m
+}
+function jnum(line, key,    re, m) {
+    re = "\"" key "\"[ \t]*:[ \t]*[-0-9.eE+]+"
+    if (match(line, re) == 0) return ""
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\"[ \t]*:[ \t]*", "", m)
+    return m + 0
+}
+BEGIN {
+    # Current run.
+    while ((getline line < meta_file) > 0) {
+        scheme = jstr(line, "scheme")
+        if (scheme == "" || jstr(line, "cache") != "miss") continue
+        apm = jnum(line, "acts_per_ms")
+        if (apm == "" || apm + 0 <= 0) {
+            print "perf_gate: bad acts_per_ms in sidecar: " line \
+                > "/dev/stderr"
+            exit 1
+        }
+        cur_n[scheme]++; cur_sum[scheme] += apm
+    }
+    close(meta_file)
+    if (length(cur_n) == 0) {
+        print "perf_gate: sidecar has no cache-miss cells" \
+            > "/dev/stderr"
+        exit 1
+    }
+
+    # Committed baseline: lines like  "CBT": {... "mean": 4400.9 ...}
+    while ((getline line < base_file) > 0) {
+        if (match(line, /^[ \t]*"[^"]+"[ \t]*:[ \t]*\{/) == 0)
+            continue
+        match(line, /"[^"]+"/)
+        scheme = substr(line, RSTART + 1, RLENGTH - 2)
+        if (scheme == "schemes") continue
+        mean = jnum(line, "mean")
+        if (mean == "" || mean + 0 <= 0) continue
+        base[scheme] = mean
+    }
+    close(base_file)
+    if (length(base) == 0) {
+        print "perf_gate: no scheme means in " base_file \
+            > "/dev/stderr"
+        exit 1
+    }
+
+    mode = abs ? "absolute acts_per_ms" : \
+        "ratio vs \"none\" (machine-normalized)"
+    if (!abs) {
+        if (!("none" in base) || !("none" in cur_n)) {
+            print "perf_gate: normalization needs the \"none\"" \
+                " scheme in both baseline and current run;" \
+                " set PERF_GATE_ABS=1 to compare raw means" \
+                > "/dev/stderr"
+            exit 1
+        }
+        base_div = base["none"]
+        cur_div = cur_sum["none"] / cur_n["none"]
+    } else {
+        base_div = 1
+        cur_div = 1
+    }
+
+    printf "perf gate: %s, tolerance -%d%%\n", mode, tol * 100 \
+        > report
+    printf "%-10s %12s %12s %8s %s\n", "scheme", "baseline", \
+        "current", "delta", "verdict" > report
+
+    fails = 0
+    for (s in base) {
+        if (s == "none" && !abs) continue
+        if (!(s in cur_n)) {
+            printf "%-10s %12.1f %12s %8s %s\n", s, base[s], \
+                "MISSING", "-", "FAIL (scheme absent from run)" \
+                > report
+            fails++
+            continue
+        }
+        b = base[s] / base_div
+        c = (cur_sum[s] / cur_n[s]) / cur_div
+        delta = (c - b) / b
+        verdict = delta < -tol ? "FAIL" : "ok"
+        if (verdict == "FAIL") fails++
+        printf "%-10s %12.3f %12.3f %7.1f%% %s\n", s, b, c, \
+            delta * 100, verdict > report
+    }
+    for (s in cur_n)
+        if (!(s in base) && !(s == "none" && !abs))
+            printf "%-10s %12s %12.3f %8s %s\n", s, "(new)", \
+                (cur_sum[s] / cur_n[s]) / cur_div, "-", \
+                "ok (no baseline yet; run tools/perf_baseline.sh)" \
+                > report
+
+    close(report)
+    exit fails > 0 ? 1 : 0
+}
+' || {
+    status=$?
+    cat "$report" >&2 2>/dev/null || true
+    echo "perf_gate: FAIL (see $report)" >&2
+    exit "$status"
+}
+
+cat "$report"
+echo "perf_gate: ok"

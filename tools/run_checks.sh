@@ -85,8 +85,12 @@ cmake --build --preset default -j "$jobs" --target graphene_lint
 step "graphene_analyze: structural analysis (self-test + whole tree)"
 cmake --build --preset default -j "$jobs" --target graphene_analyze
 ./build/tools/analyze/graphene_analyze --self-test tools/analyze/fixtures
+./build/tools/analyze/graphene_analyze --self-test tools/analyze/fixtures_perf
 ./build/tools/analyze/graphene_analyze --root . \
     --json build/analyze-findings.json
+
+step "perf gate: fig8 throughput vs committed trajectory"
+tools/perf_gate.sh
 
 step "clang-tidy: bugprone / performance / core-guidelines"
 if command -v clang-tidy >/dev/null 2>&1; then
