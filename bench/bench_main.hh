@@ -11,6 +11,11 @@
  *   --obs DIR       per-cell event traces + windowed metrics (grid
  *                   drivers; no-op under GRAPHENE_OBS_OFF)
  *   --windows W     shrink/grow the simulated span (grid drivers)
+ *   --ckpt-dir DIR  crash-resume manifest under DIR (grid drivers)
+ *   --ckpt-every N  persist the manifest every N completed cells
+ *   --resume        serve completed cells from the latest manifest
+ *   --timeout-ms T  per-cell wall-clock budget (0 = unlimited)
+ *   --retries N     extra attempts after a cell timeout
  *   --no-progress   suppress the live progress line on stderr
  *   --help          usage
  *
@@ -52,6 +57,11 @@ printUsage(const char *prog, std::ostream &os)
        << "  --cache DIR     cache cell results under DIR\n"
        << "  --obs DIR       write per-cell traces + metrics to DIR\n"
        << "  --windows W     override the simulated span (tREFW units)\n"
+       << "  --ckpt-dir DIR  crash-resume manifest under DIR\n"
+       << "  --ckpt-every N  persist manifest every N completed cells\n"
+       << "  --resume        serve completed cells from the manifest\n"
+       << "  --timeout-ms T  per-cell wall-clock budget (0 = off)\n"
+       << "  --retries N     extra attempts after a cell timeout\n"
        << "  --no-progress   no live progress line on stderr\n"
        << "  --help          this message\n";
 }
@@ -93,6 +103,17 @@ parseBenchArgs(int argc, char **argv)
                              "GRAPHENE_OBS_OFF)\n";
         } else if (arg == "--windows") {
             options.windows = std::stod(value(i));
+        } else if (arg == "--ckpt-dir") {
+            options.run.ckptDir = value(i);
+        } else if (arg == "--ckpt-every") {
+            options.run.ckptEvery = std::stoul(value(i));
+        } else if (arg == "--resume") {
+            options.run.resume = true;
+        } else if (arg == "--timeout-ms") {
+            options.run.cellTimeoutMs = std::stod(value(i));
+        } else if (arg == "--retries") {
+            options.run.cellRetries =
+                static_cast<unsigned>(std::stoul(value(i)));
         } else if (arg == "--no-progress") {
             options.run.progress = false;
         } else if (arg == "--help") {

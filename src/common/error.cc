@@ -18,6 +18,13 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Io:              return "io";
       case ErrorCode::Unsupported:     return "unsupported";
       case ErrorCode::Internal:        return "internal";
+      case ErrorCode::Timeout:         return "timeout";
+      case ErrorCode::CkptTruncated:   return "ckpt-truncated";
+      case ErrorCode::CkptBadHeader:   return "ckpt-bad-header";
+      case ErrorCode::CkptVersionSkew: return "ckpt-version-skew";
+      case ErrorCode::CkptBadPayload:  return "ckpt-bad-payload";
+      case ErrorCode::CkptConfigMismatch:
+        return "ckpt-config-mismatch";
     }
     return "?";
 }

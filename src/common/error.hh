@@ -43,6 +43,16 @@ enum class ErrorCode
     Io,              ///< Stream or file failure.
     Unsupported,     ///< Valid request this build cannot honour.
     Internal,        ///< Should-not-happen, surfaced without dying.
+    Timeout,         ///< Wall-clock budget exceeded (transient).
+
+    // Checkpoint restore rejections (src/ckpt). Each corruption class
+    // maps to its own code so callers (and the corrupt-corpus tests)
+    // can tell *why* an artifact was refused.
+    CkptTruncated,      ///< File shorter than its declared layout.
+    CkptBadHeader,      ///< Magic or header checksum mismatch.
+    CkptVersionSkew,    ///< Intact header, unsupported format version.
+    CkptBadPayload,     ///< Payload checksum mismatch (bit flips).
+    CkptConfigMismatch, ///< Valid file for a different configuration.
 };
 
 /** Short stable name of @p code ("parse", "config", ...). */

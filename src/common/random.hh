@@ -39,6 +39,24 @@ class Rng
     /** @return a geometric-ish exponential sample with mean @p mean. */
     double exponential(double mean);
 
+    /**
+     * Raw 256-bit stream position, for checkpoint/restore. common/
+     * sits below src/ckpt in the layer DAG, so the Rng exposes its
+     * state words and the checkpoint layer does the framing.
+     */
+    void stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state[i];
+    }
+
+    /** Overwrite the stream position with @p words (from stateWords). */
+    void setStateWords(const std::uint64_t words[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state[i] = words[i];
+    }
+
   private:
     std::uint64_t state[4];
 };

@@ -12,6 +12,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace graphene {
@@ -29,6 +30,9 @@ class Scalar
     double value() const { return _value; }
     const std::string &name() const { return _name; }
     void reset() { _value = 0.0; }
+
+    /** Overwrite the value (checkpoint restore path only). */
+    void restoreValue(double v) { _value = v; }
 
   private:
     std::string _name;
@@ -68,6 +72,27 @@ class Histogram
     std::uint64_t overflow() const { return _overflow; }
 
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Bucket width fixed at construction (state export). */
+    double bucketWidth() const { return _bucketWidth; }
+
+    /** Exact running sum (mean() would lose bits; state export). */
+    double sum() const { return _sum; }
+
+    /**
+     * Overwrite every piece of bookkeeping (checkpoint restore path
+     * only). @p buckets must match the constructed bucket count.
+     */
+    void restoreCounts(std::vector<std::uint64_t> buckets,
+                       std::uint64_t count, std::uint64_t overflow,
+                       double sum, double max_seen)
+    {
+        _buckets = std::move(buckets);
+        _count = count;
+        _overflow = overflow;
+        _sum = sum;
+        _maxSeen = max_seen;
+    }
 
     /**
      * Clear every piece of bookkeeping — buckets, count, sum, max,

@@ -1,8 +1,11 @@
 #include "core/counter_table.hh"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "check/contracts.hh"
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -211,6 +214,65 @@ void
 CounterTable::scrubSetSpillover(ActCount value)
 {
     _spillover = value;
+}
+
+void
+CounterTable::saveState(ckpt::Writer &w) const
+{
+    w.u64(_entries.size());
+    for (const Entry &e : _entries) {
+        w.u32(e.addr.value());
+        w.u64(e.count.value());
+    }
+    // The address index is genuine state: after an injected address
+    // fault two slots can alias one address and the index records
+    // which slot the CAM match resolves to. Sorted by row for
+    // deterministic bytes.
+    std::vector<std::pair<Row, unsigned>> index(_index.begin(),
+                                                _index.end());
+    std::sort(index.begin(), index.end());
+    w.u64(index.size());
+    for (const auto &[row, slot] : index) {
+        w.u32(row.value());
+        w.u32(slot);
+    }
+    w.u64(_spillover.value());
+    w.u64(_streamLength.value());
+    w.u32(_occupied);
+}
+
+void
+CounterTable::restoreState(ckpt::Reader &r)
+{
+    if (r.u64() != _entries.size()) {
+        r.fail();
+        return;
+    }
+    for (Entry &e : _entries) {
+        e.addr = Row(r.u32());
+        e.count = ActCount(r.u64());
+    }
+    _index.clear();
+    const std::uint64_t index_size = r.u64();
+    if (index_size > _entries.size()) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < index_size && !r.failed(); ++i) {
+        const Row row{r.u32()};
+        const unsigned slot = r.u32();
+        if (slot >= _entries.size()) {
+            r.fail();
+            return;
+        }
+        _index.emplace(row, slot);
+    }
+    _spillover = ActCount(r.u64());
+    _streamLength = ActCount(r.u64());
+    _occupied = r.u32();
+    _buckets.clear();
+    for (unsigned i = 0; i < _entries.size(); ++i)
+        _buckets[_entries[i].count].insert(i);
 }
 
 void

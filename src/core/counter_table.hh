@@ -30,13 +30,19 @@
 #define CORE_COUNTER_TABLE_HH
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace graphene {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace core {
 
 /**
@@ -167,15 +173,33 @@ class CounterTable
 
     ///@}
 
+    /**
+     * Serialize entries (slot order), the address index (sorted by
+     * row — under injected faults two slots can alias one address,
+     * so the index is state, not a derivation), spillover, stream
+     * length and occupancy. Buckets are rebuilt (DESIGN.md §14).
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto a same-capacity table. */
+    void restoreState(ckpt::Reader &r);
+
   private:
     void moveBucket(unsigned slot, ActCount from, ActCount to);
 
     std::vector<Entry> _entries;
     /// Map from row address to slot index.
     std::unordered_map<Row, unsigned> _index;
-    /// Map from count value to the set of slots holding that count.
-    std::unordered_map<ActCount, std::unordered_set<unsigned>>
-        _buckets;
+    /// Map from count value to the set of slots holding that count:
+    /// every slot sits in exactly the bucket of its current count, so
+    /// restoreState() rebuilds the map from the entries. The inner
+    /// set is *ordered* by slot index on purpose: replacement takes
+    /// the bucket's begin(), and with an unordered set that choice
+    /// would depend on insertion history — state a checkpoint cannot
+    /// capture — so a resumed run could evict a different (equally
+    /// valid) slot and silently diverge from the uninterrupted one.
+    std::unordered_map<ActCount, std::set<unsigned>>
+        _buckets; // analyze: ckpt-exempt(_buckets) rebuilt from entries on restore
     ActCount _spillover{};
     ActCount _streamLength{};
     unsigned _occupied = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "check/contracts.hh"
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -106,6 +107,24 @@ TableCost
 Graphene::cost() const
 {
     return costFor(_config, _rowsPerBank, true);
+}
+
+void
+Graphene::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    w.u64(_windowIdx.value());
+    w.u64(_resetCount);
+    _table.saveState(w);
+}
+
+void
+Graphene::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    _windowIdx = RefWindow(r.u64());
+    _resetCount = r.u64();
+    _table.restoreState(r);
 }
 
 TableCost

@@ -63,13 +63,21 @@ class Graphene : public ProtectionScheme
                              std::uint64_t rows_per_bank,
                              bool optimized = true);
 
+    /**
+     * Serialize the tracker: current reset-window ordinal, reset
+     * count, and the full Misra-Gries table — restoring mid-tREFW
+     * resumes the window exactly where the checkpoint cut it.
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
     void maybeReset(Cycle cycle);
 
-    GrapheneConfig _config;
-    std::uint64_t _rowsPerBank;
-    ActCount _threshold;
-    Cycle _windowCycles;
+    GrapheneConfig _config;      // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
+    std::uint64_t _rowsPerBank;  // analyze: ckpt-exempt(_rowsPerBank) config, rebuilt by the constructor
+    ActCount _threshold;         // analyze: ckpt-exempt(_threshold) derived from config
+    Cycle _windowCycles;         // analyze: ckpt-exempt(_windowCycles) derived from config
     RefWindow _windowIdx{};
     std::uint64_t _resetCount = 0;
     CounterTable _table;

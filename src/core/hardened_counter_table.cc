@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "ckpt/io.hh"
+
 #include "common/logging.hh"
 #include "core/graphene.hh"
 
@@ -143,6 +145,35 @@ void
 HardenedCounterTable::injectSpilloverFault(unsigned bit)
 {
     _table.corruptSpillover(bit);
+}
+
+void
+HardenedCounterTable::saveState(ckpt::Writer &w) const
+{
+    _table.saveState(w);
+    w.u64(_parity.size());
+    for (const std::uint8_t p : _parity)
+        w.u8(p);
+    w.u8(_spillParity);
+    w.u64(_actsSinceScrub);
+    w.u64(_scrubSweeps);
+    w.u64(_parityFailures);
+}
+
+void
+HardenedCounterTable::restoreState(ckpt::Reader &r)
+{
+    _table.restoreState(r);
+    if (r.u64() != _parity.size()) {
+        r.fail();
+        return;
+    }
+    for (std::uint8_t &p : _parity)
+        p = r.u8();
+    _spillParity = r.u8();
+    _actsSinceScrub = r.u64();
+    _scrubSweeps = r.u64();
+    _parityFailures = r.u64();
 }
 
 TableCost

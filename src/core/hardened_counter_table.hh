@@ -128,6 +128,17 @@ class HardenedCounterTable
         return static_cast<std::uint64_t>(entries) + 1;
     }
 
+    /**
+     * Serialize the wrapped table plus the stored parity bits and the
+     * scrub bookkeeping — stored (possibly stale) parity is state,
+     * not a derivation: a pending undetected fault must survive a
+     * checkpoint round-trip.
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto an identically configured table. */
+    void restoreState(ckpt::Reader &r);
+
   private:
     bool entryParity(unsigned slot) const;
     bool spilloverParity() const;
@@ -137,7 +148,7 @@ class HardenedCounterTable
     /// Stored parity bit per entry (what the hardware cell holds).
     std::vector<std::uint8_t> _parity;
     std::uint8_t _spillParity = 0;
-    std::uint64_t _scrubEvery;
+    std::uint64_t _scrubEvery; // analyze: ckpt-exempt(_scrubEvery) config, rebuilt by the constructor
     std::uint64_t _actsSinceScrub = 0;
     std::uint64_t _scrubSweeps = 0;
     std::uint64_t _parityFailures = 0;

@@ -1,5 +1,7 @@
 #include "core/protection_scheme.hh"
 
+#include "ckpt/io.hh"
+
 namespace graphene {
 
 void
@@ -7,6 +9,18 @@ ProtectionScheme::onRefresh(Cycle cycle, RefreshAction &action)
 {
     (void)cycle;
     (void)action;
+}
+
+void
+ProtectionScheme::saveState(ckpt::Writer &w) const
+{
+    w.u64(_victimRefreshEvents);
+}
+
+void
+ProtectionScheme::restoreState(ckpt::Reader &r)
+{
+    _victimRefreshEvents = r.u64();
 }
 
 } // namespace graphene

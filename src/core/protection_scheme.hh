@@ -22,6 +22,11 @@
 
 namespace graphene {
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Refresh work requested by a scheme in response to one event. */
 struct RefreshAction
 {
@@ -96,6 +101,17 @@ class ProtectionScheme
      */
     void attachProbe(const obs::Probe &probe) { _probe = probe; }
 
+    /**
+     * Serialize the scheme's mutable tracker state (DESIGN.md §14).
+     * Overrides must start by calling the base implementation, which
+     * covers the shared victim-refresh counter; probes are code-side
+     * attachments and are re-attached by the owner after restore.
+     */
+    virtual void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto an identically configured scheme. */
+    virtual void restoreState(ckpt::Reader &r);
+
   protected:
     /**
      * Record one victim-refresh decision: bumps the event counter,
@@ -115,7 +131,7 @@ class ProtectionScheme
     }
 
     std::uint64_t _victimRefreshEvents = 0;
-    [[no_unique_address]] obs::Probe _probe;
+    [[no_unique_address]] obs::Probe _probe; // analyze: ckpt-exempt(_probe) re-attached by the owner
 };
 
 } // namespace graphene

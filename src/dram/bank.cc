@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/contracts.hh"
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 #include "dram/command.hh"
 
@@ -102,6 +103,32 @@ Bank::issuePrecharge(Cycle cycle)
     GRAPHENE_ENSURES(!isOpen() &&
                          _actAllowedAt >= cycle + _timing.cRP(),
                      "PRE must close the row and arm tRP");
+}
+
+void
+Bank::saveState(ckpt::Writer &w) const
+{
+    w.u32(_openRow.value());
+    w.u64(_actAllowedAt.value());
+    w.u64(_rwAllowedAt.value());
+    w.u64(_preAllowedAt.value());
+    w.u64(_lastActAt.value());
+    w.boolean(_everActivated);
+    w.u64(_actCount.value());
+}
+
+void
+Bank::restoreState(ckpt::Reader &r)
+{
+    _openRow = Row(r.u32());
+    _actAllowedAt = Cycle(r.u64());
+    _rwAllowedAt = Cycle(r.u64());
+    _preAllowedAt = Cycle(r.u64());
+    _lastActAt = Cycle(r.u64());
+    _everActivated = r.boolean();
+    _actCount = ActCount(r.u64());
+    if (_openRow.isValid() && _openRow.value() >= _numRows)
+        r.fail();
 }
 
 void

@@ -13,6 +13,12 @@
 #include "dram/timing.hh"
 
 namespace graphene {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace dram {
 
 /**
@@ -60,9 +66,15 @@ class Bank
 
     std::uint64_t numRows() const { return _numRows; }
 
+    /** Serialize the mutable state machine (DESIGN.md §14). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto an identically configured bank. */
+    void restoreState(ckpt::Reader &r);
+
   private:
-    TimingParams _timing;
-    std::uint64_t _numRows;
+    TimingParams _timing;      // analyze: ckpt-exempt(_timing) config, rebuilt by the constructor
+    std::uint64_t _numRows;    // analyze: ckpt-exempt(_numRows) config, rebuilt by the constructor
     Row _openRow = Row::invalid();
     Cycle _actAllowedAt{};
     Cycle _rwAllowedAt{};

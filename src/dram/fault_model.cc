@@ -1,5 +1,8 @@
 #include "dram/fault_model.hh"
 
+#include <algorithm>
+
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -108,6 +111,66 @@ FaultModel::disturbance(Row row) const
 {
     return row.value() < _numRows ? _cells[row.value()].disturbance
                                   : 0.0;
+}
+
+void
+FaultModel::saveState(ckpt::Writer &w) const
+{
+    // Sparse cell encoding: a bank holds 64Ki rows but an attack
+    // disturbs a handful, so only non-default cells are written, in
+    // row order (deterministic bytes).
+    std::uint64_t live = 0;
+    for (const CellState &c : _cells)
+        if (c.disturbance != 0.0 || c.flipped)
+            ++live;
+    w.u64(live);
+    for (std::uint64_t i = 0; i < _numRows; ++i) {
+        const CellState &c = _cells[i];
+        if (c.disturbance == 0.0 && !c.flipped)
+            continue;
+        w.u32(static_cast<std::uint32_t>(i));
+        w.f64(c.disturbance);
+        w.boolean(c.flipped);
+    }
+    w.u64(_flips.size());
+    for (const BitFlip &f : _flips) {
+        w.u32(f.victimRow.value());
+        w.u64(f.cycle.value());
+        w.f64(f.disturbance);
+    }
+    w.f64(_peak);
+}
+
+void
+FaultModel::restoreState(ckpt::Reader &r)
+{
+    std::fill(_cells.begin(), _cells.end(), CellState{});
+    const std::uint64_t live = r.u64();
+    if (live > _numRows) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < live && !r.failed(); ++i) {
+        const Row row{r.u32()};
+        const double disturbance = r.f64();
+        const bool flipped = r.boolean();
+        if (row.value() >= _numRows) {
+            r.fail();
+            return;
+        }
+        _cells[row.value()] = CellState{disturbance, flipped};
+    }
+    _flips.clear();
+    const std::uint64_t flip_count = r.u64();
+    if (flip_count > _numRows) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < flip_count && !r.failed(); ++i) {
+        BitFlip f{Row{r.u32()}, Cycle{r.u64()}, r.f64()};
+        _flips.push_back(f);
+    }
+    _peak = r.f64();
 }
 
 } // namespace dram

@@ -20,6 +20,12 @@
 #include "common/types.hh"
 
 namespace graphene {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace dram {
 
 /** One observed Row Hammer bit flip. */
@@ -105,6 +111,16 @@ class FaultModel
         return static_cast<unsigned>(_config.mu.size());
     }
 
+    /**
+     * Serialize the charge state sparsely: only rows with non-default
+     * cells (disturbed or flipped), in row order, plus the flip log
+     * and the peak (DESIGN.md §14).
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto an identically configured model. */
+    void restoreState(ckpt::Reader &r);
+
   private:
     struct CellState
     {
@@ -114,15 +130,17 @@ class FaultModel
 
     void deposit(Cycle cycle, Row victim, double amount);
 
-    FaultConfig _config;
-    std::uint64_t _numRows;
+    FaultConfig _config;    // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
+    std::uint64_t _numRows; // analyze: ckpt-exempt(_numRows) config, rebuilt by the constructor
     /// Dense per-row charge state (one entry per row of the bank).
     std::vector<CellState> _cells;
     std::vector<BitFlip> _flips;
     double _peak = 0.0;
-    /// Logical -> physical and inverse permutations (remap only).
-    std::vector<Row> _toPhysical;
-    std::vector<Row> _toLogical;
+    /// Logical -> physical and inverse permutations (remap only):
+    /// a pure function of the seeded config, so the constructor
+    /// rebuilds them bit-identically.
+    std::vector<Row> _toPhysical; // analyze: ckpt-exempt(_toPhysical) derived from remapSeed
+    std::vector<Row> _toLogical;  // analyze: ckpt-exempt(_toLogical) derived from remapSeed
 };
 
 } // namespace dram

@@ -1,6 +1,7 @@
 #include "dram/rank.hh"
 
 #include "check/contracts.hh"
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 
 namespace graphene {
@@ -179,6 +180,55 @@ Rank::refreshVictimRowsDeferred(unsigned bank_idx,
     }
     _nrrRowCount += rows.size();
     return _timing.cRC() * rows.size();
+}
+
+void
+Rank::saveState(ckpt::Writer &w) const
+{
+    w.u64(_banks.size());
+    for (const Bank &b : _banks)
+        b.saveState(w);
+    w.u64(_faults.size());
+    for (const FaultModel &f : _faults)
+        f.saveState(w);
+    w.u32(_refreshPointer.value());
+    w.u64(_nextRefreshAt.value());
+    w.u64(_refreshCount);
+    w.u64(_nrrRowCount);
+    for (const Cycle c : _fawActs)
+        w.u64(c.value());
+    w.u32(_fawHead);
+    w.u32(_fawCount);
+}
+
+void
+Rank::restoreState(ckpt::Reader &r)
+{
+    // Geometry is config, not state: the counts must match the rank
+    // this restore is aimed at, or the checkpoint was produced by a
+    // different configuration than its fingerprint claims.
+    if (r.u64() != _banks.size()) {
+        r.fail();
+        return;
+    }
+    for (Bank &b : _banks)
+        b.restoreState(r);
+    if (r.u64() != _faults.size()) {
+        r.fail();
+        return;
+    }
+    for (FaultModel &f : _faults)
+        f.restoreState(r);
+    _refreshPointer = Row(r.u32());
+    _nextRefreshAt = Cycle(r.u64());
+    _refreshCount = r.u64();
+    _nrrRowCount = r.u64();
+    for (Cycle &c : _fawActs)
+        c = Cycle(r.u64());
+    _fawHead = r.u32();
+    _fawCount = r.u32();
+    if (_fawHead >= 4 || _fawCount > 4)
+        r.fail();
 }
 
 } // namespace dram

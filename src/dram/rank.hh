@@ -19,6 +19,12 @@
 #include "dram/timing.hh"
 
 namespace graphene {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace dram {
 
 /**
@@ -110,17 +116,30 @@ class Rank
     /** Rows refreshed per REF command (the stripe size). */
     std::uint64_t rowsPerRefresh() const { return _rowsPerRefresh; }
 
+    /**
+     * Serialize the whole rank: every bank state machine, every
+     * fault model, the refresh rotation, and the tFAW ring
+     * (DESIGN.md §14). Listeners are re-attached by the owner after
+     * restore — code, not data.
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState() onto an identically configured rank. */
+    void restoreState(ckpt::Reader &r);
+
   private:
     void refreshRow(unsigned bank_idx, Row row);
 
-    TimingParams _timing;
-    std::uint64_t _rowsPerBank;
+    TimingParams _timing;        // analyze: ckpt-exempt(_timing) config, rebuilt by the constructor
+    std::uint64_t _rowsPerBank;  // analyze: ckpt-exempt(_rowsPerBank) config, rebuilt by the constructor
     std::vector<Bank> _banks;
     std::vector<FaultModel> _faults;
-    std::vector<RefreshListener> _listeners;
+    /// Callbacks are code, not state: owners re-register after a
+    /// restore, exactly as after construction.
+    std::vector<RefreshListener> _listeners; // analyze: ckpt-exempt(_listeners) re-attached by the owner
 
-    std::uint64_t _refreshesPerWindow;
-    std::uint64_t _rowsPerRefresh;
+    std::uint64_t _refreshesPerWindow; // analyze: ckpt-exempt(_refreshesPerWindow) derived from timing
+    std::uint64_t _rowsPerRefresh;     // analyze: ckpt-exempt(_rowsPerRefresh) derived from timing
     Row _refreshPointer{};
     Cycle _nextRefreshAt;
     std::uint64_t _refreshCount = 0;

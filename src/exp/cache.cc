@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "ckpt/checkpoint.hh"
 #include "exp/fingerprint.hh"
 
 namespace graphene {
@@ -61,23 +62,17 @@ Cache::store(const CellKey &key, const CellResult &result) const
     if (ec)
         return; // caching is best-effort; the run still has results
 
-    const std::string path = entryPath(key);
-    const std::string tmp =
-        path + ".tmp" + Fingerprint::hex(key.fingerprint);
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return;
-        out << cellRecordLine(key, result) << "\n";
-        if (!out) {
-            out.close();
-            fs::remove(tmp, ec);
-            return;
-        }
-    }
-    fs::rename(tmp, path, ec);
-    if (ec)
-        fs::remove(tmp, ec);
+    // Durable atomic write (unique tmp sibling, fsync, rename) via
+    // the checkpoint layer: a cache entry torn by a crash or power
+    // cut would otherwise be read back as a miss at best and a
+    // wrong-but-parseable record at worst. Still best-effort: a
+    // failed write just forfeits the cache entry.
+    const std::string line = cellRecordLine(key, result) + "\n";
+    const std::vector<std::uint8_t> bytes(line.begin(), line.end());
+    const Result<void> written =
+        ckpt::atomicWriteFile(entryPath(key), bytes);
+    if (!written.ok())
+        return;
 }
 
 } // namespace exp

@@ -33,6 +33,8 @@
 
 namespace graphene {
 
+class CancelToken;
+
 namespace obs {
 struct Sink;
 } // namespace obs
@@ -118,6 +120,18 @@ struct Cell
      * return byte-identical results (CI compares the artifacts).
      */
     std::function<CellResult(obs::Sink *)> obsBody;
+
+    /**
+     * Optional cancellable variant of the same work: identical
+     * result when it runs to completion, but polling the token at a
+     * coarse stride and returning early (with a Timeout-flavoured
+     * error result) once it trips. When present, the runner prefers
+     * this over body/obsBody so per-cell wall-clock budgets
+     * (RunOptions::cellTimeoutMs) can interrupt a stuck cell. The
+     * sink may be null (tracing off); the token is never null.
+     */
+    std::function<CellResult(obs::Sink *, const CancelToken &)>
+        cancellableBody;
 };
 
 /** One batch of independent cells (one DAG layer). */

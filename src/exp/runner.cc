@@ -8,6 +8,9 @@
 #include <optional>
 #include <utility>
 
+#include <algorithm>
+
+#include "common/cancel.hh"
 #include "common/error.hh"
 #include "common/json.hh"
 #include "exp/fingerprint.hh"
@@ -135,11 +138,16 @@ writeCellTrace(const std::string &dir, const CellKey &key,
 std::string
 RunSummary::describe() const
 {
-    return strprintf(
+    std::string line = strprintf(
         "%zu cell(s): %zu executed, %zu cached (%.0f%% hit), "
         "%zu error(s), %.1f s wall",
         total, executed, cacheHits, 100.0 * cacheHitRate(), errors,
         wallMs / 1000.0);
+    if (resumed > 0)
+        line += strprintf(", %zu resumed", resumed);
+    if (timeouts > 0)
+        line += strprintf(", %zu timeout(s)", timeouts);
+    return line;
 }
 
 Runner::Runner(RunOptions options)
@@ -165,12 +173,36 @@ Runner::openArtifacts()
               _options.jsonlPath.c_str());
 }
 
+void
+Runner::openManifest()
+{
+    if (_manifestOpen || _options.ckptDir.empty())
+        return;
+    _manifestOpen = true;
+    _manifest.emplace(_options.ckptDir, _options.versionTag);
+    if (!_options.resume)
+        return;
+    const Manifest::LoadReport report = _manifest->load();
+    if (_options.progress) {
+        std::ostream &os = _options.progressStream
+                               ? *_options.progressStream
+                               : std::cerr;
+        for (const std::string &note : report.notes)
+            os << "[ckpt] rejected manifest: " << note << "\n";
+        if (!report.source.empty())
+            os << "[ckpt] resuming " << report.cells
+               << " completed cell(s) from " << report.source << "\n";
+    }
+}
+
 std::vector<CellResult>
 Runner::run(const ExperimentSpec &spec)
 {
     const std::size_t n = spec.cells.size();
     std::vector<CellResult> results(n);
-    std::vector<char> hit(n, 0);
+    // How each slot was filled, for the .meta sidecar.
+    enum : char { kMiss = 0, kHit = 1, kResume = 2, kTimeout = 3 };
+    std::vector<char> source(n, kMiss);
     std::vector<double> wall_ms(n, 0.0);
     std::vector<ObsProfile> profiles(n);
 
@@ -181,6 +213,7 @@ Runner::run(const ExperimentSpec &spec)
     std::optional<Cache> cache;
     if (!_options.cacheDir.empty())
         cache.emplace(_options.cacheDir, _options.versionTag);
+    openManifest();
 
     std::ostream *progress_os =
         _options.progressStream ? _options.progressStream
@@ -191,38 +224,144 @@ Runner::run(const ExperimentSpec &spec)
 
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> resumed{0};
+    std::atomic<std::size_t> timeouts{0};
+
+    // The manifest is shared mutable state across workers; every
+    // touch goes through this mutex (lookups included — record()
+    // rebalances the map under concurrent readers otherwise).
+    std::mutex manifest_mutex;
+    const auto record_completion = [&](const CellKey &key,
+                                       const CellResult &result) {
+        if (!_manifest)
+            return;
+        const std::lock_guard<std::mutex> lock(manifest_mutex);
+        _manifest->record(key, result);
+        if (++_sinceCkpt <
+            std::max<std::size_t>(std::size_t{1}, _options.ckptEvery))
+            return;
+        _sinceCkpt = 0;
+        const Result<void> saved = _manifest->persist();
+        if (!saved.ok() && !_manifestBroken) {
+            _manifestBroken = true;
+            *progress_os << "\n[ckpt] manifest persist failed ("
+                         << saved.error().describe()
+                         << "); continuing without checkpoints\n";
+        }
+    };
 
     const auto start = Clock::now();
     _pool.parallelFor(n, [&](std::size_t i) {
         const Cell &cell = spec.cells[i];
         const auto cell_start = Clock::now();
-        if (cache) {
-            if (auto cached = cache->load(cell.key)) {
-                results[i] = std::move(*cached);
-                hit[i] = 1;
-                hits.fetch_add(1, std::memory_order_relaxed);
-                wall_ms[i] = msSince(cell_start);
-                if (progress)
-                    progress->completed(done.fetch_add(1) + 1,
-                                        hits.load());
+        const auto finish_cell = [&](char how) {
+            source[i] = how;
+            wall_ms[i] = msSince(cell_start);
+            if (progress)
+                progress->completed(done.fetch_add(1) + 1,
+                                    hits.load() + resumed.load());
+        };
+        if (_manifest && _options.resume) {
+            std::optional<CellResult> prior;
+            {
+                const std::lock_guard<std::mutex> lock(
+                    manifest_mutex);
+                prior = _manifest->lookup(cell.key);
+            }
+            if (prior) {
+                results[i] = std::move(*prior);
+                resumed.fetch_add(1, std::memory_order_relaxed);
+                finish_cell(kResume);
                 return;
             }
         }
-        if (use_obs && cell.obsBody) {
-            obs::Sink sink(_options.obsRingCapacity);
-            results[i] = cell.obsBody(&sink);
-            writeCellTrace(_options.obsDir, cell.key, sink,
-                           profiles[i]);
-        } else {
-            results[i] = cell.body();
+        if (cache) {
+            if (auto cached = cache->load(cell.key)) {
+                results[i] = std::move(*cached);
+                hits.fetch_add(1, std::memory_order_relaxed);
+                // A cache hit still completes the cell: record it so
+                // the manifest stays a full completion log.
+                record_completion(cell.key, results[i]);
+                finish_cell(kHit);
+                return;
+            }
+        }
+
+        // Execute, under a cooperative wall-clock budget when one is
+        // configured and the cell can honour it; a timed-out attempt
+        // is retried a bounded number of times.
+        const bool budgeted =
+            _options.cellTimeoutMs > 0.0 && cell.cancellableBody;
+        const unsigned max_attempts =
+            1 + (budgeted ? _options.cellRetries : 0);
+        bool timed_out = false;
+        for (unsigned attempt = 1;; ++attempt) {
+            CancelToken token;
+            if (budgeted)
+                token.armDeadline(
+                    CancelToken::Clock::now() +
+                    std::chrono::duration_cast<
+                        CancelToken::Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            _options.cellTimeoutMs)));
+            if (use_obs &&
+                (cell.cancellableBody || cell.obsBody)) {
+                obs::Sink sink(_options.obsRingCapacity);
+                results[i] = cell.cancellableBody
+                                 ? cell.cancellableBody(&sink, token)
+                                 : cell.obsBody(&sink);
+                timed_out = budgeted && token.cancelled() &&
+                            results[i].skipped();
+                if (!timed_out)
+                    writeCellTrace(_options.obsDir, cell.key, sink,
+                                   profiles[i]);
+            } else {
+                results[i] =
+                    cell.cancellableBody
+                        ? cell.cancellableBody(nullptr, token)
+                        : cell.body();
+                timed_out = budgeted && token.cancelled() &&
+                            results[i].skipped();
+            }
+            if (!timed_out || attempt >= max_attempts)
+                break;
+        }
+
+        if (timed_out) {
+            // Deterministic error text (no wall-clock readings): the
+            // JSONL artifact stays byte-stable for a given outcome.
+            results[i] = CellResult{
+                {}, Error(ErrorCode::Timeout,
+                          strprintf("cell exceeded its %.0f ms "
+                                    "budget (%u attempt(s))",
+                                    _options.cellTimeoutMs,
+                                    max_attempts))
+                        .describe()};
+            timeouts.fetch_add(1, std::memory_order_relaxed);
+            // Neither cached nor recorded: a resume retries it.
+            finish_cell(kTimeout);
+            return;
         }
         if (cache)
             cache->store(cell.key, results[i]);
-        wall_ms[i] = msSince(cell_start);
-        if (progress)
-            progress->completed(done.fetch_add(1) + 1, hits.load());
+        record_completion(cell.key, results[i]);
+        finish_cell(kMiss);
     });
     const double stage_ms = msSince(start);
+
+    // Persist the tail of completions (< ckptEvery since the last
+    // periodic save) so a between-stages crash loses nothing.
+    if (_manifest && !_manifestBroken) {
+        const std::lock_guard<std::mutex> lock(manifest_mutex);
+        _sinceCkpt = 0;
+        const Result<void> saved = _manifest->persist();
+        if (!saved.ok()) {
+            _manifestBroken = true;
+            *progress_os << "\n[ckpt] manifest persist failed ("
+                         << saved.error().describe()
+                         << "); continuing without checkpoints\n";
+        }
+    }
 
     // Commit order is spec order, whatever the schedule was: the
     // JSONL artifact is byte-identical across jobs counts.
@@ -239,7 +378,12 @@ Runner::run(const ExperimentSpec &spec)
                   << ",\"scheme\":" << json::quote(key.scheme)
                   << ",\"fingerprint\":\""
                   << Fingerprint::hex(key.fingerprint) << "\""
-                  << ",\"cache\":\"" << (hit[i] ? "hit" : "miss")
+                  << ",\"cache\":\""
+                  << (source[i] == kHit      ? "hit"
+                      : source[i] == kResume ? "resume"
+                      : source[i] == kTimeout
+                          ? "timeout"
+                          : "miss")
                   << "\",\"wall_ms\":" << json::number(wall_ms[i])
                   << ",\"acts_per_ms\":"
                   << json::number(
@@ -262,7 +406,9 @@ Runner::run(const ExperimentSpec &spec)
                 ++stage_errors;
         _meta << "{\"stage\":" << json::quote(spec.name)
               << ",\"cells\":" << n << ",\"cache_hits\":"
-              << hits.load() << ",\"errors\":" << stage_errors
+              << hits.load() << ",\"resumed\":" << resumed.load()
+              << ",\"timeouts\":" << timeouts.load()
+              << ",\"errors\":" << stage_errors
               << ",\"jobs\":" << _pool.jobs()
               << ",\"wall_ms\":" << json::number(stage_ms) << "}\n";
         _meta.flush();
@@ -270,7 +416,9 @@ Runner::run(const ExperimentSpec &spec)
 
     _summary.total += n;
     _summary.cacheHits += hits.load();
-    _summary.executed += n - hits.load();
+    _summary.resumed += resumed.load();
+    _summary.timeouts += timeouts.load();
+    _summary.executed += n - hits.load() - resumed.load();
     for (const auto &r : results)
         if (r.skipped())
             ++_summary.errors;

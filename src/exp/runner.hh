@@ -24,11 +24,13 @@
 
 #include <fstream>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/cache.hh"
 #include "exp/cell.hh"
+#include "exp/manifest.hh"
 #include "exp/pool.hh"
 #include "obs/ring.hh"
 
@@ -67,6 +69,38 @@ struct RunOptions
 
     /** Defaults to std::cerr (kept off stdout: tables live there). */
     std::ostream *progressStream = nullptr;
+
+    /**
+     * Crash-resume checkpoint directory; empty = checkpointing off.
+     * Completed cells are recorded into `<ckptDir>/manifest.gckp`
+     * (see exp::Manifest) so an interrupted sweep can be resumed.
+     */
+    std::string ckptDir;
+
+    /** Persist the manifest every N completed cells (min 1). */
+    std::size_t ckptEvery = 1;
+
+    /**
+     * Serve cells recorded in the latest valid manifest instead of
+     * recomputing them. The primary JSONL artifact is still written
+     * in full, byte-identical to an uninterrupted run, because
+     * record lines are pure functions of the cell spec.
+     */
+    bool resume = false;
+
+    /**
+     * Per-cell wall-clock budget in milliseconds; 0 = unlimited.
+     * Needs cells with a cancellableBody — the budget is enforced
+     * cooperatively (CancelToken deadline), never by killing
+     * threads. A timed-out cell reports an ErrorCode::Timeout-style
+     * error result and is neither cached nor recorded in the
+     * manifest, so a later resume retries it from scratch.
+     */
+    double cellTimeoutMs = 0.0;
+
+    /** Extra attempts after a timeout before giving up (transient
+     *  stalls — a loaded CI box — get a second chance). */
+    unsigned cellRetries = 1;
 };
 
 /** Aggregate accounting across every run() call of one Runner. */
@@ -75,6 +109,8 @@ struct RunSummary
     std::size_t total = 0;     ///< Cells scheduled.
     std::size_t executed = 0;  ///< Cells actually computed.
     std::size_t cacheHits = 0; ///< Cells served from the cache.
+    std::size_t resumed = 0;   ///< Cells served from the manifest.
+    std::size_t timeouts = 0;  ///< Cells that exhausted their budget.
     std::size_t errors = 0;    ///< Cells that returned an error.
     double wallMs = 0.0;       ///< Wall time inside run() calls.
 
@@ -107,12 +143,22 @@ class Runner
 
   private:
     void openArtifacts();
+    void openManifest();
 
     RunOptions _options;
     Pool _pool;
     std::ofstream _jsonl;
     std::ofstream _meta;
     bool _artifactsOpen = false;
+    /// Crash-resume manifest (ckptDir set); shared across stages so
+    /// a multi-stage sweep checkpoints as one unit.
+    std::optional<Manifest> _manifest;
+    bool _manifestOpen = false;
+    /// Completions since the manifest was last persisted.
+    std::size_t _sinceCkpt = 0;
+    /// First manifest persist failure (reported once, then the run
+    /// carries on without checkpoint durability).
+    bool _manifestBroken = false;
     RunSummary _summary;
 };
 

@@ -95,6 +95,57 @@ MetricsRegistry::windowSum(const std::string &name) const
     return sum;
 }
 
+// analyze: perf-exempt(checkpoint boundary, not per-activation)
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &kv : _group.scalars())
+        snap.scalars.emplace_back(kv.first, kv.second.value());
+    for (const auto &kv : _group.histograms()) {
+        Snapshot::HistogramState h;
+        h.name = kv.first;
+        h.buckets = kv.second.buckets();
+        h.bucketWidth = kv.second.bucketWidth();
+        h.count = kv.second.count();
+        h.overflow = kv.second.overflow();
+        h.sum = kv.second.sum();
+        h.maxSeen = kv.second.max();
+        snap.histograms.push_back(std::move(h));
+    }
+    snap.lastScalar = _lastScalar;
+    snap.lastHistSamples = _lastHistSamples;
+    snap.rows = _rows;
+    snap.windowCycles = _windowCycles.value();
+    snap.currentWindow = _currentWindow;
+    snap.open = _open;
+    return snap;
+}
+
+// analyze: perf-exempt(checkpoint boundary, not per-activation)
+void
+MetricsRegistry::restore(const Snapshot &snap)
+{
+    _group = StatGroup{};
+    for (const auto &kv : snap.scalars)
+        _group.scalar(kv.first).restoreValue(kv.second);
+    for (const auto &h : snap.histograms) {
+        // histogram() fixes the shape on first call; max is
+        // width x buckets by construction.
+        Histogram &hist = _group.histogram(
+            h.name, h.buckets.size(),
+            h.bucketWidth * static_cast<double>(h.buckets.size()));
+        hist.restoreCounts(h.buckets, h.count, h.overflow, h.sum,
+                           h.maxSeen);
+    }
+    _lastScalar = snap.lastScalar;
+    _lastHistSamples = snap.lastHistSamples;
+    _rows = snap.rows;
+    _windowCycles = Cycle(snap.windowCycles);
+    _currentWindow = snap.currentWindow;
+    _open = snap.open;
+}
+
 void
 MetricsRegistry::writeJsonl(std::ostream &os) const
 {

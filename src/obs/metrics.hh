@@ -29,6 +29,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -79,6 +80,41 @@ class MetricsRegistry
      */
     void writeJsonl(std::ostream &os) const;
 
+    /**
+     * Complete registry state in plain types, for checkpointing. obs
+     * sits below src/ckpt in the layer DAG (it depends only on
+     * common), so the checkpoint layer cannot be named here: the
+     * registry exports/imports a Snapshot and sim does the framing.
+     */
+    struct Snapshot
+    {
+        struct HistogramState
+        {
+            std::string name;
+            std::vector<std::uint64_t> buckets;
+            double bucketWidth = 0.0;
+            std::uint64_t count = 0;
+            std::uint64_t overflow = 0;
+            double sum = 0.0;
+            double maxSeen = 0.0;
+        };
+
+        std::vector<std::pair<std::string, double>> scalars;
+        std::vector<HistogramState> histograms;
+        std::map<std::string, double> lastScalar;
+        std::map<std::string, std::uint64_t> lastHistSamples;
+        std::vector<WindowRow> rows;
+        std::uint64_t windowCycles = 0;
+        std::uint64_t currentWindow = 0;
+        bool open = false;
+    };
+
+    /** Export the full registry state (maps iterate sorted). */
+    Snapshot snapshot() const;
+
+    /** Overwrite the registry with @p snap (restore path). */
+    void restore(const Snapshot &snap);
+
   private:
     void advanceTo(Cycle cycle);
     void closeWindow();
@@ -127,6 +163,37 @@ class MetricsRegistry
 
     double windowSum(const std::string &) const { return 0.0; }
     void writeJsonl(std::ostream &) const {}
+
+    /**
+     * Same Snapshot shape as the instrumented build so checkpoint
+     * serializers compile identically; snapshot() is always empty and
+     * restore() discards, keeping the registry an empty type.
+     */
+    struct Snapshot
+    {
+        struct HistogramState
+        {
+            std::string name;
+            std::vector<std::uint64_t> buckets;
+            double bucketWidth = 0.0;
+            std::uint64_t count = 0;
+            std::uint64_t overflow = 0;
+            double sum = 0.0;
+            double maxSeen = 0.0;
+        };
+
+        std::vector<std::pair<std::string, double>> scalars;
+        std::vector<HistogramState> histograms;
+        std::map<std::string, double> lastScalar;
+        std::map<std::string, std::uint64_t> lastHistSamples;
+        std::vector<WindowRow> rows;
+        std::uint64_t windowCycles = 0;
+        std::uint64_t currentWindow = 0;
+        bool open = false;
+    };
+
+    Snapshot snapshot() const { return Snapshot{}; }
+    void restore(const Snapshot &) {}
 };
 
 static_assert(std::is_empty_v<MetricsRegistry>,

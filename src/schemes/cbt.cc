@@ -1,5 +1,7 @@
 #include "schemes/cbt.hh"
 
+#include "ckpt/io.hh"
+
 #include <algorithm>
 
 #include "check/contracts.hh"
@@ -277,6 +279,48 @@ Cbt::cost() const
     cost.sramBits = static_cast<std::uint64_t>(_config.numCounters) *
                     (count_bits + addr_bits);
     return cost;
+}
+
+
+void
+Cbt::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    w.u64(_ranges.size());
+    for (const auto &[start, node] : _ranges) {
+        w.u32(start.value());
+        w.u32(node.start.value());
+        w.u64(node.length);
+        w.u32(node.level);
+        w.u64(node.count);
+    }
+    w.u64(_lastBurstRows);
+    w.u64(_mergeScoreCache);
+    w.boolean(_mergeCacheValid);
+}
+
+void
+Cbt::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    _ranges.clear();
+    const std::uint64_t range_count = r.u64();
+    if (range_count > _config.numCounters) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < range_count && !r.failed(); ++i) {
+        const Row key{r.u32()};
+        Node node;
+        node.start = Row{r.u32()};
+        node.length = r.u64();
+        node.level = r.u32();
+        node.count = r.u64();
+        _ranges.emplace(key, node);
+    }
+    _lastBurstRows = r.u64();
+    _mergeScoreCache = r.u64();
+    _mergeCacheValid = r.boolean();
 }
 
 } // namespace schemes

@@ -113,6 +113,14 @@ class Cbt : public ProtectionScheme
     /** Rows refreshed by the last trigger (burst-size telemetry). */
     std::uint64_t lastBurstRows() const { return _lastBurstRows; }
 
+    /**
+     * Serialize the counter tree (std::map iterates in key order, so
+     * the bytes are deterministic) plus the burst telemetry and the
+     * merge-score cache.
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
     struct Node
     {
@@ -129,7 +137,7 @@ class Cbt : public ProtectionScheme
     void trigger(Cycle cycle, std::map<Row, Node>::iterator it,
                  RefreshAction &action);
 
-    CbtConfig _config;
+    CbtConfig _config; // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
     /// Allocated counters keyed by range start; ranges partition
     /// the row space.
     std::map<Row, Node> _ranges;

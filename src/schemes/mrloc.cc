@@ -1,5 +1,7 @@
 #include "schemes/mrloc.hh"
 
+#include "ckpt/io.hh"
+
 #include <algorithm>
 
 #include "check/contracts.hh"
@@ -95,6 +97,38 @@ MrLoc::cost() const
     cost.sramBits =
         static_cast<std::uint64_t>(cost.entries) * addr_bits;
     return cost;
+}
+
+
+void
+MrLoc::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    std::uint64_t rng[4];
+    _rng.stateWords(rng);
+    for (const std::uint64_t word : rng)
+        w.u64(word);
+    w.u64(_queue.size());
+    for (const Row row : _queue)
+        w.u32(row.value());
+}
+
+void
+MrLoc::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    std::uint64_t rng[4];
+    for (std::uint64_t &word : rng)
+        word = r.u64();
+    _rng.setStateWords(rng);
+    _queue.clear();
+    const std::uint64_t queue_size = r.u64();
+    if (queue_size > _config.queueEntries) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < queue_size && !r.failed(); ++i)
+        _queue.push_back(Row{r.u32()});
 }
 
 } // namespace schemes

@@ -63,10 +63,14 @@ class MrLoc : public ProtectionScheme
 
     const std::deque<Row> &queue() const { return _queue; }
 
+    /** Serialize the RNG stream and the victim history queue. */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
     void touch(Cycle cycle, Row victim, RefreshAction &action);
 
-    MrLocConfig _config;
+    MrLocConfig _config; // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
     Rng _rng;
     /// Victim history, oldest at the front.
     std::deque<Row> _queue;

@@ -1,5 +1,7 @@
 #include "schemes/para.hh"
 
+#include "ckpt/io.hh"
+
 #include <cmath>
 
 #include "check/contracts.hh"
@@ -100,6 +102,27 @@ Para::requiredProbability(std::uint64_t rh_threshold)
         }
     }
     return table[n - 1].p;
+}
+
+
+void
+Para::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    std::uint64_t rng[4];
+    _rng.stateWords(rng);
+    for (const std::uint64_t word : rng)
+        w.u64(word);
+}
+
+void
+Para::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    std::uint64_t rng[4];
+    for (std::uint64_t &word : rng)
+        word = r.u64();
+    _rng.setStateWords(rng);
 }
 
 } // namespace schemes

@@ -62,8 +62,12 @@ class Para : public ProtectionScheme
      */
     static double requiredProbability(std::uint64_t rh_threshold);
 
+    /** Serialize the RNG stream position (PARA's only state). */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
-    ParaConfig _config;
+    ParaConfig _config; // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
     Rng _rng;
 };
 

@@ -1,5 +1,7 @@
 #include "schemes/prohit.hh"
 
+#include "ckpt/io.hh"
+
 #include <algorithm>
 
 #include "check/contracts.hh"
@@ -120,6 +122,49 @@ ProHit::cost() const
     cost.entries = _config.hotEntries + _config.coldEntries;
     cost.sramBits = static_cast<std::uint64_t>(cost.entries) * addr_bits;
     return cost;
+}
+
+
+void
+ProHit::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    std::uint64_t rng[4];
+    _rng.stateWords(rng);
+    for (const std::uint64_t word : rng)
+        w.u64(word);
+    w.u64(_hot.size());
+    for (const Row row : _hot)
+        w.u32(row.value());
+    w.u64(_cold.size());
+    for (const Row row : _cold)
+        w.u32(row.value());
+}
+
+void
+ProHit::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    std::uint64_t rng[4];
+    for (std::uint64_t &word : rng)
+        word = r.u64();
+    _rng.setStateWords(rng);
+    _hot.clear();
+    const std::uint64_t hot_size = r.u64();
+    if (hot_size > _config.hotEntries) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < hot_size && !r.failed(); ++i)
+        _hot.push_back(Row{r.u32()});
+    _cold.clear();
+    const std::uint64_t cold_size = r.u64();
+    if (cold_size > _config.coldEntries) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < cold_size && !r.failed(); ++i)
+        _cold.push_back(Row{r.u32()});
 }
 
 } // namespace schemes

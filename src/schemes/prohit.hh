@@ -80,10 +80,14 @@ class ProHit : public ProtectionScheme
     const std::vector<Row> &hotTable() const { return _hot; }
     const std::deque<Row> &coldTable() const { return _cold; }
 
+    /** Serialize the RNG stream and both history tables in order. */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
     void present(Row victim);
 
-    ProHitConfig _config;
+    ProHitConfig _config; // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
     Rng _rng;
     /// Hot entries ordered hottest-first.
     std::vector<Row> _hot;

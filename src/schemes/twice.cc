@@ -1,5 +1,7 @@
 #include "schemes/twice.hh"
 
+#include "ckpt/io.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -172,6 +174,50 @@ TwiCe::cost() const
     cost.sramBits = static_cast<std::uint64_t>(_capacity) *
                     (count_bits + life_bits + 1);
     return cost;
+}
+
+
+void
+TwiCe::saveState(ckpt::Writer &w) const
+{
+    ProtectionScheme::saveState(w);
+    // Sorted by row: the unordered map's iteration order must never
+    // reach the artifact bytes.
+    std::vector<std::pair<Row, Entry>> entries(_entries.begin(),
+                                               _entries.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u64(entries.size());
+    for (const auto &[row, entry] : entries) {
+        w.u32(row.value());
+        w.u64(entry.count);
+        w.u64(entry.life);
+    }
+    w.u32(_peakEntries);
+    w.u64(_overflowFallbacks);
+}
+
+void
+TwiCe::restoreState(ckpt::Reader &r)
+{
+    ProtectionScheme::restoreState(r);
+    _entries.clear();
+    const std::uint64_t entry_count = r.u64();
+    if (entry_count > _capacity) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < entry_count && !r.failed(); ++i) {
+        const Row row{r.u32()};
+        Entry entry;
+        entry.count = r.u64();
+        entry.life = r.u64();
+        _entries.emplace(row, entry);
+    }
+    _peakEntries = r.u32();
+    _overflowFallbacks = r.u64();
 }
 
 } // namespace schemes

@@ -87,6 +87,14 @@ class TwiCe : public ProtectionScheme
      *  each fell back to an immediate conservative NRR. */
     std::uint64_t overflowFallbacks() const { return _overflowFallbacks; }
 
+    /**
+     * Serialize the entry table sorted by row (the unordered map's
+     * iteration order must never reach the artifact bytes) plus the
+     * occupancy telemetry.
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
     struct Entry
     {
@@ -96,11 +104,11 @@ class TwiCe : public ProtectionScheme
 
     void prune();
 
-    TwiCeConfig _config;
-    unsigned _capacity;
-    std::uint64_t _trigger;
-    double _thPi;
-    std::uint64_t _intervals;
+    TwiCeConfig _config;      // analyze: ckpt-exempt(_config) config, rebuilt by the constructor
+    unsigned _capacity;       // analyze: ckpt-exempt(_capacity) derived from config
+    std::uint64_t _trigger;   // analyze: ckpt-exempt(_trigger) derived from config
+    double _thPi;             // analyze: ckpt-exempt(_thPi) derived from config
+    std::uint64_t _intervals; // analyze: ckpt-exempt(_intervals) derived from config
     std::unordered_map<Row, Entry> _entries;
     unsigned _peakEntries = 0;
     std::uint64_t _overflowFallbacks = 0;

@@ -1,7 +1,9 @@
 #include "sim/act_engine.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 #include "model/energy.hh"
 
@@ -32,137 +34,432 @@ ActEngineConfig::validate() const
     return errors.finish();
 }
 
-ActEngineResult
-runActStream(const ActEngineConfig &config,
-             workloads::ActPattern &pattern)
-{
-    const Result<void> valid = config.validate();
-    GRAPHENE_CHECK(valid.ok(),
-                   "act engine: invalid config (validate() before "
-                   "running): %s", valid.error().describe().c_str());
+namespace {
 
+dram::FaultConfig
+faultConfigFor(const ActEngineConfig &config)
+{
     dram::FaultConfig fault;
     fault.rowHammerThreshold = static_cast<double>(
         config.physicalThreshold ? config.physicalThreshold
                                  : config.scheme.rowHammerThreshold);
-    const unsigned radius =
-        std::max(config.faultRadius, 1u);
+    const unsigned radius = std::max(config.faultRadius, 1u);
     fault.mu.assign(radius, 0.0);
     for (unsigned i = 1; i <= radius; ++i)
         fault.mu[i - 1] = 1.0 / (static_cast<double>(i) * i);
     fault.remap = config.remap;
     fault.remapSeed = config.remapSeed;
+    return fault;
+}
 
-    dram::Rank rank(config.timing, 1, config.rowsPerBank, fault);
-
+schemes::SchemeSpec
+specFor(const ActEngineConfig &config)
+{
     schemes::SchemeSpec spec = config.scheme;
     spec.rowsPerBank = config.rowsPerBank;
     spec.timing = config.timing;
-    auto built = schemes::makeScheme(spec);
+    return spec;
+}
+
+std::unique_ptr<ProtectionScheme>
+buildScheme(const ActEngineConfig &config)
+{
+    const Result<void> valid = config.validate();
+    GRAPHENE_CHECK(valid.ok(),
+                   "act engine: invalid config (validate() before "
+                   "running): %s", valid.error().describe().c_str());
+    auto built = schemes::makeScheme(specFor(config));
     GRAPHENE_CHECK(built.ok(),
                    "act engine: invalid scheme spec: %s",
                    built.error().describe().c_str());
-    auto scheme = std::move(built).value();
+    return std::move(built).value();
+}
 
-    const obs::Probe probe = obs::probeFor(config.obs, 0);
-    if (config.obs)
-        config.obs->metrics.beginWindows(config.timing.cREFW());
-    if (scheme)
-        scheme->attachProbe(probe);
-
-    const Cycle horizon{static_cast<std::uint64_t>(
-        static_cast<double>(config.timing.cREFW().value()) *
-        config.windows)};
-    // Inter-ACT spacing at the requested fraction of the max rate.
-    const double spacing =
-        static_cast<double>(config.timing.cRC().value()) /
-        config.actRate;
-
-    dram::Bank &bank = rank.bank(0);
-    RefreshAction action;
-    ActEngineResult result;
-
-    auto apply_action = [&](Cycle cycle) {
-        if (action.empty())
-            return;
-        for (Row aggressor : action.nrrAggressors) {
-            rank.issueNrr(cycle, 0, aggressor,
-                          spec.blastRadius);
-            ++result.nrrEvents;
+/** Serialize a metrics snapshot into the checkpoint payload. */
+void
+saveMetrics(ckpt::Writer &w, const obs::MetricsRegistry::Snapshot &s)
+{
+    w.u64(s.scalars.size());
+    for (const auto &kv : s.scalars) {
+        w.str(kv.first);
+        w.f64(kv.second);
+    }
+    w.u64(s.histograms.size());
+    for (const auto &h : s.histograms) {
+        w.str(h.name);
+        w.u64(h.buckets.size());
+        for (std::uint64_t b : h.buckets)
+            w.u64(b);
+        w.f64(h.bucketWidth);
+        w.u64(h.count);
+        w.u64(h.overflow);
+        w.f64(h.sum);
+        w.f64(h.maxSeen);
+    }
+    w.u64(s.lastScalar.size());
+    for (const auto &kv : s.lastScalar) {
+        w.str(kv.first);
+        w.f64(kv.second);
+    }
+    w.u64(s.lastHistSamples.size());
+    for (const auto &kv : s.lastHistSamples) {
+        w.str(kv.first);
+        w.u64(kv.second);
+    }
+    w.u64(s.rows.size());
+    for (const auto &row : s.rows) {
+        w.u64(row.window);
+        w.u64(row.deltas.size());
+        for (const auto &kv : row.deltas) {
+            w.str(kv.first);
+            w.f64(kv.second);
         }
-        if (!action.victimRows.empty()) {
-            std::vector<Row> rows;
-            rows.reserve(action.victimRows.size());
-            for (Row r : action.victimRows)
-                if (r.value() < config.rowsPerBank)
-                    rows.push_back(r);
-            rank.refreshVictimRows(cycle, 0, rows);
-            if (!rows.empty())
-                probe.count(cycle, "engine.victim_rows",
-                            static_cast<double>(rows.size()));
+    }
+    w.u64(s.windowCycles);
+    w.u64(s.currentWindow);
+    w.boolean(s.open);
+}
+
+/** Guard a serialized element count against the bytes actually left:
+ *  every element is at least one byte, so a larger count means the
+ *  payload lied about its own layout. */
+std::uint64_t
+boundedCount(ckpt::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining())
+        r.fail();
+    return r.failed() ? 0 : n;
+}
+
+obs::MetricsRegistry::Snapshot
+loadMetrics(ckpt::Reader &r)
+{
+    obs::MetricsRegistry::Snapshot s;
+    const std::uint64_t scalars = boundedCount(r);
+    for (std::uint64_t i = 0; i < scalars; ++i) {
+        std::string name = r.str();
+        const double v = r.f64();
+        s.scalars.emplace_back(std::move(name), v);
+    }
+    const std::uint64_t hists = boundedCount(r);
+    for (std::uint64_t i = 0; i < hists; ++i) {
+        obs::MetricsRegistry::Snapshot::HistogramState h;
+        h.name = r.str();
+        const std::uint64_t buckets = boundedCount(r);
+        h.buckets.reserve(buckets);
+        for (std::uint64_t b = 0; b < buckets; ++b)
+            h.buckets.push_back(r.u64());
+        h.bucketWidth = r.f64();
+        h.count = r.u64();
+        h.overflow = r.u64();
+        h.sum = r.f64();
+        h.maxSeen = r.f64();
+        s.histograms.push_back(std::move(h));
+    }
+    const std::uint64_t last_scalars = boundedCount(r);
+    for (std::uint64_t i = 0; i < last_scalars; ++i) {
+        std::string name = r.str();
+        s.lastScalar[std::move(name)] = r.f64();
+    }
+    const std::uint64_t last_hists = boundedCount(r);
+    for (std::uint64_t i = 0; i < last_hists; ++i) {
+        std::string name = r.str();
+        s.lastHistSamples[std::move(name)] = r.u64();
+    }
+    const std::uint64_t rows = boundedCount(r);
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        obs::MetricsRegistry::WindowRow row;
+        row.window = r.u64();
+        const std::uint64_t deltas = boundedCount(r);
+        for (std::uint64_t d = 0; d < deltas; ++d) {
+            std::string name = r.str();
+            row.deltas[std::move(name)] = r.f64();
         }
-        action.clear();
-    };
+        s.rows.push_back(std::move(row));
+    }
+    s.windowCycles = r.u64();
+    s.currentWindow = r.u64();
+    s.open = r.boolean();
+    return s;
+}
 
-    auto catch_up_refresh = [&](Cycle cycle) {
-        while (rank.nextRefreshDue() <= cycle) {
-            const Cycle due = rank.nextRefreshDue();
-            rank.issueRefresh(due);
-            ++result.refreshCommands;
-            probe.emit(due, obs::EventKind::PeriodicRef);
-            probe.count(due, "engine.refs");
-            if (scheme) {
-                action.clear();
-                scheme->onRefresh(due, action);
-                apply_action(due);
-            }
+} // namespace
+
+ActStreamEngine::ActStreamEngine(const ActEngineConfig &config,
+                                 workloads::ActPattern &pattern)
+    : _config(config), _pattern(pattern), _spec(specFor(config)),
+      _rank(config.timing, 1, config.rowsPerBank,
+            faultConfigFor(config)),
+      _scheme(buildScheme(config)),
+      _probe(obs::probeFor(config.obs, 0)),
+      _horizon{static_cast<std::uint64_t>(
+          static_cast<double>(config.timing.cREFW().value()) *
+          config.windows)},
+      _spacing(static_cast<double>(config.timing.cRC().value()) /
+               config.actRate)
+{
+    if (_config.obs)
+        _config.obs->metrics.beginWindows(_config.timing.cREFW());
+    if (_scheme)
+        _scheme->attachProbe(_probe);
+}
+
+void
+ActStreamEngine::applyAction(Cycle cycle)
+{
+    if (_action.empty())
+        return;
+    for (Row aggressor : _action.nrrAggressors) {
+        _rank.issueNrr(cycle, 0, aggressor, _spec.blastRadius);
+        ++_result.nrrEvents;
+    }
+    if (!_action.victimRows.empty()) {
+        std::vector<Row> rows;
+        rows.reserve(_action.victimRows.size());
+        for (Row r : _action.victimRows)
+            if (r.value() < _config.rowsPerBank)
+                rows.push_back(r);
+        _rank.refreshVictimRows(cycle, 0, rows);
+        if (!rows.empty())
+            _probe.count(cycle, "engine.victim_rows",
+                         static_cast<double>(rows.size()));
+    }
+    _action.clear();
+}
+
+void
+ActStreamEngine::catchUpRefresh(Cycle cycle)
+{
+    while (_rank.nextRefreshDue() <= cycle) {
+        const Cycle due = _rank.nextRefreshDue();
+        _rank.issueRefresh(due);
+        ++_result.refreshCommands;
+        _probe.emit(due, obs::EventKind::PeriodicRef);
+        _probe.count(due, "engine.refs");
+        if (_scheme) {
+            _action.clear();
+            _scheme->onRefresh(due, _action);
+            applyAction(due);
         }
-    };
+    }
+}
 
-    double next_act = 0.0;
-    while (true) {
-        Cycle cycle{static_cast<std::uint64_t>(next_act)};
-        if (cycle >= horizon)
-            break;
-        catch_up_refresh(cycle);
+bool
+ActStreamEngine::step()
+{
+    if (_done)
+        return false;
 
-        // Victim refreshes and REF may have pushed the bank's ACT
-        // availability past the nominal slot.
-        cycle = bank.earliestAct(cycle);
-        if (cycle >= horizon)
-            break;
-        catch_up_refresh(cycle);
-        cycle = bank.earliestAct(cycle);
-        if (cycle >= horizon)
-            break;
+    Cycle cycle{static_cast<std::uint64_t>(_nextAct)};
+    if (cycle >= _horizon) {
+        _done = true;
+        return false;
+    }
+    catchUpRefresh(cycle);
 
-        const Row row = pattern.next();
-        bank.issueAct(cycle, row);
-        bank.issuePrecharge(bank.earliestPrecharge(cycle));
-        ++result.acts;
-        probe.emit(cycle, obs::EventKind::Act, row);
-        probe.count(cycle, "engine.acts");
-        rank.notifyActivate(cycle, 0, row);
-
-        if (scheme) {
-            action.clear();
-            scheme->onActivate(cycle, row, action);
-            apply_action(cycle);
-        }
-
-        next_act = static_cast<double>(cycle.value()) + spacing;
+    // Victim refreshes and REF may have pushed the bank's ACT
+    // availability past the nominal slot.
+    dram::Bank &bank = _rank.bank(0);
+    cycle = bank.earliestAct(cycle);
+    if (cycle >= _horizon) {
+        _done = true;
+        return false;
+    }
+    catchUpRefresh(cycle);
+    cycle = bank.earliestAct(cycle);
+    if (cycle >= _horizon) {
+        _done = true;
+        return false;
     }
 
-    if (config.obs)
-        config.obs->metrics.finish();
+    const Row row = _pattern.next();
+    bank.issueAct(cycle, row);
+    bank.issuePrecharge(bank.earliestPrecharge(cycle));
+    ++_result.acts;
+    _probe.emit(cycle, obs::EventKind::Act, row);
+    _probe.count(cycle, "engine.acts");
+    _rank.notifyActivate(cycle, 0, row);
 
-    result.victimRowsRefreshed = rank.nrrRowCount();
-    result.bitFlips = rank.faultModel(0).flips().size();
-    result.peakDisturbance = rank.faultModel(0).peakDisturbance();
-    result.windows = config.windows;
-    result.refreshEnergyOverhead = model::EnergyModel::refreshOverhead(
-        result.victimRowsRefreshed, 1, config.windows);
-    return result;
+    if (_scheme) {
+        _action.clear();
+        _scheme->onActivate(cycle, row, _action);
+        applyAction(cycle);
+    }
+
+    _nextAct = static_cast<double>(cycle.value()) + _spacing;
+    return true;
+}
+
+bool
+ActStreamEngine::runUntil(Cycle stop)
+{
+    while (!_done && nextActCycle() < stop && step()) {
+    }
+    return _done;
+}
+
+ActEngineResult
+ActStreamEngine::run()
+{
+    while (step()) {
+    }
+    return finish();
+}
+
+bool
+ActStreamEngine::runCancellable(const CancelToken &cancel)
+{
+    std::uint32_t tick = 0;
+    while (step()) {
+        if ((++tick & 0x1fffu) == 0 && cancel.cancelled())
+            return false;
+    }
+    return true;
+}
+
+ActEngineResult
+ActStreamEngine::finish()
+{
+    if (_config.obs)
+        _config.obs->metrics.finish();
+    _result.victimRowsRefreshed = _rank.nrrRowCount();
+    _result.bitFlips = _rank.faultModel(0).flips().size();
+    _result.peakDisturbance = _rank.faultModel(0).peakDisturbance();
+    _result.windows = _config.windows;
+    _result.refreshEnergyOverhead =
+        model::EnergyModel::refreshOverhead(
+            _result.victimRowsRefreshed, 1, _config.windows);
+    return _result;
+}
+
+std::uint64_t
+ActStreamEngine::configFingerprint() const
+{
+    // Encode every semantic knob with the checkpoint encoder itself
+    // (fixed widths, exact double bits) and digest the bytes. The
+    // obs sink is deliberately absent: tracing never changes results.
+    ckpt::Writer enc;
+    enc.str("graphene-act-engine-v1");
+    enc.u32(static_cast<std::uint32_t>(_config.scheme.kind));
+    enc.u64(_config.scheme.rowHammerThreshold);
+    enc.u64(_config.scheme.rowsPerBank);
+    enc.u32(_config.scheme.blastRadius);
+    enc.u32(_config.scheme.grapheneK);
+    enc.boolean(_config.scheme.cbtAssumeContiguous);
+    enc.u64(_config.scheme.seed);
+    const dram::TimingParams &t = _config.timing;
+    enc.f64(t.tCK.value());
+    enc.f64(t.tREFI.value());
+    enc.f64(t.tRFC.value());
+    enc.f64(t.tRC.value());
+    enc.f64(t.tRCD.value());
+    enc.f64(t.tRP.value());
+    enc.f64(t.tCL.value());
+    enc.f64(t.tRAS.value());
+    enc.f64(t.tBL.value());
+    enc.f64(t.tREFW.value());
+    enc.f64(t.tFAW.value());
+    enc.u64(_config.rowsPerBank);
+    enc.f64(_config.actRate);
+    enc.f64(_config.windows);
+    enc.u32(_config.faultRadius);
+    enc.u64(_config.physicalThreshold);
+    enc.boolean(_config.remap);
+    enc.u64(_config.remapSeed);
+    enc.str(_pattern.name());
+    return ckpt::fnv1a(enc.data().data(), enc.size());
+}
+
+void
+ActStreamEngine::saveState(ckpt::Writer &w) const
+{
+    w.f64(_nextAct);
+    w.boolean(_done);
+    w.u64(_result.acts);
+    w.u64(_result.nrrEvents);
+    w.u64(_result.refreshCommands);
+    _rank.saveState(w);
+    w.boolean(_scheme != nullptr);
+    if (_scheme)
+        _scheme->saveState(w);
+    _pattern.saveState(w);
+    w.boolean(_config.obs != nullptr);
+    if (_config.obs)
+        saveMetrics(w, _config.obs->metrics.snapshot());
+}
+
+void
+ActStreamEngine::restoreState(ckpt::Reader &r)
+{
+    _nextAct = r.f64();
+    _done = r.boolean();
+    _result = ActEngineResult{};
+    _result.acts = r.u64();
+    _result.nrrEvents = r.u64();
+    _result.refreshCommands = r.u64();
+    _rank.restoreState(r);
+    const bool has_scheme = r.boolean();
+    if (has_scheme != (_scheme != nullptr)) {
+        // The fingerprint covers the scheme kind, so a mismatch here
+        // means hand-edited bytes; reject rather than crash.
+        r.fail();
+        return;
+    }
+    if (_scheme) {
+        _scheme->restoreState(r);
+        _scheme->attachProbe(_probe);
+    }
+    _pattern.restoreState(r);
+    const bool has_obs = r.boolean();
+    if (has_obs && _config.obs) {
+        _config.obs->metrics.restore(loadMetrics(r));
+    } else if (has_obs) {
+        // Saved with a sink, resuming without one: drain the bytes so
+        // finish() still validates, and drop the series.
+        (void)loadMetrics(r);
+    } else if (_config.obs) {
+        // Saved without a sink, resuming with one: the series starts
+        // at the resume point; totals-based artifacts still match.
+        _config.obs->metrics.beginWindows(_config.timing.cREFW());
+    }
+    _action.clear();
+}
+
+std::vector<std::uint8_t>
+ActStreamEngine::saveCheckpoint() const
+{
+    ckpt::Writer w;
+    saveState(w);
+    return ckpt::encode(configFingerprint(), w.data());
+}
+
+Result<void>
+ActStreamEngine::restoreCheckpoint(
+    const std::vector<std::uint8_t> &bytes)
+{
+    Result<ckpt::Blob> blob =
+        ckpt::decode(bytes, configFingerprint());
+    if (!blob.ok())
+        return blob.error();
+    ckpt::Reader r(blob.value().payload);
+    restoreState(r);
+    return r.finish();
+}
+
+ActEngineResult
+runActStream(const ActEngineConfig &config,
+             workloads::ActPattern &pattern)
+{
+    // Drive the engine with step()/finish() directly rather than
+    // run(): the perf-debt analyzer resolves call edges by
+    // unqualified name, and a `run()` call from this hot root would
+    // pull every `run` definition (e.g. exp::Runner::run) into the
+    // hot region.
+    ActStreamEngine engine(config, pattern);
+    while (engine.step()) {
+    }
+    return engine.finish();
 }
 
 } // namespace sim

@@ -11,13 +11,26 @@
  * quantities those report — victim-row refreshes, refresh energy,
  * bit flips — are functions of the per-bank ACT stream alone, so no
  * core/controller model is needed.
+ *
+ * ActStreamEngine is the resumable form (DESIGN.md §14): it holds the
+ * whole run as explicit state — device, scheme, pattern position,
+ * metrics — and can serialize it between any two ACT slots, including
+ * mid-tREFW with a partial refresh rotation and a half-filled tracker
+ * table in flight. The kill-and-resume equivalence property (tier-1
+ * test, CI SIGKILL leg) is stated against this class: run-to-
+ * completion and checkpoint/discard/restore/continue must produce
+ * byte-identical results. runActStream() remains the one-shot
+ * wrapper every existing caller uses.
  */
 
 #ifndef SIM_ACT_ENGINE_HH
 #define SIM_ACT_ENGINE_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "ckpt/checkpoint.hh"
+#include "common/cancel.hh"
 #include "dram/rank.hh"
 #include "obs/obs.hh"
 #include "schemes/factory.hh"
@@ -89,7 +102,123 @@ struct ActEngineResult
     double windows = 0.0;
 };
 
-/** Run @p pattern through one protected bank. */
+/**
+ * The resumable ACT-stream engine.
+ *
+ * One instance owns the simulated bank, the scheme, and the run
+ * bookkeeping; the caller keeps ownership of the pattern (it is
+ * restored in place on resume). A run proceeds in whole ACT steps:
+ *
+ *     ActStreamEngine engine(config, pattern);
+ *     while (engine.step()) { ... }        // or engine.run()
+ *     ActEngineResult r = engine.finish();
+ *
+ * Checkpoints are legal between any two steps. saveCheckpoint()
+ * captures every mutable field — bank state machines, fault-model
+ * cells, refresh rotation, scheme tracker, pattern position, RNG
+ * streams, windowed metrics — inside a versioned, fingerprinted
+ * container (ckpt::encode). restoreCheckpoint() onto a *freshly
+ * constructed* engine with the same config and pattern kind rejects
+ * truncated, corrupted, version-skewed, or config-mismatched bytes
+ * with the typed ckpt errors and otherwise reproduces the source
+ * engine exactly: continuing both engines yields identical artifacts
+ * byte for byte.
+ */
+class ActStreamEngine
+{
+  public:
+    /**
+     * Build the engine; aborts (GRAPHENE_CHECK) if @p config fails
+     * validate(), exactly as runActStream() always has.
+     */
+    ActStreamEngine(const ActEngineConfig &config,
+                    workloads::ActPattern &pattern);
+
+    /**
+     * Execute one ACT slot: catch up the refresh rotation, issue one
+     * activation, and run the scheme. @return false once the horizon
+     * is reached (the partial slot's refresh catch-up still runs, so
+     * stopping is deterministic). Safe to call after completion.
+     */
+    bool step();
+
+    /**
+     * Step until the next ACT slot would start at or after @p stop —
+     * the checkpoint boundary used by the runner's --ckpt-every.
+     * @return true if the run completed before reaching @p stop.
+     */
+    bool runUntil(Cycle stop);
+
+    /** Step to the horizon and finish(). */
+    ActEngineResult run();
+
+    /**
+     * Step to the horizon unless @p cancel fires first (polled every
+     * few thousand ACTs — the runner's per-cell watchdog uses this).
+     * @return false if cancelled before the horizon; the engine state
+     * stays valid (it can be checkpointed or even resumed).
+     */
+    bool runCancellable(const CancelToken &cancel);
+
+    /**
+     * Close the metrics series and fill the derived result fields
+     * (flip counts, energy) from the device. Idempotent.
+     */
+    ActEngineResult finish();
+
+    /** True once the horizon has been reached. */
+    bool done() const { return _done; }
+
+    /** Nominal start cycle of the next ACT slot. */
+    Cycle nextActCycle() const
+    {
+        return Cycle{static_cast<std::uint64_t>(_nextAct)};
+    }
+
+    /**
+     * FNV-1a digest over every semantic knob of this run — scheme
+     * spec, timing, rate, span, fault model, pattern name. Stored in
+     * the checkpoint header; restore refuses a mismatch
+     * (ErrorCode::CkptConfigMismatch) because state only transplants
+     * onto an identically shaped engine.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /** Serialize the complete engine state (DESIGN.md §14). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Inverse of saveState(); flags malformed payloads on @p r. */
+    void restoreState(ckpt::Reader &r);
+
+    /** Full checkpoint container: header + framed saveState payload. */
+    std::vector<std::uint8_t> saveCheckpoint() const;
+
+    /**
+     * Decode @p bytes (typed errors per corruption class) and restore.
+     * On any error the engine is unspecified but destructible; build a
+     * fresh one before retrying.
+     */
+    Result<void> restoreCheckpoint(const std::vector<std::uint8_t> &bytes);
+
+  private:
+    void applyAction(Cycle cycle);
+    void catchUpRefresh(Cycle cycle);
+
+    ActEngineConfig _config;          // analyze: ckpt-exempt(_config) config, fixed at construction
+    workloads::ActPattern &_pattern;  // delegated via saveState recursion
+    schemes::SchemeSpec _spec;        // analyze: ckpt-exempt(_spec) derived from config
+    dram::Rank _rank;                 // delegated via saveState recursion
+    std::unique_ptr<ProtectionScheme> _scheme; // delegated via saveState recursion
+    obs::Probe _probe;                // analyze: ckpt-exempt(_probe) re-attached by the owner
+    Cycle _horizon;                   // analyze: ckpt-exempt(_horizon) derived from config
+    double _spacing;                  // analyze: ckpt-exempt(_spacing) derived from config
+    RefreshAction _action;            // analyze: ckpt-exempt(_action) transient scratch, empty between steps
+    double _nextAct = 0.0;
+    bool _done = false;
+    ActEngineResult _result;
+};
+
+/** Run @p pattern through one protected bank (one-shot wrapper). */
 ActEngineResult runActStream(const ActEngineConfig &config,
                              workloads::ActPattern &pattern);
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include "common/cancel.hh"
 #include "common/logging.hh"
 #include "exp/fingerprint.hh"
 
@@ -407,24 +408,44 @@ runAdversarialGrid(const ActEngineConfig &base,
                         schemes::schemeKindName(kind),
                         actCellDigest(base, pi, pattern_names[pi],
                                       seed, kind)};
-            const auto run_cell = [base, kind, pi,
-                                   pattern_seed](obs::Sink *sink) {
-                const Result<void> valid =
-                    schemes::validateSchemeSpec(
-                        cellSpec(base, kind));
-                if (!valid.ok())
-                    return skippedCell(valid.error().describe());
+            const auto run_cell =
+                [base, kind, pi, pattern_seed](
+                    obs::Sink *sink, const CancelToken *cancel) {
+                    const Result<void> valid =
+                        schemes::validateSchemeSpec(
+                            cellSpec(base, kind));
+                    if (!valid.ok())
+                        return skippedCell(
+                            valid.error().describe());
 
-                auto suite = workloads::patterns::adversarialSuite(
-                    base.rowsPerBank, pattern_seed);
-                ActEngineConfig config = base;
-                config.scheme.kind = kind;
-                config.obs = sink;
-                return toCellResult(
-                    runActStream(config, *suite[pi]));
+                    auto suite =
+                        workloads::patterns::adversarialSuite(
+                            base.rowsPerBank, pattern_seed);
+                    ActEngineConfig config = base;
+                    config.scheme.kind = kind;
+                    config.obs = sink;
+                    ActStreamEngine engine(config, *suite[pi]);
+                    if (cancel && !engine.runCancellable(*cancel))
+                        return skippedCell(
+                            Error(ErrorCode::Timeout,
+                                  "ACT stream cancelled mid-run")
+                                .describe());
+                    if (!cancel)
+                        while (engine.step()) {
+                        }
+                    return toCellResult(engine.finish());
+                };
+            cell.body = [run_cell]() {
+                return run_cell(nullptr, nullptr);
             };
-            cell.body = [run_cell]() { return run_cell(nullptr); };
-            cell.obsBody = run_cell;
+            cell.obsBody = [run_cell](obs::Sink *sink) {
+                return run_cell(sink, nullptr);
+            };
+            cell.cancellableBody =
+                [run_cell](obs::Sink *sink,
+                           const CancelToken &cancel) {
+                    return run_cell(sink, &cancel);
+                };
             grid.cells.push_back(std::move(cell));
         }
     }

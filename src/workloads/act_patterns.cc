@@ -2,10 +2,23 @@
 
 #include <unordered_set>
 
+#include "ckpt/io.hh"
 #include "common/logging.hh"
 
 namespace graphene {
 namespace workloads {
+
+void
+ActPattern::saveState(ckpt::Writer &w) const
+{
+    (void)w;
+}
+
+void
+ActPattern::restoreState(ckpt::Reader &r)
+{
+    (void)r;
+}
 
 SingleRowPattern::SingleRowPattern(Row row) : _row(row)
 {
@@ -86,6 +99,53 @@ DoubleSidedPattern::next()
     _upper = !_upper;
     return _upper ? _victim + 1 : _victim - 1;
 }
+
+void
+RoundRobinPattern::saveState(ckpt::Writer &w) const
+{
+    w.u64(_idx);
+}
+
+void
+RoundRobinPattern::restoreState(ckpt::Reader &r)
+{
+    _idx = static_cast<std::size_t>(r.u64());
+    if (_idx >= _rows.size())
+        r.fail();
+}
+
+void
+NoisyPattern::saveState(ckpt::Writer &w) const
+{
+    _base->saveState(w);
+    std::uint64_t rng[4];
+    _rng.stateWords(rng);
+    for (const std::uint64_t word : rng)
+        w.u64(word);
+}
+
+void
+NoisyPattern::restoreState(ckpt::Reader &r)
+{
+    _base->restoreState(r);
+    std::uint64_t rng[4];
+    for (std::uint64_t &word : rng)
+        word = r.u64();
+    _rng.setStateWords(rng);
+}
+
+void
+DoubleSidedPattern::saveState(ckpt::Writer &w) const
+{
+    w.boolean(_upper);
+}
+
+void
+DoubleSidedPattern::restoreState(ckpt::Reader &r)
+{
+    _upper = r.boolean();
+}
+
 
 namespace patterns {
 

@@ -18,6 +18,12 @@
 #include "common/types.hh"
 
 namespace graphene {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace workloads {
 
 /** A deterministic or stochastic stream of activated row addresses. */
@@ -28,6 +34,14 @@ class ActPattern
     virtual std::string name() const = 0;
     /** The next activated row. */
     virtual Row next() = 0;
+
+    /**
+     * Serialize the stream position (DESIGN.md §14). Stateless
+     * patterns inherit the empty default; stateful ones override
+     * both or their resumed stream diverges.
+     */
+    virtual void saveState(ckpt::Writer &w) const;
+    virtual void restoreState(ckpt::Reader &r);
 };
 
 /** S3: one row hammered continuously. */
@@ -39,7 +53,7 @@ class SingleRowPattern : public ActPattern
     Row next() override;
 
   private:
-    Row _row;
+    Row _row; // analyze: ckpt-exempt(_row) config, fixed at construction
 };
 
 /** S1 and the Figure 7(b) MRLoc pattern: N rows round-robin. */
@@ -50,9 +64,12 @@ class RoundRobinPattern : public ActPattern
     std::string name() const override;
     Row next() override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
-    std::string _name;
-    std::vector<Row> _rows;
+    std::string _name;      // analyze: ckpt-exempt(_name) config, fixed at construction
+    std::vector<Row> _rows; // analyze: ckpt-exempt(_rows) config, fixed at construction
     std::size_t _idx = 0;
 };
 
@@ -69,11 +86,15 @@ class NoisyPattern : public ActPattern
     std::string name() const override;
     Row next() override;
 
+    /** Recurses into the base pattern, then the noise RNG. */
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
-    std::string _name;
-    std::unique_ptr<ActPattern> _base;
-    double _noise;
-    std::uint64_t _numRows;
+    std::string _name;                 // analyze: ckpt-exempt(_name) config, fixed at construction
+    std::unique_ptr<ActPattern> _base; // delegated via saveState recursion
+    double _noise;                     // analyze: ckpt-exempt(_noise) config, fixed at construction
+    std::uint64_t _numRows;            // analyze: ckpt-exempt(_numRows) config, fixed at construction
     Rng _rng;
 };
 
@@ -85,8 +106,11 @@ class DoubleSidedPattern : public ActPattern
     std::string name() const override;
     Row next() override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void restoreState(ckpt::Reader &r) override;
+
   private:
-    Row _victim;
+    Row _victim; // analyze: ckpt-exempt(_victim) config, fixed at construction
     bool _upper = false;
 };
 

@@ -144,6 +144,58 @@ TEST(AnalyzePasses, CleanFixtureHasNoFindings)
     EXPECT_TRUE(analyzeFixture("clean").empty());
 }
 
+TEST(CkptPass, ForgottenMembersAndOneSidedPairsAreErrors)
+{
+    const auto findings = analyzeFixture("ckpt_missing");
+    std::vector<Finding> ckpt;
+    std::copy_if(findings.begin(), findings.end(),
+                 std::back_inserter(ckpt), [](const Finding &f) {
+                     return f.rule == "ckpt-completeness";
+                 });
+    // _spills (restore side), _epoch (both sides), and the
+    // one-sided WriteOnly pair; _acts is covered and silent.
+    ASSERT_EQ(ckpt.size(), 3u);
+    const auto messageWith = [&](const std::string &needle) {
+        return std::any_of(ckpt.begin(), ckpt.end(),
+                           [&](const Finding &f) {
+                               return f.severity == "error" &&
+                                      f.message.find(needle) !=
+                                          std::string::npos;
+                           });
+    };
+    EXPECT_TRUE(messageWith("'_spills'"));
+    EXPECT_TRUE(messageWith("'_epoch'"));
+    EXPECT_TRUE(messageWith("no matching restoreState"));
+    EXPECT_FALSE(messageWith("'_acts'"));
+}
+
+TEST(CkptPass, WaiversAndDelegationStaySilent)
+{
+    // Serialized members, saveState-recursion delegation, and all
+    // three waiver placements (same line, line above, in-function):
+    // the corpus must come back clean.
+    EXPECT_TRUE(analyzeFixture("ckpt_waived").empty());
+}
+
+TEST(CkptPass, RealTreeCheckpointPairsAreComplete)
+{
+    // The shipped checkpoint protocol (DESIGN.md §14): every
+    // saveState/restoreState pair in src/ round-trips every member
+    // or waives it with a rationale.
+    const fs::path root = GRAPHENE_REPO_ROOT;
+    const Corpus corpus =
+        buildCorpus(root, root / "tools/analyze/layers.toml",
+                    root / "tools/analyze/coverage_baseline.txt");
+    std::vector<Finding> findings;
+    runCkptPass(corpus, findings);
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": "
+                      << f.message;
+    // The pass must actually be auditing the tree, not silently
+    // matching nothing: the engine's checkpoint pair is the anchor.
+    EXPECT_TRUE(corpus.byRel.count("src/sim/act_engine.cc"));
+}
+
 TEST(PerfPass, AllocationInHotRegionIsAnError)
 {
     const auto findings = analyzePerfFixture("alloc_in_hot");

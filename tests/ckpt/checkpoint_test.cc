@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the checkpoint container: encode/decode round-trip, the
+ * fixed validation order mapping each corruption class to its own
+ * ErrorCode, and the atomic file path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/checkpoint.hh"
+
+namespace graphene {
+namespace ckpt {
+namespace {
+
+std::vector<std::uint8_t>
+samplePayload()
+{
+    std::vector<std::uint8_t> p;
+    for (int i = 0; i < 64; ++i)
+        p.push_back(static_cast<std::uint8_t>(i * 7));
+    return p;
+}
+
+constexpr std::uint64_t kFp = 0x1122334455667788ULL;
+
+TEST(Checkpoint, RoundTrip)
+{
+    const auto bytes = encode(kFp, samplePayload());
+    const auto blob = decode(bytes, kFp);
+    ASSERT_TRUE(blob.ok()) << blob.error().describe();
+    EXPECT_EQ(blob.value().version, kFormatVersion);
+    EXPECT_EQ(blob.value().configFingerprint, kFp);
+    EXPECT_EQ(blob.value().payload, samplePayload());
+}
+
+TEST(Checkpoint, AnyProducerAcceptedWithoutExpectedFingerprint)
+{
+    const auto bytes = encode(kFp, samplePayload());
+    EXPECT_TRUE(decode(bytes, std::nullopt).ok());
+}
+
+TEST(Checkpoint, TruncationBelowHeaderIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes.resize(kHeaderSize - 1);
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptTruncated);
+}
+
+TEST(Checkpoint, TruncatedPayloadIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes.resize(bytes.size() - 5);
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptTruncated);
+}
+
+TEST(Checkpoint, BadMagicIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes[0] ^= 0x01;
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptBadHeader);
+}
+
+TEST(Checkpoint, HeaderBitflipIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes[9] ^= 0x40; // inside the config fingerprint field
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptBadHeader);
+}
+
+TEST(Checkpoint, PayloadBitflipIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes[kHeaderSize + 3] ^= 0x40;
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptBadPayload);
+}
+
+TEST(Checkpoint, TrailingGarbageIsTyped)
+{
+    auto bytes = encode(kFp, samplePayload());
+    bytes.push_back(0xde);
+    const auto blob = decode(bytes, kFp);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptBadPayload);
+}
+
+TEST(Checkpoint, ConfigMismatchIsTyped)
+{
+    const auto bytes = encode(kFp, samplePayload());
+    const auto blob = decode(bytes, kFp + 1);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::CkptConfigMismatch);
+}
+
+TEST(Checkpoint, SaveLoadFileRoundTrips)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "graphene_ckpt_test";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "round_trip.gckp").string();
+
+    ASSERT_TRUE(saveFile(path, kFp, samplePayload()).ok());
+    const auto blob = loadFile(path, kFp);
+    ASSERT_TRUE(blob.ok()) << blob.error().describe();
+    EXPECT_EQ(blob.value().payload, samplePayload());
+
+    // Atomic discipline: no tmp siblings survive a successful save.
+    unsigned siblings = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().filename().string().find("round_trip") == 0)
+            ++siblings;
+    EXPECT_EQ(siblings, 1u) << "tmp file left behind";
+
+    // Overwrite in place keeps the artifact valid.
+    auto other = samplePayload();
+    other.push_back(0x5a);
+    ASSERT_TRUE(saveFile(path, kFp, other).ok());
+    const auto blob2 = loadFile(path, kFp);
+    ASSERT_TRUE(blob2.ok());
+    EXPECT_EQ(blob2.value().payload, other);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, LoadMissingFileIsIoError)
+{
+    const auto blob =
+        loadFile("/nonexistent/graphene/ckpt.gckp", std::nullopt);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code(), ErrorCode::Io);
+}
+
+TEST(Checkpoint, SaveIntoMissingDirectoryIsIoError)
+{
+    const auto r = atomicWriteFile(
+        "/nonexistent/graphene/dir/ckpt.gckp", samplePayload());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::Io);
+}
+
+} // namespace
+} // namespace ckpt
+} // namespace graphene

@@ -54,6 +54,19 @@
  *                          sites live in the committed
  *                          tools/analyze/perf_baseline.txt burn-down
  *                          list (warnings); *new* sites are errors.
+ *   ckpt-completeness      Every `_`-prefixed data member of a class
+ *                          defining saveState/restoreState (the
+ *                          checkpoint protocol, DESIGN.md §14) must
+ *                          be referenced in BOTH bodies — a member
+ *                          missing from either side means a kill-
+ *                          and-resume silently diverges from the
+ *                          uninterrupted run. Deliberately
+ *                          unserialized members (config, derived
+ *                          caches, transient scratch) carry an
+ *                          `analyze: ckpt-exempt(<member>)` waiver
+ *                          with a rationale. One-sided pairs
+ *                          (saveState without restoreState) are
+ *                          errors outright.
  *   stale-baseline         A committed baseline entry (coverage or
  *                          perf) matching no current finding is an
  *                          error: burned-down debt must be pruned
@@ -186,6 +199,8 @@ void runResultPass(const Corpus &corpus,
 void runCoveragePass(const Corpus &corpus,
                      std::vector<Finding> &findings);
 void runPerfPass(const Corpus &corpus,
+                 std::vector<Finding> &findings);
+void runCkptPass(const Corpus &corpus,
                  std::vector<Finding> &findings);
 
 // ---- hot-region computation (perf-debt passes) ---------------------

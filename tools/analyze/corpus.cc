@@ -309,7 +309,7 @@ allPasses()
 {
     static const std::vector<std::string> passes = {
         "layer-dag", "fingerprint-completeness", "result-discard",
-        "coverage-audit", "perf-debt"};
+        "coverage-audit", "perf-debt", "ckpt-completeness"};
     return passes;
 }
 
@@ -330,6 +330,8 @@ runPasses(const Corpus &corpus, const std::set<std::string> &passes)
         runCoveragePass(corpus, findings);
     if (want("perf-debt"))
         runPerfPass(corpus, findings);
+    if (want("ckpt-completeness"))
+        runCkptPass(corpus, findings);
     return findings;
 }
 

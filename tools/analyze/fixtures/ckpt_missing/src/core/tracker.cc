@@ -1,0 +1,20 @@
+#include "core/tracker.hh"
+
+void
+Tracker::saveState(ckpt::Writer &w) const
+{
+    w.u64(_acts);
+    w.u64(_spills);
+}
+
+void
+Tracker::restoreState(ckpt::Reader &r)
+{
+    _acts = r.u64();
+}
+
+void
+WriteOnly::saveState(ckpt::Writer &w) const
+{
+    w.u64(_state);
+}

@@ -1,0 +1,39 @@
+#ifndef TRACKER_HH
+#define TRACKER_HH
+namespace ckpt {
+class Writer
+{
+  public:
+    Writer &u64(unsigned long long);
+};
+class Reader
+{
+  public:
+    unsigned long long u64();
+};
+} // namespace ckpt
+
+/** Checkpointed, but _spills is forgotten on the restore side and
+ *  _epoch on both — two distinct ckpt-completeness findings. */
+class Tracker
+{
+  public:
+    void saveState(ckpt::Writer &w) const;
+    void restoreState(ckpt::Reader &r);
+
+  private:
+    unsigned long long _acts = 0;
+    unsigned long long _spills = 0;
+    unsigned long long _epoch = 0;
+};
+
+/** saveState with no restoreState: a one-sided pair. */
+class WriteOnly
+{
+  public:
+    void saveState(ckpt::Writer &w) const;
+
+  private:
+    unsigned long long _state = 0;
+};
+#endif

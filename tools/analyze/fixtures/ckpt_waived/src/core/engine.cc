@@ -1,0 +1,28 @@
+#include "core/engine.hh"
+
+void
+Bank::saveState(ckpt::Writer &w) const
+{
+    w.u64(_openRow);
+}
+
+void
+Bank::restoreState(ckpt::Reader &r)
+{
+    _openRow = r.u64();
+}
+
+void
+Engine::saveState(ckpt::Writer &w) const
+{
+    // analyze: ckpt-exempt(_scratch) transient, empty between steps
+    w.u64(_cycle);
+    _bank.saveState(w);
+}
+
+void
+Engine::restoreState(ckpt::Reader &r)
+{
+    _cycle = r.u64();
+    _bank.restoreState(r);
+}

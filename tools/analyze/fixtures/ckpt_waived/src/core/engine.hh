@@ -1,0 +1,41 @@
+#ifndef ENGINE_HH
+#define ENGINE_HH
+namespace ckpt {
+class Writer
+{
+  public:
+    Writer &u64(unsigned long long);
+};
+class Reader
+{
+  public:
+    unsigned long long u64();
+};
+} // namespace ckpt
+
+/** Delegation target: its own complete pair. */
+class Bank
+{
+  public:
+    void saveState(ckpt::Writer &w) const;
+    void restoreState(ckpt::Reader &r);
+
+  private:
+    unsigned long long _openRow = 0;
+};
+
+class Engine
+{
+  public:
+    void saveState(ckpt::Writer &w) const;
+    void restoreState(ckpt::Reader &r);
+
+  private:
+    unsigned long long _cycle = 0;
+    Bank _bank; // delegated via saveState recursion
+    unsigned long long _rows; // analyze: ckpt-exempt(_rows) config, rebuilt by the constructor
+    // analyze: ckpt-exempt(_spacing) derived from _rows on restore
+    double _spacing = 0.0;
+    double _scratch = 0.0; // waived inside saveState instead
+};
+#endif

@@ -25,8 +25,10 @@
 #                     build/perf_gate_report.txt), uploaded as a CI
 #                     artifact
 #
-# Exit status: 0 within tolerance, 1 regression or missing data,
-# 2 usage/configuration error.
+# Exit status: 0 within tolerance (or gate skipped: no committed
+# baseline to compare against), 1 regression or missing data,
+# 2 usage/configuration error. A failing bench run propagates its
+# own exit status.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,9 +39,18 @@ abs=${PERF_GATE_ABS:-0}
 report=${PERF_GATE_REPORT:-build/perf_gate_report.txt}
 meta=${1:-}
 
+# No committed baseline is a SKIP, not a failure: a fresh checkout
+# (or a branch that intentionally resets the trajectory) has nothing
+# to gate against yet. Regenerate with tools/perf_baseline.sh.
 if [[ ! -s "$baseline" ]]; then
-    echo "perf_gate: no committed baseline at $baseline" >&2
-    exit 2
+    echo "perf_gate: skip — no committed baseline at $baseline" \
+         "(run tools/perf_baseline.sh to create one)"
+    exit 0
+fi
+if ! grep -q '"schemes"' "$baseline"; then
+    echo "perf_gate: skip — $baseline has no \"schemes\" key" \
+         "(run tools/perf_baseline.sh to regenerate it)"
+    exit 0
 fi
 
 tmp=$(mktemp -d)
@@ -49,8 +60,15 @@ if [[ -z "$meta" ]]; then
     cmake --preset default >/dev/null
     cmake --build --preset default -j "$(nproc)" --target fig8_overhead \
         >/dev/null
+    # Propagate a failing bench run verbatim: a crash here is a
+    # product bug, not a perf regression, and must not be masked as
+    # (or conflated with) a gate verdict.
     ./build/bench/fig8_overhead --windows "$windows" --jobs 1 \
-        --no-progress --json "$tmp/fig8.jsonl" >/dev/null
+        --no-progress --json "$tmp/fig8.jsonl" >/dev/null || {
+        status=$?
+        echo "perf_gate: fig8_overhead exited with status $status" >&2
+        exit "$status"
+    }
     meta="$tmp/fig8.jsonl.meta"
 fi
 
