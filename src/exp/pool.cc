@@ -114,5 +114,72 @@ Pool::parallelFor(std::size_t n,
         std::rethrow_exception(first_error);
 }
 
+void
+Pool::runResumable(std::size_t n,
+                   const std::function<bool(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(_jobs, n));
+    if (workers <= 1) {
+        // Reference schedule: round-robin in index order, one
+        // quantum per item per pass, no threads.
+        std::deque<std::size_t> queue;
+        for (std::size_t i = 0; i < n; ++i)
+            queue.push_back(i);
+        while (!queue.empty()) {
+            const std::size_t index = queue.front();
+            queue.pop_front();
+            if (body(index))
+                queue.push_back(index);
+        }
+        return;
+    }
+
+    std::vector<WorkDeque> queues(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % workers].push(i);
+
+    // `alive` counts items not yet retired; an in-flight item is in
+    // no deque but keeps the count (and the other workers) alive.
+    std::atomic<std::size_t> alive{n};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker = [&](unsigned self) {
+        while (alive.load(std::memory_order_acquire) > 0) {
+            std::optional<std::size_t> index = queues[self].popOwn();
+            for (unsigned v = 1; !index && v < workers; ++v)
+                index = queues[(self + v) % workers].steal();
+            if (!index)
+                continue; // every item in flight elsewhere
+            bool again = false;
+            try {
+                again = body(*index);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            if (again)
+                queues[self].push(*index);
+            else
+                alive.fetch_sub(1, std::memory_order_release);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back(worker, w);
+    worker(0);
+    for (auto &thread : threads)
+        thread.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
 } // namespace exp
 } // namespace graphene

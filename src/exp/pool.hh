@@ -53,6 +53,29 @@ class Pool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Time-sliced variant: run body(i) for every i in [0, n); a body
+     * returning true is *re-enqueued* onto the executing worker's own
+     * deque and runs again later, until it returns false (or throws —
+     * an exception retires the item and is rethrown after the drain,
+     * first one wins). This is how src/serve multiplexes long-lived
+     * session quanta over the one thread abstraction the tree allows
+     * (the `raw-thread` lint rule): each item is a cooperative
+     * coroutine-by-hand, and stealing balances sessions of uneven
+     * length exactly as it balances uneven cells.
+     *
+     * Sequencing guarantee: one item is never in flight twice — it
+     * sits in at most one deque or runs on at most one worker — so
+     * successive invocations of body(i) are totally ordered (with the
+     * necessary happens-before edges), which is what lets a quantum
+     * mutate per-item state without locks. No cross-item order is
+     * guaranteed, same as parallelFor. `jobs == 1` runs round-robin
+     * in index order on the calling thread — the deterministic
+     * reference schedule.
+     */
+    void runResumable(std::size_t n,
+                      const std::function<bool(std::size_t)> &body);
+
   private:
     unsigned _jobs;
 };

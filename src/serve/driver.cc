@@ -1,0 +1,504 @@
+#include "serve/driver.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "ckpt/checkpoint.hh"
+#include "exp/pool.hh"
+
+namespace graphene {
+namespace serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+lowercased(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    });
+    return out;
+}
+
+} // namespace
+
+Result<schemes::SchemeKind>
+parseSchemeKind(const std::string &name)
+{
+    const std::string key = lowercased(name);
+    if (key == "none")
+        return schemes::SchemeKind::None;
+    if (key == "graphene")
+        return schemes::SchemeKind::Graphene;
+    if (key == "para")
+        return schemes::SchemeKind::Para;
+    if (key == "prohit")
+        return schemes::SchemeKind::ProHit;
+    if (key == "mrloc")
+        return schemes::SchemeKind::MrLoc;
+    if (key == "cbt")
+        return schemes::SchemeKind::Cbt;
+    if (key == "twice")
+        return schemes::SchemeKind::TwiCe;
+    return Error(ErrorCode::NotFound,
+                 strprintf("unknown scheme '%s' (expected none, "
+                           "Graphene, PARA, PRoHIT, MRLoc, CBT, or "
+                           "TWiCe)",
+                           name.c_str()));
+}
+
+Result<ForkSpec>
+parseForkSpec(const std::string &text)
+{
+    const auto bad = [&](const char *why) {
+        return Error(
+            ErrorCode::Parse,
+            strprintf("fork spec '%s': %s (expected "
+                      "<parent>@<window>:<child>[:<scheme>])",
+                      text.c_str(), why));
+    };
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos || at == 0)
+        return bad("missing '<parent>@'");
+    const std::size_t colon = text.find(':', at + 1);
+    if (colon == std::string::npos || colon == at + 1)
+        return bad("missing '@<window>:'");
+
+    ForkSpec fork;
+    fork.parent = text.substr(0, at);
+    const std::string window = text.substr(at + 1, colon - at - 1);
+    std::uint64_t value = 0;
+    for (const char c : window) {
+        if (c < '0' || c > '9')
+            return bad("window must be a decimal integer");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (value == 0)
+        return bad("window must be >= 1");
+    fork.window = value;
+
+    std::string rest = text.substr(colon + 1);
+    const std::size_t scheme_sep = rest.find(':');
+    if (scheme_sep != std::string::npos) {
+        fork.scheme = rest.substr(scheme_sep + 1);
+        rest = rest.substr(0, scheme_sep);
+        if (fork.scheme.empty())
+            return bad("trailing ':' without a scheme name");
+        const Result<schemes::SchemeKind> kind =
+            parseSchemeKind(fork.scheme);
+        if (!kind.ok())
+            return kind.error();
+    }
+    if (rest.empty())
+        return bad("missing child id");
+    fork.child = rest;
+    return fork;
+}
+
+ServeDriver::ServeDriver(DriverOptions opts)
+    : _opts(std::move(opts)), _manifest(ckptDir())
+{
+    for (const ForkSpec &fork : _opts.forks)
+        _pendingForks.push_back(fork);
+}
+
+std::string
+ServeDriver::ckptDir() const
+{
+    return _opts.ckptDir.empty() ? _opts.outDir + "/ckpt"
+                                 : _opts.ckptDir;
+}
+
+std::string
+ServeDriver::forkArtifactPath(const std::string &child) const
+{
+    return (fs::path(ckptDir()) / ("fork_" + child + ".gckp"))
+        .string();
+}
+
+const Session *
+ServeDriver::findSession(const std::string &id) const
+{
+    for (const Slot &slot : _slots)
+        if (slot.session->spec().id == id)
+            return slot.session.get();
+    return nullptr;
+}
+
+Result<void>
+ServeDriver::admit(const SessionSpec &spec)
+{
+    if (_slots.size() >= _opts.maxSessions)
+        return Error(
+            ErrorCode::InvalidArgument,
+            strprintf("admission refused: service is at capacity "
+                      "(%zu session(s))",
+                      _opts.maxSessions));
+    if (findSession(spec.id) != nullptr)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("admission refused: session id '%s' "
+                               "already admitted",
+                               spec.id.c_str()));
+    const Result<void> valid = spec.validate();
+    if (!valid.ok())
+        return valid.error();
+
+    Slot slot;
+    slot.session =
+        std::make_unique<Session>(spec, _opts.outDir, ckptDir());
+    slot.session->attachObs(_opts.obs);
+    _slots.push_back(std::move(slot));
+    obs::probeFor(_opts.obs, 0).count(Cycle{0},
+                                      "serve.sessions_admitted");
+    return Result<void>::success();
+}
+
+Result<void>
+ServeDriver::admitFromManifest(RunReport &report)
+{
+    const Manifest::LoadReport loaded = _manifest.load();
+    for (const std::string &note : loaded.notes)
+        report.notes.push_back("manifest: " + note);
+    if (loaded.source.empty())
+        return Result<void>::success(); // nothing durable yet
+
+    for (const auto &[id, entry] : _manifest.entries()) {
+        const Session *existing = findSession(id);
+        if (existing != nullptr) {
+            if (existing->spec().fingerprint() !=
+                entry.spec.fingerprint())
+                report.notes.push_back(
+                    "manifest: session '" + id +
+                    "' was re-admitted with a different spec; its "
+                    "old checkpoint will be rejected and the "
+                    "session restarts fresh");
+            continue;
+        }
+        const Result<void> admitted = admit(entry.spec);
+        if (!admitted.ok())
+            report.notes.push_back("manifest: session '" + id +
+                                   "' not re-admitted: " +
+                                   admitted.error().message());
+    }
+    return Result<void>::success();
+}
+
+Result<void>
+ServeDriver::startSessions(RunReport &report)
+{
+    for (Slot &slot : _slots) {
+        if (slot.started)
+            continue;
+        if (_opts.resume) {
+            Result<Session::ResumeReport> resumed =
+                slot.session->startResumed();
+            if (!resumed.ok()) {
+                slot.note = resumed.error().describe();
+                continue;
+            }
+            if (resumed.value().resumed)
+                ++report.resumed;
+            for (const std::string &note : resumed.value().notes)
+                report.notes.push_back(
+                    slot.session->spec().id + ": " + note);
+            slot.started = true;
+        } else {
+            const Result<void> started = slot.session->start();
+            if (!started.ok()) {
+                slot.note = started.error().describe();
+                continue;
+            }
+            slot.started = true;
+        }
+    }
+    return Result<void>::success();
+}
+
+std::size_t
+ServeDriver::runPhase(const CancelToken &cancel)
+{
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < _slots.size(); ++i)
+        if (_slots[i].started &&
+            _slots[i].session->state() == Session::State::Active)
+            active.push_back(i);
+    if (active.empty())
+        return 0;
+
+    exp::Pool pool(_opts.jobs);
+    pool.runResumable(active.size(), [&](std::size_t i) -> bool {
+        Slot &slot = _slots[active[i]];
+        if (cancel.cancelled())
+            return false; // graceful drain: retire, state persists
+        const Session::QuantumOutcome outcome =
+            slot.session->runQuantum(_opts.quantumCycles);
+        ++slot.quanta;
+        if (outcome != Session::QuantumOutcome::Again)
+            return false;
+        if (_opts.ckptEveryQuanta != 0 &&
+            slot.quanta % _opts.ckptEveryQuanta == 0) {
+            const Result<void> ck = slot.session->checkpoint();
+            if (!ck.ok() && slot.note.empty())
+                slot.note = "checkpoint: " + ck.error().message();
+        }
+        return true;
+    });
+    return active.size();
+}
+
+Result<void>
+ServeDriver::materializeFork(const ForkSpec &fork, RunReport &report)
+{
+    const Session *parent = findSession(fork.parent);
+    const std::string artifact = forkArtifactPath(fork.child);
+    std::error_code ec;
+    if (!fs::exists(artifact, ec)) {
+        report.notes.push_back(strprintf(
+            "fork '%s': parent '%s' never completed window %llu "
+            "(no artifact)",
+            fork.child.c_str(), fork.parent.c_str(),
+            static_cast<unsigned long long>(fork.window)));
+        return Result<void>::success();
+    }
+
+    SessionSpec spec = parent->spec();
+    spec.id = fork.child;
+    bool warm = true;
+    if (!fork.scheme.empty()) {
+        const Result<schemes::SchemeKind> kind =
+            parseSchemeKind(fork.scheme);
+        if (!kind.ok())
+            return kind.error();
+        if (kind.value() != spec.scheme.kind) {
+            // Engine state cannot transplant across schemes (the
+            // checkpoint fingerprint embeds the scheme): a
+            // cross-scheme fork restarts the identical stream spec
+            // from cycle zero under the new scheme.
+            spec.scheme.kind = kind.value();
+            warm = false;
+        }
+    }
+
+    if (_slots.size() >= _opts.maxSessions) {
+        report.notes.push_back("fork '" + fork.child +
+                               "': refused, service is at capacity");
+        return Result<void>::success();
+    }
+
+    Slot slot;
+    slot.session =
+        std::make_unique<Session>(spec, _opts.outDir, ckptDir());
+    slot.session->attachObs(_opts.obs);
+    if (warm) {
+        const Result<ckpt::Blob> blob = ckpt::loadFile(
+            artifact, parent->spec().fingerprint());
+        if (!blob.ok()) {
+            report.notes.push_back("fork '" + fork.child +
+                                   "': " + blob.error().message());
+            return Result<void>::success();
+        }
+        const Result<void> started = slot.session->startForked(
+            blob.value().payload, parent->jsonlPath());
+        if (!started.ok()) {
+            report.notes.push_back("fork '" + fork.child +
+                                   "': " + started.error().message());
+            return Result<void>::success();
+        }
+    } else {
+        const Result<void> started = slot.session->start();
+        if (!started.ok()) {
+            report.notes.push_back("fork '" + fork.child +
+                                   "': " + started.error().message());
+            return Result<void>::success();
+        }
+    }
+    slot.started = true;
+    _slots.push_back(std::move(slot));
+    ++report.forked;
+    obs::probeFor(_opts.obs, 0).count(Cycle{0},
+                                      "serve.forks_materialized");
+    return Result<void>::success();
+}
+
+void
+ServeDriver::recordRoster()
+{
+    for (const Slot &slot : _slots) {
+        Manifest::Entry entry;
+        entry.spec = slot.session->spec();
+        if (!slot.started) {
+            // Never came up (setup failure): recorded as failed so a
+            // resume reports it rather than silently forgetting it.
+            entry.state = Session::State::Failed;
+            entry.failure = slot.note;
+        } else {
+            entry.state = slot.session->state();
+            entry.failure = slot.session->failure();
+        }
+        _manifest.record(entry);
+    }
+}
+
+Result<ServeDriver::RunReport>
+ServeDriver::run(const CancelToken &cancel)
+{
+    RunReport report;
+    if (_opts.resume) {
+        const Result<void> loaded = admitFromManifest(report);
+        if (!loaded.ok())
+            return loaded.error();
+    }
+
+    // Pre-flight every fork directive: bad directives are operator
+    // errors, not per-session data.
+    struct PendingFork
+    {
+        ForkSpec spec;
+        bool registered = false;
+    };
+    std::vector<PendingFork> pending;
+    for (const ForkSpec &fork : _pendingForks) {
+        if (fork.window == 0)
+            return Error(ErrorCode::InvalidArgument,
+                         "fork window must be >= 1");
+        if (findSession(fork.child) != nullptr)
+            return Error(ErrorCode::InvalidArgument,
+                         strprintf("fork child id '%s' is already an "
+                                   "admitted session",
+                                   fork.child.c_str()));
+        for (const PendingFork &other : pending)
+            if (other.spec.child == fork.child)
+                return Error(
+                    ErrorCode::InvalidArgument,
+                    strprintf("fork child id '%s' used twice",
+                              fork.child.c_str()));
+        if (!fork.scheme.empty()) {
+            const Result<schemes::SchemeKind> kind =
+                parseSchemeKind(fork.scheme);
+            if (!kind.ok())
+                return kind.error();
+        }
+        pending.push_back(PendingFork{fork, false});
+    }
+    _pendingForks.clear();
+
+    const Result<void> started = startSessions(report);
+    if (!started.ok())
+        return started.error();
+
+    // Register triggers on parents that exist now; chained forks
+    // (parent itself a fork child) register when the child appears.
+    const auto registerTriggers = [&]() {
+        for (PendingFork &fork : pending) {
+            if (fork.registered)
+                continue;
+            const Session *parent = findSession(fork.spec.parent);
+            if (parent == nullptr)
+                continue;
+            // addForkTrigger mutates; look the slot up mutably.
+            for (Slot &slot : _slots)
+                if (slot.session->spec().id == fork.spec.parent)
+                    slot.session->addForkTrigger(
+                        fork.spec.window,
+                        forkArtifactPath(fork.spec.child));
+            fork.registered = true;
+        }
+    };
+    registerTriggers();
+
+    recordRoster();
+    Result<void> persisted = _manifest.persist();
+    if (!persisted.ok())
+        report.notes.push_back("manifest: " +
+                               persisted.error().message());
+
+    // Scheduling phases: each phase drains the current roster over
+    // the pool; forks materialize between phases and run in the
+    // next one.
+    for (;;) {
+        runPhase(cancel);
+        if (cancel.cancelled()) {
+            report.cancelled = true;
+            break;
+        }
+        // Every started session is now terminal: fire what's ready.
+        std::vector<PendingFork> still;
+        for (PendingFork &fork : pending) {
+            const Session *parent = findSession(fork.spec.parent);
+            const bool parent_terminal =
+                parent != nullptr &&
+                (parent->state() == Session::State::Done ||
+                 parent->state() == Session::State::Failed);
+            if (!fork.registered || !parent_terminal) {
+                still.push_back(fork);
+                continue;
+            }
+            const Result<void> made =
+                materializeFork(fork.spec, report);
+            if (!made.ok())
+                return made.error();
+        }
+        pending = std::move(still);
+        registerTriggers();
+
+        recordRoster();
+        persisted = _manifest.persist();
+        if (!persisted.ok())
+            report.notes.push_back("manifest: " +
+                                   persisted.error().message());
+
+        const bool any_active = std::any_of(
+            _slots.begin(), _slots.end(), [](const Slot &slot) {
+                return slot.started &&
+                       slot.session->state() ==
+                           Session::State::Active;
+            });
+        if (!any_active)
+            break;
+    }
+
+    for (const PendingFork &fork : pending)
+        report.notes.push_back(
+            "fork '" + fork.spec.child + "': parent '" +
+            fork.spec.parent +
+            (fork.registered ? "' never became eligible"
+                             : "' was never admitted"));
+
+    // Drain: checkpoint everything still live so a --resume picks up
+    // from this exact durability point, then persist the roster.
+    for (Slot &slot : _slots) {
+        if (!slot.started ||
+            slot.session->state() != Session::State::Active)
+            continue;
+        const Result<void> ck = slot.session->checkpoint();
+        if (!ck.ok())
+            report.notes.push_back(slot.session->spec().id +
+                                   ": drain checkpoint: " +
+                                   ck.error().message());
+    }
+    recordRoster();
+    persisted = _manifest.persist();
+    if (!persisted.ok())
+        report.notes.push_back("manifest: " +
+                               persisted.error().message());
+
+    for (const Slot &slot : _slots) {
+        if (!slot.started ||
+            slot.session->state() == Session::State::Failed)
+            ++report.failed;
+        else if (slot.session->state() == Session::State::Done)
+            ++report.completed;
+        if (!slot.note.empty())
+            report.notes.push_back(slot.session->spec().id + ": " +
+                                   slot.note);
+    }
+    return report;
+}
+
+} // namespace serve
+} // namespace graphene

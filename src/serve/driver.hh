@@ -1,0 +1,159 @@
+/**
+ * @file
+ * ServeDriver: the multi-session streaming service (DESIGN.md §15).
+ *
+ * The driver multiplexes K admitted sessions over exp::Pool with
+ * cooperative time-slicing: each session advances one *quantum* of
+ * simulated cycles per scheduling turn via Pool::runResumable — a
+ * session that still has work re-enqueues itself, one that finishes
+ * (or fails, or is cancelled) retires. Work stealing balances
+ * sessions of uneven length; the per-item total-order guarantee is
+ * what lets a quantum mutate its session without locks; and because
+ * each session's JSONL artifact is a pure function of its spec, the
+ * service output is byte-identical for every --jobs count (the
+ * jobs-determinism ctest runs 1/4/16).
+ *
+ * Lifecycle: admit() (bounded by maxSessions — the typed-error
+ * admission control), run() executes scheduling *phases* until the
+ * roster drains, drain-on-cancel checkpoints every live session and
+ * persists the manifest so a later --resume continues from the last
+ * durability point. Fork children materialize at phase boundaries:
+ * a same-scheme fork warm-starts from the parent's window-boundary
+ * artifact (startForked); a cross-scheme fork cannot transplant
+ * engine state (the checkpoint fingerprint embeds the scheme) and
+ * restarts the same stream spec from cycle zero under the new
+ * scheme.
+ */
+
+#ifndef SERVE_DRIVER_HH
+#define SERVE_DRIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hh"
+#include "obs/obs.hh"
+#include "serve/manifest.hh"
+#include "serve/session.hh"
+
+namespace graphene {
+namespace serve {
+
+/** One requested fork, parsed from `<parent>@<window>:<child>` with
+ *  an optional `:<scheme>` suffix for a cross-scheme restart. */
+struct ForkSpec
+{
+    std::string parent;
+    std::uint64_t window = 1; ///< Fires when this window completes.
+    std::string child;
+    /** Empty: warm same-scheme fork. A scheme name (as accepted by
+     *  parseSchemeKind): cold restart under that scheme. */
+    std::string scheme;
+};
+
+/** Parse a `<parent>@<window>:<child>[:<scheme>]` fork directive. */
+Result<ForkSpec> parseForkSpec(const std::string &text);
+
+/** Case-insensitive scheme-kind lookup ("graphene", "para", ...). */
+Result<schemes::SchemeKind> parseSchemeKind(const std::string &name);
+
+/** Service-level knobs (per-session knobs live in SessionSpec). */
+struct DriverOptions
+{
+    /** Pool workers; 1 = the deterministic reference schedule. */
+    unsigned jobs = 1;
+
+    /** Simulated cycles per scheduling turn. */
+    std::uint64_t quantumCycles = 500000;
+
+    /** Admission-control capacity. */
+    std::size_t maxSessions = 64;
+
+    /** Checkpoint every N quanta per session; 0 = drain-time only. */
+    unsigned ckptEveryQuanta = 8;
+
+    /** Session JSONL directory. */
+    std::string outDir = "serve-out";
+
+    /** Checkpoint directory; empty = `<outDir>/ckpt`. */
+    std::string ckptDir;
+
+    /** Rebuild the roster from the manifest and resume sessions from
+     *  their checkpoints. */
+    bool resume = false;
+
+    /** Observability sink shared by all sessions (never
+     *  fingerprinted). */
+    obs::Sink *obs = nullptr;
+
+    std::vector<ForkSpec> forks;
+};
+
+class ServeDriver
+{
+  public:
+    explicit ServeDriver(DriverOptions opts);
+
+    /**
+     * Add one session to the roster. Typed errors: capacity
+     * exhausted (InvalidArgument — the admission-control contract),
+     * duplicate id, or an invalid spec.
+     */
+    Result<void> admit(const SessionSpec &spec);
+
+    std::size_t sessionCount() const { return _slots.size(); }
+
+    /** The admitted session named @p id, or null. */
+    const Session *findSession(const std::string &id) const;
+
+    /** What one run() concluded. */
+    struct RunReport
+    {
+        std::size_t completed = 0;
+        std::size_t failed = 0;
+        std::size_t forked = 0;   ///< Children materialized.
+        std::size_t resumed = 0;  ///< Sessions warm-started.
+        bool cancelled = false;   ///< Drained before the roster ended.
+        std::vector<std::string> notes;
+    };
+
+    /**
+     * Run the service to completion or cancellation: start (or
+     * resume) every session, schedule quanta over the pool, fork at
+     * phase boundaries, and drain — checkpoint every live session
+     * and persist the manifest — before returning. Only setup-level
+     * failures (unusable directories, an unknown fork parent) are
+     * errors; per-session failures are data in the report.
+     */
+    Result<RunReport> run(const CancelToken &cancel);
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<Session> session;
+        unsigned quanta = 0;
+        bool started = false;
+        std::string note; ///< Non-fatal per-session observations.
+    };
+
+    std::string ckptDir() const;
+    std::string forkArtifactPath(const std::string &child) const;
+    Result<void> admitFromManifest(RunReport &report);
+    Result<void> startSessions(RunReport &report);
+    std::size_t runPhase(const CancelToken &cancel);
+    Result<void> materializeFork(const ForkSpec &fork,
+                                 RunReport &report);
+    void recordRoster();
+
+    DriverOptions _opts;
+    std::vector<Slot> _slots;
+    std::vector<ForkSpec> _pendingForks;
+    Manifest _manifest;
+};
+
+} // namespace serve
+} // namespace graphene
+
+#endif // SERVE_DRIVER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The serving service's crash-resume manifest (DESIGN.md §15).
+ *
+ * exp::Manifest records completed *cells*; the serve manifest records
+ * *sessions*: every admitted SessionSpec plus its lifecycle state, so
+ * a `--resume` restart can rebuild the whole roster — including
+ * sessions the original command line never named, such as forked
+ * children — without the operator re-deriving anything. Per-session
+ * simulation state lives in each session's own `session_<id>.gckp`;
+ * the manifest is the directory of who exists, not a second copy of
+ * their state.
+ *
+ * Same container and durability discipline as exp::Manifest: a
+ * ckpt::encode artifact fingerprinted with a code-version tag
+ * (version skew rejects as CkptConfigMismatch), rotated to `.prev`
+ * before each atomic write, loaded newest-first with typed rejection
+ * of torn or corrupted candidates. The payload codec is exposed
+ * (encodePayload/decodePayload) so the corrupt-corpus generator can
+ * build well-formed serve manifests to damage.
+ */
+
+#ifndef SERVE_MANIFEST_HH
+#define SERVE_MANIFEST_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "serve/session.hh"
+
+namespace graphene {
+namespace serve {
+
+class Manifest
+{
+  public:
+    /** One roster row: spec + lifecycle. */
+    struct Entry
+    {
+        SessionSpec spec;
+        Session::State state = Session::State::Fresh;
+        /** Full error report when state == Failed. */
+        std::string failure;
+    };
+
+    /** What load() recovered, for the operator-facing resume note. */
+    struct LoadReport
+    {
+        std::size_t sessions = 0; ///< Entries recovered.
+        std::string source;  ///< File they came from (empty: none).
+        std::vector<std::string> notes; ///< Rejection reasons.
+    };
+
+    /** @param dir directory holding `serve_manifest.gckp`. */
+    explicit Manifest(std::string dir);
+
+    /** Load the newest valid manifest (primary, then `.prev`),
+     *  replacing any in-memory entries. */
+    LoadReport load();
+
+    /** Upsert one session's roster row (persist() saves). */
+    void record(const Entry &entry);
+
+    /** Roster keyed by session id (sorted — serialization order). */
+    const std::map<std::string, Entry> &entries() const
+    {
+        return _entries;
+    }
+
+    /** Rotate to `.prev` and atomically write the current roster. */
+    Result<void> persist();
+
+    /** `<dir>/serve_manifest.gckp`. */
+    static std::string pathFor(const std::string &dir);
+
+    /** Digest framing every serve manifest (code-version tag). */
+    static std::uint64_t configFingerprint();
+
+    /** Payload codec, exposed for the corrupt-corpus generator and
+     *  its round-trip tests. Entries encode sorted by id. */
+    static std::vector<std::uint8_t>
+    encodePayload(const std::vector<Entry> &entries);
+    static Result<std::vector<Entry>>
+    decodePayload(const std::vector<std::uint8_t> &payload);
+
+  private:
+    std::string _dir;
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace serve
+} // namespace graphene
+
+#endif // SERVE_MANIFEST_HH

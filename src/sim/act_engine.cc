@@ -296,6 +296,12 @@ ActStreamEngine::runUntil(Cycle stop)
 {
     while (!_done && nextActCycle() < stop && step()) {
     }
+    // The next ACT slot lying at/past the horizon means the stream is
+    // over, but only a step() call latches _done — take it eagerly
+    // (it issues nothing) so quantum-driven callers whose stop clamps
+    // to the horizon still observe completion.
+    if (!_done && nextActCycle() >= _horizon)
+        step();
     return _done;
 }
 
@@ -331,6 +337,18 @@ ActStreamEngine::finish()
         model::EnergyModel::refreshOverhead(
             _result.victimRowsRefreshed, 1, _config.windows);
     return _result;
+}
+
+std::uint64_t
+ActStreamEngine::victimRowsRefreshedSoFar() const
+{
+    return _rank.nrrRowCount();
+}
+
+std::uint64_t
+ActStreamEngine::bitFlipsSoFar() const
+{
+    return _rank.faultModel(0).flips().size();
 }
 
 std::uint64_t

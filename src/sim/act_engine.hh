@@ -175,6 +175,23 @@ class ActStreamEngine
         return Cycle{static_cast<std::uint64_t>(_nextAct)};
     }
 
+    /** The run's end cycle (windows × tREFW, fixed at construction). */
+    Cycle horizon() const { return _horizon; }
+
+    /**
+     * Cumulative progress counters, valid between any two steps —
+     * the streaming service reads these at window boundaries to emit
+     * per-window deltas without waiting for finish().
+     */
+    std::uint64_t actsSoFar() const { return _result.acts; }
+    std::uint64_t nrrEventsSoFar() const { return _result.nrrEvents; }
+    std::uint64_t refreshCommandsSoFar() const
+    {
+        return _result.refreshCommands;
+    }
+    std::uint64_t victimRowsRefreshedSoFar() const;
+    std::uint64_t bitFlipsSoFar() const;
+
     /**
      * FNV-1a digest over every semantic knob of this run — scheme
      * spec, timing, rate, span, fault model, pattern name. Stored in

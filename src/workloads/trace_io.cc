@@ -131,38 +131,73 @@ writeActTrace(std::ostream &os, const std::vector<Row> &rows)
         os << r << "\n";
 }
 
-Result<std::vector<Row>>
-readActTrace(std::istream &is)
+Result<std::size_t>
+ActTraceCursor::read(std::vector<Row> &out, std::size_t max)
 {
-    std::vector<Row> rows;
+    if (_eof)
+        return std::size_t{0};
+    std::size_t appended = 0;
     std::string line;
-    std::size_t line_no = 0;
-    while (std::getline(is, line)) {
-        ++line_no;
-        if (is.eof() && !line.empty())
+    while (appended < max && std::getline(*_is, line)) {
+        ++_lineNo;
+        // getline hitting EOF on a non-empty buffer means the final
+        // record lost its newline — it may have been cut mid-field,
+        // so reject it rather than guess.
+        if (_is->eof() && !line.empty())
             return parseError("ACT trace truncated (final record has "
                               "no newline)",
-                              line_no, line);
+                              _lineNo, line);
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
         std::uint64_t row_bits;
         if (!(ss >> row_bits) || hasMinusSign(line))
-            return parseError("ACT trace parse error", line_no, line);
+            return parseError("ACT trace parse error", _lineNo, line);
         if (hasTrailingGarbage(ss))
             return parseError("ACT trace parse error (trailing "
                               "garbage)",
-                              line_no, line);
+                              _lineNo, line);
         // The all-ones sentinel is not a real row either.
         if (row_bits >= Row::invalid().value())
-            return parseError("ACT trace row out of range", line_no,
+            return parseError("ACT trace row out of range", _lineNo,
                               line);
-        rows.push_back(Row{static_cast<Row::rep>(row_bits)});
+        out.push_back(Row{static_cast<Row::rep>(row_bits)});
+        ++appended;
+        ++_records;
     }
-    if (rows.empty())
+    if (appended == max)
+        return appended;
+    // The loop ended because getline failed. A stream that died
+    // mid-read (badbit — disk error, pipe reset) must surface as a
+    // typed Io error: treating it as EOF would silently truncate the
+    // trace, the exact gap the chunked path exists to close.
+    if (_is->bad())
+        return Error(ErrorCode::Io,
+                     strprintf("ACT trace stream failed after line "
+                               "%zu (read error, not end of trace)",
+                               _lineNo));
+    _eof = true;
+    if (_records == 0)
         return Error(ErrorCode::Parse,
                      "ACT trace contains no records (empty or "
                      "comment-only input)");
+    return appended;
+}
+
+Result<std::vector<Row>>
+readActTrace(std::istream &is)
+{
+    // One grammar, two paths: the whole-file API is the chunked
+    // cursor run to exhaustion.
+    std::vector<Row> rows;
+    ActTraceCursor cursor(is);
+    while (!cursor.atEnd()) {
+        Result<std::size_t> got = cursor.read(rows, 4096);
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0)
+            break;
+    }
     return rows;
 }
 

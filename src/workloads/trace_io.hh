@@ -75,9 +75,54 @@ void writeActTrace(std::ostream &os, const std::vector<Row> &rows);
 /**
  * Parse an ACT-level trace. Same error contract as readTrace():
  * malformed lines, truncated final records, and empty traces are
- * typed Parse errors, never aborts.
+ * typed Parse errors, never aborts. Delegates to ActTraceCursor, so
+ * the whole-file and chunked paths share one grammar.
  */
 Result<std::vector<Row>> readActTrace(std::istream &is);
+
+/**
+ * Chunked iterator over an ACT-level trace stream: the
+ * bounded-memory reader path behind src/serve's streaming ingest.
+ * Each read() appends at most @p max rows, so peak buffering is
+ * O(chunk) however long the trace is; the whole-file readActTrace()
+ * delegates here.
+ *
+ * Error contract (same typed Parse errors as the whole-file path):
+ *  - a malformed line, an out-of-range row, or trailing garbage is a
+ *    Parse error carrying the line number and text;
+ *  - a final record cut mid-field (EOF with no newline) is a Parse
+ *    error — the chunked path must not silently accept a truncated
+ *    tail that the whole-file path rejects;
+ *  - a stream that dies mid-read (badbit) is an Io error, never a
+ *    silent early end-of-trace;
+ *  - a trace that ends with zero records is a Parse error, reported
+ *    by the read() that observes the end.
+ */
+class ActTraceCursor
+{
+  public:
+    /** @param is positioned at the start of the trace text. */
+    explicit ActTraceCursor(std::istream &is) : _is(&is) {}
+
+    /**
+     * Append up to @p max rows to @p out. Returns the number
+     * appended; 0 means the trace ended cleanly (every later call
+     * keeps returning 0). Typed Parse/Io error on malformed input.
+     */
+    Result<std::size_t> read(std::vector<Row> &out, std::size_t max);
+
+    /** Total records decoded so far. */
+    std::uint64_t recordsRead() const { return _records; }
+
+    /** True once the underlying stream ended cleanly. */
+    bool atEnd() const { return _eof; }
+
+  private:
+    std::istream *_is;
+    std::size_t _lineNo = 0;
+    std::uint64_t _records = 0;
+    bool _eof = false;
+};
 
 /** Replays a recorded row stream as an ActPattern (looping). */
 class TracePattern : public ActPattern

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The streaming ingest layer's contracts: O(chunk) peak buffering
+ * however long the stream, loop-at-EOF replay identical to the
+ * whole-file TracePattern, checkpointable stream position, and typed
+ * (never fatal) error reporting for malformed traces.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/io.hh"
+#include "serve/act_source.hh"
+#include "workloads/trace_io.hh"
+
+namespace graphene {
+namespace serve {
+namespace {
+
+class TempTrace
+{
+  public:
+    explicit TempTrace(const std::string &text)
+    {
+        _path = (std::filesystem::temp_directory_path() /
+                 ("serve_src_" +
+                  std::to_string(reinterpret_cast<std::uintptr_t>(
+                      this)) +
+                  ".trace"))
+                    .string();
+        std::ofstream os(_path);
+        os << text;
+    }
+    ~TempTrace() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+std::string
+traceOf(const std::vector<std::uint64_t> &rows)
+{
+    std::string text = "# test trace\n";
+    for (std::uint64_t r : rows)
+        text += std::to_string(r) + "\n";
+    return text;
+}
+
+TEST(SourceSpec, ValidateCollectsEveryViolation)
+{
+    SourceSpec spec;
+    spec.kind = SourceSpec::Kind::TraceFile;
+    spec.path = ""; // trace source without a path
+    const Result<void> bad = spec.validate();
+    ASSERT_FALSE(bad.ok());
+
+    spec.kind = SourceSpec::Kind::Pattern;
+    spec.family = "no-such-family";
+    ASSERT_FALSE(spec.validate().ok());
+
+    spec.family = "s1";
+    spec.param = 0; // cardinality families need param >= 1
+    ASSERT_FALSE(spec.validate().ok());
+
+    spec.param = 10;
+    EXPECT_TRUE(spec.validate().ok())
+        << spec.validate().error().describe();
+}
+
+TEST(SourceSpec, SaveLoadRoundTrips)
+{
+    SourceSpec spec;
+    spec.kind = SourceSpec::Kind::TraceFile;
+    spec.path = "/some/trace.txt";
+    spec.family = "s4";
+    spec.param = 7;
+    spec.seed = 99;
+
+    ckpt::Writer w;
+    spec.save(w);
+    ckpt::Reader r(w.data());
+    const SourceSpec back = SourceSpec::load(r);
+    ASSERT_TRUE(r.finish().ok());
+    EXPECT_EQ(back.describe(), spec.describe());
+    EXPECT_EQ(back.path, spec.path);
+    EXPECT_EQ(back.seed, spec.seed);
+}
+
+TEST(ChunkedTrace, LoopsLikeTracePattern)
+{
+    const std::vector<std::uint64_t> rows = {3, 1, 4, 1, 5, 9, 2, 6};
+    TempTrace trace(traceOf(rows));
+    ChunkedTraceSource source(trace.path(), 16);
+
+    // Pull 3 passes' worth in odd-sized chunks: the stream must be
+    // the file repeated, byte-for-byte what TracePattern replays.
+    std::vector<Row> got;
+    while (got.size() < rows.size() * 3) {
+        const Result<std::size_t> n = source.fill(got, 5);
+        ASSERT_TRUE(n.ok()) << n.error().describe();
+        ASSERT_GT(n.value(), 0u);
+    }
+    for (std::size_t i = 0; i < rows.size() * 3; ++i)
+        EXPECT_EQ(got[i].value(), rows[i % rows.size()]) << i;
+    EXPECT_GE(source.passes(), 2u);
+}
+
+TEST(ChunkedTrace, RowBeyondGeometryIsParseError)
+{
+    TempTrace trace(traceOf({1, 2, 500}));
+    ChunkedTraceSource source(trace.path(), 100);
+    std::vector<Row> got;
+    Result<std::size_t> n = source.fill(got, 64);
+    if (n.ok()) // first chunk may end before the bad row
+        n = source.fill(got, 64);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code(), ErrorCode::Parse);
+}
+
+TEST(ChunkedTrace, MissingFileIsIoError)
+{
+    ChunkedTraceSource source("/nonexistent/trace.txt", 16);
+    std::vector<Row> got;
+    const Result<std::size_t> n = source.fill(got, 8);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code(), ErrorCode::Io);
+}
+
+TEST(ChunkedTrace, SaveRestoreResumesMidPass)
+{
+    const std::vector<std::uint64_t> rows = {10, 20, 30, 40, 50};
+    TempTrace trace(traceOf(rows));
+
+    ChunkedTraceSource source(trace.path(), 64);
+    std::vector<Row> first;
+    ASSERT_TRUE(source.fill(first, 3).ok()); // mid-pass position
+
+    ckpt::Writer w;
+    source.saveState(w);
+    // O(1) position record: two u64 counters, never the rows.
+    EXPECT_EQ(w.size(), 16u);
+
+    ChunkedTraceSource resumed(trace.path(), 64);
+    ckpt::Reader r(w.data());
+    resumed.restoreState(r);
+    ASSERT_TRUE(r.finish().ok());
+
+    std::vector<Row> a, b;
+    ASSERT_TRUE(source.fill(a, 7).ok());
+    ASSERT_TRUE(resumed.fill(b, 7).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].value(), b[i].value()) << i;
+}
+
+TEST(ChunkedTrace, RestoreWithVanishedFileFailsOnNextFill)
+{
+    ckpt::Writer w;
+    {
+        TempTrace trace(traceOf({1, 2, 3}));
+        ChunkedTraceSource source(trace.path(), 16);
+        std::vector<Row> got;
+        ASSERT_TRUE(source.fill(got, 2).ok());
+        source.saveState(w);
+    } // trace file deleted here
+
+    ChunkedTraceSource resumed("/nonexistent/gone.trace", 16);
+    ckpt::Reader r(w.data());
+    resumed.restoreState(r);
+    // The ckpt payload itself is fine — the environment is not.
+    ASSERT_TRUE(r.finish().ok());
+    std::vector<Row> got;
+    const Result<std::size_t> n = resumed.fill(got, 4);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code(), ErrorCode::Io);
+}
+
+TEST(MakeSource, EveryFamilyBuildsAndIsDeterministic)
+{
+    for (const char *family :
+         {"uniform", "s1", "s2", "s3", "s4", "double", "worst"}) {
+        SourceSpec spec;
+        spec.kind = SourceSpec::Kind::Pattern;
+        spec.family = family;
+        spec.param = 6;
+        spec.seed = 42;
+
+        auto a = makeSource(spec, 4096);
+        auto b = makeSource(spec, 4096);
+        ASSERT_TRUE(a.ok()) << family;
+        ASSERT_TRUE(b.ok()) << family;
+
+        std::vector<Row> ra, rb;
+        ASSERT_TRUE(a.value()->fill(ra, 100).ok()) << family;
+        ASSERT_TRUE(b.value()->fill(rb, 100).ok()) << family;
+        ASSERT_EQ(ra.size(), rb.size()) << family;
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            ASSERT_EQ(ra[i].value(), rb[i].value())
+                << family << " diverged at " << i;
+            ASSERT_LT(ra[i].value(), 4096u) << family;
+        }
+    }
+}
+
+TEST(MakeSource, UnknownFamilyIsTypedError)
+{
+    SourceSpec spec;
+    spec.family = "zipfian-of-doom";
+    const auto built = makeSource(spec, 4096);
+    ASSERT_FALSE(built.ok());
+    EXPECT_EQ(built.error().code(), ErrorCode::Config);
+}
+
+/**
+ * The bounded-memory guarantee: streaming a 10x longer trace through
+ * a StreamPattern must not move the ingest buffer high-water mark at
+ * all — peak buffering is O(chunk), not O(trace).
+ */
+TEST(StreamPattern, PeakBufferIsChunkNotTraceLength)
+{
+    const std::size_t kChunk = 32;
+    auto peakFor = [&](std::size_t trace_rows) -> std::size_t {
+        std::vector<std::uint64_t> rows;
+        for (std::size_t i = 0; i < trace_rows; ++i)
+            rows.push_back(i % 64);
+        TempTrace trace(traceOf(rows));
+        ChunkedTraceSource source(trace.path(), 64);
+        StreamPattern pattern(source, kChunk);
+        for (std::size_t i = 0; i < trace_rows; ++i)
+            pattern.next();
+        EXPECT_FALSE(pattern.failed());
+        return pattern.peakBuffered();
+    };
+
+    const std::size_t peak_short = peakFor(200);
+    const std::size_t peak_long = peakFor(2000);
+    EXPECT_EQ(peak_short, peak_long)
+        << "ingest buffering grew with trace length";
+    EXPECT_LE(peak_long, kChunk);
+}
+
+TEST(StreamPattern, SaveRestoreContinuesIdentically)
+{
+    SourceSpec spec;
+    spec.family = "s4";
+    spec.param = 8;
+    spec.seed = 7;
+    auto src = makeSource(spec, 1024);
+    ASSERT_TRUE(src.ok());
+    StreamPattern pattern(*src.value(), 16);
+    for (int i = 0; i < 37; ++i) // mid-buffer position
+        pattern.next();
+
+    ckpt::Writer w;
+    pattern.saveState(w);
+
+    auto src2 = makeSource(spec, 1024);
+    ASSERT_TRUE(src2.ok());
+    StreamPattern restored(*src2.value(), 16);
+    ckpt::Reader r(w.data());
+    restored.restoreState(r);
+    ASSERT_TRUE(r.finish().ok());
+    EXPECT_EQ(restored.consumed(), pattern.consumed());
+
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(restored.next().value(), pattern.next().value())
+            << "diverged " << i << " rows after restore";
+    }
+}
+
+TEST(StreamPattern, SourceErrorLatchesInsteadOfAborting)
+{
+    ChunkedTraceSource source("/nonexistent/trace.txt", 16);
+    StreamPattern pattern(source, 8);
+    const Row row = pattern.next(); // must not throw or abort
+    EXPECT_EQ(row.value(), 0u);     // degraded output
+    ASSERT_TRUE(pattern.failed());
+    EXPECT_EQ(pattern.error().code(), ErrorCode::Io);
+}
+
+} // namespace
+} // namespace serve
+} // namespace graphene

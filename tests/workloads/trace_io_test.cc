@@ -165,6 +165,76 @@ TEST(TraceIo, EmptyTracePatternIsFatal)
     EXPECT_DEATH(TracePattern({}), "empty");
 }
 
+TEST(ActTraceCursor, ChunksReassembleTheWholeFile)
+{
+    const std::vector<Row> rows = {Row{1}, Row{5}, Row{5},
+                                   Row{65535}, Row{0}, Row{42},
+                                   Row{7}};
+    std::stringstream ss;
+    writeActTrace(ss, rows);
+
+    ActTraceCursor cursor(ss);
+    std::vector<Row> got;
+    for (;;) {
+        const auto n = cursor.read(got, 3); // deliberately uneven
+        ASSERT_TRUE(n.ok()) << n.error().describe();
+        if (n.value() == 0)
+            break;
+    }
+    EXPECT_EQ(got, rows);
+    EXPECT_EQ(cursor.recordsRead(), rows.size());
+    EXPECT_TRUE(cursor.atEnd());
+    // Clean end is sticky: further reads keep returning 0.
+    std::vector<Row> more;
+    const auto again = cursor.read(more, 3);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), 0u);
+}
+
+TEST(ActTraceCursor, MatchesWholeFileReaderOnErrors)
+{
+    // The chunked path must type the exact same rejects as
+    // readActTrace (which delegates here): malformed line, truncated
+    // final record, empty trace.
+    {
+        std::stringstream bad("12\nnotarow\n");
+        ActTraceCursor cursor(bad);
+        std::vector<Row> got;
+        auto n = cursor.read(got, 1); // first record is fine
+        ASSERT_TRUE(n.ok());
+        n = cursor.read(got, 1);
+        ASSERT_FALSE(n.ok());
+        EXPECT_EQ(n.error().code(), ErrorCode::Parse);
+        EXPECT_NE(n.error().message().find("line 2"),
+                  std::string::npos)
+            << n.error().message();
+    }
+    {
+        // EOF mid-record (no trailing newline): the chunked path
+        // must not silently accept a tail the whole-file path
+        // rejects.
+        std::stringstream truncated("12\n34");
+        ActTraceCursor cursor(truncated);
+        std::vector<Row> got;
+        Result<std::size_t> n = cursor.read(got, 8);
+        if (n.ok()) // the cut may surface on the next read
+            n = cursor.read(got, 8);
+        ASSERT_FALSE(n.ok());
+        EXPECT_EQ(n.error().code(), ErrorCode::Parse);
+        EXPECT_NE(n.error().message().find("truncated"),
+                  std::string::npos)
+            << n.error().message();
+    }
+    {
+        std::stringstream empty("# nothing here\n\n");
+        ActTraceCursor cursor(empty);
+        std::vector<Row> got;
+        const auto n = cursor.read(got, 8);
+        ASSERT_FALSE(n.ok());
+        EXPECT_EQ(n.error().code(), ErrorCode::Parse);
+    }
+}
+
 } // namespace
 } // namespace workloads
 } // namespace graphene
