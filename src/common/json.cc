@@ -119,12 +119,12 @@ raw(const std::string &line, const std::string &key)
 }
 
 std::optional<std::string>
-getString(const std::string &line, const std::string &key)
+unquote(const std::string &token)
 {
-    const auto token = raw(line, key);
-    if (!token || token->size() < 2 || (*token)[0] != '"')
+    if (token.size() < 2 || token.front() != '"' ||
+        token.back() != '"')
         return std::nullopt;
-    const std::string body = token->substr(1, token->size() - 2);
+    const std::string body = token.substr(1, token.size() - 2);
     std::string out;
     out.reserve(body.size());
     for (std::size_t i = 0; i < body.size(); ++i) {
@@ -164,6 +164,91 @@ getString(const std::string &line, const std::string &key)
         }
     }
     return out;
+}
+
+std::optional<std::string>
+getString(const std::string &line, const std::string &key)
+{
+    const auto token = raw(line, key);
+    if (!token)
+        return std::nullopt;
+    return unquote(*token);
+}
+
+std::optional<std::vector<Field>>
+fields(const std::string &line)
+{
+    // Walk the writer grammar once: `{"key":value,...}` with no
+    // whitespace, values being quoted strings, bare scalar tokens, or
+    // one-level arrays of integers.
+    std::vector<Field> out;
+    std::size_t pos = 0;
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t'))
+        ++pos;
+    if (pos >= line.size() || line[pos] != '{')
+        return std::nullopt;
+    ++pos;
+    if (pos < line.size() && line[pos] == '}')
+        return out; // empty object
+    const auto quotedToken =
+        [&](std::size_t from) -> std::optional<std::size_t> {
+        // Returns one past the closing quote of the string starting
+        // at @p from (which must hold the opening quote).
+        std::size_t end = from + 1;
+        while (end < line.size() && line[end] != '"') {
+            if (line[end] == '\\')
+                ++end;
+            ++end;
+        }
+        if (end >= line.size())
+            return std::nullopt;
+        return end + 1;
+    };
+    while (pos < line.size()) {
+        if (line[pos] != '"')
+            return std::nullopt;
+        const auto key_end = quotedToken(pos);
+        if (!key_end)
+            return std::nullopt;
+        const auto key =
+            unquote(line.substr(pos, *key_end - pos));
+        if (!key)
+            return std::nullopt;
+        pos = *key_end;
+        if (pos >= line.size() || line[pos] != ':')
+            return std::nullopt;
+        ++pos;
+        if (pos >= line.size())
+            return std::nullopt;
+        std::size_t value_end = pos;
+        if (line[pos] == '"') {
+            const auto end = quotedToken(pos);
+            if (!end)
+                return std::nullopt;
+            value_end = *end;
+        } else if (line[pos] == '[') {
+            value_end = line.find(']', pos);
+            if (value_end == std::string::npos)
+                return std::nullopt;
+            ++value_end;
+        } else {
+            while (value_end < line.size() &&
+                   line[value_end] != ',' && line[value_end] != '}')
+                ++value_end;
+        }
+        out.push_back(Field{*key,
+                            line.substr(pos, value_end - pos)});
+        pos = value_end;
+        if (pos >= line.size())
+            return std::nullopt;
+        if (line[pos] == '}')
+            return out;
+        if (line[pos] != ',')
+            return std::nullopt;
+        ++pos;
+    }
+    return std::nullopt;
 }
 
 std::optional<std::uint64_t>

@@ -61,6 +61,26 @@ std::optional<double> getDouble(const std::string &line,
 std::optional<std::vector<std::uint64_t>>
 getU64Array(const std::string &line, const std::string &key);
 
+/** One key → raw-value-token pair of a flat object line. */
+struct Field
+{
+    std::string key; ///< Unescaped key.
+    std::string raw; ///< Value token, still quoted/escaped.
+};
+
+/**
+ * Tokenize a complete flat object line `{"k":v,...}` into its fields
+ * in emission order. Unlike raw(), this walks the line once and
+ * handles keys that themselves contain escapes — which is what lets
+ * readers enumerate metric names they did not know in advance
+ * (obs/rollup.hh). Returns nullopt on anything outside the writer
+ * grammar.
+ */
+std::optional<std::vector<Field>> fields(const std::string &line);
+
+/** Unescape a quoted string token (`"..."`). */
+std::optional<std::string> unquote(const std::string &token);
+
 } // namespace json
 } // namespace graphene
 

@@ -35,6 +35,36 @@ Histogram::mean() const
     return _count ? _sum / static_cast<double>(_count) : 0.0;
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample, 1-based: smallest x with
+    // CDF(x) >= q.
+    const double rank =
+        std::max(1.0, q * static_cast<double>(_count));
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        const double next =
+            cumulative + static_cast<double>(_buckets[i]);
+        if (rank <= next) {
+            // Linear interpolation inside the bucket: samples are
+            // assumed uniform across [i*w, (i+1)*w).
+            const double within =
+                (rank - cumulative) / static_cast<double>(_buckets[i]);
+            return (static_cast<double>(i) + within) * _bucketWidth;
+        }
+        cumulative = next;
+    }
+    // The rank lands among the overflow samples (or rounding left us
+    // past the last bucket): report the conservative tail bound.
+    return _maxSeen;
+}
+
 void
 Histogram::reset()
 {

@@ -68,6 +68,18 @@ class Histogram
     double mean() const;
     double max() const { return _maxSeen; }
 
+    /**
+     * Bucket-interpolated quantile estimate for @p q in [0, 1]: the
+     * smallest value x with CDF(x) >= q, linearly interpolated inside
+     * the containing bucket. Samples beyond the bucketed range
+     * (overflow, including negatives) occupy the top of the CDF, so a
+     * quantile landing there conservatively reports max(). Tail
+     * summaries (p50/p95/p99) in the windowed-metrics totals and the
+     * telemetry rollups come from here — means hide exactly the tail
+     * the alert rules watch.
+     */
+    double quantile(double q) const;
+
     /** Samples that fell at or above the bucketed range. */
     std::uint64_t overflow() const { return _overflow; }
 

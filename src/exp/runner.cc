@@ -15,6 +15,7 @@
 #include "common/json.hh"
 #include "exp/fingerprint.hh"
 #include "obs/obs.hh"
+#include "obs/rollup.hh"
 
 namespace graphene {
 namespace exp {
@@ -95,14 +96,28 @@ sanitizeToken(const std::string &s)
 }
 
 /** Volatile per-cell tracing profile, destined for the .meta
- *  sidecar (never the primary artifact). */
+ *  sidecar (never the primary artifact) — plus the cell's windowed
+ *  metric series, captured so the commit loop can merge every traced
+ *  cell into one obsDir-level rollup without keeping sinks alive. */
 struct ObsProfile
 {
     bool traced = false;
     std::uint64_t traceEvents = 0;
     std::uint64_t traceDropped = 0;
     std::size_t peakRing = 0;
+    obs::SessionSeries series;
 };
+
+/** The cell's tenant name inside the cross-cell rollup (== the
+ *  sidecar file stem, so the two are trivially correlated). */
+std::string
+cellTenant(const CellKey &key)
+{
+    return sanitizeToken(key.experiment) + "_" +
+           sanitizeToken(key.workload) + "_" +
+           sanitizeToken(key.scheme) + "_" +
+           Fingerprint::hex(key.fingerprint);
+}
 
 /** Write one traced cell's sidecar files (events JSONL, Chrome
  *  trace, windowed metrics) and fill its profile. */
@@ -114,11 +129,9 @@ writeCellTrace(const std::string &dir, const CellKey &key,
     profile.traceEvents = sink.tracer.totalRetained();
     profile.traceDropped = sink.tracer.totalDropped();
     profile.peakRing = sink.tracer.peakOccupancy();
-    const std::string base =
-        dir + "/" + sanitizeToken(key.experiment) + "_" +
-        sanitizeToken(key.workload) + "_" +
-        sanitizeToken(key.scheme) + "_" +
-        Fingerprint::hex(key.fingerprint);
+    const std::string tenant = cellTenant(key);
+    profile.series = obs::seriesFromRegistry(sink.metrics, tenant);
+    const std::string base = dir + "/" + tenant;
     {
         std::ofstream os(base + ".events.jsonl", std::ios::trunc);
         sink.tracer.writeEventsJsonl(os, sink.metrics.windowCycles());
@@ -412,6 +425,26 @@ Runner::run(const ExperimentSpec &spec)
               << ",\"jobs\":" << _pool.jobs()
               << ",\"wall_ms\":" << json::number(stage_ms) << "}\n";
         _meta.flush();
+    }
+
+    // Merge every traced cell's window series into one cross-cell
+    // rollup next to the sidecars. Single-threaded (post-barrier) and
+    // keyed by sorted tenant name, so the file is deterministic for
+    // any jobs count. Rewritten whole per stage: later stages see the
+    // cumulative fleet because _obsRollup outlives the stage.
+    if (use_obs) {
+        bool merged = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!profiles[i].traced)
+                continue;
+            _obsRollup.add(profiles[i].series);
+            merged = true;
+        }
+        if (merged) {
+            std::ofstream os(_options.obsDir + "/rollup.jsonl",
+                             std::ios::trunc);
+            _obsRollup.writeJsonl(os);
+        }
     }
 
     _summary.total += n;

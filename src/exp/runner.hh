@@ -33,6 +33,7 @@
 #include "exp/manifest.hh"
 #include "exp/pool.hh"
 #include "obs/ring.hh"
+#include "obs/rollup.hh"
 
 namespace graphene {
 namespace exp {
@@ -159,6 +160,9 @@ class Runner
     /// First manifest persist failure (reported once, then the run
     /// carries on without checkpoint durability).
     bool _manifestBroken = false;
+    /// Cross-cell telemetry rollup, accumulated over every traced
+    /// cell of every stage (empty type under GRAPHENE_OBS_OFF).
+    obs::Rollup _obsRollup;
     RunSummary _summary;
 };
 

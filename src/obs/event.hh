@@ -51,6 +51,7 @@ enum class EventKind : std::uint8_t {
     QueueStall,     ///< Request delayed (refresh debt / batch cap).
     FaultInject,    ///< inject:: corrupted tracker state or stream.
     Scrub,          ///< Hardened-table scrub pass repaired state.
+    Alert,          ///< A telemetry alert rule fired (obs/alerts.hh).
 };
 
 /** Stable lower-case name of @p kind, used in every exporter. */
@@ -68,6 +69,7 @@ eventKindName(EventKind kind)
       case EventKind::QueueStall:     return "queue-stall";
       case EventKind::FaultInject:    return "fault-inject";
       case EventKind::Scrub:          return "scrub";
+      case EventKind::Alert:          return "alert";
     }
     return "unknown";
 }
@@ -78,7 +80,7 @@ eventKindName(EventKind kind)
  * rows refreshed for VictimRefresh, estimated count for
  * ThresholdCross, table slot for Tracker*, stall cycles for
  * QueueStall, fault-site ordinal for FaultInject, entries repaired
- * for Scrub.
+ * for Scrub, rule ordinal for Alert.
  */
 struct Event
 {

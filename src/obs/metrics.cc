@@ -149,7 +149,14 @@ MetricsRegistry::restore(const Snapshot &snap)
 void
 MetricsRegistry::writeJsonl(std::ostream &os) const
 {
+    // The header pins an explicit schema ordinal besides the format
+    // string: readers (obs/rollup.hh) refuse lines from a future
+    // schema instead of misparsing them. Metric names are arbitrary
+    // caller strings, so every key goes through json::quote — the
+    // round-trip test feeds names with quotes/backslashes through the
+    // rollup reader.
     os << "{\"header\":true,\"format\":\"graphene-obs-metrics-v1\""
+       << ",\"schema\":" << kMetricsJsonlSchema
        << ",\"window_cycles\":" << _windowCycles.value()
        << ",\"windows\":" << _rows.size() << "}\n";
     for (const auto &row : _rows) {
@@ -163,9 +170,18 @@ MetricsRegistry::writeJsonl(std::ostream &os) const
     for (const auto &kv : _group.scalars())
         os << "," << json::quote(kv.first) << ":"
            << json::number(kv.second.value());
-    for (const auto &kv : _group.histograms())
+    for (const auto &kv : _group.histograms()) {
         os << "," << json::quote(kv.first + ".samples") << ":"
            << json::number(static_cast<double>(kv.second.samples()));
+        // Bucket-interpolated tail latencies: rollups and alert
+        // rules watch tails, not means.
+        os << "," << json::quote(kv.first + ".p50") << ":"
+           << json::number(kv.second.quantile(0.50));
+        os << "," << json::quote(kv.first + ".p95") << ":"
+           << json::number(kv.second.quantile(0.95));
+        os << "," << json::quote(kv.first + ".p99") << ":"
+           << json::number(kv.second.quantile(0.99));
+    }
     os << "}\n";
 }
 

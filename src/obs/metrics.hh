@@ -38,6 +38,13 @@
 namespace graphene {
 namespace obs {
 
+/**
+ * Schema ordinal of the graphene-obs-metrics-v1 JSONL stream. Bump
+ * only with a reader-visible layout change; the rollup reader rejects
+ * files from a newer schema instead of guessing.
+ */
+inline constexpr std::uint32_t kMetricsJsonlSchema = 1;
+
 #ifndef GRAPHENE_OBS_OFF
 
 class MetricsRegistry

@@ -214,6 +214,9 @@ class StreamPattern : public workloads::ActPattern
      *  the bounded-memory guarantee, asserted in ctest). */
     std::size_t peakBuffered() const { return _peakBuffered; }
 
+    /** Rows buffered right now (telemetry: occupancy vs chunk). */
+    std::size_t buffered() const { return _buf.size() - _pos; }
+
     /** Buffer remainder + consumed count + source position. */
     void saveState(ckpt::Writer &w) const override;
     void restoreState(ckpt::Reader &r) override;

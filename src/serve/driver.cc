@@ -1,11 +1,15 @@
 #include "serve/driver.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <utility>
 
 #include "ckpt/checkpoint.hh"
 #include "exp/pool.hh"
+#include "obs/rollup.hh"
 
 namespace graphene {
 namespace serve {
@@ -115,6 +119,13 @@ ServeDriver::ckptDir() const
 }
 
 std::string
+ServeDriver::telemetryDir() const
+{
+    return _opts.telemetryDir.empty() ? _opts.outDir
+                                      : _opts.telemetryDir;
+}
+
+std::string
 ServeDriver::forkArtifactPath(const std::string &child) const
 {
     return (fs::path(ckptDir()) / ("fork_" + child + ".gckp"))
@@ -152,6 +163,7 @@ ServeDriver::admit(const SessionSpec &spec)
     slot.session =
         std::make_unique<Session>(spec, _opts.outDir, ckptDir());
     slot.session->attachObs(_opts.obs);
+    slot.live = std::make_unique<LiveStatus>();
     _slots.push_back(std::move(slot));
     obs::probeFor(_opts.obs, 0).count(Cycle{0},
                                       "serve.sessions_admitted");
@@ -194,6 +206,7 @@ ServeDriver::startSessions(RunReport &report)
     for (Slot &slot : _slots) {
         if (slot.started)
             continue;
+        slot.session->attachAlertRules(&_rules);
         if (_opts.resume) {
             Result<Session::ResumeReport> resumed =
                 slot.session->startResumed();
@@ -215,8 +228,111 @@ ServeDriver::startSessions(RunReport &report)
             }
             slot.started = true;
         }
+        publishLive(slot);
     }
     return Result<void>::success();
+}
+
+void
+ServeDriver::publishLive(Slot &slot)
+{
+    if (!slot.live)
+        return;
+    // Relaxed everywhere: each field is an independent gauge and the
+    // snapshot writer tolerates a torn *set* (it reads monotonic
+    // counters mid-run); the final deterministic snapshot at drain
+    // reads the sessions directly, single-threaded.
+    slot.live->state.store(
+        static_cast<std::uint8_t>(slot.session->state()),
+        std::memory_order_relaxed);
+    slot.live->window.store(slot.session->windowsEmitted(),
+                            std::memory_order_relaxed);
+    slot.live->lines.store(slot.session->linesEmitted(),
+                           std::memory_order_relaxed);
+    slot.live->buffered.store(slot.session->bufferedRows(),
+                              std::memory_order_relaxed);
+    slot.live->alerts.store(slot.session->alertsFired(),
+                            std::memory_order_relaxed);
+}
+
+obs::ServiceStatus
+ServeDriver::liveStatus() const
+{
+    obs::ServiceStatus status;
+    status.quantumCycles = _opts.quantumCycles;
+    for (const Slot &slot : _slots) {
+        obs::SessionStatus s;
+        const SessionSpec &spec = slot.session->spec();
+        s.id = spec.id;
+        s.scheme = schemes::schemeKindName(spec.scheme.kind);
+        s.source = spec.source.describe();
+        s.chunkRows = spec.chunkRows;
+        if (slot.started) {
+            switch (static_cast<Session::State>(slot.live->state.load(
+                std::memory_order_relaxed))) {
+              case Session::State::Active:
+                s.state = "running";
+                break;
+              case Session::State::Done:
+                s.state = "done";
+                break;
+              case Session::State::Failed:
+                s.state = "failed";
+                break;
+              case Session::State::Fresh:
+                s.state = "pending";
+                break;
+            }
+            s.lastWindow =
+                slot.live->window.load(std::memory_order_relaxed);
+            s.jsonlLines =
+                slot.live->lines.load(std::memory_order_relaxed);
+            s.bufferedRows =
+                slot.live->buffered.load(std::memory_order_relaxed);
+            s.alertsFired =
+                slot.live->alerts.load(std::memory_order_relaxed);
+        } else if (!slot.note.empty()) {
+            s.state = "failed";
+            s.failure = slot.note;
+        }
+        status.sessions.push_back(std::move(s));
+    }
+    status.finalize();
+    return status;
+}
+
+void
+ServeDriver::maybeRefreshStatus()
+{
+    if (!_opts.telemetry || !obs::kEnabled ||
+        _opts.statusEveryTurns == 0)
+        return;
+    const std::uint64_t turn =
+        _turns.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (turn % _opts.statusEveryTurns != 0)
+        return;
+    // One writer at a time; losers skip rather than queue — a status
+    // snapshot is best-effort freshness, never worth a worker stall.
+    if (_statusBusy.test_and_set(std::memory_order_acquire))
+        return;
+    const obs::ServiceStatus status = liveStatus();
+    const std::string dir = telemetryDir();
+    // Results deliberately consumed without failing the run: losing
+    // a live snapshot must never kill the service.
+    const Result<void> wrote =
+        obs::writeStatusJson(dir + "/status.json", status);
+    const std::uint64_t refreshes =
+        _statusRefreshes.fetch_add(1, std::memory_order_relaxed) + 1;
+    const auto now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const Result<void> side = obs::writeStatusSidecar(
+        dir + "/status.meta.json",
+        static_cast<std::uint64_t>(now_ms), _opts.jobs, refreshes);
+    (void)wrote.ok();
+    (void)side.ok();
+    _statusBusy.clear(std::memory_order_release);
 }
 
 std::size_t
@@ -238,6 +354,8 @@ ServeDriver::runPhase(const CancelToken &cancel)
         const Session::QuantumOutcome outcome =
             slot.session->runQuantum(_opts.quantumCycles);
         ++slot.quanta;
+        publishLive(slot);
+        maybeRefreshStatus();
         if (outcome != Session::QuantumOutcome::Again)
             return false;
         if (_opts.ckptEveryQuanta != 0 &&
@@ -294,6 +412,8 @@ ServeDriver::materializeFork(const ForkSpec &fork, RunReport &report)
     slot.session =
         std::make_unique<Session>(spec, _opts.outDir, ckptDir());
     slot.session->attachObs(_opts.obs);
+    slot.session->attachAlertRules(&_rules);
+    slot.live = std::make_unique<LiveStatus>();
     if (warm) {
         const Result<ckpt::Blob> blob = ckpt::loadFile(
             artifact, parent->spec().fingerprint());
@@ -318,6 +438,7 @@ ServeDriver::materializeFork(const ForkSpec &fork, RunReport &report)
         }
     }
     slot.started = true;
+    publishLive(slot);
     _slots.push_back(std::move(slot));
     ++report.forked;
     obs::probeFor(_opts.obs, 0).count(Cycle{0},
@@ -348,6 +469,27 @@ Result<ServeDriver::RunReport>
 ServeDriver::run(const CancelToken &cancel)
 {
     RunReport report;
+    if (_opts.telemetry && !_opts.alertRules.empty()) {
+        // A bad rules file is an operator error, caught before any
+        // session starts — not a per-session note.
+        Result<std::vector<obs::AlertRule>> rules =
+            obs::loadAlertRules(_opts.alertRules);
+        if (!rules.ok())
+            return rules.error();
+        _rules = std::move(rules).value();
+    }
+    if (_opts.telemetry && obs::kEnabled) {
+        // The live status writer needs the directory to exist before
+        // the first mid-run snapshot.
+        std::error_code ec;
+        fs::create_directories(telemetryDir(), ec);
+        if (ec)
+            return Error(ErrorCode::Io,
+                         strprintf("cannot create telemetry "
+                                   "directory '%s': %s",
+                                   telemetryDir().c_str(),
+                                   ec.message().c_str()));
+    }
     if (_opts.resume) {
         const Result<void> loaded = admitFromManifest(report);
         if (!loaded.ok())
@@ -497,7 +639,129 @@ ServeDriver::run(const CancelToken &cancel)
             report.notes.push_back(slot.session->spec().id + ": " +
                                    slot.note);
     }
+
+    writeTelemetry(report);
     return report;
+}
+
+void
+ServeDriver::writeTelemetry(RunReport &report)
+{
+    if (!_opts.telemetry || !obs::kEnabled)
+        return;
+    const std::string dir = telemetryDir();
+
+    // Canonical path: everything below derives from the session JSONL
+    // artifacts — which are pure functions of the specs — so rollup,
+    // alerts, exposition, and the final status snapshot are
+    // byte-identical across --jobs counts and across kill+resume,
+    // however the live snapshots interleaved.
+    obs::Rollup rollup;
+    std::vector<obs::AlertEvent> events;
+    std::map<std::string, std::uint64_t> offline_fired;
+
+    std::vector<const Slot *> ordered;
+    for (const Slot &slot : _slots)
+        ordered.push_back(&slot);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Slot *a, const Slot *b) {
+                  return a->session->spec().id < b->session->spec().id;
+              });
+
+    for (const Slot *slot : ordered) {
+        if (!slot->started)
+            continue; // no artifact was ever opened
+        const std::string id = slot->session->spec().id;
+        Result<obs::SessionSeries> series =
+            obs::readServeJsonl(slot->session->jsonlPath(), id);
+        if (!series.ok()) {
+            report.notes.push_back("telemetry: " + id + ": " +
+                                   series.error().message());
+            continue;
+        }
+        const Result<void> conserved =
+            obs::checkConservation(series.value());
+        if (!conserved.ok())
+            report.notes.push_back("telemetry: " + id + ": " +
+                                   conserved.error().message());
+        const std::vector<obs::AlertEvent> fired = obs::evaluateSeries(
+            _rules, series.value(),
+            static_cast<double>(slot->session->spec().chunkRows));
+        offline_fired[id] = fired.size();
+        events.insert(events.end(), fired.begin(), fired.end());
+        rollup.add(std::move(series).value());
+    }
+
+    // Final deterministic status: read from the sessions directly
+    // (single-threaded here), alert counts from the offline replay.
+    obs::ServiceStatus status;
+    status.quantumCycles = _opts.quantumCycles;
+    for (const Slot *slot : ordered) {
+        obs::SessionStatus s;
+        const SessionSpec &spec = slot->session->spec();
+        s.id = spec.id;
+        s.scheme = schemes::schemeKindName(spec.scheme.kind);
+        s.source = spec.source.describe();
+        s.chunkRows = spec.chunkRows;
+        if (!slot->started) {
+            s.state = "failed";
+            s.failure = slot->note;
+        } else {
+            switch (slot->session->state()) {
+              case Session::State::Active:
+                s.state = "running";
+                break;
+              case Session::State::Done:
+                s.state = "done";
+                break;
+              case Session::State::Failed:
+                s.state = "failed";
+                s.failure = slot->session->failure();
+                break;
+              case Session::State::Fresh:
+                s.state = "pending";
+                break;
+            }
+            s.lastWindow = slot->session->windowsEmitted();
+            s.jsonlLines = slot->session->linesEmitted();
+            s.bufferedRows = slot->session->bufferedRows();
+            s.alertsFired = offline_fired[spec.id];
+        }
+        status.sessions.push_back(std::move(s));
+    }
+    status.finalize();
+
+    std::ofstream rollup_out(dir + "/rollup.jsonl",
+                             std::ios::trunc);
+    if (rollup_out)
+        rollup.writeJsonl(rollup_out);
+    std::ofstream alerts_out(dir + "/alerts.jsonl", std::ios::trunc);
+    if (alerts_out)
+        obs::writeAlertsJsonl(alerts_out, _rules, events);
+    std::ofstream prom_out(dir + "/metrics.prom", std::ios::trunc);
+    if (prom_out)
+        obs::writeExposition(prom_out, rollup, status);
+    if (!rollup_out || !alerts_out || !prom_out)
+        report.notes.push_back(
+            "telemetry: artifact write(s) failed in '" + dir + "'");
+
+    const Result<void> wrote =
+        obs::writeStatusJson(dir + "/status.json", status);
+    if (!wrote.ok())
+        report.notes.push_back("telemetry: " +
+                               wrote.error().message());
+    const auto now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const Result<void> side = obs::writeStatusSidecar(
+        dir + "/status.meta.json", static_cast<std::uint64_t>(now_ms),
+        _opts.jobs,
+        _statusRefreshes.load(std::memory_order_relaxed) + 1);
+    if (!side.ok())
+        report.notes.push_back("telemetry: " +
+                               side.error().message());
+    report.alertsFired = events.size();
 }
 
 } // namespace serve

@@ -28,12 +28,15 @@
 #ifndef SERVE_DRIVER_HH
 #define SERVE_DRIVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cancel.hh"
+#include "obs/alerts.hh"
+#include "obs/export.hh"
 #include "obs/obs.hh"
 #include "serve/manifest.hh"
 #include "serve/session.hh"
@@ -89,6 +92,26 @@ struct DriverOptions
     obs::Sink *obs = nullptr;
 
     std::vector<ForkSpec> forks;
+
+    /**
+     * Service telemetry (DESIGN.md §16): when enabled the driver
+     * refreshes an atomically-rotated status.json health snapshot
+     * every few quanta and, at drain, writes the deterministic
+     * telemetry artifacts — rollup.jsonl, metrics.prom, alerts.jsonl
+     * and the final status.json — into telemetryDir. Compiled out
+     * (no files at all) under GRAPHENE_OBS_OFF.
+     */
+    bool telemetry = false;
+
+    /** Telemetry artifact directory; empty = outDir. */
+    std::string telemetryDir;
+
+    /** Alert rules file (obs/alerts.hh grammar); empty = no rules. */
+    std::string alertRules;
+
+    /** Refresh the live status snapshot every N scheduling turns
+     *  (whole-service count); 0 = drain-time snapshot only. */
+    unsigned statusEveryTurns = 16;
 };
 
 class ServeDriver
@@ -115,6 +138,7 @@ class ServeDriver
         std::size_t failed = 0;
         std::size_t forked = 0;   ///< Children materialized.
         std::size_t resumed = 0;  ///< Sessions warm-started.
+        std::size_t alertsFired = 0; ///< Offline-evaluated events.
         bool cancelled = false;   ///< Drained before the roster ended.
         std::vector<std::string> notes;
     };
@@ -130,15 +154,33 @@ class ServeDriver
     Result<RunReport> run(const CancelToken &cancel);
 
   private:
+    /**
+     * Lock-free mirror of one session's health, published by the
+     * worker that owns the session after each quantum (the
+     * runResumable per-item total order makes the owner unique) and
+     * read by whichever worker wins the status-refresh flag. Held by
+     * unique_ptr because atomics are not movable.
+     */
+    struct LiveStatus
+    {
+        std::atomic<std::uint8_t> state{0}; ///< Session::State.
+        std::atomic<std::uint64_t> window{0};
+        std::atomic<std::uint64_t> lines{0};
+        std::atomic<std::uint64_t> buffered{0};
+        std::atomic<std::uint64_t> alerts{0};
+    };
+
     struct Slot
     {
         std::unique_ptr<Session> session;
+        std::unique_ptr<LiveStatus> live;
         unsigned quanta = 0;
         bool started = false;
         std::string note; ///< Non-fatal per-session observations.
     };
 
     std::string ckptDir() const;
+    std::string telemetryDir() const;
     std::string forkArtifactPath(const std::string &child) const;
     Result<void> admitFromManifest(RunReport &report);
     Result<void> startSessions(RunReport &report);
@@ -146,11 +188,19 @@ class ServeDriver
     Result<void> materializeFork(const ForkSpec &fork,
                                  RunReport &report);
     void recordRoster();
+    void publishLive(Slot &slot);
+    void maybeRefreshStatus();
+    obs::ServiceStatus liveStatus() const;
+    void writeTelemetry(RunReport &report);
 
     DriverOptions _opts;
     std::vector<Slot> _slots;
     std::vector<ForkSpec> _pendingForks;
     Manifest _manifest;
+    std::vector<obs::AlertRule> _rules;
+    std::atomic<std::uint64_t> _turns{0};
+    std::atomic_flag _statusBusy = ATOMIC_FLAG_INIT;
+    std::atomic<std::uint64_t> _statusRefreshes{0};
 };
 
 } // namespace serve

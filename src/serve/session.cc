@@ -226,6 +226,9 @@ Session::build()
     _lastActs = _lastNrr = _lastRefresh = _lastVictims = _lastFlips =
         0;
     _failure.clear();
+    if (_alertRules != nullptr)
+        _alertEngine = obs::AlertEngine(
+            *_alertRules, static_cast<double>(_spec.chunkRows));
     return Result<void>::success();
 }
 
@@ -415,11 +418,15 @@ Session::emitWindowLine(Cycle end_cycle)
         _engine->victimRowsRefreshedSoFar();
     const std::uint64_t flips = _engine->bitFlipsSoFar();
     const std::uint64_t wc = _spec.windowCycles();
+    // buffered_rows is a gauge, not a delta, but it is deterministic
+    // across resume (the checkpoint carries the exact buffer
+    // remainder) — unlike peakBuffered(), which is ckpt-exempt and
+    // must never enter a byte-compared artifact.
     emitLine(strprintf(
         "{\"window\":%llu,\"start\":%llu,\"end\":%llu,"
         "\"acts\":%llu,\"nrr_events\":%llu,"
         "\"refresh_commands\":%llu,\"victim_rows_refreshed\":%llu,"
-        "\"bit_flips\":%llu}",
+        "\"bit_flips\":%llu,\"buffered_rows\":%llu}",
         static_cast<unsigned long long>(_windowIndex),
         static_cast<unsigned long long>(_windowIndex * wc),
         static_cast<unsigned long long>(end_cycle.value()),
@@ -427,7 +434,33 @@ Session::emitWindowLine(Cycle end_cycle)
         static_cast<unsigned long long>(nrr - _lastNrr),
         static_cast<unsigned long long>(refresh - _lastRefresh),
         static_cast<unsigned long long>(victims - _lastVictims),
-        static_cast<unsigned long long>(flips - _lastFlips)));
+        static_cast<unsigned long long>(flips - _lastFlips),
+        static_cast<unsigned long long>(bufferedRows())));
+    // Live alert evaluation over *exactly* the fields the window
+    // line records, so the live engine and the offline drain-time
+    // replay (obs::evaluateSeries over this artifact) agree rule for
+    // rule. Fired rules become Alert trace events and a live
+    // counter; the canonical alerts artifact is the offline one.
+    if (_alertRules != nullptr && !_alertRules->empty()) {
+        std::map<std::string, double> deltas;
+        deltas["acts"] = static_cast<double>(acts - _lastActs);
+        deltas["nrr_events"] = static_cast<double>(nrr - _lastNrr);
+        deltas["refresh_commands"] =
+            static_cast<double>(refresh - _lastRefresh);
+        deltas["victim_rows_refreshed"] =
+            static_cast<double>(victims - _lastVictims);
+        deltas["bit_flips"] = static_cast<double>(flips - _lastFlips);
+        deltas["buffered_rows"] =
+            static_cast<double>(bufferedRows());
+        for (const std::size_t idx :
+             _alertEngine.onWindow(_windowIndex, deltas)) {
+            obs::probeFor(_obs, 0).emit(
+                end_cycle, obs::EventKind::Alert, Row::invalid(),
+                static_cast<std::uint32_t>(idx));
+            obs::probeFor(_obs, 0).count(end_cycle,
+                                         "serve.alerts_fired");
+        }
+    }
     _lastActs = acts;
     _lastNrr = nrr;
     _lastRefresh = refresh;

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/alerts.hh"
 #include "obs/obs.hh"
 #include "schemes/factory.hh"
 #include "serve/act_source.hh"
@@ -148,6 +149,33 @@ class Session
     void attachObs(obs::Sink *sink) { _obs = sink; }
 
     /**
+     * Attach alert rules before start*(). The session builds its own
+     * AlertEngine (streak state is session-local, so concurrent
+     * sessions share no mutable telemetry state); `chunk` thresholds
+     * resolve to this spec's chunkRows. Like the obs sink, rules are
+     * never fingerprinted and never checkpointed: live streaks
+     * restart on resume, and the canonical alerts artifact is
+     * recomputed offline from the complete JSONL at drain.
+     */
+    void attachAlertRules(const std::vector<obs::AlertRule> *rules)
+    {
+        _alertRules = rules;
+    }
+
+    /** Live alert firings this process observed (not checkpointed;
+     *  the deterministic count comes from obs::evaluateSeries). */
+    std::uint64_t alertsFired() const
+    {
+        return _alertEngine.firedCount();
+    }
+
+    /** Ingest-buffer occupancy right now (telemetry gauge). */
+    std::size_t bufferedRows() const
+    {
+        return _pattern ? _pattern->buffered() : 0;
+    }
+
+    /**
      * Arrange for a fork artifact at @p artifact_path the moment
      * window @p window completes. Call before/while Active; a
      * trigger for an already-passed window never fires.
@@ -213,6 +241,8 @@ class Session
     std::string _outDir;
     std::string _ckptDir;
     obs::Sink *_obs = nullptr;
+    const std::vector<obs::AlertRule> *_alertRules = nullptr;
+    obs::AlertEngine _alertEngine;
 
     std::unique_ptr<ActSource> _source;
     std::unique_ptr<StreamPattern> _pattern;

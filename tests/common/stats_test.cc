@@ -45,6 +45,48 @@ TEST(Histogram, NegativeSamplesCountAsOverflow)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesInsideBuckets)
+{
+    // 100 uniform samples over [0, 100): bucket k holds exactly the
+    // samples [10k, 10k+10), so the interpolated quantiles land on
+    // the underlying values (within one bucket width of rounding).
+    Histogram h("lat", 10, 100.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    // Quantiles are monotone in q.
+    EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram empty("none", 4, 8.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+
+    Histogram one("one", 4, 8.0);
+    one.sample(3.0);
+    // A single sample occupies the whole CDF; q is clamped to [0,1].
+    EXPECT_GT(one.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(one.quantile(-1.0), one.quantile(0.0));
+    EXPECT_DOUBLE_EQ(one.quantile(2.0), one.quantile(1.0));
+}
+
+TEST(Histogram, QuantileInOverflowReportsMax)
+{
+    // Overflow samples occupy the top of the CDF, so a tail quantile
+    // landing there must report the conservative max(), never a
+    // value inside the bucketed range.
+    Histogram h("lat", 4, 8.0);
+    for (int i = 0; i < 9; ++i)
+        h.sample(1.0);
+    h.sample(1000.0); // overflow: the top 10% of the CDF
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 1000.0);
+    EXPECT_LT(h.quantile(0.50), 8.0);
+}
+
 TEST(Histogram, SamplesCountsEverythingIncludingOverflow)
 {
     Histogram h("lat", 4, 8.0);

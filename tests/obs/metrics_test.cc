@@ -161,6 +161,43 @@ TEST(MetricsRegistry, WriteJsonlHasHeaderWindowsAndTotals)
     EXPECT_EQ(text, again.str());
 }
 
+TEST(MetricsRegistry, WriteJsonlPinsSchemaAndEscapesNames)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    // Metric names are arbitrary caller strings: quotes, backslashes
+    // and colons must survive the JSONL round trip (the rollup
+    // reader's round-trip test parses this back).
+    m.add(Cycle{10}, "weird\"name\\with:stuff", 2.0);
+    m.finish();
+
+    std::ostringstream os;
+    m.writeJsonl(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(text.find("\\\"name\\\\with:stuff"),
+              std::string::npos);
+    // The raw unescaped name must not appear anywhere.
+    EXPECT_EQ(text.find("weird\"name\\with"), std::string::npos);
+}
+
+TEST(MetricsRegistry, TotalsCarryTailQuantiles)
+{
+    MetricsRegistry m;
+    m.beginWindows(Cycle{100});
+    for (std::uint64_t c = 0; c < 100; ++c)
+        m.sample(Cycle{c}, "lat", static_cast<double>(c), 10, 100.0);
+    m.finish();
+
+    std::ostringstream os;
+    m.writeJsonl(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"lat.p50\":"), std::string::npos);
+    EXPECT_NE(text.find("\"lat.p95\":"), std::string::npos);
+    EXPECT_NE(text.find("\"lat.p99\":"), std::string::npos);
+    EXPECT_NE(text.find("\"lat.samples\":100"), std::string::npos);
+}
+
 TEST(Probe, DetachedProbeIsSafe)
 {
     const Probe probe;

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a serve status.json against status.schema.json.
+
+    check_status.py <status.json> [schema.json]
+
+Stdlib-only (no jsonschema dependency): implements exactly the
+subset of JSON Schema the status schema uses -- type, const, enum,
+required, additionalProperties, minimum, minLength, items -- plus
+the cross-field invariants a schema can't express (state tallies
+must match the session list; the file must agree with the driver's
+one-object-per-line layout contract).
+
+Exit 0 on success, 1 with a per-error listing otherwise.
+"""
+
+import json
+import os
+import sys
+
+
+def check(schema, value, path, errors):
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected object")
+            return
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+        for key, sub in props.items():
+            if key in value:
+                check(sub, value[key], f"{path}.{key}", errors)
+    elif t == "array":
+        if not isinstance(value, list):
+            errors.append(f"{path}: expected array")
+            return
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                check(items, item, f"{path}[{i}]", errors)
+    elif t == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{path}: expected integer, got {value!r}")
+            return
+        lo = schema.get("minimum")
+        if lo is not None and value < lo:
+            errors.append(f"{path}: {value} < minimum {lo}")
+    elif t == "string":
+        if not isinstance(value, str):
+            errors.append(f"{path}: expected string, got {value!r}")
+            return
+        lo = schema.get("minLength")
+        if lo is not None and len(value) < lo:
+            errors.append(f"{path}: shorter than minLength {lo}")
+    if "const" in schema and value != schema["const"]:
+        errors.append(
+            f"{path}: {value!r} != const {schema['const']!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+
+def invariants(doc, text, errors):
+    sessions = doc.get("sessions", [])
+    if doc.get("sessions_total") != len(sessions):
+        errors.append("sessions_total disagrees with the session list")
+    tally = {"running": 0, "done": 0, "failed": 0, "pending": 0}
+    for s in sessions:
+        state = s.get("state")
+        if state in tally:
+            tally[state] += 1
+    for state, count in tally.items():
+        if doc.get(state) != count:
+            errors.append(
+                f"{state} count {doc.get(state)} != tallied {count}")
+    ids = [s.get("id") for s in sessions]
+    if ids != sorted(ids):
+        errors.append("sessions are not sorted by id")
+    if len(ids) != len(set(ids)):
+        errors.append("duplicate session ids")
+    # Layout contract: one session object per line, so grep and the
+    # flat extractors in serve_dash work without a JSON parser.
+    object_lines = [
+        line for line in text.splitlines() if line.startswith('{"id":')
+    ]
+    if len(object_lines) != len(sessions):
+        errors.append(
+            f"{len(object_lines)} '{{\"id\":' lines for "
+            f"{len(sessions)} sessions (one-object-per-line broken)")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[2].strip(),
+              file=sys.stderr)
+        return 2
+    status_path = argv[1]
+    schema_path = (argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "status.schema.json"))
+    with open(schema_path, encoding="utf-8") as fh:
+        schema = json.load(fh)
+    with open(status_path, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        print(f"{status_path}: invalid JSON: {err}", file=sys.stderr)
+        return 1
+    errors = []
+    check(schema, doc, "$", errors)
+    invariants(doc, text, errors)
+    if errors:
+        for err in errors:
+            print(f"{status_path}: {err}", file=sys.stderr)
+        return 1
+    print(f"{status_path}: OK "
+          f"({doc['sessions_total']} sessions, schema "
+          f"{doc['schema']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

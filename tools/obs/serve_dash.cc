@@ -1,0 +1,407 @@
+/**
+ * @file
+ * serve_dash: render the serve telemetry directory as a per-tenant
+ * dashboard (DESIGN.md §16, EXPERIMENTS.md "watch a live serve run").
+ *
+ *   serve_dash <dir> [--html FILE] [--metric NAME]
+ *
+ * Reads `<dir>/status.json` (the atomically-rotated health snapshot
+ * — one session object per line, so the flat JSON extractors work
+ * without a full parser), tails each session's window JSONL through
+ * the same reader the rollup uses, and prints a text table with
+ * unicode sparklines of the chosen per-window metric (default
+ * `acts`). `--html` additionally writes a self-contained HTML page:
+ * the same table with inline SVG sparklines, status badges (always
+ * text + color, never color alone), and a dark mode selected via
+ * prefers-color-scheme.
+ *
+ * Because the tool only *reads* artifacts it can run while the
+ * service is live: the snapshot is rotated atomically, and a window
+ * JSONL is append-only between checkpoints.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "obs/rollup.hh"
+
+namespace {
+
+using graphene::json::getString;
+using graphene::json::getU64;
+
+struct Options
+{
+    std::string dir;
+    std::string html;
+    std::string metric = "acts";
+};
+
+/** One row of the dashboard: the status snapshot joined with the
+ *  session's own window series. */
+struct Row
+{
+    std::string id;
+    std::string scheme;
+    std::string source;
+    std::string state;
+    std::string failure;
+    std::uint64_t lastWindow = 0;
+    std::uint64_t bufferedRows = 0;
+    std::uint64_t chunkRows = 0;
+    std::uint64_t alertsFired = 0;
+    std::vector<double> spark; ///< Chosen metric, one per window.
+    std::map<std::string, double> totals;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: serve_dash <telemetry-dir> [--html FILE] "
+                 "[--metric NAME]\n";
+    return 2;
+}
+
+double
+total(const Row &row, const char *key)
+{
+    const auto it = row.totals.find(key);
+    return it == row.totals.end() ? 0.0 : it->second;
+}
+
+/** Eight-level unicode sparkline, scaled to the row's own maximum
+ *  (each row is a single labeled series; cross-row magnitude lives
+ *  in the numeric columns). */
+std::string
+textSparkline(const std::vector<double> &values)
+{
+    static const char *kLevels[] = {"▁", "▂", "▃",
+                                    "▄", "▅", "▆",
+                                    "▇", "█"};
+    if (values.empty())
+        return "";
+    double hi = 0.0;
+    for (const double v : values)
+        hi = std::max(hi, v);
+    std::string out;
+    for (const double v : values) {
+        const std::size_t step =
+            hi <= 0.0 ? 0
+                      : std::min<std::size_t>(
+                            7, static_cast<std::size_t>(v / hi * 7.999));
+        out += kLevels[step];
+    }
+    return out;
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '&')
+            out += "&amp;";
+        else if (c == '<')
+            out += "&lt;";
+        else if (c == '>')
+            out += "&gt;";
+        else if (c == '"')
+            out += "&quot;";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+fmtCount(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(0) << v;
+    return os.str();
+}
+
+/** Inline SVG sparkline: one thin 2px line per row, scaled to the
+ *  row's own maximum, with a <title> tooltip carrying the series
+ *  name and range. */
+std::string
+svgSparkline(const std::vector<double> &values,
+             const std::string &label)
+{
+    const int w = 140, h = 28, pad = 2;
+    std::ostringstream os;
+    os << "<svg class=\"spark\" width=\"" << w << "\" height=\"" << h
+       << "\" viewBox=\"0 0 " << w << " " << h
+       << "\" role=\"img\" aria-label=\"" << htmlEscape(label)
+       << "\">";
+    if (values.size() >= 2) {
+        double hi = 0.0;
+        for (const double v : values)
+            hi = std::max(hi, v);
+        os << "<title>" << htmlEscape(label) << " (max "
+           << fmtCount(hi) << ")</title><polyline fill=\"none\" "
+           << "stroke=\"var(--series)\" stroke-width=\"2\" "
+           << "stroke-linejoin=\"round\" points=\"";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const double x =
+                pad + (w - 2.0 * pad) * static_cast<double>(i) /
+                          static_cast<double>(values.size() - 1);
+            const double y =
+                hi <= 0.0 ? h - pad
+                          : h - pad - (h - 2.0 * pad) * values[i] / hi;
+            os << std::fixed << std::setprecision(1) << x << ","
+               << y << " ";
+        }
+        os << "\"/>";
+    }
+    os << "</svg>";
+    return os.str();
+}
+
+/** Status badge: a colored dot plus the state *word* — identity is
+ *  never color-alone. */
+std::string
+badge(const Row &row)
+{
+    std::string cls = "pending";
+    if (row.state == "running")
+        cls = "running";
+    else if (row.state == "done")
+        cls = "done";
+    else if (row.state == "failed")
+        cls = "failed";
+    std::string out = "<span class=\"badge badge-" + cls +
+                      "\"><span class=\"dot\"></span>" +
+                      htmlEscape(row.state) + "</span>";
+    if (!row.failure.empty())
+        out += " <span class=\"muted\">" + htmlEscape(row.failure) +
+               "</span>";
+    return out;
+}
+
+// Chart palette (validated light/dark steps): series line, status
+// colors, and ink tokens. Text always wears ink tokens, never the
+// series color; the colored marks (line, dots) carry identity.
+const char *kCss = R"(
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e;
+  --grid: #e4e3df; --series: #2a78d6;
+  --good: #1baf7a; --busy: #2a78d6; --bad: #eb6834; --idle: #83827c;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7;
+    --grid: #3a3a38; --series: #3987e5;
+    --good: #199e70; --busy: #3987e5; --bad: #d95926; --idle: #83827c;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif; margin: 2rem; }
+h1 { font-size: 1.2rem; } .muted { color: var(--ink2); }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 6px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink2); font-weight: 600; }
+td.num, th.num { text-align: right;
+  font-variant-numeric: tabular-nums; }
+.badge { display: inline-flex; align-items: center; gap: 6px; }
+.badge .dot { width: 8px; height: 8px; border-radius: 50%;
+  display: inline-block; }
+.badge-done .dot { background: var(--good); }
+.badge-running .dot { background: var(--busy); }
+.badge-failed .dot { background: var(--bad); }
+.badge-pending .dot { background: var(--idle); }
+.spark { vertical-align: middle; }
+)";
+
+void
+writeHtml(std::ostream &os, const std::string &dir,
+          const std::vector<Row> &rows, const std::string &metric,
+          const std::string &meta)
+{
+    os << "<!doctype html>\n<html lang=\"en\"><head><meta "
+          "charset=\"utf-8\">\n<title>graphene serve dashboard"
+       << "</title>\n<style>" << kCss << "</style></head>\n<body>\n";
+    os << "<h1>graphene serve &mdash; " << htmlEscape(dir)
+       << "</h1>\n";
+    std::size_t done = 0, running = 0, failed = 0, alerts = 0;
+    for (const auto &r : rows) {
+        done += r.state == "done";
+        running += r.state == "running";
+        failed += r.state == "failed";
+        alerts += r.alertsFired;
+    }
+    os << "<p class=\"muted\">" << rows.size() << " sessions &middot; "
+       << done << " done &middot; " << running << " running &middot; "
+       << failed << " failed &middot; " << alerts << " alert(s)";
+    if (!meta.empty())
+        os << " &middot; " << htmlEscape(meta);
+    os << "</p>\n";
+    os << "<table>\n<tr><th>tenant</th><th>scheme</th>"
+          "<th>source</th><th>state</th>"
+          "<th class=\"num\">windows</th>"
+          "<th class=\"num\">acts</th>"
+          "<th class=\"num\">victims</th>"
+          "<th class=\"num\">nrr</th>"
+          "<th class=\"num\">flips</th>"
+          "<th class=\"num\">buffered</th>"
+          "<th class=\"num\">alerts</th><th>"
+       << htmlEscape(metric) << " / window</th></tr>\n";
+    for (const auto &r : rows) {
+        os << "<tr><td>" << htmlEscape(r.id) << "</td><td>"
+           << htmlEscape(r.scheme) << "</td><td>"
+           << htmlEscape(r.source) << "</td><td>" << badge(r)
+           << "</td><td class=\"num\">" << r.spark.size()
+           << "</td><td class=\"num\">" << fmtCount(total(r, "acts"))
+           << "</td><td class=\"num\">"
+           << fmtCount(total(r, "victim_rows_refreshed"))
+           << "</td><td class=\"num\">"
+           << fmtCount(total(r, "nrr_events"))
+           << "</td><td class=\"num\">"
+           << fmtCount(total(r, "bit_flips"))
+           << "</td><td class=\"num\">" << r.bufferedRows
+           << "/" << r.chunkRows << "</td><td class=\"num\">"
+           << r.alertsFired << "</td><td>"
+           << svgSparkline(r.spark,
+                           r.id + " " + metric + " per window")
+           << "</td></tr>\n";
+    }
+    os << "</table>\n</body></html>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--html" && i + 1 < argc)
+            opt.html = argv[++i];
+        else if (arg == "--metric" && i + 1 < argc)
+            opt.metric = argv[++i];
+        else if (opt.dir.empty() && arg[0] != '-')
+            opt.dir = arg;
+        else
+            return usage();
+    }
+    if (opt.dir.empty())
+        return usage();
+
+    const std::string statusPath = opt.dir + "/status.json";
+    std::ifstream status(statusPath);
+    if (!status) {
+        std::cerr << "serve_dash: cannot open " << statusPath << "\n";
+        return 1;
+    }
+
+    std::vector<Row> rows;
+    std::uint64_t quantum = 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (const auto q = getU64(line, "quantum_cycles"))
+            quantum = *q;
+        const auto id = getString(line, "id");
+        if (!id)
+            continue;
+        Row row;
+        row.id = *id;
+        row.scheme = getString(line, "scheme").value_or("?");
+        row.source = getString(line, "source").value_or("?");
+        row.state = getString(line, "state").value_or("?");
+        row.failure = getString(line, "failure").value_or("");
+        row.lastWindow = getU64(line, "last_window").value_or(0);
+        row.bufferedRows = getU64(line, "buffered_rows").value_or(0);
+        row.chunkRows = getU64(line, "chunk_rows").value_or(0);
+        row.alertsFired = getU64(line, "alerts_fired").value_or(0);
+
+        const auto series = graphene::obs::readServeJsonl(
+            opt.dir + "/session_" + row.id + ".jsonl", row.id);
+        if (series.ok()) {
+            for (const auto &w : series.value().windows) {
+                const auto it = w.values.find(opt.metric);
+                row.spark.push_back(
+                    it == w.values.end() ? 0.0 : it->second);
+            }
+            row.totals = series.value().totals;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // Volatile context from the sidecar, display-only.
+    std::string meta;
+    {
+        std::ifstream in(opt.dir + "/status.meta.json");
+        std::string mline;
+        if (in && std::getline(in, mline)) {
+            const auto jobs = getU64(mline, "jobs");
+            const auto refreshes = getU64(mline, "refreshes");
+            if (jobs)
+                meta += "jobs " + std::to_string(*jobs);
+            if (refreshes)
+                meta += (meta.empty() ? "" : ", ") + std::string() +
+                        std::to_string(*refreshes) + " refreshes";
+        }
+    }
+
+    std::cout << "serve: " << opt.dir << " (" << rows.size()
+              << " sessions";
+    if (quantum)
+        std::cout << ", quantum " << quantum << " cycles";
+    if (!meta.empty())
+        std::cout << ", " << meta;
+    std::cout << ")\n\n";
+    const auto clip = [](std::string s, std::size_t width) {
+        if (s.size() > width)
+            s = s.substr(0, width - 1) + "~";
+        return s;
+    };
+    std::cout << std::left << std::setw(10) << "tenant"
+              << std::setw(12) << "scheme" << std::setw(26)
+              << "source" << std::setw(9) << "state" << std::right
+              << std::setw(5) << "win" << std::setw(12) << "acts"
+              << std::setw(9) << "victims" << std::setw(7) << "nrr"
+              << std::setw(7) << "flips" << std::setw(12)
+              << "buffered" << std::setw(7) << "alerts"
+              << "  " << opt.metric << "/window\n";
+    for (const auto &r : rows) {
+        std::cout << std::left << std::setw(10) << r.id
+                  << std::setw(12) << r.scheme << std::setw(26)
+                  << clip(r.source, 25) << std::setw(9) << r.state
+                  << std::right
+                  << std::setw(5) << r.spark.size() << std::setw(12)
+                  << fmtCount(total(r, "acts")) << std::setw(9)
+                  << fmtCount(total(r, "victim_rows_refreshed"))
+                  << std::setw(7) << fmtCount(total(r, "nrr_events"))
+                  << std::setw(7) << fmtCount(total(r, "bit_flips"))
+                  << std::setw(12)
+                  << (std::to_string(r.bufferedRows) + "/" +
+                      std::to_string(r.chunkRows))
+                  << std::setw(7) << r.alertsFired << "  "
+                  << textSparkline(r.spark) << "\n";
+        if (!r.failure.empty())
+            std::cout << "  ! " << r.failure << "\n";
+    }
+
+    if (!opt.html.empty()) {
+        std::ofstream os(opt.html, std::ios::trunc);
+        if (!os) {
+            std::cerr << "serve_dash: cannot write " << opt.html
+                      << "\n";
+            return 1;
+        }
+        writeHtml(os, opt.dir, rows, opt.metric, meta);
+        std::cout << "\nhtml: " << opt.html << "\n";
+    }
+    return 0;
+}

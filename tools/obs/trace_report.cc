@@ -3,12 +3,17 @@
  * trace_report: summarise a graphene-obs-events-v1 JSONL trace.
  *
  *   trace_report <events.jsonl> [--timeline N] [--top N]
+ *   trace_report --metrics <metrics.jsonl>
  *
  * Prints the event totals per kind, the top hot rows by ACT count,
  * an events-per-window table (using the header's window length), and
  * a scheme-action timeline (victim refreshes, threshold crossings,
- * tracker resets, faults, scrubs) — the quick look CI attaches to
- * every fig8 acceptance run.
+ * tracker resets, faults, scrubs, alerts) — the quick look CI
+ * attaches to every fig8 acceptance run.
+ *
+ * --metrics switches to the graphene-obs-metrics-v1 reader (shared
+ * with the serve rollup): per-window deltas, end-of-run totals, and
+ * the conservation audit (sum of deltas must equal each total).
  */
 
 #include <algorithm>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "obs/rollup.hh"
 
 namespace {
 
@@ -30,6 +36,7 @@ using graphene::json::getU64;
 struct Options
 {
     std::string path;
+    std::string metrics;
     std::size_t timeline = 24;
     std::size_t top = 10;
 };
@@ -38,7 +45,8 @@ int
 usage()
 {
     std::cerr << "usage: trace_report <events.jsonl> [--timeline N] "
-                 "[--top N]\n";
+                 "[--top N]\n"
+                 "       trace_report --metrics <metrics.jsonl>\n";
     return 2;
 }
 
@@ -48,7 +56,52 @@ isActionKind(const std::string &kind)
 {
     return kind == "victim-refresh" || kind == "threshold-cross" ||
            kind == "tracker-reset" || kind == "fault-inject" ||
-           kind == "scrub" || kind == "queue-stall";
+           kind == "scrub" || kind == "queue-stall" ||
+           kind == "alert";
+}
+
+/** The --metrics mode: windowed deltas + the conservation audit,
+ *  through the same reader the serve rollup uses. */
+int
+reportMetrics(const std::string &path)
+{
+    const auto series =
+        graphene::obs::readMetricsJsonl(path, "metrics");
+    if (!series.ok()) {
+        std::cerr << "trace_report: " << series.error().describe()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "metrics: " << path << "\n";
+    if (series.value().windowCycles)
+        std::cout << "window: " << series.value().windowCycles
+                  << " cycles\n";
+    std::cout << "windows: " << series.value().windows.size() << "\n";
+    std::cout << "\n== per-window deltas ==\n";
+    for (const auto &w : series.value().windows) {
+        std::cout << "  window " << w.window << ":";
+        for (const auto &kv : w.values)
+            std::cout << " " << kv.first << "="
+                      << graphene::json::number(kv.second);
+        std::cout << "\n";
+    }
+    if (series.value().haveTotals) {
+        std::cout << "\n== totals ==\n";
+        for (const auto &kv : series.value().totals)
+            std::cout << "  " << std::left << std::setw(28)
+                      << (kv.first + " ")
+                      << graphene::json::number(kv.second) << "\n";
+        const auto audit = graphene::obs::checkConservation(series.value());
+        if (audit.ok()) {
+            std::cout << "\nconservation: OK (window deltas sum to "
+                         "the totals)\n";
+        } else {
+            std::cout << "\nconservation: VIOLATED\n  "
+                      << audit.error().describe() << "\n";
+            return 1;
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -65,11 +118,15 @@ main(int argc, char **argv)
         else if (arg == "--top" && i + 1 < argc)
             opt.top =
                 static_cast<std::size_t>(std::stoul(argv[++i]));
+        else if (arg == "--metrics" && i + 1 < argc)
+            opt.metrics = argv[++i];
         else if (opt.path.empty() && arg[0] != '-')
             opt.path = arg;
         else
             return usage();
     }
+    if (!opt.metrics.empty())
+        return reportMetrics(opt.metrics);
     if (opt.path.empty())
         return usage();
 

@@ -56,6 +56,13 @@ printUsage(const char *prog, std::ostream &os)
        << "  --chunk N       ingest chunk rows (default 4096)\n"
        << "  --seed S        base seed (default 1)\n"
        << "  --max-sessions N  admission capacity (default 64)\n"
+       << "  --rules FILE    alert rules (`name: metric op value "
+          "[for N]`)\n"
+       << "  --telemetry-dir DIR  telemetry artifacts (default "
+          "<out>)\n"
+       << "  --status-every N  refresh status.json every N turns "
+          "(0 = drain only)\n"
+       << "  --no-telemetry  disable rollup/status/alert artifacts\n"
        << "  --help          this message\n";
 }
 
@@ -63,6 +70,7 @@ struct CliOptions
 {
     graphene::serve::DriverOptions driver;
     std::vector<std::string> traces;
+    bool noTelemetry = false;
     unsigned sessions = 4;
     double duration = 0.25;
     std::uint64_t statsWindow = 0;
@@ -128,6 +136,16 @@ parseArgs(int argc, char **argv)
             options.seed = std::stoull(value(i));
         } else if (arg == "--max-sessions") {
             options.driver.maxSessions = std::stoull(value(i));
+        } else if (arg == "--rules") {
+            options.driver.alertRules = value(i);
+        } else if (arg == "--telemetry-dir") {
+            options.driver.telemetryDir = value(i);
+        } else if (arg == "--status-every") {
+            options.driver.statusEveryTurns =
+                static_cast<unsigned>(std::stoul(value(i)));
+        } else if (arg == "--no-telemetry") {
+            options.driver.telemetry = false;
+            options.noTelemetry = true;
         } else if (arg == "--help") {
             printUsage(argv[0], std::cout);
             std::exit(0);
@@ -137,6 +155,10 @@ parseArgs(int argc, char **argv)
             std::exit(2);
         }
     }
+    // Telemetry is on by default for the service CLI (the library
+    // default stays off so embedders opt in); --no-telemetry is the
+    // escape hatch.
+    options.driver.telemetry = !options.noTelemetry;
     return options;
 }
 
@@ -206,9 +228,18 @@ main(int argc, char **argv)
 
     std::cout << "serve: " << report.completed << " completed, "
               << report.failed << " failed, " << report.forked
-              << " forked, " << report.resumed << " resumed"
+              << " forked, " << report.resumed << " resumed, "
+              << report.alertsFired << " alert(s)"
               << (report.cancelled ? " (drained on cancel)" : "")
               << "\n";
+    if (options.driver.telemetry) {
+        const std::string dir = options.driver.telemetryDir.empty()
+                                    ? options.driver.outDir
+                                    : options.driver.telemetryDir;
+        std::cout << "  telemetry: " << dir << "/status.json, "
+                  << dir << "/rollup.jsonl, " << dir
+                  << "/metrics.prom, " << dir << "/alerts.jsonl\n";
+    }
     for (const std::string &note : report.notes)
         std::cout << "  note: " << note << "\n";
 
